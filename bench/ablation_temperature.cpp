@@ -1,0 +1,96 @@
+// Ablation: operating-temperature dependence of the via TTF with and
+// without the thermomechanical stress term.
+//
+// Two mechanisms pull in opposite directions as the chip runs hotter:
+// diffusion accelerates (Deff, Arrhenius — shortens life) while the
+// thermomechanical stress relaxes toward the anneal point (raises the
+// effective critical stress — extends life). A stress-blind model sees
+// only the first mechanism and therefore overstates the temperature
+// sensitivity near operating conditions and understates lifetime at cool
+// corners — the quantitative form of the paper's §1 argument that
+// characterization near the anneal temperature cannot see sigma_T.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "em/acceleration.h"
+#include "em/critical_stress.h"
+#include "em/korhonen.h"
+
+using namespace viaduct;
+
+int main(int argc, char** argv) {
+  double sigmaTUse = 250e6;
+  double annealC = 350.0;
+  CliFlags flags("Ablation: TTF vs operating temperature");
+  flags.addDouble("sigma-t-mpa", &sigmaTUse,
+                  "thermomechanical stress at 105C [Pa]");
+  flags.addDouble("anneal-c", &annealC, "anneal temperature [C]");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kWarn);
+
+  std::cout << "=== Ablation: operating temperature, with/without sigma_T "
+               "===\n\n";
+
+  EmParameters em;
+  const double j = 1e10;
+  const double annealK = units::kelvinFromCelsius(annealC);
+  const double refK = 378.15;  // sigma_T reference: 105 C
+
+  auto medianTtfYears = [&](double tempK, bool withStress) {
+    EmParameters at = em;
+    at.temperatureK = tempK;
+    const double sigmaC = criticalStressDistribution(at).median();
+    const double sigmaT =
+        withStress ? stressAtTemperature(sigmaTUse, refK, annealK, tempK)
+                   : 0.0;
+    return nucleationTime(sigmaC, sigmaT, j, at.medianDeff(), at) /
+           units::year;
+  };
+
+  TextTable table({"T [C]", "sigma_T [MPa]", "TTF with stress [yr]",
+                   "TTF stress-blind [yr]", "blind/with ratio"});
+  std::vector<double> withStress, blind, temps;
+  for (double tC = 45.0; tC <= 310.0; tC += 20.0) {
+    const double tK = units::kelvinFromCelsius(tC);
+    const double sT = stressAtTemperature(sigmaTUse, refK, annealK, tK);
+    const double a = medianTtfYears(tK, true);
+    const double b = medianTtfYears(tK, false);
+    temps.push_back(tC);
+    withStress.push_back(a);
+    blind.push_back(b);
+    table.addRow({TextTable::num(tC, 0), TextTable::num(sT / units::MPa, 0),
+                  TextTable::num(a, 3), TextTable::num(b, 3),
+                  TextTable::num(b / a, 2)});
+  }
+  table.print(std::cout);
+  std::cout << "\n";
+
+  // Ratio at 105 C and at 300 C (characterization).
+  auto at = [&](double tC, const std::vector<double>& v) {
+    for (std::size_t i = 0; i < temps.size(); ++i)
+      if (std::abs(temps[i] - tC) < 1e-9) return v[i];
+    throw InternalError("temperature not sampled");
+  };
+  const double ratioUse = at(105.0, blind) / at(105.0, withStress);
+  const double ratioChar = at(305.0, blind) / at(305.0, withStress);
+
+  bench::ShapeChecks checks("Temperature ablation");
+  checks.check("stress-blind model overestimates at 105C (ratio > 2)",
+               ratioUse > 2.0);
+  checks.check("at 300C-class test temperatures the models nearly agree "
+               "(ratio < 1.5) — why characterization misses sigma_T",
+               ratioChar < 1.5);
+  bool blindMonotone = true;
+  for (std::size_t i = 1; i < blind.size(); ++i)
+    blindMonotone = blindMonotone && blind[i] <= blind[i - 1] * 1.0001;
+  checks.check("stress-blind TTF is monotone decreasing in T", blindMonotone);
+  // With stress, the low-T side is flattened (stress grows as T drops).
+  const double coldSlope =
+      withStress.front() / at(105.0, withStress);
+  const double blindColdSlope = blind.front() / at(105.0, blind);
+  checks.check("sigma_T flattens the cold-side lifetime gain",
+               coldSlope < blindColdSlope);
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Each bench binary regenerates one table or figure of the paper: it
+// prints (a) the paper's reported numbers or qualitative claims, (b) the
+// series/rows measured from this implementation, and (c) a PASS/FAIL line
+// per shape property that defines "reproduced" (see DESIGN.md §4 and
+// EXPERIMENTS.md). CSV dumps go next to the binary when --csv-dir is set.
+#pragma once
+
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "common/table.h"
+#include "common/units.h"
+
+namespace viaduct::bench {
+
+/// Tracks shape-property checks and prints a summary suitable for grepping
+/// in bench_output.txt.
+class ShapeChecks {
+ public:
+  explicit ShapeChecks(std::string figure) : figure_(std::move(figure)) {}
+
+  void check(const std::string& property, bool ok) {
+    std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << property << "\n";
+    if (!ok) ++failures_;
+    ++total_;
+  }
+
+  ~ShapeChecks() {
+    std::cout << figure_ << ": " << (total_ - failures_) << "/" << total_
+              << " shape properties reproduced\n";
+  }
+
+  int failures() const { return failures_; }
+
+ private:
+  std::string figure_;
+  int total_ = 0;
+  int failures_ = 0;
+};
+
+/// Writes a CDF as "value,cumulative_probability" rows.
+inline void writeCdfCsv(const std::string& path, const EmpiricalCdf& cdf,
+                        double valueScale, const std::string& valueName) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot create " + path);
+  CsvWriter csv(os, {valueName, "cumulative_probability"});
+  const auto& sorted = cdf.sorted();
+  for (std::size_t i = 0; i < sorted.size(); ++i)
+    csv.writeRow({sorted[i] * valueScale,
+                  (i + 1.0) / static_cast<double>(sorted.size())});
+}
+
+/// Prints an empirical CDF as a fixed-percentile series (compact terminal
+/// rendering of the paper's CDF plots).
+inline void printCdfRow(const std::string& label, const EmpiricalCdf& cdf) {
+  std::cout << "  " << label << ": ";
+  for (double p : {0.003, 0.1, 0.25, 0.5, 0.75, 0.9, 0.997}) {
+    std::cout << TextTable::num(cdf.quantile(p) / units::year, 2) << " ";
+  }
+  std::cout << " (years at p=0.003,0.1,0.25,0.5,0.75,0.9,0.997)\n";
+}
+
+}  // namespace viaduct::bench

@@ -1,0 +1,174 @@
+// Figure 1: hydrostatic thermomechanical stress along the wire beneath a
+// 1x1 via vs. a 4x4 via array (equal 1 um^2 effective area, 2 um wires,
+// Plus intersection, M7/M8-like stack). The paper reports stress in the
+// 180-280 MPa window with local minima inside vias, maxima between vias,
+// and comparable peak stress for the two configurations while the 4x4's
+// inner vias see lower stress.
+//
+// Also prints Table 1 (material inputs) for completeness.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "fea/thermo_solver.h"
+#include "structures/cudd_builder.h"
+#include "structures/probes.h"
+#include "viaarray/characterize.h"
+
+using namespace viaduct;
+
+namespace {
+
+struct ProfileRun {
+  BuiltStructure built;
+  ThermoSolver::Profile rowProfile;   // through a via row (black arrow)
+  ThermoSolver::Profile gapProfile;   // through a gap row (red arrow)
+  std::vector<double> perViaPeak;     // calibrated
+};
+
+ProfileRun run(int n, double resolution) {
+  ViaArrayStructureSpec spec;
+  spec.viaArray.n = n;
+  spec.pattern = IntersectionPattern::kPlus;
+  spec.resolutionXy = resolution;
+  ProfileRun result{.built = buildViaArrayStructure(spec),
+                    .rowProfile = {},
+                    .gapProfile = {},
+                    .perViaPeak = {}};
+  ThermoSolver solver(result.built.grid);
+  solver.solve();
+  const int midRow = n > 1 ? n / 2 - 1 : 0;
+  result.rowProfile =
+      stressProfileAtY(solver, result.built, result.built.viaRowCenterY(midRow));
+  if (n > 1)
+    result.gapProfile = stressProfileAtY(solver, result.built,
+                                         result.built.viaGapCenterY(midRow));
+  for (double raw : perViaPeakStress(solver, result.built))
+    result.perViaPeak.push_back(kDefaultStressScale * raw +
+                                kDefaultStressOffsetPa);
+  return result;
+}
+
+void printProfile(const std::string& label, const BuiltStructure& built,
+                  const ThermoSolver::Profile& prof) {
+  std::cout << label << " (x [um] : calibrated sigma_H [MPa]):\n  ";
+  for (std::size_t i = 0; i < prof.x.size(); ++i) {
+    if (i % 4 == 0 && i > 0) std::cout << "\n  ";
+    std::cout << TextTable::num(prof.x[i] / units::um, 2) << ":"
+              << TextTable::num(
+                     (kDefaultStressScale * prof.sigmaH[i] +
+                      kDefaultStressOffsetPa) /
+                         units::MPa,
+                     0)
+              << "  ";
+  }
+  std::cout << "\n";
+  (void)built;
+}
+
+/// Min calibrated stress over profile columns inside the wire width.
+std::pair<double, double> wireMinMax(const BuiltStructure& built,
+                                     const ThermoSolver::Profile& prof) {
+  const double x0 = built.centerX - 1.5e-6;
+  const double x1 = built.centerX + 1.5e-6;
+  double lo = 1e300, hi = -1e300;
+  for (std::size_t i = 0; i < prof.x.size(); ++i) {
+    if (prof.x[i] < x0 || prof.x[i] > x1) continue;
+    const double s =
+        kDefaultStressScale * prof.sigmaH[i] + kDefaultStressOffsetPa;
+    lo = std::min(lo, s);
+    hi = std::max(hi, s);
+  }
+  return {lo, hi};
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double resolutionUm = 0.125;
+  std::string csvDir;
+  CliFlags flags("Figure 1: 1x1 vs 4x4 via array stress profile");
+  flags.addDouble("resolution-um", &resolutionUm, "lateral voxel size [um]");
+  flags.addString("csv-dir", &csvDir, "directory for CSV dumps");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kWarn);
+
+  std::cout << "=== Figure 1 / Table 1: via-array thermomechanical stress "
+               "profiles ===\n\n";
+
+  std::cout << "Table 1 (inputs):\n";
+  TextTable t1({"structure", "material", "E [GPa]", "nu", "CTE [ppm/C]"});
+  const char* roles[] = {"Substrate", "Bulk", "ILD", "Barrier", "Capping"};
+  const MaterialId ids[] = {MaterialId::kSilicon, MaterialId::kCopper,
+                            MaterialId::kSiCOH, MaterialId::kTantalum,
+                            MaterialId::kSiN};
+  for (int i = 0; i < 5; ++i) {
+    const Material& m = materialProperties(ids[i]);
+    t1.addRow({roles[i], m.name, TextTable::num(m.youngsModulusPa / 1e9, 1),
+               TextTable::num(m.poissonRatio, 3),
+               TextTable::num(m.ctePerK * 1e6, 2)});
+  }
+  t1.print(std::cout);
+
+  const ProfileRun one = run(1, resolutionUm * units::um);
+  const ProfileRun four = run(4, resolutionUm * units::um);
+
+  std::cout << "\nPaper: profiles span ~180-280 MPa; minima inside vias; in "
+               "the 4x4, maxima between vias; peak ~equal across configs; "
+               "inner vias of the 4x4 see lower stress.\n\n";
+  printProfile("1x1 via, through the via (black arrow)", one.built,
+               one.rowProfile);
+  std::cout << "\n";
+  printProfile("4x4 array, through a via row (black arrow)", four.built,
+               four.rowProfile);
+  std::cout << "\n";
+  printProfile("4x4 array, through a gap row (red arrow)", four.built,
+               four.gapProfile);
+
+  const auto [min1, max1] = wireMinMax(one.built, one.rowProfile);
+  const auto [min4, max4] = wireMinMax(four.built, four.rowProfile);
+
+  double peak1 = 0.0, peak4 = 0.0, inner4 = 0.0;
+  for (double p : one.perViaPeak) peak1 = std::max(peak1, p);
+  for (std::size_t i = 0; i < four.perViaPeak.size(); ++i) {
+    peak4 = std::max(peak4, four.perViaPeak[i]);
+    if (four.built.vias[i].interior)
+      inner4 = std::max(inner4, four.perViaPeak[i]);
+  }
+  std::cout << "\nper-via peak sigma_T: 1x1 = "
+            << TextTable::num(peak1 / units::MPa, 1)
+            << " MPa; 4x4 max = " << TextTable::num(peak4 / units::MPa, 1)
+            << " MPa; 4x4 inner max = "
+            << TextTable::num(inner4 / units::MPa, 1) << " MPa\n\n";
+
+  bench::ShapeChecks checks("Figure 1");
+  checks.check("profiles lie in a ~180-300 MPa window",
+               min1 > 150e6 && max1 < 320e6 && min4 > 150e6 && max4 < 320e6);
+  checks.check("stress dips inside the via (1x1 min < wire max)",
+               min1 < 0.9 * max1);
+  checks.check("4x4 profile oscillates (range > 30 MPa)",
+               max4 - min4 > 30e6);
+  checks.check("largest stress similar between 1x1 and 4x4 (within 20%)",
+               std::abs(peak1 - peak4) < 0.2 * peak1);
+  checks.check("inner vias of the 4x4 see lower stress than the array peak",
+               inner4 < peak4);
+
+  if (!csvDir.empty()) {
+    std::ofstream os(csvDir + "/fig1_profiles.csv");
+    CsvWriter csv(os, {"config", "x_um", "sigma_h_mpa_calibrated"});
+    auto dump = [&](const std::string& label,
+                    const ThermoSolver::Profile& prof) {
+      for (std::size_t i = 0; i < prof.x.size(); ++i)
+        csv.writeRow({label, TextTable::num(prof.x[i] / units::um, 4),
+                      TextTable::num((kDefaultStressScale * prof.sigmaH[i]) /
+                                         units::MPa,
+                                     2)});
+    };
+    dump("1x1_row", one.rowProfile);
+    dump("4x4_row", four.rowProfile);
+    dump("4x4_gap", four.gapProfile);
+    std::cout << "wrote " << csvDir << "/fig1_profiles.csv\n";
+  }
+  return 0;
+}

@@ -1,0 +1,92 @@
+// Figure 6: thermomechanical stress sigma_T under the first via row of a
+// 4x4 array for the three intersection patterns (Plus, T, L). The paper
+// reports Plus > T > L stress magnitudes (more surrounding copper makes
+// deformation harder), all within the ~160-300 MPa window.
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "fea/thermo_solver.h"
+#include "structures/cudd_builder.h"
+#include "structures/probes.h"
+#include "viaarray/characterize.h"
+
+using namespace viaduct;
+
+int main(int argc, char** argv) {
+  double resolutionUm = 0.125;
+  std::string csvDir;
+  CliFlags flags("Figure 6: Plus/T/L intersection pattern stress");
+  flags.addDouble("resolution-um", &resolutionUm, "lateral voxel size [um]");
+  flags.addString("csv-dir", &csvDir, "directory for CSV dumps");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kWarn);
+
+  std::cout << "=== Figure 6: stress vs intersection pattern (4x4 array) "
+               "===\n\n";
+  std::cout << "Paper: Plus-shaped sees the highest stress, T lower, L "
+               "lowest; identical arrays differ purely through the "
+               "surrounding layout.\n\n";
+
+  const IntersectionPattern patterns[] = {IntersectionPattern::kPlus,
+                                          IntersectionPattern::kT,
+                                          IntersectionPattern::kL};
+  double peak[3] = {0, 0, 0};
+  double mean[3] = {0, 0, 0};
+  std::ofstream csvFile;
+  std::unique_ptr<CsvWriter> csv;
+  if (!csvDir.empty()) {
+    csvFile.open(csvDir + "/fig6_pattern_profiles.csv");
+    csv = std::make_unique<CsvWriter>(
+        csvFile,
+        std::vector<std::string>{"pattern", "x_um", "sigma_h_mpa_calibrated"});
+  }
+
+  for (int p = 0; p < 3; ++p) {
+    ViaArrayStructureSpec spec;
+    spec.viaArray.n = 4;
+    spec.pattern = patterns[p];
+    spec.resolutionXy = resolutionUm * units::um;
+    const BuiltStructure built = buildViaArrayStructure(spec);
+    ThermoSolver solver(built.grid);
+    solver.solve();
+    const auto prof = stressProfileAtY(solver, built, built.viaRowCenterY(0));
+    std::cout << patternName(patterns[p])
+              << "-shaped, first via row (x [um] : sigma_H [MPa]):\n  ";
+    for (std::size_t i = 0; i < prof.x.size(); ++i) {
+      if (i % 4 == 0 && i > 0) std::cout << "\n  ";
+      const double s = kDefaultStressScale * prof.sigmaH[i];
+      std::cout << TextTable::num(prof.x[i] / units::um, 2) << ":"
+                << TextTable::num(s / units::MPa, 0) << "  ";
+      if (csv)
+        csv->writeRow({patternName(patterns[p]),
+                       TextTable::num(prof.x[i] / units::um, 4),
+                       TextTable::num(s / units::MPa, 2)});
+    }
+    std::cout << "\n\n";
+    const auto peaks = perViaPeakStress(solver, built);
+    for (double raw : peaks) {
+      const double s = kDefaultStressScale * raw;
+      peak[p] = std::max(peak[p], s);
+      mean[p] += s / static_cast<double>(peaks.size());
+    }
+  }
+
+  TextTable table({"pattern", "peak sigma_T [MPa]", "mean sigma_T [MPa]"});
+  for (int p = 0; p < 3; ++p)
+    table.addRow({patternName(patterns[p]),
+                  TextTable::num(peak[p] / units::MPa, 1),
+                  TextTable::num(mean[p] / units::MPa, 1)});
+  table.print(std::cout);
+  std::cout << "\n";
+
+  bench::ShapeChecks checks("Figure 6");
+  checks.check("Plus > T (peak per-via stress)", peak[0] > peak[1]);
+  checks.check("T > L (peak per-via stress)", peak[1] > peak[2]);
+  checks.check("Plus > T (mean per-via stress)", mean[0] > mean[1]);
+  checks.check("T > L (mean per-via stress)", mean[1] > mean[2]);
+  checks.check("all patterns within the ~160-320 MPa window",
+               peak[0] < 320e6 && mean[2] > 140e6);
+  return 0;
+}

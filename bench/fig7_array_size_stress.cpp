@@ -1,0 +1,114 @@
+// Figure 7: 8x8 vs 4x4 via array (equal effective cross-section area)
+// thermomechanical stress. The paper reports: perimeter vias of both
+// arrays see similar peak stress, while internal vias of the 8x8 see
+// smaller peak stress than the 4x4's (reduced ILD and via volumes between
+// vias), implying larger TTF via Eq. (1).
+#include <iostream>
+
+#include "bench_util.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "fea/thermo_solver.h"
+#include "structures/cudd_builder.h"
+#include "structures/probes.h"
+#include "viaarray/characterize.h"
+
+using namespace viaduct;
+
+namespace {
+
+struct SizeRun {
+  double perimeterPeak = 0.0;
+  double interiorPeak = 0.0;
+  double interiorMin = 1e300;
+  double mean = 0.0;
+  ThermoSolver::Profile rowProfile;
+  const BuiltStructure* built = nullptr;
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double resolutionUm = 0.125;
+  std::string csvDir;
+  CliFlags flags("Figure 7: 4x4 vs 8x8 via array stress");
+  flags.addDouble("resolution-um", &resolutionUm,
+                  "lateral voxel size [um] (must resolve 0.125 um vias)");
+  flags.addString("csv-dir", &csvDir, "directory for CSV dumps");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kWarn);
+
+  std::cout << "=== Figure 7: 4x4 vs 8x8 via array stress (equal area) "
+               "===\n\n";
+  std::cout << "Paper: perimeter vias of 4x4 and 8x8 see similar peak "
+               "stress; internal vias of the 8x8 see smaller peak stress "
+               "and lower fluctuation.\n\n";
+
+  std::vector<BuiltStructure> builts;
+  builts.reserve(2);
+  SizeRun runs[2];
+  const int sizes[2] = {4, 8};
+  for (int s = 0; s < 2; ++s) {
+    ViaArrayStructureSpec spec;
+    spec.viaArray.n = sizes[s];
+    spec.pattern = IntersectionPattern::kPlus;
+    spec.resolutionXy = resolutionUm * units::um;
+    builts.push_back(buildViaArrayStructure(spec));
+    const BuiltStructure& built = builts.back();
+    ThermoSolver solver(built.grid);
+    solver.solve();
+    const auto peaks = perViaPeakStress(solver, built);
+    SizeRun& r = runs[s];
+    r.built = &built;
+    for (std::size_t i = 0; i < peaks.size(); ++i) {
+      const double v = kDefaultStressScale * peaks[i];
+      r.mean += v / static_cast<double>(peaks.size());
+      if (built.vias[i].interior) {
+        r.interiorPeak = std::max(r.interiorPeak, v);
+        r.interiorMin = std::min(r.interiorMin, v);
+      } else {
+        r.perimeterPeak = std::max(r.perimeterPeak, v);
+      }
+    }
+    r.rowProfile =
+        stressProfileAtY(solver, built, built.viaRowCenterY(sizes[s] / 2 - 1));
+  }
+
+  TextTable table({"array", "perimeter peak [MPa]", "interior peak [MPa]",
+                   "interior min [MPa]", "mean [MPa]"});
+  for (int s = 0; s < 2; ++s)
+    table.addRow({std::to_string(sizes[s]) + "x" + std::to_string(sizes[s]),
+                  TextTable::num(runs[s].perimeterPeak / units::MPa, 1),
+                  TextTable::num(runs[s].interiorPeak / units::MPa, 1),
+                  TextTable::num(runs[s].interiorMin / units::MPa, 1),
+                  TextTable::num(runs[s].mean / units::MPa, 1)});
+  table.print(std::cout);
+
+  if (!csvDir.empty()) {
+    std::ofstream os(csvDir + "/fig7_profiles.csv");
+    CsvWriter csv(os, {"config", "x_um", "sigma_h_mpa_calibrated"});
+    for (int s = 0; s < 2; ++s) {
+      const auto& prof = runs[s].rowProfile;
+      for (std::size_t i = 0; i < prof.x.size(); ++i)
+        csv.writeRow({std::to_string(sizes[s]) + "x" + std::to_string(sizes[s]),
+                      TextTable::num(prof.x[i] / units::um, 4),
+                      TextTable::num(kDefaultStressScale * prof.sigmaH[i] /
+                                         units::MPa,
+                                     2)});
+    }
+    std::cout << "wrote " << csvDir << "/fig7_profiles.csv\n";
+  }
+
+  std::cout << "\n";
+  bench::ShapeChecks checks("Figure 7");
+  checks.check("perimeter peaks similar between 4x4 and 8x8 (within 20%)",
+               std::abs(runs[0].perimeterPeak - runs[1].perimeterPeak) <
+                   0.2 * runs[0].perimeterPeak);
+  checks.check("8x8 interior peak below 4x4 interior peak",
+               runs[1].interiorPeak < runs[0].interiorPeak);
+  checks.check("8x8 mean stress below 4x4 mean stress",
+               runs[1].mean < runs[0].mean);
+  checks.check("both arrays in the ~160-320 MPa window",
+               runs[0].perimeterPeak < 320e6 && runs[1].interiorMin > 140e6);
+  return 0;
+}

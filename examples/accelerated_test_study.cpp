@@ -1,0 +1,74 @@
+// Accelerated-test study: the paper's §1 motivation as a runnable tool.
+//
+// Foundry EM limits come from oven tests at ~300 C mapped back to field
+// conditions with Black-style acceleration factors. Because the oven runs
+// near the anneal temperature, the thermomechanical stress is almost
+// absent there but large in the field — so the stress-blind extrapolation
+// overestimates field lifetime. This example quantifies the gap across a
+// range of layout stress levels (the per-via sigma_T values produced by
+// the FEA characterization).
+//
+//   ./accelerated_test_study --test-c 300 --test-j 2e10
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "em/acceleration.h"
+#include "em/derating.h"
+
+using namespace viaduct;
+
+int main(int argc, char** argv) {
+  double testC = 300.0;
+  double testJ = 2e10;
+  double useC = 105.0;
+  double useJ = 1e10;
+  double annealC = 350.0;
+  CliFlags flags("viaduct accelerated-test study (stress-blind vs aware)");
+  flags.addDouble("test-c", &testC, "oven temperature [C]");
+  flags.addDouble("test-j", &testJ, "oven current density [A/m^2]");
+  flags.addDouble("use-c", &useC, "field temperature [C]");
+  flags.addDouble("use-j", &useJ, "field current density [A/m^2]");
+  flags.addDouble("anneal-c", &annealC, "anneal temperature [C]");
+  if (!flags.parse(argc, argv)) return 0;
+
+  setLogLevel(LogLevel::kInfo);
+
+  EmParameters em;
+  TestCondition test{.temperatureK = units::kelvinFromCelsius(testC),
+                     .currentDensity = testJ};
+  UseCondition use{.temperatureK = units::kelvinFromCelsius(useC),
+                   .currentDensity = useJ};
+  const double annealK = units::kelvinFromCelsius(annealC);
+
+  const double black = blackAccelerationFactor(test, use, em);
+  std::cout << "\noven: " << testC << " C at " << testJ
+            << " A/m^2; field: " << useC << " C at " << useJ << " A/m^2\n";
+  std::cout << "classical (stress-blind) acceleration factor: "
+            << TextTable::num(black, 0)
+            << "x  (1 oven-hour ~ " << TextTable::num(black / 24.0 / 365.25, 2)
+            << " field-years)\n\n";
+
+  TextTable table({"field sigma_T [MPa]", "sigma_T in oven [MPa]",
+                   "stress-aware AF", "lifetime overestimation"});
+  for (double sMpa : {150.0, 200.0, 230.0, 250.0, 270.0}) {
+    const double s = sMpa * units::MPa;
+    const double sOven = stressAtTemperature(
+        s, use.temperatureK, annealK, test.temperatureK);
+    const double aware =
+        stressAwareAccelerationFactor(test, use, s, annealK, em);
+    const double over =
+        lifetimeOverestimationFactor(test, use, s, annealK, em);
+    table.addRow({TextTable::num(sMpa, 0),
+                  TextTable::num(sOven / units::MPa, 0),
+                  TextTable::num(aware, 0), TextTable::num(over, 1) + "x"});
+  }
+  table.print(std::cout);
+  std::cout << "\nAt power-grid stress levels (~250 MPa under via arrays), "
+               "a stress-blind oven extrapolation overestimates field "
+               "lifetime several-fold — the paper's reason to model "
+               "sigma_T explicitly.\n";
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Hotspot study: combine the grid EM Monte Carlo with a die temperature
+// map. A hot region accelerates diffusion (Arrhenius) but relaxes the
+// thermomechanical stress — the net, per em/derating.h, is still a
+// shorter life, and arrays inside the hotspot dominate the grid TTF.
+//
+//   ./hotspot_study --hot-c 125 --radius 0.3
+#include <cmath>
+#include <iostream>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/analyzer.h"
+#include "em/derating.h"
+#include "spice/generator.h"
+
+using namespace viaduct;
+
+int main(int argc, char** argv) {
+  double hotC = 125.0;
+  double radius = 0.3;  // hotspot radius as a fraction of the die half-width
+  int trials = 200;
+  int charTrials = 300;
+  CliFlags flags("viaduct hotspot study: temperature-derated grid EM");
+  flags.addDouble("hot-c", &hotC, "hotspot temperature [C] (ambient 105)");
+  flags.addDouble("radius", &radius, "hotspot radius / die half-width");
+  flags.addInt("trials", &trials, "grid Monte Carlo trials");
+  flags.addInt("char-trials", &charTrials, "characterization trials");
+  if (!flags.parse(argc, argv)) return 0;
+
+  setLogLevel(LogLevel::kInfo);
+
+  // Build the analyzer (characterized at the uniform 105 C reference).
+  AnalyzerConfig config;
+  config.viaArraySize = 4;
+  config.trials = trials;
+  config.characterization.trials = charTrials;
+  PowerGridEmAnalyzer analyzer(generatePgBenchmark(PgPreset::kPg1), config);
+  const auto& model = analyzer.model();
+
+  // Temperature map: a circular hotspot at the die center. Parse array
+  // coordinates from the site names to locate each array.
+  const auto& sites = model.viaArrays();
+  EmParameters em;
+  const double annealK = units::kelvinFromCelsius(350.0);
+  const double refK = units::kelvinFromCelsius(105.0);
+  const double hotK = units::kelvinFromCelsius(hotC);
+  const double sigmaTRef = 250e6;
+
+  const double hotFactor =
+      temperatureDeratingFactor(hotK, refK, sigmaTRef, annealK, em);
+  std::cout << "hotspot at " << hotC << " C: TTF derating factor "
+            << TextTable::num(hotFactor, 3) << " vs 105 C\n";
+
+  // Grid extent from the site names (Rvia_<x>_<y>).
+  int maxX = 0, maxY = 0;
+  auto parseXy = [](const std::string& name, int* x, int* y) {
+    return std::sscanf(name.c_str(), "Rvia_%d_%d", x, y) == 2;
+  };
+  for (const auto& s : sites) {
+    int x = 0, y = 0;
+    VIADUCT_REQUIRE_MSG(parseXy(s.name, &x, &y),
+                        "expected positional via names");
+    maxX = std::max(maxX, x);
+    maxY = std::max(maxY, y);
+  }
+
+  // Center the hotspot on the highest-current array — high power density
+  // and high electrical stress coincide in real floorplans, which is what
+  // makes hotspots matter.
+  const auto nominal = model.solveNominal();
+  int cx = 0, cy = 0;
+  {
+    std::size_t hottest = 0;
+    for (std::size_t m = 1; m < sites.size(); ++m)
+      if (nominal.viaArrayCurrents[m] > nominal.viaArrayCurrents[hottest])
+        hottest = m;
+    parseXy(sites[hottest].name, &cx, &cy);
+  }
+
+  std::vector<double> scale(sites.size(), 1.0);
+  int hotArrays = 0;
+  for (std::size_t m = 0; m < sites.size(); ++m) {
+    int x = 0, y = 0;
+    parseXy(sites[m].name, &x, &y);
+    const double dx = (x - cx) / (0.5 * maxX);
+    const double dy = (y - cy) / (0.5 * maxY);
+    if (std::sqrt(dx * dx + dy * dy) <= radius) {
+      scale[m] = hotFactor;
+      ++hotArrays;
+    }
+  }
+  std::cout << hotArrays << "/" << sites.size()
+            << " arrays inside the hotspot\n\n";
+
+  // Run uniform-temperature and hotspot analyses at matched settings.
+  using AC = ViaArrayFailureCriterion;
+  using SC = GridFailureCriterion;
+  auto spec = analyzer.specForPattern(IntersectionPattern::kPlus);
+  GridMcOptions mc;
+  mc.arrayTtf =
+      analyzer.library().get(spec)->ttfLognormal(AC::openCircuit());
+  mc.referenceCurrentAmps = spec.totalCurrent();
+  mc.systemCriterion = SC::irDrop(0.10);
+  mc.trials = trials;
+
+  const auto uniform = runGridMonteCarlo(model, mc);
+  mc.perArrayTtfScale = scale;
+  const auto hotspot = runGridMonteCarlo(model, mc);
+
+  TextTable table({"scenario", "worst-case TTF [yr]", "median TTF [yr]"});
+  const auto uc = uniform.cdf();
+  const auto hc = hotspot.cdf();
+  table.addRow({"uniform 105 C", TextTable::num(uc.worstCase() / units::year, 2),
+                TextTable::num(uc.median() / units::year, 2)});
+  table.addRow({"hotspot " + TextTable::num(hotC, 0) + " C",
+                TextTable::num(hc.worstCase() / units::year, 2),
+                TextTable::num(hc.median() / units::year, 2)});
+  table.print(std::cout);
+  std::cout << "\nhotspot lifetime penalty: "
+            << TextTable::num(uc.median() / hc.median(), 2) << "x\n";
+  return 0;
+}

@@ -1,0 +1,77 @@
+// Contract-checking macros used throughout viaduct.
+//
+// Following the C++ Core Guidelines (I.6/I.8), preconditions and invariants
+// are stated explicitly. Violations throw, carrying the failed expression
+// and source location, so that library misuse is diagnosable rather than UB.
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace viaduct {
+
+/// Thrown when a VIADUCT_CHECK (internal invariant) fails.
+class InternalError : public std::logic_error {
+ public:
+  using std::logic_error::logic_error;
+};
+
+/// Thrown when a VIADUCT_REQUIRE (caller precondition) fails.
+class PreconditionError : public std::invalid_argument {
+ public:
+  using std::invalid_argument::invalid_argument;
+};
+
+/// Thrown for malformed external input (netlist files, tables, ...).
+class ParseError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+/// Thrown when a numerical routine fails to converge or is ill-posed.
+class NumericalError : public std::runtime_error {
+ public:
+  using std::runtime_error::runtime_error;
+};
+
+namespace detail {
+[[noreturn]] inline void failCheck(const char* kind, const char* expr,
+                                   const char* file, int line,
+                                   const std::string& msg) {
+  std::ostringstream os;
+  os << kind << " failed: (" << expr << ") at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  if (kind[0] == 'R') throw PreconditionError(os.str());
+  throw InternalError(os.str());
+}
+}  // namespace detail
+
+}  // namespace viaduct
+
+/// Internal invariant; failure indicates a bug inside viaduct.
+#define VIADUCT_CHECK(expr)                                                 \
+  do {                                                                      \
+    if (!(expr))                                                            \
+      ::viaduct::detail::failCheck("CHECK", #expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define VIADUCT_CHECK_MSG(expr, msg)                                         \
+  do {                                                                       \
+    if (!(expr))                                                             \
+      ::viaduct::detail::failCheck("CHECK", #expr, __FILE__, __LINE__, msg); \
+  } while (false)
+
+/// Caller-facing precondition; failure indicates API misuse.
+#define VIADUCT_REQUIRE(expr)                                                 \
+  do {                                                                        \
+    if (!(expr))                                                              \
+      ::viaduct::detail::failCheck("REQUIRE", #expr, __FILE__, __LINE__, ""); \
+  } while (false)
+
+#define VIADUCT_REQUIRE_MSG(expr, msg)                                    \
+  do {                                                                    \
+    if (!(expr))                                                          \
+      ::viaduct::detail::failCheck("REQUIRE", #expr, __FILE__, __LINE__,  \
+                                   msg);                                  \
+  } while (false)

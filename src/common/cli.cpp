@@ -1,0 +1,112 @@
+#include "common/cli.h"
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+CliFlags::CliFlags(std::string programDescription)
+    : description_(std::move(programDescription)) {}
+
+void CliFlags::addInt(const std::string& name, int* target,
+                      const std::string& help) {
+  VIADUCT_REQUIRE(target != nullptr);
+  Flag f;
+  f.help = help;
+  f.defaultValue = std::to_string(*target);
+  f.set = [target, name](const std::string& v) {
+    std::size_t pos = 0;
+    const int parsed = std::stoi(v, &pos);
+    VIADUCT_REQUIRE_MSG(pos == v.size(), "bad integer for --" + name);
+    *target = parsed;
+  };
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::addDouble(const std::string& name, double* target,
+                         const std::string& help) {
+  VIADUCT_REQUIRE(target != nullptr);
+  Flag f;
+  f.help = help;
+  std::ostringstream os;
+  os << *target;
+  f.defaultValue = os.str();
+  f.set = [target, name](const std::string& v) {
+    std::size_t pos = 0;
+    const double parsed = std::stod(v, &pos);
+    VIADUCT_REQUIRE_MSG(pos == v.size(), "bad number for --" + name);
+    *target = parsed;
+  };
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::addString(const std::string& name, std::string* target,
+                         const std::string& help) {
+  VIADUCT_REQUIRE(target != nullptr);
+  Flag f;
+  f.help = help;
+  f.defaultValue = *target;
+  f.set = [target](const std::string& v) { *target = v; };
+  flags_[name] = std::move(f);
+}
+
+void CliFlags::addBool(const std::string& name, bool* target,
+                       const std::string& help) {
+  VIADUCT_REQUIRE(target != nullptr);
+  Flag f;
+  f.help = help;
+  f.defaultValue = *target ? "true" : "false";
+  f.isBool = true;
+  f.set = [target, name](const std::string& v) {
+    if (v == "true" || v == "1" || v.empty()) {
+      *target = true;
+    } else if (v == "false" || v == "0") {
+      *target = false;
+    } else {
+      VIADUCT_REQUIRE_MSG(false, "bad boolean for --" + name);
+    }
+  };
+  flags_[name] = std::move(f);
+}
+
+bool CliFlags::parse(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--help" || arg == "-h") {
+      std::cout << usage();
+      return false;
+    }
+    VIADUCT_REQUIRE_MSG(arg.rfind("--", 0) == 0, "unexpected argument: " + arg);
+    arg = arg.substr(2);
+    std::string value;
+    bool hasValue = false;
+    if (const auto eq = arg.find('='); eq != std::string::npos) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+      hasValue = true;
+    }
+    const auto it = flags_.find(arg);
+    VIADUCT_REQUIRE_MSG(it != flags_.end(), "unknown flag: --" + arg);
+    if (!hasValue && !it->second.isBool) {
+      VIADUCT_REQUIRE_MSG(i + 1 < argc, "missing value for --" + arg);
+      value = argv[++i];
+    }
+    it->second.set(value);
+  }
+  return true;
+}
+
+std::string CliFlags::usage() const {
+  std::ostringstream os;
+  os << description_ << "\n\nFlags:\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << (flag.isBool ? "" : " <value>") << "\n      "
+       << flag.help << " (default: " << flag.defaultValue << ")\n";
+  }
+  return os.str();
+}
+
+}  // namespace viaduct

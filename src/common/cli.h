@@ -1,0 +1,43 @@
+// A tiny declarative command-line flag parser for the bench harnesses and
+// examples: `--name value`, `--name=value`, and boolean `--flag` forms.
+#pragma once
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace viaduct {
+
+/// Declarative flag registry. Register flags bound to variables, then call
+/// parse(argc, argv). Unknown flags raise PreconditionError; `--help` prints
+/// usage and returns false from parse().
+class CliFlags {
+ public:
+  explicit CliFlags(std::string programDescription);
+
+  void addInt(const std::string& name, int* target, const std::string& help);
+  void addDouble(const std::string& name, double* target,
+                 const std::string& help);
+  void addString(const std::string& name, std::string* target,
+                 const std::string& help);
+  void addBool(const std::string& name, bool* target, const std::string& help);
+
+  /// Returns false if --help was requested (usage already printed).
+  bool parse(int argc, const char* const* argv);
+
+  std::string usage() const;
+
+ private:
+  struct Flag {
+    std::string help;
+    std::string defaultValue;
+    bool isBool = false;
+    std::function<void(const std::string&)> set;
+  };
+
+  std::string description_;
+  std::map<std::string, Flag> flags_;
+};
+
+}  // namespace viaduct

@@ -1,0 +1,36 @@
+#include "common/logging.h"
+
+#include <atomic>
+#include <iostream>
+
+namespace viaduct {
+
+namespace {
+std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+const char* levelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO ";
+    case LogLevel::kWarn:
+      return "WARN ";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+}  // namespace
+
+void setLogLevel(LogLevel level) { g_level.store(level); }
+LogLevel logLevel() { return g_level.load(); }
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& msg) {
+  std::cerr << "[viaduct " << levelName(level) << "] " << msg << '\n';
+}
+}  // namespace detail
+
+}  // namespace viaduct

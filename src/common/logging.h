@@ -1,0 +1,49 @@
+// Minimal leveled logger writing to stderr. Benches and examples use INFO;
+// the library itself logs only at DEBUG/WARN so it stays quiet by default.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace viaduct {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are discarded.
+void setLogLevel(LogLevel level);
+LogLevel logLevel();
+
+namespace detail {
+void emitLog(LogLevel level, const std::string& msg);
+
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { emitLog(level_, os_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace viaduct
+
+#define VIADUCT_LOG(level)                                      \
+  if (static_cast<int>(::viaduct::LogLevel::level) <            \
+      static_cast<int>(::viaduct::logLevel())) {                \
+  } else                                                        \
+    ::viaduct::detail::LogLine(::viaduct::LogLevel::level)
+
+#define VIADUCT_DEBUG VIADUCT_LOG(kDebug)
+#define VIADUCT_INFO VIADUCT_LOG(kInfo)
+#define VIADUCT_WARN VIADUCT_LOG(kWarn)
+#define VIADUCT_ERROR VIADUCT_LOG(kError)

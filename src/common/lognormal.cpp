@@ -1,0 +1,159 @@
+#include "common/lognormal.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+double normalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
+
+double normalQuantile(double p) {
+  VIADUCT_REQUIRE(p > 0.0 && p < 1.0);
+  // Acklam's algorithm.
+  static constexpr double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                                 -2.759285104469687e+02, 1.383577518672690e+02,
+                                 -3.066479806614716e+01, 2.506628277459239e+00};
+  static constexpr double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                                 -1.556989798598866e+02, 6.680131188771972e+01,
+                                 -1.328068155288572e+01};
+  static constexpr double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                                 -2.400758277161838e+00, -2.549732539343734e+00,
+                                 4.374664141464968e+00,  2.938163982698783e+00};
+  static constexpr double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                                 2.445134137142996e+00, 3.754408661907416e+00};
+  constexpr double plow = 0.02425;
+  double x;
+  if (p < plow) {
+    const double q = std::sqrt(-2.0 * std::log(p));
+    x = (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  } else if (p <= 1.0 - plow) {
+    const double q = p - 0.5;
+    const double r = q * q;
+    x = (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r + a[5]) *
+        q /
+        (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1.0);
+  } else {
+    const double q = std::sqrt(-2.0 * std::log(1.0 - p));
+    x = -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q + c[5]) /
+        ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1.0);
+  }
+  // One Halley refinement step against the true CDF.
+  const double e = normalCdf(x) - p;
+  const double u = e * std::sqrt(2.0 * M_PI) * std::exp(0.5 * x * x);
+  x -= u / (1.0 + 0.5 * x * u);
+  return x;
+}
+
+Lognormal::Lognormal(double mu, double sigma) : mu_(mu), sigma_(sigma) {
+  VIADUCT_REQUIRE_MSG(sigma >= 0.0, "lognormal sigma must be >= 0");
+  VIADUCT_REQUIRE(std::isfinite(mu) && std::isfinite(sigma));
+}
+
+Lognormal Lognormal::fromMeanStddev(double mean, double stddev) {
+  VIADUCT_REQUIRE(mean > 0.0 && stddev >= 0.0);
+  const double cv2 = (stddev / mean) * (stddev / mean);
+  const double sigma2 = std::log1p(cv2);
+  const double mu = std::log(mean) - 0.5 * sigma2;
+  return Lognormal(mu, std::sqrt(sigma2));
+}
+
+Lognormal Lognormal::fromMedian(double median, double sigma) {
+  VIADUCT_REQUIRE(median > 0.0);
+  return Lognormal(std::log(median), sigma);
+}
+
+double Lognormal::mean() const { return std::exp(mu_ + 0.5 * sigma_ * sigma_); }
+
+double Lognormal::variance() const {
+  const double s2 = sigma_ * sigma_;
+  return std::expm1(s2) * std::exp(2.0 * mu_ + s2);
+}
+
+double Lognormal::stddev() const { return std::sqrt(variance()); }
+
+double Lognormal::median() const { return std::exp(mu_); }
+
+double Lognormal::sample(Rng& rng) const { return rng.lognormal(mu_, sigma_); }
+
+double Lognormal::cdf(double x) const {
+  if (x <= 0.0) return 0.0;
+  if (sigma_ == 0.0) return x >= std::exp(mu_) ? 1.0 : 0.0;
+  return normalCdf((std::log(x) - mu_) / sigma_);
+}
+
+double Lognormal::quantile(double p) const {
+  VIADUCT_REQUIRE(p > 0.0 && p < 1.0);
+  return std::exp(mu_ + sigma_ * normalQuantile(p));
+}
+
+double Lognormal::pdf(double x) const {
+  if (x <= 0.0 || sigma_ == 0.0) return 0.0;
+  const double z = (std::log(x) - mu_) / sigma_;
+  return std::exp(-0.5 * z * z) / (x * sigma_ * std::sqrt(2.0 * M_PI));
+}
+
+Lognormal Lognormal::fitMle(std::span<const double> samples) {
+  VIADUCT_REQUIRE_MSG(samples.size() >= 2, "need >= 2 samples to fit");
+  double sum = 0.0;
+  for (double x : samples) {
+    VIADUCT_REQUIRE_MSG(x > 0.0, "lognormal samples must be positive");
+    sum += std::log(x);
+  }
+  const double mu = sum / static_cast<double>(samples.size());
+  double ss = 0.0;
+  for (double x : samples) {
+    const double d = std::log(x) - mu;
+    ss += d * d;
+  }
+  const double sigma = std::sqrt(ss / static_cast<double>(samples.size()));
+  return Lognormal(mu, sigma);
+}
+
+Lognormal Lognormal::fitMoments(std::span<const double> samples) {
+  VIADUCT_REQUIRE(samples.size() >= 2);
+  double mean = 0.0;
+  for (double x : samples) {
+    VIADUCT_REQUIRE(x > 0.0);
+    mean += x;
+  }
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (double x : samples) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(samples.size() - 1);
+  return fromMeanStddev(mean, std::sqrt(var));
+}
+
+Lognormal Lognormal::wilkinsonSum(std::span<const Lognormal> terms) {
+  VIADUCT_REQUIRE(!terms.empty());
+  // Match the first two moments of the exact sum of independent lognormals.
+  double m1 = 0.0;
+  double m2c = 0.0;  // central second moment (variance) of the sum
+  for (const auto& t : terms) {
+    m1 += t.mean();
+    m2c += t.variance();
+  }
+  if (m2c <= 0.0) return Lognormal(std::log(m1), 0.0);
+  return fromMeanStddev(m1, std::sqrt(m2c));
+}
+
+Lognormal Lognormal::product(std::span<const Lognormal> terms,
+                             std::span<const double> exponents) {
+  VIADUCT_REQUIRE(terms.size() == exponents.size() && !terms.empty());
+  // log X = sum_i e_i log X_i is Gaussian exactly (independent terms).
+  double mu = 0.0;
+  double var = 0.0;
+  for (std::size_t i = 0; i < terms.size(); ++i) {
+    mu += exponents[i] * terms[i].mu();
+    var += exponents[i] * exponents[i] * terms[i].sigma() * terms[i].sigma();
+  }
+  return Lognormal(mu, std::sqrt(var));
+}
+
+Lognormal Lognormal::scaled(double c) const {
+  VIADUCT_REQUIRE(c > 0.0);
+  return Lognormal(mu_ + std::log(c), sigma_);
+}
+
+}  // namespace viaduct

@@ -1,0 +1,84 @@
+// Lognormal distribution utilities.
+//
+// The paper's TTF statistics are lognormal throughout: the flaw radius R_f
+// (and hence the critical stress sigma_C via Eq. 4), the effective
+// diffusivity D_eff, and — via Wilkinson's approximation — the nucleation
+// time itself. This header provides a value-type lognormal with sampling,
+// CDF/quantile evaluation, fitting from samples (log-space MLE) and from
+// linear-space moments, plus Wilkinson's moment-matching approximation for
+// sums and products of lognormals.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace viaduct {
+
+/// Lognormal distribution parameterized in log space:
+/// X = exp(N(mu, sigma^2)), sigma >= 0 (sigma == 0 degenerates to a point).
+class Lognormal {
+ public:
+  Lognormal() = default;
+  Lognormal(double mu, double sigma);
+
+  /// Construct from linear-space mean and standard deviation (both > 0 for
+  /// mean; stddev >= 0).
+  static Lognormal fromMeanStddev(double mean, double stddev);
+
+  /// Construct from the median and the multiplicative sigma exp(sigma).
+  static Lognormal fromMedian(double median, double sigma);
+
+  double mu() const { return mu_; }
+  double sigma() const { return sigma_; }
+
+  double mean() const;
+  double variance() const;
+  double stddev() const;
+  double median() const;
+
+  double sample(Rng& rng) const;
+
+  /// P(X <= x). Zero for x <= 0.
+  double cdf(double x) const;
+
+  /// Inverse CDF; p in (0, 1).
+  double quantile(double p) const;
+
+  /// Probability density at x (> 0).
+  double pdf(double x) const;
+
+  /// Log-space maximum-likelihood fit. Requires all samples > 0 and
+  /// samples.size() >= 2.
+  static Lognormal fitMle(std::span<const double> samples);
+
+  /// Moment-matching fit from linear-space sample mean/variance.
+  static Lognormal fitMoments(std::span<const double> samples);
+
+  /// Wilkinson approximation of sum_i X_i, X_i ~ Lognormal(terms[i]),
+  /// independent: matches the first two moments of the (exact) sum with a
+  /// single lognormal. Requires at least one term.
+  static Lognormal wilkinsonSum(std::span<const Lognormal> terms);
+
+  /// Exact distribution of a product of independent lognormals (and powers
+  /// of one lognormal): product_i X_i^e_i. Used for TTF ∝ sigma_eff^2/Deff.
+  static Lognormal product(std::span<const Lognormal> terms,
+                           std::span<const double> exponents);
+
+  /// Scales X by a positive constant c (shifts mu by log c).
+  Lognormal scaled(double c) const;
+
+ private:
+  double mu_ = 0.0;
+  double sigma_ = 1.0;
+};
+
+/// Standard normal CDF Phi(x) via erfc.
+double normalCdf(double x);
+
+/// Inverse standard normal CDF (Acklam's rational approximation, refined
+/// with one Halley step; |error| < 1e-9 over (0,1)).
+double normalQuantile(double p);
+
+}  // namespace viaduct

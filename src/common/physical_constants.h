@@ -1,0 +1,15 @@
+// Fundamental physical constants (SI), CODATA values.
+#pragma once
+
+namespace viaduct::constants {
+
+/// Boltzmann constant [J/K].
+inline constexpr double kBoltzmann = 1.380649e-23;
+
+/// Elementary charge [C].
+inline constexpr double kElementaryCharge = 1.602176634e-19;
+
+/// Electron-volt [J].
+inline constexpr double kElectronVolt = 1.602176634e-19;
+
+}  // namespace viaduct::constants

@@ -1,0 +1,56 @@
+// Deterministic, fast pseudo-random number generation.
+//
+// Monte Carlo reliability runs must be reproducible across platforms, so we
+// do not use std::mt19937 + std::normal_distribution (whose outputs are not
+// pinned by the standard for all library implementations in the same order).
+// Instead: xoshiro256** seeded via splitmix64, with our own uniform /
+// Gaussian / lognormal transforms.
+#pragma once
+
+#include <cstdint>
+
+namespace viaduct {
+
+/// xoshiro256** 1.0 (Blackman & Vigna), seeded with splitmix64.
+/// Satisfies std::uniform_random_bit_generator.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~std::uint64_t{0}; }
+
+  result_type operator()() { return next(); }
+
+  /// Uniform in [0, 1) with 53 random bits.
+  double uniform();
+
+  /// Uniform in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  std::uint64_t uniformInt(std::uint64_t n);
+
+  /// Standard Gaussian via polar Marsaglia (cached second deviate).
+  double gaussian();
+
+  /// Gaussian with the given mean and standard deviation.
+  double gaussian(double mean, double stddev);
+
+  /// Lognormal: exp(N(mu, sigma^2)). `mu`/`sigma` are the log-space params.
+  double lognormal(double mu, double sigma);
+
+  /// Splits off an independently-seeded child stream (for parallel MC).
+  Rng split();
+
+ private:
+  std::uint64_t next();
+
+  std::uint64_t s_[4];
+  bool hasSpare_ = false;
+  double spare_ = 0.0;
+};
+
+}  // namespace viaduct

@@ -1,0 +1,112 @@
+#include "common/statistics.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace viaduct {
+
+void RunningStats::add(double x) {
+  if (n_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++n_;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::mean() const {
+  VIADUCT_REQUIRE(n_ >= 1);
+  return mean_;
+}
+
+double RunningStats::variance() const {
+  VIADUCT_REQUIRE(n_ >= 2);
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double RunningStats::stddev() const { return std::sqrt(variance()); }
+
+double RunningStats::min() const {
+  VIADUCT_REQUIRE(n_ >= 1);
+  return min_;
+}
+
+double RunningStats::max() const {
+  VIADUCT_REQUIRE(n_ >= 1);
+  return max_;
+}
+
+EmpiricalCdf::EmpiricalCdf(std::vector<double> samples)
+    : sorted_(std::move(samples)) {
+  VIADUCT_REQUIRE_MSG(!sorted_.empty(), "empty sample set");
+  std::sort(sorted_.begin(), sorted_.end());
+}
+
+double EmpiricalCdf::cdf(double x) const {
+  const auto it = std::upper_bound(sorted_.begin(), sorted_.end(), x);
+  return static_cast<double>(it - sorted_.begin()) /
+         static_cast<double>(sorted_.size());
+}
+
+double EmpiricalCdf::quantile(double p) const {
+  VIADUCT_REQUIRE(p >= 0.0 && p <= 1.0);
+  if (sorted_.size() == 1) return sorted_.front();
+  // Linear interpolation between order statistics (type-7 quantile).
+  const double h = p * static_cast<double>(sorted_.size() - 1);
+  const auto lo = static_cast<std::size_t>(h);
+  if (lo + 1 >= sorted_.size()) return sorted_.back();
+  const double frac = h - static_cast<double>(lo);
+  return sorted_[lo] + frac * (sorted_[lo + 1] - sorted_[lo]);
+}
+
+double EmpiricalCdf::mean() const {
+  double s = 0.0;
+  for (double x : sorted_) s += x;
+  return s / static_cast<double>(sorted_.size());
+}
+
+ConfidenceInterval bootstrapQuantileCi(std::span<const double> samples,
+                                       double p, double confidence,
+                                       int resamples, Rng& rng) {
+  VIADUCT_REQUIRE(samples.size() >= 2);
+  VIADUCT_REQUIRE(p >= 0.0 && p <= 1.0);
+  VIADUCT_REQUIRE(confidence > 0.0 && confidence < 1.0);
+  VIADUCT_REQUIRE(resamples >= 50);
+
+  const std::size_t n = samples.size();
+  std::vector<double> estimates;
+  estimates.reserve(static_cast<std::size_t>(resamples));
+  std::vector<double> resample(n);
+  for (int r = 0; r < resamples; ++r) {
+    for (std::size_t i = 0; i < n; ++i)
+      resample[i] = samples[rng.uniformInt(n)];
+    estimates.push_back(EmpiricalCdf(resample).quantile(p));
+  }
+  EmpiricalCdf dist(std::move(estimates));
+  const double alpha = 1.0 - confidence;
+  return {dist.quantile(0.5 * alpha), dist.quantile(1.0 - 0.5 * alpha)};
+}
+
+double ksStatistic(std::span<const double> sortedSamples,
+                   const std::vector<double>& refCdfAtSamples) {
+  VIADUCT_REQUIRE(sortedSamples.size() == refCdfAtSamples.size());
+  VIADUCT_REQUIRE(!sortedSamples.empty());
+  const double n = static_cast<double>(sortedSamples.size());
+  double d = 0.0;
+  for (std::size_t i = 0; i < sortedSamples.size(); ++i) {
+    const double lo = static_cast<double>(i) / n;
+    const double hi = static_cast<double>(i + 1) / n;
+    d = std::max(d, std::abs(refCdfAtSamples[i] - lo));
+    d = std::max(d, std::abs(refCdfAtSamples[i] - hi));
+  }
+  return d;
+}
+
+}  // namespace viaduct

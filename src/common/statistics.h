@@ -1,0 +1,77 @@
+// Sample statistics: summary moments, empirical CDF, and percentile
+// extraction. Used to post-process Monte Carlo TTF samples into the
+// CDF curves and worst-case (0.3 %ile) values the paper reports.
+#pragma once
+
+#include <span>
+#include <vector>
+
+namespace viaduct {
+
+/// Streaming mean/variance accumulator (Welford).
+class RunningStats {
+ public:
+  void add(double x);
+  std::size_t count() const { return n_; }
+  double mean() const;
+  /// Unbiased sample variance; requires count() >= 2.
+  double variance() const;
+  double stddev() const;
+  double min() const;
+  double max() const;
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+/// Empirical distribution over a fixed sample set (sorted on construction).
+class EmpiricalCdf {
+ public:
+  explicit EmpiricalCdf(std::vector<double> samples);
+
+  std::size_t size() const { return sorted_.size(); }
+  const std::vector<double>& sorted() const { return sorted_; }
+
+  /// Fraction of samples <= x.
+  double cdf(double x) const;
+
+  /// Linearly-interpolated percentile, p in [0, 1]. p=0 -> min, p=1 -> max.
+  double quantile(double p) const;
+
+  /// The paper's "worst-case TTF": the 0.3rd percentile (p = 0.003).
+  double worstCase() const { return quantile(0.003); }
+
+  double median() const { return quantile(0.5); }
+  double mean() const;
+
+ private:
+  std::vector<double> sorted_;
+};
+
+/// Two-sided Kolmogorov–Smirnov statistic between samples and a reference
+/// CDF evaluated by `refCdf` at each sorted sample.
+double ksStatistic(std::span<const double> sortedSamples,
+                   const std::vector<double>& refCdfAtSamples);
+
+/// Percentile-bootstrap confidence interval for a quantile estimate.
+/// Monte Carlo TTF percentiles (especially the paper's 0.3 %ile at
+/// Ntrials = 500) carry real sampling error; this quantifies it.
+struct ConfidenceInterval {
+  double lower = 0.0;
+  double upper = 0.0;
+  double width() const { return upper - lower; }
+};
+
+class Rng;  // common/rng.h
+
+/// `p` is the estimated quantile (e.g. 0.003), `confidence` the interval
+/// mass (e.g. 0.95). Requires >= 2 samples and resamples >= 50.
+ConfidenceInterval bootstrapQuantileCi(std::span<const double> samples,
+                                       double p, double confidence,
+                                       int resamples, Rng& rng);
+
+}  // namespace viaduct

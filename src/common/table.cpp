@@ -1,0 +1,94 @@
+#include "common/table.h"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {
+  VIADUCT_REQUIRE(!header_.empty());
+}
+
+void TextTable::addRow(std::vector<std::string> row) {
+  VIADUCT_REQUIRE_MSG(row.size() == header_.size(),
+                      "row width must match header");
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double v, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << v;
+  std::string s = os.str();
+  if (s.find('.') != std::string::npos) {
+    while (!s.empty() && s.back() == '0') s.pop_back();
+    if (!s.empty() && s.back() == '.') s.pop_back();
+  }
+  return s;
+}
+
+void TextTable::print(std::ostream& os) const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c)
+    widths[c] = header_[c].size();
+  for (const auto& row : rows_)
+    for (std::size_t c = 0; c < row.size(); ++c)
+      widths[c] = std::max(widths[c], row[c].size());
+
+  auto printRow = [&](const std::vector<std::string>& row) {
+    os << "| ";
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      os << std::left << std::setw(static_cast<int>(widths[c])) << row[c];
+      os << (c + 1 == row.size() ? " |" : " | ");
+    }
+    os << '\n';
+  };
+
+  auto printSep = [&]() {
+    os << '+';
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      os << std::string(widths[c] + 2, '-');
+      os << (c + 1 == widths.size() ? "+" : "+");
+    }
+    os << '\n';
+  };
+
+  printSep();
+  printRow(header_);
+  printSep();
+  for (const auto& row : rows_) printRow(row);
+  printSep();
+}
+
+CsvWriter::CsvWriter(std::ostream& os, const std::vector<std::string>& header)
+    : os_(os), width_(header.size()) {
+  VIADUCT_REQUIRE(!header.empty());
+  for (std::size_t i = 0; i < header.size(); ++i) {
+    os_ << header[i];
+    if (i + 1 < header.size()) os_ << ',';
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::writeRow(const std::vector<double>& values) {
+  VIADUCT_REQUIRE(values.size() == width_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os_ << values[i];
+    if (i + 1 < values.size()) os_ << ',';
+  }
+  os_ << '\n';
+}
+
+void CsvWriter::writeRow(const std::vector<std::string>& values) {
+  VIADUCT_REQUIRE(values.size() == width_);
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    os_ << values[i];
+    if (i + 1 < values.size()) os_ << ',';
+  }
+  os_ << '\n';
+}
+
+}  // namespace viaduct

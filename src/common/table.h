@@ -1,0 +1,42 @@
+// Text-table and CSV emission helpers, used by the bench harnesses to print
+// paper-style tables/series and to dump plottable data.
+#pragma once
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace viaduct {
+
+/// Column-aligned text table with a header row, printed in a style suitable
+/// for terminal diffing against the paper's tables.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; must match the header width.
+  void addRow(std::vector<std::string> row);
+
+  /// Formats a double with the given precision, trimming trailing zeros.
+  static std::string num(double v, int precision = 3);
+
+  void print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes rows as RFC-4180-ish CSV (no quoting needed for our numeric data).
+class CsvWriter {
+ public:
+  CsvWriter(std::ostream& os, const std::vector<std::string>& header);
+  void writeRow(const std::vector<double>& values);
+  void writeRow(const std::vector<std::string>& values);
+
+ private:
+  std::ostream& os_;
+  std::size_t width_;
+};
+
+}  // namespace viaduct

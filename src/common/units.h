@@ -1,0 +1,31 @@
+// Unit helpers. All viaduct internals are strict SI (m, s, K, Pa, A, V, Ω).
+// These constexpr factors convert common EDA units to SI and back, so that
+// literals in user code read naturally, e.g. `2.0 * units::um`.
+#pragma once
+
+namespace viaduct::units {
+
+// Length.
+inline constexpr double m = 1.0;
+inline constexpr double um = 1e-6;
+inline constexpr double nm = 1e-9;
+
+// Time. A Julian year, the conventional reliability-engineering year.
+inline constexpr double second = 1.0;
+inline constexpr double hour = 3600.0;
+inline constexpr double day = 86400.0;
+inline constexpr double year = 365.25 * day;
+
+// Pressure / stress.
+inline constexpr double Pa = 1.0;
+inline constexpr double MPa = 1e6;
+inline constexpr double GPa = 1e9;
+
+// Temperature helpers (absolute Kelvin internally).
+inline constexpr double kelvinFromCelsius(double c) { return c + 273.15; }
+inline constexpr double celsiusFromKelvin(double k) { return k - 273.15; }
+
+// CTE is stored in 1/K; data sheets quote ppm/°C.
+inline constexpr double ppmPerC = 1e-6;
+
+}  // namespace viaduct::units

@@ -1,0 +1,82 @@
+#include "core/mixed_optimizer.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace viaduct {
+
+MixedArrayOptimizer::MixedArrayOptimizer(
+    const PowerGridModel& model,
+    std::vector<IntersectionPattern> sitePatterns,
+    const MixedArrayOptions& options,
+    std::shared_ptr<ViaArrayLibrary> library)
+    : model_(model),
+      sitePatterns_(std::move(sitePatterns)),
+      options_(options),
+      library_(std::move(library)) {
+  VIADUCT_REQUIRE(library_ != nullptr);
+  VIADUCT_REQUIRE(options_.baseSize >= 1 &&
+                  options_.upgradedSize > options_.baseSize);
+  VIADUCT_REQUIRE(sitePatterns_.size() == model_.viaArrays().size());
+
+  const auto nominal = model_.solveNominal();
+  ranked_.resize(model_.viaArrays().size());
+  std::iota(ranked_.begin(), ranked_.end(), 0);
+  std::sort(ranked_.begin(), ranked_.end(), [&](int a, int b) {
+    return nominal.viaArrayCurrents[static_cast<std::size_t>(a)] >
+           nominal.viaArrayCurrents[static_cast<std::size_t>(b)];
+  });
+}
+
+Lognormal MixedArrayOptimizer::fitFor(int size, IntersectionPattern pattern) {
+  ViaArrayCharacterizationSpec spec = options_.characterization;
+  spec.array.n = size;
+  spec.pattern = pattern;
+  return library_->get(spec)->ttfLognormal(options_.arrayCriterion);
+}
+
+MixedArrayPlan MixedArrayOptimizer::evaluate(std::vector<int> upgradedSites) {
+  std::vector<bool> upgraded(model_.viaArrays().size(), false);
+  for (int s : upgradedSites) {
+    VIADUCT_REQUIRE(s >= 0 &&
+                    static_cast<std::size_t>(s) < upgraded.size());
+    upgraded[static_cast<std::size_t>(s)] = true;
+  }
+
+  GridMcOptions mc;
+  mc.perArrayTtf.reserve(model_.viaArrays().size());
+  for (std::size_t m = 0; m < model_.viaArrays().size(); ++m) {
+    const int size = upgraded[m] ? options_.upgradedSize : options_.baseSize;
+    mc.perArrayTtf.push_back(fitFor(size, sitePatterns_[m]));
+  }
+  mc.referenceCurrentAmps = options_.characterization.totalCurrent();
+  mc.systemCriterion = options_.systemCriterion;
+  mc.trials = options_.trials;
+  mc.seed = options_.seed;
+
+  const GridMcResult result = runGridMonteCarlo(model_, mc);
+  const EmpiricalCdf cdf = result.cdf();
+  MixedArrayPlan plan;
+  plan.upgradedSites = std::move(upgradedSites);
+  plan.worstCaseYears = cdf.worstCase() / units::year;
+  plan.medianYears = cdf.median() / units::year;
+  return plan;
+}
+
+std::vector<MixedArrayPlan> MixedArrayOptimizer::greedySweep(
+    const std::vector<int>& budgets) {
+  std::vector<MixedArrayPlan> plans;
+  plans.reserve(budgets.size());
+  for (int budget : budgets) {
+    VIADUCT_REQUIRE(budget >= 0 && static_cast<std::size_t>(budget) <=
+                                       ranked_.size());
+    plans.push_back(evaluate(std::vector<int>(
+        ranked_.begin(), ranked_.begin() + budget)));
+  }
+  return plans;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,72 @@
+// Mixed via-array configuration optimization.
+//
+// The paper analyzes grids with ONE array configuration everywhere and
+// notes (§5.2) that "in practice, a combination of the via array
+// configuration can be used". This module implements that extension:
+// upgrade only the via arrays that limit the grid's lifetime (ranked by
+// nominal current, since TTF consumption scales with (I/I_ref)², Eq. 3)
+// from the base configuration (e.g. 4×4) to the premium one (e.g. 8×8),
+// and report the worst-case-TTF vs upgrade-budget tradeoff. Larger arrays
+// cost area under minimum-spacing rules (the paper's stated future work;
+// see ViaArraySpec::minSpacing), so upgrading everything is not free.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "grid/grid_mc.h"
+#include "grid/power_grid.h"
+#include "spice/netlist.h"
+#include "viaarray/characterize.h"
+
+namespace viaduct {
+
+struct MixedArrayOptions {
+  int baseSize = 4;
+  int upgradedSize = 8;
+  ViaArrayFailureCriterion arrayCriterion =
+      ViaArrayFailureCriterion::openCircuit();
+  GridFailureCriterion systemCriterion = GridFailureCriterion::irDrop(0.10);
+  /// Characterization template (array.n and pattern overridden per use).
+  ViaArrayCharacterizationSpec characterization;
+  int trials = 200;
+  std::uint64_t seed = 4242;
+};
+
+struct MixedArrayPlan {
+  /// Upgraded site indices (into PowerGridModel::viaArrays()).
+  std::vector<int> upgradedSites;
+  double worstCaseYears = 0.0;
+  double medianYears = 0.0;
+};
+
+class MixedArrayOptimizer {
+ public:
+  /// `model` must outlive the optimizer. Characterizations are memoized in
+  /// `library` (shared with any analyzer).
+  MixedArrayOptimizer(const PowerGridModel& model,
+                      std::vector<IntersectionPattern> sitePatterns,
+                      const MixedArrayOptions& options,
+                      std::shared_ptr<ViaArrayLibrary> library);
+
+  /// Site indices ranked by descending nominal current (upgrade order).
+  const std::vector<int>& rankedSites() const { return ranked_; }
+
+  /// Evaluates a plan that upgrades exactly the given sites.
+  MixedArrayPlan evaluate(std::vector<int> upgradedSites);
+
+  /// Greedy sweep: evaluates plans upgrading the top-k ranked sites for
+  /// each k in `budgets` (e.g. {0, 8, 16, 32, all}).
+  std::vector<MixedArrayPlan> greedySweep(const std::vector<int>& budgets);
+
+ private:
+  Lognormal fitFor(int size, IntersectionPattern pattern);
+
+  const PowerGridModel& model_;
+  std::vector<IntersectionPattern> sitePatterns_;
+  MixedArrayOptions options_;
+  std::shared_ptr<ViaArrayLibrary> library_;
+  std::vector<int> ranked_;
+};
+
+}  // namespace viaduct

@@ -1,0 +1,76 @@
+#include "em/acceleration.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+#include "em/critical_stress.h"
+#include "em/korhonen.h"
+
+namespace viaduct {
+
+double blackAccelerationFactor(const TestCondition& test,
+                               const UseCondition& use,
+                               const EmParameters& params) {
+  VIADUCT_REQUIRE(test.currentDensity > 0.0 && use.currentDensity > 0.0);
+  VIADUCT_REQUIRE(test.temperatureK > 0.0 && use.temperatureK > 0.0);
+  const double jRatio = test.currentDensity / use.currentDensity;
+  const double ea = params.activationEnergyEv * constants::kElectronVolt;
+  const double thermal = std::exp(
+      (ea / constants::kBoltzmann) *
+      (1.0 / use.temperatureK - 1.0 / test.temperatureK));
+  return jRatio * jRatio * thermal;
+}
+
+double stressAtTemperature(double sigmaTRef, double refTemperatureK,
+                           double annealTemperatureK, double temperatureK) {
+  VIADUCT_REQUIRE(annealTemperatureK > refTemperatureK);
+  const double scale = (annealTemperatureK - temperatureK) /
+                       (annealTemperatureK - refTemperatureK);
+  return sigmaTRef * std::max(0.0, scale);
+}
+
+namespace {
+
+/// Median nucleation time at a given temperature, current, and stress.
+double medianNucleationTime(double temperatureK, double currentDensity,
+                            double sigmaT, const EmParameters& params) {
+  EmParameters at = params;
+  at.temperatureK = temperatureK;
+  const double sigmaC = criticalStressDistribution(at).median();
+  return nucleationTime(sigmaC, sigmaT, currentDensity, at.medianDeff(), at);
+}
+
+}  // namespace
+
+double stressAwareAccelerationFactor(const TestCondition& test,
+                                     const UseCondition& use,
+                                     double sigmaTAtUse,
+                                     double annealTemperatureK,
+                                     const EmParameters& params) {
+  const double sigmaTTest = stressAtTemperature(
+      sigmaTAtUse, use.temperatureK, annealTemperatureK, test.temperatureK);
+  const double tTest = medianNucleationTime(
+      test.temperatureK, test.currentDensity, sigmaTTest, params);
+  const double tUse = medianNucleationTime(
+      use.temperatureK, use.currentDensity, sigmaTAtUse, params);
+  VIADUCT_REQUIRE_MSG(tTest > 0.0,
+                      "test condition nucleates instantly; lower sigma_T");
+  VIADUCT_REQUIRE_MSG(tUse > 0.0,
+                      "use condition nucleates instantly; lower sigma_T");
+  return tUse / tTest;
+}
+
+double lifetimeOverestimationFactor(const TestCondition& test,
+                                    const UseCondition& use,
+                                    double sigmaTAtUse,
+                                    double annealTemperatureK,
+                                    const EmParameters& params) {
+  const double blind = blackAccelerationFactor(test, use, params);
+  const double aware = stressAwareAccelerationFactor(
+      test, use, sigmaTAtUse, annealTemperatureK, params);
+  return blind / aware;
+}
+
+}  // namespace viaduct

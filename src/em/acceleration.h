@@ -1,0 +1,61 @@
+// Accelerated-test extrapolation (the paper's §1 motivation).
+//
+// Foundries characterize EM at elevated temperature (typically 300 °C) and
+// current, then map failure times back to operating conditions with
+// Black's-law-style acceleration factors:
+//   AF = (j_test/j_use)^n · exp[(Ea/kB)(1/T_use − 1/T_test)],  n = 2 for
+// nucleation-dominated Cu (consistent with Eq. 1's j² dependence).
+//
+// The paper's point: this procedure misses thermomechanical stress. σ_T
+// scales with (T_anneal − T), so at a 300 °C test (anneal 300–350 °C) it
+// is nearly zero, while at 105 °C operation it consumes a large fraction
+// of the critical stress. This module quantifies both the classical AF
+// and the stress-aware one, exposing the underestimation factor.
+#pragma once
+
+#include "em/em_params.h"
+
+namespace viaduct {
+
+struct TestCondition {
+  double temperatureK = 573.15;       // 300 C accelerated test
+  double currentDensity = 2.0e10;     // elevated test current [A/m²]
+};
+
+struct UseCondition {
+  double temperatureK = 378.15;       // 105 C worst-case operation
+  double currentDensity = 1.0e10;     // use current [A/m²]
+};
+
+/// Classical (stress-blind) Black acceleration factor TTF_use / TTF_test
+/// with current exponent n = 2 and the parameters' activation energy.
+double blackAccelerationFactor(const TestCondition& test,
+                               const UseCondition& use,
+                               const EmParameters& params);
+
+/// Thermomechanical stress at temperature T for a structure whose
+/// reference (FEA-computed) stress is sigmaTRef at temperature TRef, using
+/// the linear-thermoelastic scaling σ_T(T) = σ_T(TRef) · (T_anneal − T) /
+/// (T_anneal − TRef). Clamped at 0 beyond the anneal temperature.
+double stressAtTemperature(double sigmaTRef, double refTemperatureK,
+                           double annealTemperatureK, double temperatureK);
+
+/// Stress-aware acceleration factor: ratio of median nucleation times at
+/// use vs test conditions, with σ_T evaluated at each temperature per
+/// stressAtTemperature (reference stress given at the use temperature).
+double stressAwareAccelerationFactor(const TestCondition& test,
+                                     const UseCondition& use,
+                                     double sigmaTAtUse,
+                                     double annealTemperatureK,
+                                     const EmParameters& params);
+
+/// How far the classical extrapolation OVERestimates field lifetime:
+/// stress-blind AF / stress-aware AF (> 1 when σ_T matters; the paper's
+/// central motivation).
+double lifetimeOverestimationFactor(const TestCondition& test,
+                                    const UseCondition& use,
+                                    double sigmaTAtUse,
+                                    double annealTemperatureK,
+                                    const EmParameters& params);
+
+}  // namespace viaduct

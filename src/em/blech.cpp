@@ -1,0 +1,25 @@
+#include "em/blech.h"
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+
+namespace viaduct {
+
+double blechProductLimit(double stressMargin, const EmParameters& params) {
+  VIADUCT_REQUIRE_MSG(stressMargin > 0.0,
+                      "Blech limit needs a positive critical-stress margin");
+  params.validate();
+  // Saturation stress G*L/2 = margin with G = e Z* rho j / Omega:
+  //   (jL)_crit = 2 * Omega * margin / (e Z* rho).
+  return 2.0 * params.atomicVolume * stressMargin /
+         (constants::kElementaryCharge * params.effectiveChargeNumber *
+          params.resistivityOhmM);
+}
+
+bool isImmortal(double currentDensity, double length, double stressMargin,
+                const EmParameters& params) {
+  VIADUCT_REQUIRE(currentDensity >= 0.0 && length > 0.0);
+  return currentDensity * length < blechProductLimit(stressMargin, params);
+}
+
+}  // namespace viaduct

@@ -1,0 +1,31 @@
+// Blech immortality filtering for power-grid wires.
+//
+// A finite line with blocking boundaries saturates at a cathode stress of
+// σ_T + G·L/2 (the steady state of Korhonen's PDE; see em/korhonen_pde.h).
+// If that saturation stays below the critical nucleation stress, the wire
+// can NEVER void regardless of runtime — the Blech immortality condition,
+// conventionally written as a critical current-density × length product:
+//
+//   j·L < (jL)_crit = 2·Ω·(σ_C − σ_T) / (e·Z*·ρ)
+//
+// The paper assumes its grids are designed so "spanning voids in wires
+// have a very low probability" and restricts failures to via arrays
+// (§5.2); this module makes that assumption checkable: filter every wire
+// segment of a netlist and report the mortal remainder (see
+// bench/ablation_wire_em).
+#pragma once
+
+#include "em/em_params.h"
+
+namespace viaduct {
+
+/// Critical Blech product (jL)_crit [A/m] for an effective critical-stress
+/// margin (σ_C − σ_T − σ_pkg) [Pa]. Requires a positive margin.
+double blechProductLimit(double stressMargin, const EmParameters& params);
+
+/// True if a wire with current density j [A/m²] and length L [m] is
+/// immortal for the given stress margin.
+bool isImmortal(double currentDensity, double length, double stressMargin,
+                const EmParameters& params);
+
+}  // namespace viaduct

@@ -1,0 +1,29 @@
+#include "em/critical_stress.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+double criticalStress(double flawRadius, const EmParameters& params) {
+  VIADUCT_REQUIRE(flawRadius > 0.0);
+  const double theta = params.contactAngleDeg * M_PI / 180.0;
+  return 2.0 * params.surfaceEnergyJm2 * std::sin(theta) / flawRadius;
+}
+
+Lognormal flawRadiusDistribution(const EmParameters& params) {
+  return Lognormal::fromMeanStddev(
+      params.meanFlawRadius, params.flawSigmaFraction * params.meanFlawRadius);
+}
+
+Lognormal criticalStressDistribution(const EmParameters& params) {
+  const Lognormal rf = flawRadiusDistribution(params);
+  // sigma_C = c / R_f with c = 2 gamma sin(theta):
+  // log sigma_C = log c - log R_f, still Gaussian.
+  const double theta = params.contactAngleDeg * M_PI / 180.0;
+  const double c = 2.0 * params.surfaceEnergyJm2 * std::sin(theta);
+  return Lognormal(std::log(c) - rf.mu(), rf.sigma());
+}
+
+}  // namespace viaduct

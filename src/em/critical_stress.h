@@ -1,0 +1,21 @@
+// Critical void-nucleation stress σ_C (Eq. 4):
+//   σ_C = 2 γ_s sin(θ_C) / R_f,
+// with the flaw radius R_f lognormally distributed across the millions of
+// wires in a power grid. Since σ_C ∝ 1/R_f, σ_C is lognormal too.
+#pragma once
+
+#include "common/lognormal.h"
+#include "em/em_params.h"
+
+namespace viaduct {
+
+/// σ_C for a specific flaw radius [Pa].
+double criticalStress(double flawRadius, const EmParameters& params);
+
+/// The lognormal distribution of R_f (mean R̄_f, stddev = fraction·R̄_f).
+Lognormal flawRadiusDistribution(const EmParameters& params);
+
+/// The induced lognormal distribution of σ_C.
+Lognormal criticalStressDistribution(const EmParameters& params);
+
+}  // namespace viaduct

@@ -1,0 +1,55 @@
+#include "em/derating.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "em/acceleration.h"
+#include "em/critical_stress.h"
+#include "em/korhonen.h"
+
+namespace viaduct {
+
+double effectiveCurrentDensity(std::span<const CurrentPhase> waveform,
+                               double recoveryFactor) {
+  VIADUCT_REQUIRE_MSG(!waveform.empty(), "empty waveform");
+  VIADUCT_REQUIRE(recoveryFactor >= 0.0 && recoveryFactor <= 1.0);
+  double forward = 0.0, reverse = 0.0, total = 0.0;
+  for (const auto& phase : waveform) {
+    VIADUCT_REQUIRE_MSG(phase.duration >= 0.0, "negative phase duration");
+    total += phase.duration;
+    if (phase.density >= 0.0) {
+      forward += phase.density * phase.duration;
+    } else {
+      reverse += -phase.density * phase.duration;
+    }
+  }
+  VIADUCT_REQUIRE_MSG(total > 0.0, "waveform has zero total duration");
+  return std::max(0.0, (forward - recoveryFactor * reverse) / total);
+}
+
+double temperatureDeratingFactor(double temperatureK, double refTemperatureK,
+                                 double sigmaTAtRef,
+                                 double annealTemperatureK,
+                                 const EmParameters& params) {
+  VIADUCT_REQUIRE(temperatureK > 0.0 && refTemperatureK > 0.0);
+  VIADUCT_REQUIRE(annealTemperatureK > refTemperatureK);
+  VIADUCT_REQUIRE(sigmaTAtRef >= 0.0);
+
+  auto medianTn = [&](double tK, double sigmaT) {
+    EmParameters at = params;
+    at.temperatureK = tK;
+    const double sigmaC = criticalStressDistribution(at).median();
+    return nucleationTime(sigmaC, sigmaT, /*currentDensity=*/1e10,
+                          at.medianDeff(), at);
+  };
+
+  const double sigmaTAtT = stressAtTemperature(
+      sigmaTAtRef, refTemperatureK, annealTemperatureK, temperatureK);
+  const double tnRef = medianTn(refTemperatureK, sigmaTAtRef);
+  const double tnT = medianTn(temperatureK, sigmaTAtT);
+  VIADUCT_REQUIRE_MSG(tnRef > 0.0,
+                      "reference condition nucleates instantly");
+  return tnT / tnRef;
+}
+
+}  // namespace viaduct

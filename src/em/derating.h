@@ -1,0 +1,47 @@
+// Operating-condition derating for the EM models.
+//
+// Production sign-off rarely sees a single DC current and a single
+// temperature: loads are duty-cycled waveforms and the die carries thermal
+// gradients. For nucleation-phase EM, the stress build-up integrates the
+// atomic flux, so a periodic waveform acts through its (recovery-weighted)
+// average current density; temperature acts through the Arrhenius Deff,
+// the 1/T factor of Eq. 3, and the thermomechanical stress σ_T(T) (which
+// RELAXES as the chip runs hotter — see em/acceleration.h). The grid Monte
+// Carlo consumes these as per-array TTF scale factors
+// (GridMcOptions::perArrayTtfScale).
+#pragma once
+
+#include <span>
+
+#include "em/em_params.h"
+
+namespace viaduct {
+
+/// One phase of a periodic current waveform.
+struct CurrentPhase {
+  /// Signed current density [A/m²]; negative = reverse direction.
+  double density = 0.0;
+  /// Phase duration [s] (any consistent unit; only ratios matter).
+  double duration = 0.0;
+};
+
+/// Effective DC-equivalent current density of a periodic waveform for
+/// nucleation-phase EM: the duty-weighted average of the forward flux
+/// minus `recoveryFactor` times the reverse flux (recoveryFactor = 1 is
+/// full bidirectional healing; 0 ignores reverse flow). Clamped at 0.
+/// Requires at least one phase and positive total duration.
+double effectiveCurrentDensity(std::span<const CurrentPhase> waveform,
+                               double recoveryFactor = 1.0);
+
+/// Multiplicative TTF derating for an array operating at `temperatureK`
+/// instead of the characterization temperature `refTemperatureK`:
+/// returns tn(T) / tn(T_ref) for the median via, combining Arrhenius
+/// diffusion, the kB·T factor of Eq. 3, and the linear relaxation of the
+/// reference stress `sigmaTAtRef` toward the anneal temperature.
+/// > 1 means the array lives LONGER at `temperatureK`.
+double temperatureDeratingFactor(double temperatureK, double refTemperatureK,
+                                 double sigmaTAtRef,
+                                 double annealTemperatureK,
+                                 const EmParameters& params);
+
+}  // namespace viaduct

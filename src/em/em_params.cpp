@@ -1,0 +1,31 @@
+#include "em/em_params.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+
+namespace viaduct {
+
+double EmParameters::medianDeff() const {
+  const double kT = constants::kBoltzmann * temperatureK;
+  return diffusivityPrefactor *
+         std::exp(-activationEnergyEv * constants::kElectronVolt / kT);
+}
+
+void EmParameters::validate() const {
+  VIADUCT_REQUIRE(activationEnergyEv > 0.0 && activationEnergyEv < 3.0);
+  VIADUCT_REQUIRE(diffusivityPrefactor > 0.0);
+  VIADUCT_REQUIRE(deffSigma >= 0.0 && deffSigma < 3.0);
+  VIADUCT_REQUIRE(atomicVolume > 0.0);
+  VIADUCT_REQUIRE(effectiveChargeNumber > 0.0);
+  VIADUCT_REQUIRE(resistivityOhmM > 0.0);
+  VIADUCT_REQUIRE(bulkModulusPa > 0.0);
+  VIADUCT_REQUIRE(surfaceEnergyJm2 > 0.0);
+  VIADUCT_REQUIRE(contactAngleDeg > 0.0 && contactAngleDeg <= 180.0);
+  VIADUCT_REQUIRE(meanFlawRadius > 0.0);
+  VIADUCT_REQUIRE(flawSigmaFraction >= 0.0 && flawSigmaFraction < 1.0);
+  VIADUCT_REQUIRE(temperatureK > 200.0 && temperatureK < 700.0);
+}
+
+}  // namespace viaduct

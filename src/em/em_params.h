@@ -1,0 +1,61 @@
+// Electromigration model parameters (Eqs. 1–4 of the paper).
+//
+// Values are the paper's where given (γ_s-based critical stress with
+// R̄_f = 10 nm ± 5 %, T = 105 °C operation) and standard Cu DD literature
+// values elsewhere. The diffusivity prefactor D0 is the one calibrated
+// quantity: it is chosen inside the physical range for Cu interface
+// diffusion (1e-9…1e-7 m²/s) such that a Plus-pattern 4×4 array carrying
+// j = 1e10 A/m² lands in the paper's Figure 8(a) TTF range (2–14 years).
+#pragma once
+
+namespace viaduct {
+
+struct EmParameters {
+  /// Effective activation energy Ea [eV] (Cu/cap interface diffusion).
+  double activationEnergyEv = 0.85;
+
+  /// EM diffusivity prefactor D0 [m²/s] (calibrated; see header comment).
+  double diffusivityPrefactor = 2.7e-9;
+
+  /// Lognormal sigma of Deff (grain/interface microstructure variation,
+  /// cf. [Mishra & Sapatnekar, DAC'13]).
+  double deffSigma = 0.30;
+
+  /// Atomic volume of copper Ω [m³].
+  double atomicVolume = 1.182e-29;
+
+  /// Effective charge number Z*.
+  double effectiveChargeNumber = 1.0;
+
+  /// Copper resistivity at operating temperature [Ω·m].
+  double resistivityOhmM = 3.0e-8;
+
+  /// Effective bulk modulus B of the Cu/dielectric system [Pa].
+  double bulkModulusPa = 28.0e9;
+
+  /// Copper surface free energy γ_s [J/m²] (Eq. 4).
+  double surfaceEnergyJm2 = 1.7;
+
+  /// Void contact angle θ_C [degrees]; 90° for the circular flaw (Eq. 4).
+  double contactAngleDeg = 90.0;
+
+  /// Mean flaw radius R̄_f [m] and its lognormal sigma as a fraction of the
+  /// mean (the paper: 10 nm, 5 %).
+  double meanFlawRadius = 10.0e-9;
+  double flawSigmaFraction = 0.05;
+
+  /// Operating temperature [K] (105 °C).
+  double temperatureK = 378.15;
+
+  /// Package-induced stress [Pa], an input to the method (§2.3); added to
+  /// the layout thermomechanical stress.
+  double packageStressPa = 0.0;
+
+  /// Thermal diffusivity Deff = D0·exp(−Ea/kB·T) at `temperatureK` [m²/s].
+  double medianDeff() const;
+
+  /// Throws PreconditionError if any field is unphysical.
+  void validate() const;
+};
+
+}  // namespace viaduct

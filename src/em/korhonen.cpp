@@ -1,0 +1,75 @@
+#include "em/korhonen.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+#include "em/critical_stress.h"
+
+namespace viaduct {
+
+double korhonenCtn(double currentDensity, const EmParameters& params) {
+  VIADUCT_REQUIRE_MSG(currentDensity > 0.0, "current density must be > 0");
+  const double kT = constants::kBoltzmann * params.temperatureK;
+  const double force = constants::kElementaryCharge *
+                       params.effectiveChargeNumber * params.resistivityOhmM *
+                       currentDensity;
+  return 4.0 * params.bulkModulusPa * force * force /
+         (M_PI * kT * params.atomicVolume);
+}
+
+double nucleationTime(double sigmaC, double sigmaT, double currentDensity,
+                      double deff, const EmParameters& params) {
+  VIADUCT_REQUIRE(deff > 0.0);
+  const double sigmaEff = sigmaC - sigmaT - params.packageStressPa;
+  if (sigmaEff <= 0.0) return 0.0;
+  return sigmaEff * sigmaEff / (korhonenCtn(currentDensity, params) * deff);
+}
+
+double sampleTtf(Rng& rng, double sigmaT, double currentDensity,
+                 const EmParameters& params) {
+  const Lognormal sigmaCDist = criticalStressDistribution(params);
+  const double sigmaC = sigmaCDist.sample(rng);
+  const double deff =
+      rng.lognormal(std::log(params.medianDeff()), params.deffSigma);
+  return nucleationTime(sigmaC, sigmaT, currentDensity, deff, params);
+}
+
+Lognormal approximateTtfLognormal(double sigmaT, double currentDensity,
+                                  const EmParameters& params) {
+  const Lognormal sigmaCDist = criticalStressDistribution(params);
+  const double shift = sigmaT + params.packageStressPa;
+
+  // Guard: the shifted-square moment match breaks down if the critical
+  // stress has non-negligible mass below the shift.
+  const double pBelow = sigmaCDist.cdf(shift);
+  if (pBelow > 1e-4) {
+    throw NumericalError(
+        "approximateTtfLognormal: P(sigma_C < sigma_T) = " +
+        std::to_string(pBelow) + " is too large for a lognormal fit");
+  }
+
+  // Moments of Y = (X - shift)^2 with X lognormal.
+  auto xMoment = [&](int k) {
+    const double kk = static_cast<double>(k);
+    return std::exp(kk * sigmaCDist.mu() +
+                    0.5 * kk * kk * sigmaCDist.sigma() * sigmaCDist.sigma());
+  };
+  const double m1 = xMoment(1), m2 = xMoment(2), m3 = xMoment(3),
+               m4 = xMoment(4);
+  const double s = shift;
+  const double ey = m2 - 2.0 * s * m1 + s * s;
+  const double ey2 = m4 - 4.0 * s * m3 + 6.0 * s * s * m2 -
+                     4.0 * s * s * s * m1 + s * s * s * s;
+  VIADUCT_CHECK(ey > 0.0 && ey2 > ey * ey);
+  const Lognormal ySq = Lognormal::fromMeanStddev(ey, std::sqrt(ey2 - ey * ey));
+
+  // TTF = Y / (Ctn * Deff): division by a lognormal is exact in log space.
+  const Lognormal deff(std::log(params.medianDeff()), params.deffSigma);
+  const std::array<Lognormal, 2> terms = {ySq, deff};
+  const std::array<double, 2> exponents = {1.0, -1.0};
+  const Lognormal ratio = Lognormal::product(terms, exponents);
+  return ratio.scaled(1.0 / korhonenCtn(currentDensity, params));
+}
+
+}  // namespace viaduct

@@ -1,0 +1,45 @@
+// Korhonen-model nucleation time (Eqs. 1–3).
+//
+// From the short-time solution of Korhonen's stress-evolution equation at a
+// blocking boundary, σ(0,t) = (eZ*ρj/Ω)·sqrt(4·Deff·B·Ω·t/(π·kB·T)), the
+// time for the EM-induced stress to reach the effective critical value
+// σ_eff = σ_C − σ_T − σ_pkg is
+//
+//   t_n = π·kB·T·Ω·σ_eff² / (4·Deff·B·(e·Z*·ρ·j)²)  ≡ σ_eff² / (Ctn·Deff)
+//
+// which is Eq. (1) with Ctn = 4·B·(eZ*ρj)²/(π·kB·T·Ω). The TTF of Cu slit
+// voids is nucleation-dominated (§2.1), so TTF ≈ t_n; note t_n ∝ 1/j²
+// (the paper's "TTF can be scaled using (3)" for other currents).
+#pragma once
+
+#include "common/lognormal.h"
+#include "common/rng.h"
+#include "em/em_params.h"
+
+namespace viaduct {
+
+/// Ctn·Deff denominator factor: 4·B·(eZ*ρj)² / (π·kB·T·Ω) [Pa²·(m²/s)⁻¹…],
+/// i.e. t_n = σ_eff² / (ctn(j) · Deff). Requires j > 0.
+double korhonenCtn(double currentDensity, const EmParameters& params);
+
+/// Deterministic nucleation time [s] for given critical and preexisting
+/// stresses [Pa], current density [A/m²], and diffusivity [m²/s].
+/// Returns 0 when σ_C <= σ_T + σ_pkg (Eq. 1's degenerate branch).
+double nucleationTime(double sigmaC, double sigmaT, double currentDensity,
+                      double deff, const EmParameters& params);
+
+/// Samples one via TTF [s]: draws σ_C and Deff from their lognormals.
+/// σ_T [Pa] is the via's layout thermomechanical stress. May return 0
+/// (instant nucleation) when the sampled σ_C falls below σ_T + σ_pkg.
+double sampleTtf(Rng& rng, double sigmaT, double currentDensity,
+                 const EmParameters& params);
+
+/// Lognormal approximation of the TTF (the paper's Wilkinson argument):
+/// (σ_C − σ_T − σ_pkg)² is moment-matched to a lognormal, multiplied by the
+/// exact lognormal 1/Deff, giving a lognormal TTF. Valid when
+/// P(σ_C < σ_T + σ_pkg) is negligible; throws NumericalError otherwise
+/// (the tail mass makes a lognormal fit meaningless).
+Lognormal approximateTtfLognormal(double sigmaT, double currentDensity,
+                                  const EmParameters& params);
+
+}  // namespace viaduct

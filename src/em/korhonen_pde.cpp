@@ -1,0 +1,110 @@
+#include "em/korhonen_pde.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+
+namespace viaduct {
+
+KorhonenPdeSolver::KorhonenPdeSolver(const KorhonenPdeConfig& config,
+                                     const EmParameters& params)
+    : config_(config) {
+  VIADUCT_REQUIRE(config.lineLength > 0.0);
+  VIADUCT_REQUIRE(config.currentDensity > 0.0);
+  VIADUCT_REQUIRE(config.gridPoints >= 8);
+  VIADUCT_REQUIRE(config.cellTimeFraction > 0.0);
+  params.validate();
+
+  const double kT = constants::kBoltzmann * params.temperatureK;
+  kappa_ = params.medianDeff() * params.bulkModulusPa * params.atomicVolume /
+           kT;
+  gradient_ = constants::kElementaryCharge * params.effectiveChargeNumber *
+              params.resistivityOhmM * config.currentDensity /
+              params.atomicVolume;
+  dx_ = config.lineLength / static_cast<double>(config.gridPoints - 1);
+  sigma_.assign(static_cast<std::size_t>(config.gridPoints),
+                config.initialStress);
+}
+
+// One Crank–Nicolson step of ∂σ/∂t = κ σ_xx with ∂σ/∂x = −G at both ends
+// (ghost nodes σ_{-1} = σ_1 + 2·dx·G, σ_N = σ_{N-2} − 2·dx·G).
+void KorhonenPdeSolver::step(double dt) {
+  const auto n = sigma_.size();
+  const double r = 0.5 * kappa_ * dt / (dx_ * dx_);
+
+  // Right-hand side: (I + r·A)σ with ghost-corrected Laplacian A.
+  std::vector<double> rhs(n);
+  auto lap = [&](std::size_t i) {
+    const double left =
+        i == 0 ? sigma_[1] + 2.0 * dx_ * gradient_ : sigma_[i - 1];
+    const double right = i + 1 == n
+                             ? sigma_[n - 2] - 2.0 * dx_ * gradient_
+                             : sigma_[i + 1];
+    return left - 2.0 * sigma_[i] + right;
+  };
+  for (std::size_t i = 0; i < n; ++i) rhs[i] = sigma_[i] + r * lap(i);
+
+  // Implicit side: (I − r·A)σ' = rhs. The ghost substitutions make row 0:
+  // (1 + 2r)σ0' − 2rσ1' = rhs0 + 2r·dx·G, and symmetrically for row n−1.
+  std::vector<double> a(n, -r), b(n, 1.0 + 2.0 * r), c(n, -r);
+  a[0] = 0.0;
+  c[0] = -2.0 * r;
+  rhs[0] += 2.0 * r * dx_ * gradient_;
+  c[n - 1] = 0.0;
+  a[n - 1] = -2.0 * r;
+  rhs[n - 1] -= 2.0 * r * dx_ * gradient_;
+
+  // Thomas algorithm.
+  for (std::size_t i = 1; i < n; ++i) {
+    const double m = a[i] / b[i - 1];
+    b[i] -= m * c[i - 1];
+    rhs[i] -= m * rhs[i - 1];
+  }
+  sigma_[n - 1] = rhs[n - 1] / b[n - 1];
+  for (std::size_t i = n - 1; i-- > 0;)
+    sigma_[i] = (rhs[i] - c[i] * sigma_[i + 1]) / b[i];
+
+  time_ += dt;
+}
+
+void KorhonenPdeSolver::advanceTo(double t) {
+  VIADUCT_REQUIRE_MSG(t >= time_, "time must be monotonically increasing");
+  const double dtNominal = config_.cellTimeFraction * dx_ * dx_ / kappa_;
+  while (time_ < t) {
+    step(std::min(dtNominal, t - time_));
+  }
+}
+
+double KorhonenPdeSolver::analyticCathodeStress(double t) const {
+  return config_.initialStress +
+         2.0 * gradient_ * std::sqrt(kappa_ * t / M_PI);
+}
+
+double KorhonenPdeSolver::steadyStateCathodeStress() const {
+  return config_.initialStress + 0.5 * gradient_ * config_.lineLength;
+}
+
+double KorhonenPdeSolver::timeToCathodeStress(double threshold) {
+  if (cathodeStress() >= threshold) return time_;
+  if (steadyStateCathodeStress() <= threshold)
+    return std::numeric_limits<double>::infinity();
+  const double dtNominal = config_.cellTimeFraction * dx_ * dx_ / kappa_;
+  // March until crossing; interpolate linearly within the crossing step.
+  const double tMax =
+      100.0 * config_.lineLength * config_.lineLength / kappa_;
+  while (time_ < tMax) {
+    const double before = cathodeStress();
+    const double tBefore = time_;
+    step(dtNominal);
+    if (cathodeStress() >= threshold) {
+      const double frac =
+          (threshold - before) / (cathodeStress() - before);
+      return tBefore + frac * (time_ - tBefore);
+    }
+  }
+  return std::numeric_limits<double>::infinity();
+}
+
+}  // namespace viaduct

@@ -1,0 +1,78 @@
+// Numerical solver for Korhonen's stress-evolution PDE.
+//
+// The closed-form nucleation time used throughout viaduct (em/korhonen.h)
+// comes from the short-time similarity solution of
+//
+//   ∂σ/∂t = ∂/∂x [ κ (∂σ/∂x + G) ],   κ = Deff·B·Ω/(kB·T),
+//   G = e·Z*·ρ·j/Ω,
+//
+// on a finite line x ∈ [0, L] with blocking boundaries (zero atomic flux:
+// ∂σ/∂x + G = 0 at both ends) and σ(x, 0) = σ_T. This module solves the
+// PDE directly (Crank–Nicolson finite differences) so the closed form can
+// be validated — and so the finite-line saturation the similarity solution
+// misses (σ_max → σ_T + G·L/2 as t → ∞, the Blech steady state) is
+// available for immortality analysis (em/blech.h).
+#pragma once
+
+#include <vector>
+
+#include "em/em_params.h"
+
+namespace viaduct {
+
+struct KorhonenPdeConfig {
+  /// Line length [m] (via-to-via segment of a power-grid wire).
+  double lineLength = 50e-6;
+  /// Current density [A/m²] (positive drives atoms toward x = L, raising
+  /// tensile stress at the cathode x = 0).
+  double currentDensity = 1e10;
+  /// Initial (thermomechanical + package) stress [Pa].
+  double initialStress = 0.0;
+  /// Spatial points (>= 8).
+  int gridPoints = 200;
+  /// Time step as a fraction of the diffusion time of one cell (the
+  /// Crank–Nicolson scheme is unconditionally stable; this sets accuracy).
+  double cellTimeFraction = 2.0;
+};
+
+class KorhonenPdeSolver {
+ public:
+  KorhonenPdeSolver(const KorhonenPdeConfig& config,
+                    const EmParameters& params);
+
+  /// Advances to time t [s] (monotonically increasing across calls).
+  void advanceTo(double t);
+
+  double time() const { return time_; }
+
+  /// Stress profile σ(x) at the current time.
+  const std::vector<double>& stress() const { return sigma_; }
+  /// Cathode stress σ(0, t) — the void-nucleation driver.
+  double cathodeStress() const { return sigma_.front(); }
+
+  /// Analytic short-time cathode stress:
+  /// σ_T + (2G/√π)·√(κ·t) (valid while the diffusion front < L).
+  double analyticCathodeStress(double t) const;
+
+  /// Steady-state cathode stress σ_T + G·L/2 (the Blech limit).
+  double steadyStateCathodeStress() const;
+
+  /// First time the cathode stress reaches `threshold` [Pa], found by
+  /// integrating forward (returns +inf if the steady state stays below).
+  double timeToCathodeStress(double threshold);
+
+  double kappa() const { return kappa_; }
+  double stressGradient() const { return gradient_; }
+
+ private:
+  void step(double dt);
+
+  KorhonenPdeConfig config_;
+  double kappa_ = 0.0;     // κ [m²/s]
+  double gradient_ = 0.0;  // G [Pa/m]
+  double dx_ = 0.0;
+  double time_ = 0.0;
+  std::vector<double> sigma_;
+};
+
+}  // namespace viaduct

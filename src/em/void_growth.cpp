@@ -1,0 +1,38 @@
+#include "em/void_growth.h"
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+
+namespace viaduct {
+
+double emDriftVelocity(double currentDensity, const EmParameters& params) {
+  VIADUCT_REQUIRE(currentDensity > 0.0);
+  params.validate();
+  const double kT = constants::kBoltzmann * params.temperatureK;
+  const double force = constants::kElementaryCharge *
+                       params.effectiveChargeNumber * params.resistivityOhmM *
+                       currentDensity;
+  return params.medianDeff() * force / kT;
+}
+
+double slitVoidCriticalVolume(double viaFootprintArea, double slitHeight) {
+  VIADUCT_REQUIRE(viaFootprintArea > 0.0 && slitHeight > 0.0);
+  return viaFootprintArea * slitHeight;
+}
+
+double voidGrowthTime(double criticalVolume, double feedArea,
+                      double currentDensity, const EmParameters& params) {
+  VIADUCT_REQUIRE(criticalVolume > 0.0 && feedArea > 0.0);
+  return criticalVolume /
+         (emDriftVelocity(currentDensity, params) * feedArea);
+}
+
+double ttfWithGrowth(double nucleationTime, double criticalVolume,
+                     double feedArea, double currentDensity,
+                     const EmParameters& params) {
+  VIADUCT_REQUIRE(nucleationTime >= 0.0);
+  return nucleationTime +
+         voidGrowthTime(criticalVolume, feedArea, currentDensity, params);
+}
+
+}  // namespace viaduct

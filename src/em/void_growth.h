@@ -1,0 +1,37 @@
+// Void-growth phase model.
+//
+// §2.1: Al-era TTF models added a growth term to the nucleation time, but
+// for Cu slit voids "the void growth leading to an open circuit ... is
+// rapid, and the void growth stage can be neglected". This module models
+// the growth phase explicitly — atoms drift out of the void region at the
+// electromigration drift velocity v_d = Deff·e·Z*·ρ·j/(kB·T), so a void
+// of critical volume V_c fed through a cross-section A grows in
+// t_g = V_c/(v_d·A) — letting bench/ablation_model_order verify that the
+// neglect is quantitatively justified for slit voids (and where it stops
+// being justified for thicker voids).
+#pragma once
+
+#include "em/em_params.h"
+
+namespace viaduct {
+
+/// Electromigration drift velocity [m/s] at current density j [A/m²],
+/// using the median Deff.
+double emDriftVelocity(double currentDensity, const EmParameters& params);
+
+/// Critical volume [m³] of a slit-like void spanning a via footprint:
+/// footprintArea × slitHeight (slit heights are tens of nm [10]).
+double slitVoidCriticalVolume(double viaFootprintArea,
+                              double slitHeight = 20e-9);
+
+/// Time [s] for a void of volume `criticalVolume` to grow, fed through the
+/// wire cross-section `feedArea` [m²] at current density j.
+double voidGrowthTime(double criticalVolume, double feedArea,
+                      double currentDensity, const EmParameters& params);
+
+/// TTF including the growth phase: t_n + t_g.
+double ttfWithGrowth(double nucleationTime, double criticalVolume,
+                     double feedArea, double currentDensity,
+                     const EmParameters& params);
+
+}  // namespace viaduct

@@ -1,0 +1,147 @@
+#include "fea/hex8.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+namespace {
+
+struct BMatrix {
+  // dN/dx, dN/dy, dN/dz for each of the 8 nodes at one evaluation point.
+  std::array<double, kHexNodes> dx{}, dy{}, dz{};
+};
+
+/// Shape-function gradients at parent point (xi, eta, zeta) for a box
+/// element with physical size hx×hy×hz.
+BMatrix shapeGradients(double xi, double eta, double zeta, double hx,
+                       double hy, double hz) {
+  BMatrix b;
+  for (int i = 0; i < kHexNodes; ++i) {
+    const double sx = (i & 1) ? 1.0 : -1.0;
+    const double sy = (i & 2) ? 1.0 : -1.0;
+    const double sz = (i & 4) ? 1.0 : -1.0;
+    // dN/dxi = sx/8 (1 + sy*eta)(1 + sz*zeta); chain rule d(xi)/dx = 2/hx.
+    b.dx[i] = (sx / 8.0) * (1.0 + sy * eta) * (1.0 + sz * zeta) * (2.0 / hx);
+    b.dy[i] = (sy / 8.0) * (1.0 + sx * xi) * (1.0 + sz * zeta) * (2.0 / hy);
+    b.dz[i] = (sz / 8.0) * (1.0 + sx * xi) * (1.0 + sy * eta) * (2.0 / hz);
+  }
+  return b;
+}
+
+/// Applies the isotropic constitutive matrix C (Voigt) to a strain vector.
+std::array<double, 6> applyC(const Material& mat,
+                             const std::array<double, 6>& strain) {
+  const double lambda = mat.lameLambda();
+  const double mu = mat.lameMu();
+  const double trace = strain[0] + strain[1] + strain[2];
+  std::array<double, 6> stress{};
+  stress[0] = lambda * trace + 2.0 * mu * strain[0];
+  stress[1] = lambda * trace + 2.0 * mu * strain[1];
+  stress[2] = lambda * trace + 2.0 * mu * strain[2];
+  stress[3] = mu * strain[3];
+  stress[4] = mu * strain[4];
+  stress[5] = mu * strain[5];
+  return stress;
+}
+
+/// Strain at an evaluation point from nodal displacements (Voigt).
+std::array<double, 6> strainAt(const BMatrix& b,
+                               std::span<const double> ue) {
+  std::array<double, 6> e{};
+  for (int i = 0; i < kHexNodes; ++i) {
+    const double ux = ue[3 * i + 0];
+    const double uy = ue[3 * i + 1];
+    const double uz = ue[3 * i + 2];
+    e[0] += b.dx[i] * ux;
+    e[1] += b.dy[i] * uy;
+    e[2] += b.dz[i] * uz;
+    e[3] += b.dy[i] * ux + b.dx[i] * uy;
+    e[4] += b.dz[i] * uy + b.dy[i] * uz;
+    e[5] += b.dz[i] * ux + b.dx[i] * uz;
+  }
+  return e;
+}
+
+}  // namespace
+
+Hex8Operators computeHex8Operators(const Material& mat, double hx, double hy,
+                                   double hz, double deltaT) {
+  VIADUCT_REQUIRE(hx > 0.0 && hy > 0.0 && hz > 0.0);
+  Hex8Operators ops;
+  const double lambda = mat.lameLambda();
+  const double mu = mat.lameMu();
+  const double detJ = hx * hy * hz / 8.0;
+  const double g = 1.0 / std::sqrt(3.0);
+  // C * thermal strain: αΔT (3λ + 2μ) on the normal components.
+  const double thermalStress =
+      mat.ctePerK * deltaT * (3.0 * lambda + 2.0 * mu);
+
+  for (int gp = 0; gp < 8; ++gp) {
+    const double xi = (gp & 1) ? g : -g;
+    const double eta = (gp & 2) ? g : -g;
+    const double zeta = (gp & 4) ? g : -g;
+    const BMatrix b = shapeGradients(xi, eta, zeta, hx, hy, hz);
+    const double w = detJ;  // unit Gauss weights
+
+    // K_e += Bᵀ C B w. Exploit C's isotropic block structure directly:
+    // for nodes i, j and directions p, q the 3×3 block is
+    //   K[i p][j q] = λ dN_i/dp dN_j/dq + μ dN_i/dq dN_j/dp
+    //                + δ_pq μ Σ_r dN_i/dr dN_j/dr.
+    const std::array<const std::array<double, 8>*, 3> grad = {&b.dx, &b.dy,
+                                                              &b.dz};
+    for (int i = 0; i < kHexNodes; ++i) {
+      for (int j = 0; j < kHexNodes; ++j) {
+        const double gdot = b.dx[i] * b.dx[j] + b.dy[i] * b.dy[j] +
+                            b.dz[i] * b.dz[j];
+        for (int p = 0; p < 3; ++p) {
+          const double gip = (*grad[p])[i];
+          for (int q = 0; q < 3; ++q) {
+            const double gjq = (*grad[q])[j];
+            const double giq = (*grad[q])[i];
+            const double gjp = (*grad[p])[j];
+            double v = lambda * gip * gjq + mu * giq * gjp;
+            if (p == q) v += mu * gdot;
+            ops.stiffness[(3 * i + p) * kHexDofs + (3 * j + q)] += v * w;
+          }
+        }
+      }
+    }
+
+    // f_e += Bᵀ (C ε_th) w: only normal stress components contribute.
+    for (int i = 0; i < kHexNodes; ++i) {
+      ops.thermalLoad[3 * i + 0] += b.dx[i] * thermalStress * w;
+      ops.thermalLoad[3 * i + 1] += b.dy[i] * thermalStress * w;
+      ops.thermalLoad[3 * i + 2] += b.dz[i] * thermalStress * w;
+    }
+  }
+  return ops;
+}
+
+std::array<double, kStrainComponents> hex8CentroidStress(
+    const Material& mat, double hx, double hy, double hz, double deltaT,
+    std::span<const double> elementDisplacements) {
+  VIADUCT_REQUIRE(elementDisplacements.size() == kHexDofs);
+  const BMatrix b = shapeGradients(0.0, 0.0, 0.0, hx, hy, hz);
+  std::array<double, 6> strain = strainAt(b, elementDisplacements);
+  const double th = mat.ctePerK * deltaT;
+  strain[0] -= th;
+  strain[1] -= th;
+  strain[2] -= th;
+  return applyC(mat, strain);
+}
+
+double hydrostatic(const std::array<double, kStrainComponents>& stress) {
+  return (stress[0] + stress[1] + stress[2]) / 3.0;
+}
+
+double vonMises(const std::array<double, kStrainComponents>& stress) {
+  const double sxx = stress[0], syy = stress[1], szz = stress[2];
+  const double sxy = stress[3], syz = stress[4], szx = stress[5];
+  return std::sqrt(0.5 * ((sxx - syy) * (sxx - syy) + (syy - szz) * (syy - szz) +
+                          (szz - sxx) * (szz - sxx)) +
+                   3.0 * (sxy * sxy + syz * syz + szx * szx));
+}
+
+}  // namespace viaduct

@@ -1,0 +1,47 @@
+// 8-node hexahedral (brick) element for linear thermoelasticity on
+// axis-aligned voxels, with full 2×2×2 Gauss integration.
+//
+// Local node numbering: node i has lattice bits (a, b, c) = (i&1, (i>>1)&1,
+// (i>>2)&1) mapping to the global node (ix+a, iy+b, iz+c); parent
+// coordinates of node i are (2a−1, 2b−1, 2c−1). Strain uses engineering
+// (Voigt) order [εxx, εyy, εzz, γxy, γyz, γzx].
+#pragma once
+
+#include <array>
+#include <span>
+
+#include "fea/material.h"
+
+namespace viaduct {
+
+inline constexpr int kHexNodes = 8;
+inline constexpr int kHexDofs = 24;
+inline constexpr int kStrainComponents = 6;
+
+/// Precomputed element operators for one (material, cell size, ΔT) combo.
+struct Hex8Operators {
+  /// 24×24 symmetric stiffness, row-major.
+  std::array<double, kHexDofs * kHexDofs> stiffness{};
+  /// Equivalent nodal load of the thermal strain ε_th = αΔT·I.
+  std::array<double, kHexDofs> thermalLoad{};
+};
+
+/// Computes stiffness and thermal load for an hx×hy×hz box of `mat` subject
+/// to a uniform temperature change `deltaT` (negative when cooling from the
+/// anneal temperature, which produces tensile stress in high-CTE metal).
+Hex8Operators computeHex8Operators(const Material& mat, double hx, double hy,
+                                   double hz, double deltaT);
+
+/// Mechanical stress at the element centroid: σ = C(Bu − ε_th).
+/// `elementDisplacements` is the 24-vector in local node order.
+std::array<double, kStrainComponents> hex8CentroidStress(
+    const Material& mat, double hx, double hy, double hz, double deltaT,
+    std::span<const double> elementDisplacements);
+
+/// Hydrostatic component of a Voigt stress vector: (σxx+σyy+σzz)/3.
+double hydrostatic(const std::array<double, kStrainComponents>& stress);
+
+/// Von Mises equivalent of a Voigt stress vector (diagnostics/tests).
+double vonMises(const std::array<double, kStrainComponents>& stress);
+
+}  // namespace viaduct

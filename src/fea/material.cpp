@@ -1,0 +1,40 @@
+#include "fea/material.h"
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace viaduct {
+
+double Material::lameLambda() const {
+  return youngsModulusPa * poissonRatio /
+         ((1.0 + poissonRatio) * (1.0 - 2.0 * poissonRatio));
+}
+
+double Material::lameMu() const {
+  return youngsModulusPa / (2.0 * (1.0 + poissonRatio));
+}
+
+double Material::bulkModulus() const {
+  return youngsModulusPa / (3.0 * (1.0 - 2.0 * poissonRatio));
+}
+
+const std::array<Material, kMaterialCount>& materialTable() {
+  using namespace units;
+  // Table 1: mechanical properties of materials in Cu DD.
+  static const std::array<Material, kMaterialCount> table = {{
+      {"silicon", 162.0 * GPa, 0.28, 3.05 * ppmPerC},
+      {"copper", 111.6 * GPa, 0.34, 17.7 * ppmPerC},
+      {"SiCOH", 16.2 * GPa, 0.27, 12.0 * ppmPerC},
+      {"tantalum", 185.7 * GPa, 0.342, 6.5 * ppmPerC},
+      {"Si3N4", 222.8 * GPa, 0.27, 3.2 * ppmPerC},
+  }};
+  return table;
+}
+
+const Material& materialProperties(MaterialId id) {
+  const auto idx = static_cast<std::size_t>(id);
+  VIADUCT_REQUIRE(idx < static_cast<std::size_t>(kMaterialCount));
+  return materialTable()[idx];
+}
+
+}  // namespace viaduct

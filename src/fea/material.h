@@ -1,0 +1,40 @@
+// Isotropic linear-elastic materials for the Cu dual-damascene stack.
+// Properties are Table 1 of the paper.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace viaduct {
+
+/// Isotropic material: Young's modulus [Pa], Poisson ratio, CTE [1/K].
+struct Material {
+  std::string name;
+  double youngsModulusPa = 0.0;
+  double poissonRatio = 0.0;
+  double ctePerK = 0.0;
+
+  double lameLambda() const;
+  double lameMu() const;
+  double bulkModulus() const;
+};
+
+/// Material identifiers used by the voxel geometry builders.
+enum class MaterialId : std::uint8_t {
+  kSilicon = 0,   // substrate
+  kCopper = 1,    // metal bulk
+  kSiCOH = 2,     // inter-layer dielectric (low-k)
+  kTantalum = 3,  // barrier/liner
+  kSiN = 4,       // Si3N4 capping
+};
+
+inline constexpr int kMaterialCount = 5;
+
+/// The paper's Table 1 values.
+const Material& materialProperties(MaterialId id);
+
+/// All materials, indexable by static_cast<int>(MaterialId).
+const std::array<Material, kMaterialCount>& materialTable();
+
+}  // namespace viaduct

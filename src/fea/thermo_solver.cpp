@@ -1,0 +1,298 @@
+#include "fea/thermo_solver.h"
+
+#include <cmath>
+#include <optional>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "numerics/dense.h"
+#include "numerics/preconditioner.h"
+
+namespace viaduct {
+
+namespace {
+long long quantize(double h) {
+  // Picometer quantization: distinct voxel sizes are micrometer-scale, so
+  // this is far below any physical difference while being hash-stable.
+  return static_cast<long long>(std::llround(h * 1e12));
+}
+}  // namespace
+
+/// Matrix-free stiffness operator with symmetric Dirichlet handling:
+/// constrained dofs act as identity rows/columns.
+class VoxelElasticityOperator final : public LinearOperator {
+ public:
+  explicit VoxelElasticityOperator(const ThermoSolver& solver)
+      : s_(solver) {}
+
+  Index size() const override { return s_.grid_.nodeCount() * 3; }
+
+  void apply(std::span<const double> x, std::span<double> y) const override {
+    VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(size()) &&
+                    y.size() == x.size());
+    std::fill(y.begin(), y.end(), 0.0);
+    const VoxelGrid& g = s_.grid_;
+    std::array<double, kHexDofs> ue{}, fe{};
+    std::array<Index, kHexNodes> nodes{};
+    for (Index k = 0; k < g.nz(); ++k) {
+      for (Index j = 0; j < g.ny(); ++j) {
+        for (Index i = 0; i < g.nx(); ++i) {
+          const Hex8Operators& ops = *s_.cellOps_[static_cast<std::size_t>(
+              g.cellIndex(i, j, k))];
+          for (int n = 0; n < kHexNodes; ++n)
+            nodes[n] =
+                g.nodeIndex(i + (n & 1), j + ((n >> 1) & 1), k + ((n >> 2) & 1));
+          // Gather with constrained entries zeroed.
+          for (int n = 0; n < kHexNodes; ++n) {
+            for (int d = 0; d < 3; ++d) {
+              const Index dof = nodes[n] * 3 + d;
+              ue[3 * n + d] = s_.constrained_[dof] ? 0.0 : x[dof];
+            }
+          }
+          // fe = Ke * ue.
+          for (int r = 0; r < kHexDofs; ++r) {
+            double acc = 0.0;
+            const double* row = &ops.stiffness[static_cast<std::size_t>(r) *
+                                               kHexDofs];
+            for (int c = 0; c < kHexDofs; ++c) acc += row[c] * ue[c];
+            fe[r] = acc;
+          }
+          // Scatter, skipping constrained rows.
+          for (int n = 0; n < kHexNodes; ++n) {
+            for (int d = 0; d < 3; ++d) {
+              const Index dof = nodes[n] * 3 + d;
+              if (!s_.constrained_[dof]) y[dof] += fe[3 * n + d];
+            }
+          }
+        }
+      }
+    }
+    // Identity action on constrained dofs.
+    for (std::size_t dof = 0; dof < x.size(); ++dof)
+      if (s_.constrained_[dof]) y[dof] = x[dof];
+  }
+
+ private:
+  const ThermoSolver& s_;
+};
+
+ThermoSolver::ThermoSolver(const VoxelGrid& grid,
+                           const ThermoSolverOptions& options)
+    : grid_(grid), options_(options) {
+  deltaT_ = options_.operatingTemperatureC - options_.annealTemperatureC;
+  setupConstraints();
+  buildOperators();
+}
+
+void ThermoSolver::setupConstraints() {
+  const Index nodes = grid_.nodeCount();
+  constrained_.assign(static_cast<std::size_t>(nodes) * 3, false);
+  const Index nx = grid_.nx(), ny = grid_.ny(), nz = grid_.nz();
+  for (Index k = 0; k <= nz; ++k) {
+    for (Index j = 0; j <= ny; ++j) {
+      for (Index i = 0; i <= nx; ++i) {
+        const Index n = grid_.nodeIndex(i, j, k);
+        if (k == 0) {
+          // Clamped substrate bottom.
+          constrained_[n * 3 + 0] = true;
+          constrained_[n * 3 + 1] = true;
+          constrained_[n * 3 + 2] = true;
+          continue;
+        }
+        // Rollers on side faces: zero normal displacement.
+        if (i == 0 || i == nx) constrained_[n * 3 + 0] = true;
+        if (j == 0 || j == ny) constrained_[n * 3 + 1] = true;
+      }
+    }
+  }
+}
+
+void ThermoSolver::buildOperators() {
+  cellOps_.resize(static_cast<std::size_t>(grid_.cellCount()));
+  for (Index k = 0; k < grid_.nz(); ++k) {
+    for (Index j = 0; j < grid_.ny(); ++j) {
+      for (Index i = 0; i < grid_.nx(); ++i) {
+        const MaterialId m = grid_.material(i, j, k);
+        const double hx = grid_.cellSizeX(i);
+        const double hy = grid_.cellSizeY(j);
+        const double hz = grid_.cellSizeZ(k);
+        const auto key = std::make_tuple(static_cast<int>(m), quantize(hx),
+                                         quantize(hy), quantize(hz));
+        auto it = operatorCache_.find(key);
+        if (it == operatorCache_.end()) {
+          it = operatorCache_
+                   .emplace(key, computeHex8Operators(materialProperties(m),
+                                                      hx, hy, hz, deltaT_))
+                   .first;
+        }
+        cellOps_[static_cast<std::size_t>(grid_.cellIndex(i, j, k))] =
+            &it->second;
+      }
+    }
+  }
+}
+
+std::vector<double> ThermoSolver::assembleThermalLoad() const {
+  std::vector<double> f(static_cast<std::size_t>(grid_.nodeCount()) * 3, 0.0);
+  for (Index k = 0; k < grid_.nz(); ++k) {
+    for (Index j = 0; j < grid_.ny(); ++j) {
+      for (Index i = 0; i < grid_.nx(); ++i) {
+        const Hex8Operators& ops =
+            *cellOps_[static_cast<std::size_t>(grid_.cellIndex(i, j, k))];
+        for (int n = 0; n < kHexNodes; ++n) {
+          const Index node = grid_.nodeIndex(i + (n & 1), j + ((n >> 1) & 1),
+                                             k + ((n >> 2) & 1));
+          for (int d = 0; d < 3; ++d) {
+            const Index dof = node * 3 + d;
+            if (!constrained_[dof]) f[dof] += ops.thermalLoad[3 * n + d];
+          }
+        }
+      }
+    }
+  }
+  return f;
+}
+
+CgResult ThermoSolver::solve() {
+  if (solved_) return CgResult{.iterations = 0, .converged = true};
+  const VoxelElasticityOperator op(*this);
+  const std::vector<double> f = assembleThermalLoad();
+
+  // Nodal 3×3 block-Jacobi preconditioner assembled from element diagonal
+  // blocks, with constrained dofs replaced by identity.
+  const Index nodes = grid_.nodeCount();
+  std::vector<double> blocks(static_cast<std::size_t>(nodes) * 9, 0.0);
+  for (Index k = 0; k < grid_.nz(); ++k) {
+    for (Index j = 0; j < grid_.ny(); ++j) {
+      for (Index i = 0; i < grid_.nx(); ++i) {
+        const Hex8Operators& ops =
+            *cellOps_[static_cast<std::size_t>(grid_.cellIndex(i, j, k))];
+        for (int n = 0; n < kHexNodes; ++n) {
+          const Index node = grid_.nodeIndex(i + (n & 1), j + ((n >> 1) & 1),
+                                             k + ((n >> 2) & 1));
+          double* blk = &blocks[static_cast<std::size_t>(node) * 9];
+          for (int p = 0; p < 3; ++p)
+            for (int q = 0; q < 3; ++q)
+              blk[p * 3 + q] +=
+                  ops.stiffness[(3 * n + p) * kHexDofs + (3 * n + q)];
+        }
+      }
+    }
+  }
+
+  class NodalBlockPreconditioner final : public Preconditioner {
+   public:
+    NodalBlockPreconditioner(std::vector<double> inverses)
+        : inv_(std::move(inverses)) {}
+    void apply(std::span<const double> r, std::span<double> z) const override {
+      const std::size_t nodes = inv_.size() / 9;
+      for (std::size_t n = 0; n < nodes; ++n) {
+        const double* m = &inv_[n * 9];
+        const double* rn = &r[n * 3];
+        double* zn = &z[n * 3];
+        for (int p = 0; p < 3; ++p)
+          zn[p] = m[p * 3] * rn[0] + m[p * 3 + 1] * rn[1] + m[p * 3 + 2] * rn[2];
+      }
+    }
+    const char* name() const override { return "nodal-block-jacobi"; }
+
+   private:
+    std::vector<double> inv_;
+  };
+
+  // Impose identity on constrained dofs, then invert each 3×3 block.
+  std::vector<double> inverses(blocks.size(), 0.0);
+  for (Index n = 0; n < nodes; ++n) {
+    double* blk = &blocks[static_cast<std::size_t>(n) * 9];
+    for (int d = 0; d < 3; ++d) {
+      if (!constrained_[n * 3 + d]) continue;
+      for (int q = 0; q < 3; ++q) {
+        blk[d * 3 + q] = 0.0;
+        blk[q * 3 + d] = 0.0;
+      }
+      blk[d * 3 + d] = 1.0;
+    }
+    DenseMatrix m(3, 3);
+    for (int p = 0; p < 3; ++p)
+      for (int q = 0; q < 3; ++q) m(p, q) = blk[p * 3 + q];
+    DenseMatrix rhs = DenseMatrix::identity(3);
+    const DenseMatrix inv = m.solveMultiple(rhs);
+    double* out = &inverses[static_cast<std::size_t>(n) * 9];
+    for (int p = 0; p < 3; ++p)
+      for (int q = 0; q < 3; ++q) out[p * 3 + q] = inv(p, q);
+  }
+  const NodalBlockPreconditioner precond(std::move(inverses));
+
+  displacements_.assign(f.size(), 0.0);
+  CgOptions cgOpts;
+  cgOpts.relativeTolerance = options_.cgRelativeTolerance;
+  cgOpts.maxIterations = options_.cgMaxIterations;
+  const CgResult result =
+      conjugateGradient(op, f, displacements_, precond, cgOpts);
+  VIADUCT_DEBUG << "FEA solve: " << result.iterations << " CG iterations, "
+                << grid_.nodeCount() * 3 << " dof";
+  solved_ = true;
+  return result;
+}
+
+std::array<double, 3> ThermoSolver::displacement(Index i, Index j,
+                                                 Index k) const {
+  VIADUCT_REQUIRE_MSG(solved_, "call solve() first");
+  const Index n = grid_.nodeIndex(i, j, k);
+  return {displacements_[n * 3 + 0], displacements_[n * 3 + 1],
+          displacements_[n * 3 + 2]};
+}
+
+void ThermoSolver::gatherElement(std::span<const double> u, Index i, Index j,
+                                 Index k, std::span<double> ue) const {
+  for (int n = 0; n < kHexNodes; ++n) {
+    const Index node =
+        grid_.nodeIndex(i + (n & 1), j + ((n >> 1) & 1), k + ((n >> 2) & 1));
+    for (int d = 0; d < 3; ++d) ue[3 * n + d] = u[node * 3 + d];
+  }
+}
+
+std::array<double, kStrainComponents> ThermoSolver::cellStress(
+    Index i, Index j, Index k) const {
+  VIADUCT_REQUIRE_MSG(solved_, "call solve() first");
+  std::array<double, kHexDofs> ue{};
+  gatherElement(displacements_, i, j, k, ue);
+  return hex8CentroidStress(materialProperties(grid_.material(i, j, k)),
+                            grid_.cellSizeX(i), grid_.cellSizeY(j),
+                            grid_.cellSizeZ(k), deltaT_, ue);
+}
+
+double ThermoSolver::cellHydrostatic(Index i, Index j, Index k) const {
+  return hydrostatic(cellStress(i, j, k));
+}
+
+ThermoSolver::Profile ThermoSolver::hydrostaticProfileX(Index j,
+                                                        Index k) const {
+  Profile p;
+  p.x.reserve(static_cast<std::size_t>(grid_.nx()));
+  p.sigmaH.reserve(static_cast<std::size_t>(grid_.nx()));
+  for (Index i = 0; i < grid_.nx(); ++i) {
+    p.x.push_back(grid_.cellCenterX(i));
+    p.sigmaH.push_back(cellHydrostatic(i, j, k));
+  }
+  return p;
+}
+
+double ThermoSolver::peakHydrostatic(
+    Index i0, Index i1, Index j0, Index j1, Index k0, Index k1,
+    std::optional<MaterialId> onlyMaterial) const {
+  VIADUCT_REQUIRE(i0 >= 0 && i1 <= grid_.nx() && j0 >= 0 && j1 <= grid_.ny() &&
+                  k0 >= 0 && k1 <= grid_.nz());
+  double peak = -std::numeric_limits<double>::infinity();
+  for (Index k = k0; k < k1; ++k)
+    for (Index j = j0; j < j1; ++j)
+      for (Index i = i0; i < i1; ++i) {
+        if (onlyMaterial && grid_.material(i, j, k) != *onlyMaterial) continue;
+        peak = std::max(peak, cellHydrostatic(i, j, k));
+      }
+  VIADUCT_REQUIRE_MSG(std::isfinite(peak),
+                      "no cells matched the requested material/box");
+  return peak;
+}
+
+}  // namespace viaduct

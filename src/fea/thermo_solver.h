@@ -1,0 +1,107 @@
+// Thermoelastic finite-element solver on a voxel grid.
+//
+// Governing physics: static linear elasticity with a uniform thermal strain
+// ε_th = α(T_operate − T_anneal)·I per material. Cooling from the anneal
+// temperature puts high-CTE copper confined by low-CTE dielectric into
+// tension — the thermomechanical stress σ_T of the paper.
+//
+// Boundary conditions: the substrate bottom is clamped (u = 0); the four
+// side faces are rollers (zero normal displacement), modeling continuation
+// of the die beyond the simulated window; the top surface is free. Pattern
+// (Plus/T/L) differences enter through the painted geometry, not the BCs.
+//
+// The solve is matrix-free: on a voxel mesh all elements sharing a
+// (material, cell-size) pair have identical 24×24 stiffness matrices, so
+// the operator stores one matrix per distinct pair and applies them in a
+// gather–scatter sweep. Preconditioning is nodal 3×3 block-Jacobi.
+#pragma once
+
+#include <array>
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "fea/hex8.h"
+#include "fea/voxel_grid.h"
+#include "numerics/cg.h"
+
+namespace viaduct {
+
+struct ThermoSolverOptions {
+  /// Anneal (stress-free reference) and operating temperatures [°C].
+  double annealTemperatureC = 350.0;
+  double operatingTemperatureC = 105.0;
+
+  double cgRelativeTolerance = 1e-7;
+  int cgMaxIterations = 20000;
+};
+
+class ThermoSolver {
+ public:
+  ThermoSolver(const VoxelGrid& grid, const ThermoSolverOptions& options);
+  explicit ThermoSolver(const VoxelGrid& grid)
+      : ThermoSolver(grid, ThermoSolverOptions{}) {}
+
+  /// Assembles loads and solves for the displacement field. Returns CG
+  /// statistics. Idempotent (re-solving is a no-op after success).
+  CgResult solve();
+
+  /// ΔT = T_operate − T_anneal [K] (negative: cooling).
+  double deltaT() const { return deltaT_; }
+
+  /// Nodal displacement (must be solved first).
+  std::array<double, 3> displacement(Index i, Index j, Index k) const;
+
+  /// Centroid Voigt stress of a cell (mechanical stress, thermal strain
+  /// subtracted), i.e. the stress a sensor in the material would feel.
+  std::array<double, kStrainComponents> cellStress(Index i, Index j,
+                                                   Index k) const;
+
+  /// Hydrostatic stress of a cell, σ_H = tr(σ)/3.
+  double cellHydrostatic(Index i, Index j, Index k) const;
+
+  /// Samples σ_H along the x axis through cell row (j, k): one value per
+  /// cell column, at cell centers. This realizes the paper's Figure 1/6/7
+  /// "stress along the wire beneath the via" probes.
+  struct Profile {
+    std::vector<double> x;       // cell-center coordinates [m]
+    std::vector<double> sigmaH;  // hydrostatic stress [Pa]
+  };
+  Profile hydrostaticProfileX(Index j, Index k) const;
+
+  /// Peak σ_H over an axis-aligned cell box [i0,i1)×[j0,j1)×[k0,k1)
+  /// restricted to cells of `onlyMaterial` (pass std::nullopt for all).
+  double peakHydrostatic(Index i0, Index i1, Index j0, Index j1, Index k0,
+                         Index k1,
+                         std::optional<MaterialId> onlyMaterial) const;
+
+  const VoxelGrid& grid() const { return grid_; }
+  bool solved() const { return solved_; }
+
+ private:
+  friend class VoxelElasticityOperator;
+
+  void setupConstraints();
+  void buildOperators();
+  std::vector<double> assembleThermalLoad() const;
+
+  const Hex8Operators& cellOperators(Index i, Index j, Index k) const;
+  void gatherElement(std::span<const double> u, Index i, Index j, Index k,
+                     std::span<double> ue) const;
+
+  const VoxelGrid& grid_;
+  ThermoSolverOptions options_;
+  double deltaT_ = 0.0;
+
+  // Distinct element operators keyed by (material, quantized cell sizes).
+  std::map<std::tuple<int, long long, long long, long long>, Hex8Operators>
+      operatorCache_;
+  std::vector<const Hex8Operators*> cellOps_;  // per cell
+
+  std::vector<bool> constrained_;  // per dof
+  std::vector<double> displacements_;
+  bool solved_ = false;
+};
+
+}  // namespace viaduct

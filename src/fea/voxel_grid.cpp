@@ -1,0 +1,114 @@
+#include "fea/voxel_grid.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+namespace {
+std::vector<double> prefixCoords(const std::vector<double>& sizes) {
+  std::vector<double> coords(sizes.size() + 1, 0.0);
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    VIADUCT_REQUIRE_MSG(sizes[i] > 0.0, "cell sizes must be positive");
+    coords[i + 1] = coords[i] + sizes[i];
+  }
+  return coords;
+}
+
+Index cellAt(const std::vector<double>& coords, double v) {
+  // coords has n+1 entries; return clamped cell index in [0, n).
+  const auto it = std::upper_bound(coords.begin(), coords.end(), v);
+  auto idx = static_cast<std::ptrdiff_t>(it - coords.begin()) - 1;
+  idx = std::clamp<std::ptrdiff_t>(idx, 0,
+                                   static_cast<std::ptrdiff_t>(coords.size()) - 2);
+  return static_cast<Index>(idx);
+}
+}  // namespace
+
+VoxelGrid::VoxelGrid(std::vector<double> cellSizesX,
+                     std::vector<double> cellSizesY,
+                     std::vector<double> cellSizesZ, MaterialId fill)
+    : hx_(std::move(cellSizesX)),
+      hy_(std::move(cellSizesY)),
+      hz_(std::move(cellSizesZ)) {
+  VIADUCT_REQUIRE(!hx_.empty() && !hy_.empty() && !hz_.empty());
+  xCoord_ = prefixCoords(hx_);
+  yCoord_ = prefixCoords(hy_);
+  zCoord_ = prefixCoords(hz_);
+  materials_.assign(static_cast<std::size_t>(cellCount()), fill);
+}
+
+VoxelGrid VoxelGrid::uniform(Index nx, Index ny, Index nz, double hx,
+                             double hy, double hz, MaterialId fill) {
+  VIADUCT_REQUIRE(nx > 0 && ny > 0 && nz > 0);
+  return VoxelGrid(std::vector<double>(static_cast<std::size_t>(nx), hx),
+                   std::vector<double>(static_cast<std::size_t>(ny), hy),
+                   std::vector<double>(static_cast<std::size_t>(nz), hz),
+                   fill);
+}
+
+Index VoxelGrid::cellIndex(Index i, Index j, Index k) const {
+  VIADUCT_REQUIRE(i >= 0 && i < nx() && j >= 0 && j < ny() && k >= 0 &&
+                  k < nz());
+  return (k * ny() + j) * nx() + i;
+}
+
+Index VoxelGrid::nodeIndex(Index i, Index j, Index k) const {
+  VIADUCT_REQUIRE(i >= 0 && i <= nx() && j >= 0 && j <= ny() && k >= 0 &&
+                  k <= nz());
+  return (k * (ny() + 1) + j) * (nx() + 1) + i;
+}
+
+MaterialId VoxelGrid::material(Index i, Index j, Index k) const {
+  return materials_[static_cast<std::size_t>(cellIndex(i, j, k))];
+}
+
+void VoxelGrid::setMaterial(Index i, Index j, Index k, MaterialId m) {
+  materials_[static_cast<std::size_t>(cellIndex(i, j, k))] = m;
+}
+
+void VoxelGrid::paintBox(double x0, double x1, double y0, double y1, double z0,
+                         double z1, MaterialId m) {
+  VIADUCT_REQUIRE(x0 <= x1 && y0 <= y1 && z0 <= z1);
+  for (Index k = 0; k < nz(); ++k) {
+    const double cz = cellCenterZ(k);
+    if (cz < z0 || cz >= z1) continue;
+    for (Index j = 0; j < ny(); ++j) {
+      const double cy = cellCenterY(j);
+      if (cy < y0 || cy >= y1) continue;
+      for (Index i = 0; i < nx(); ++i) {
+        const double cx = cellCenterX(i);
+        if (cx < x0 || cx >= x1) continue;
+        setMaterial(i, j, k, m);
+      }
+    }
+  }
+}
+
+std::pair<Index, Index> VoxelGrid::zLayerRange(double z0, double z1) const {
+  Index k0 = nz(), k1 = 0;
+  for (Index k = 0; k < nz(); ++k) {
+    const double lo = nodeZ(k);
+    const double hi = nodeZ(k + 1);
+    if (hi > z0 + 1e-15 && lo < z1 - 1e-15) {
+      k0 = std::min(k0, k);
+      k1 = std::max(k1, k + 1);
+    }
+  }
+  if (k0 >= k1) return {0, 0};
+  return {k0, k1};
+}
+
+Index VoxelGrid::cellAtX(double x) const { return cellAt(xCoord_, x); }
+Index VoxelGrid::cellAtY(double y) const { return cellAt(yCoord_, y); }
+Index VoxelGrid::cellAtZ(double z) const { return cellAt(zCoord_, z); }
+
+double VoxelGrid::materialFraction(MaterialId m) const {
+  const auto n = static_cast<double>(materials_.size());
+  const auto c = std::count(materials_.begin(), materials_.end(), m);
+  return static_cast<double>(c) / n;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,79 @@
+// Structured voxel mesh with per-axis (possibly nonuniform) cell sizes and
+// a material id per cell. The geometry builders in src/structures paint
+// Cu DD layouts into this grid; the thermoelastic solver meshes it with
+// Hex8 elements.
+#pragma once
+
+#include <vector>
+
+#include "fea/material.h"
+#include "numerics/sparse.h"
+
+namespace viaduct {
+
+class VoxelGrid {
+ public:
+  /// Cell sizes along each axis [m]; all must be positive.
+  VoxelGrid(std::vector<double> cellSizesX, std::vector<double> cellSizesY,
+            std::vector<double> cellSizesZ,
+            MaterialId fill = MaterialId::kSiCOH);
+
+  /// Uniform convenience constructor.
+  static VoxelGrid uniform(Index nx, Index ny, Index nz, double hx, double hy,
+                           double hz, MaterialId fill = MaterialId::kSiCOH);
+
+  Index nx() const { return static_cast<Index>(hx_.size()); }
+  Index ny() const { return static_cast<Index>(hy_.size()); }
+  Index nz() const { return static_cast<Index>(hz_.size()); }
+  Index cellCount() const { return nx() * ny() * nz(); }
+  Index nodeCount() const { return (nx() + 1) * (ny() + 1) * (nz() + 1); }
+
+  double cellSizeX(Index i) const { return hx_[static_cast<std::size_t>(i)]; }
+  double cellSizeY(Index j) const { return hy_[static_cast<std::size_t>(j)]; }
+  double cellSizeZ(Index k) const { return hz_[static_cast<std::size_t>(k)]; }
+
+  /// Node coordinate along an axis (0 at the low face).
+  double nodeX(Index i) const { return xCoord_[static_cast<std::size_t>(i)]; }
+  double nodeY(Index j) const { return yCoord_[static_cast<std::size_t>(j)]; }
+  double nodeZ(Index k) const { return zCoord_[static_cast<std::size_t>(k)]; }
+
+  /// Cell center coordinates.
+  double cellCenterX(Index i) const { return 0.5 * (nodeX(i) + nodeX(i + 1)); }
+  double cellCenterY(Index j) const { return 0.5 * (nodeY(j) + nodeY(j + 1)); }
+  double cellCenterZ(Index k) const { return 0.5 * (nodeZ(k) + nodeZ(k + 1)); }
+
+  double extentX() const { return xCoord_.back(); }
+  double extentY() const { return yCoord_.back(); }
+  double extentZ() const { return zCoord_.back(); }
+
+  Index cellIndex(Index i, Index j, Index k) const;
+  Index nodeIndex(Index i, Index j, Index k) const;
+
+  MaterialId material(Index i, Index j, Index k) const;
+  void setMaterial(Index i, Index j, Index k, MaterialId m);
+
+  /// Paints an axis-aligned box [x0,x1)×[y0,y1)×[z0,z1) (in meters) with a
+  /// material; cells whose CENTER lies inside the box are painted. Boxes
+  /// may extend beyond the domain (clipped).
+  void paintBox(double x0, double x1, double y0, double y1, double z0,
+                double z1, MaterialId m);
+
+  /// Finds the cell-layer range [k0, k1) whose z-interval overlaps
+  /// [z0, z1). Useful for probing specific stack layers.
+  std::pair<Index, Index> zLayerRange(double z0, double z1) const;
+
+  /// Index of the cell column containing coordinate x (clamped).
+  Index cellAtX(double x) const;
+  Index cellAtY(double y) const;
+  Index cellAtZ(double z) const;
+
+  /// Fraction of cells painted with a given material (diagnostics).
+  double materialFraction(MaterialId m) const;
+
+ private:
+  std::vector<double> hx_, hy_, hz_;
+  std::vector<double> xCoord_, yCoord_, zCoord_;  // node coordinates
+  std::vector<MaterialId> materials_;             // nx*ny*nz, x fastest
+};
+
+}  // namespace viaduct

@@ -1,0 +1,68 @@
+#include "fea/vtk_writer.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace viaduct {
+
+void writeVtk(const ThermoSolver& solver, std::ostream& os,
+              const std::string& title) {
+  VIADUCT_REQUIRE_MSG(solver.solved(), "solve() before exporting");
+  const VoxelGrid& g = solver.grid();
+
+  os << "# vtk DataFile Version 3.0\n" << title << "\nASCII\n";
+  os << "DATASET RECTILINEAR_GRID\n";
+  os << "DIMENSIONS " << g.nx() + 1 << ' ' << g.ny() + 1 << ' ' << g.nz() + 1
+     << '\n';
+
+  os << "X_COORDINATES " << g.nx() + 1 << " double\n";
+  for (Index i = 0; i <= g.nx(); ++i) os << g.nodeX(i) / units::um << ' ';
+  os << "\nY_COORDINATES " << g.ny() + 1 << " double\n";
+  for (Index j = 0; j <= g.ny(); ++j) os << g.nodeY(j) / units::um << ' ';
+  os << "\nZ_COORDINATES " << g.nz() + 1 << " double\n";
+  for (Index k = 0; k <= g.nz(); ++k) os << g.nodeZ(k) / units::um << ' ';
+  os << '\n';
+
+  os << "CELL_DATA " << g.cellCount() << '\n';
+  os << "SCALARS material int 1\nLOOKUP_TABLE default\n";
+  for (Index k = 0; k < g.nz(); ++k)
+    for (Index j = 0; j < g.ny(); ++j)
+      for (Index i = 0; i < g.nx(); ++i)
+        os << static_cast<int>(g.material(i, j, k)) << '\n';
+
+  os << "SCALARS sigma_h_mpa double 1\nLOOKUP_TABLE default\n";
+  for (Index k = 0; k < g.nz(); ++k)
+    for (Index j = 0; j < g.ny(); ++j)
+      for (Index i = 0; i < g.nx(); ++i)
+        os << solver.cellHydrostatic(i, j, k) / units::MPa << '\n';
+
+  os << "SCALARS von_mises_mpa double 1\nLOOKUP_TABLE default\n";
+  for (Index k = 0; k < g.nz(); ++k)
+    for (Index j = 0; j < g.ny(); ++j)
+      for (Index i = 0; i < g.nx(); ++i)
+        os << vonMises(solver.cellStress(i, j, k)) / units::MPa << '\n';
+
+  os << "POINT_DATA " << g.nodeCount() << '\n';
+  os << "VECTORS displacement_nm double\n";
+  for (Index k = 0; k <= g.nz(); ++k) {
+    for (Index j = 0; j <= g.ny(); ++j) {
+      for (Index i = 0; i <= g.nx(); ++i) {
+        const auto u = solver.displacement(i, j, k);
+        os << u[0] / units::nm << ' ' << u[1] / units::nm << ' '
+           << u[2] / units::nm << '\n';
+      }
+    }
+  }
+}
+
+void writeVtkFile(const ThermoSolver& solver, const std::string& path,
+                  const std::string& title) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot create VTK file: " + path);
+  writeVtk(solver, os, title);
+}
+
+}  // namespace viaduct

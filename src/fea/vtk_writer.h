@@ -1,0 +1,24 @@
+// Legacy-VTK export of FEA results for visualization (ParaView/VisIt).
+//
+// Writes an ASCII RECTILINEAR_GRID dataset carrying the voxel material ids
+// and hydrostatic/von-Mises stress as CELL_DATA and the displacement field
+// as POINT_DATA vectors. Coordinates are emitted in micrometers so the
+// files open at a sane scale.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "fea/thermo_solver.h"
+
+namespace viaduct {
+
+/// Writes the solved state to a stream. Requires solver.solved().
+void writeVtk(const ThermoSolver& solver, std::ostream& os,
+              const std::string& title = "viaduct FEA result");
+
+/// Writes to a file; throws ParseError if the file cannot be created.
+void writeVtkFile(const ThermoSolver& solver, const std::string& path,
+                  const std::string& title = "viaduct FEA result");
+
+}  // namespace viaduct

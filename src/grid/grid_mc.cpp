@@ -1,0 +1,146 @@
+#include "grid/grid_mc.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace viaduct {
+
+GridFailureCriterion GridFailureCriterion::weakestLink() {
+  return {.kind = Kind::kWeakestLink, .irDropFraction = 0.0};
+}
+
+GridFailureCriterion GridFailureCriterion::irDrop(double fraction) {
+  VIADUCT_REQUIRE(fraction > 0.0 && fraction < 1.0);
+  return {.kind = Kind::kIrDrop, .irDropFraction = fraction};
+}
+
+std::string GridFailureCriterion::describe() const {
+  if (kind == Kind::kWeakestLink) return "weakest-link";
+  return std::to_string(static_cast<int>(irDropFraction * 100.0 + 0.5)) +
+         "% IR-drop";
+}
+
+namespace {
+
+/// One trial of sequential array failures (damage-accumulation form of
+/// Algorithm 1: budgets are consumed at a current-dependent rate, so TTFs
+/// re-scale automatically whenever the currents redistribute).
+double runTrial(const PowerGridModel& model, const GridMcOptions& options,
+                Rng& rng, int* failuresOut) {
+  const int count = static_cast<int>(model.viaArrays().size());
+  VIADUCT_CHECK(count > 0);
+
+  // Per-array budget: nucleation time if the array carried I_ref forever.
+  std::vector<double> budget(static_cast<std::size_t>(count));
+  if (!options.perArrayTtf.empty()) {
+    VIADUCT_REQUIRE(options.perArrayTtf.size() == budget.size());
+    for (std::size_t m = 0; m < budget.size(); ++m)
+      budget[m] = options.perArrayTtf[m].sample(rng);
+  } else {
+    for (auto& b : budget) b = options.arrayTtf.sample(rng);
+  }
+  if (!options.perArrayTtfScale.empty()) {
+    VIADUCT_REQUIRE(options.perArrayTtfScale.size() == budget.size());
+    for (std::size_t m = 0; m < budget.size(); ++m) {
+      VIADUCT_REQUIRE_MSG(options.perArrayTtfScale[m] > 0.0,
+                          "TTF scale factors must be positive");
+      budget[m] *= options.perArrayTtfScale[m];
+    }
+  }
+
+  PowerGridModel::Session session(model);
+  PowerGridModel::DcSolution sol = session.solve();
+  VIADUCT_CHECK_MSG(std::isfinite(sol.worstIrDropFraction),
+                    "healthy grid does not solve");
+  VIADUCT_CHECK_MSG(
+      sol.worstIrDropFraction < options.systemCriterion.irDropFraction ||
+          options.systemCriterion.kind == GridFailureCriterion::Kind::kWeakestLink,
+      "healthy grid already violates the IR-drop criterion; retune loads");
+
+  std::vector<double> damage(static_cast<std::size_t>(count), 0.0);
+  const double iRef = options.referenceCurrentAmps;
+  VIADUCT_REQUIRE(iRef > 0.0);
+
+  const int maxFailures = options.maxFailuresPerTrial > 0
+                              ? std::min(options.maxFailuresPerTrial, count)
+                              : count;
+
+  double t = 0.0;
+  for (int failed = 0; failed < maxFailures; ++failed) {
+    // Next victim: minimal remaining time under current rates.
+    double best = std::numeric_limits<double>::infinity();
+    int victim = -1;
+    std::vector<double> rates(static_cast<std::size_t>(count), 0.0);
+    for (int m = 0; m < count; ++m) {
+      if (session.arrayOpen(m)) continue;
+      const double ratio = sol.viaArrayCurrents[static_cast<std::size_t>(m)] / iRef;
+      const double rate = ratio * ratio / budget[static_cast<std::size_t>(m)];
+      rates[static_cast<std::size_t>(m)] = rate;
+      if (rate <= 0.0) continue;
+      const double remaining =
+          (1.0 - damage[static_cast<std::size_t>(m)]) / rate;
+      if (remaining < best) {
+        best = remaining;
+        victim = m;
+      }
+    }
+    if (victim < 0) {
+      // No array carries current (fully partitioned grid without IR
+      // breach cannot happen — loads guarantee current somewhere).
+      VIADUCT_WARN << "grid MC: no active array carries current; trial ends";
+      return t;
+    }
+
+    t += best;
+    for (int m = 0; m < count; ++m) {
+      if (session.arrayOpen(m) || m == victim) continue;
+      damage[static_cast<std::size_t>(m)] +=
+          rates[static_cast<std::size_t>(m)] * best;
+    }
+    session.openArray(victim);
+    damage[static_cast<std::size_t>(victim)] = 1.0;
+
+    if (options.systemCriterion.kind ==
+        GridFailureCriterion::Kind::kWeakestLink) {
+      if (failuresOut) *failuresOut = failed + 1;
+      return t;
+    }
+
+    sol = session.solve();
+    if (sol.worstIrDropFraction >= options.systemCriterion.irDropFraction) {
+      if (failuresOut) *failuresOut = failed + 1;
+      return t;
+    }
+  }
+  // Exhausted the failure budget without breaching: report the last time
+  // (conservative; with maxFailures == count the grid is fully open and the
+  // IR criterion must have fired earlier).
+  VIADUCT_WARN << "grid MC: trial hit the failure cap without breaching";
+  if (failuresOut) *failuresOut = maxFailures;
+  return t;
+}
+
+}  // namespace
+
+GridMcResult runGridMonteCarlo(const PowerGridModel& model,
+                               const GridMcOptions& options) {
+  VIADUCT_REQUIRE(options.trials >= 1);
+  Rng rng(options.seed);
+  GridMcResult result;
+  result.ttfSamples.reserve(static_cast<std::size_t>(options.trials));
+  long long failureTotal = 0;
+  for (int trial = 0; trial < options.trials; ++trial) {
+    int failures = 0;
+    result.ttfSamples.push_back(runTrial(model, options, rng, &failures));
+    failureTotal += failures;
+  }
+  result.meanFailuresToBreach =
+      static_cast<double>(failureTotal) / static_cast<double>(options.trials);
+  return result;
+}
+
+}  // namespace viaduct

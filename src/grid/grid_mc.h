@@ -1,0 +1,70 @@
+// Power-grid TTF Monte Carlo (Algorithm 1, level 2).
+//
+// Components are the via arrays of a PowerGridModel. Each array's TTF
+// distribution comes from the level-1 characterization (a two-parameter
+// lognormal at the characterization reference current); in the grid, an
+// array carrying current I consumes its nucleation budget at a rate
+// (I/I_ref)² (Eq. 3). When an array reaches its budget it has hit ITS
+// failure criterion and is removed from the grid (opened); the freed
+// current redistributes through the mesh, accelerating its neighbors.
+// A trial ends when the system criterion is breached: the first array
+// failure (weakest-link) or the worst IR drop exceeding the threshold.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/lognormal.h"
+#include "common/statistics.h"
+#include "grid/power_grid.h"
+
+namespace viaduct {
+
+struct GridFailureCriterion {
+  enum class Kind { kWeakestLink, kIrDrop };
+  Kind kind = Kind::kIrDrop;
+  /// Threshold fraction of Vdd for kIrDrop (the paper: 0.10).
+  double irDropFraction = 0.10;
+
+  static GridFailureCriterion weakestLink();
+  static GridFailureCriterion irDrop(double fraction = 0.10);
+  std::string describe() const;
+};
+
+struct GridMcOptions {
+  /// Array TTF distribution at the characterization reference current.
+  Lognormal arrayTtf{0.0, 1.0};
+  /// Optional per-array distributions (e.g. Plus/T/L assigned by mesh
+  /// position); when non-empty it must match the model's array count and
+  /// overrides `arrayTtf`.
+  std::vector<Lognormal> perArrayTtf;
+
+  /// Optional per-array multiplicative TTF scale (e.g. hotspot temperature
+  /// derating from em/derating.h); when non-empty it must match the
+  /// model's array count. Applied to each sampled budget.
+  std::vector<double> perArrayTtfScale;
+  /// Characterization reference current [A] (total array current
+  /// corresponding to the paper's j = 1e10 A/m² over 1 µm² = 10 mA).
+  double referenceCurrentAmps = 0.01;
+
+  GridFailureCriterion systemCriterion;
+
+  int trials = 500;          // the paper's Ntrials
+  std::uint64_t seed = 777;
+
+  /// Safety valve: maximum failures simulated per trial (0 = all arrays).
+  int maxFailuresPerTrial = 0;
+};
+
+struct GridMcResult {
+  std::vector<double> ttfSamples;        // one per trial [s]
+  double meanFailuresToBreach = 0.0;     // avg #array failures per trial
+  EmpiricalCdf cdf() const { return EmpiricalCdf(ttfSamples); }
+};
+
+/// Runs the level-2 Monte Carlo. The model is shared read-only; each trial
+/// runs its own failure Session.
+GridMcResult runGridMonteCarlo(const PowerGridModel& model,
+                               const GridMcOptions& options);
+
+}  // namespace viaduct

@@ -1,0 +1,242 @@
+#include "grid/power_grid.h"
+
+#include <cmath>
+#include <limits>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace viaduct {
+
+namespace {
+
+struct ReducedIndexing {
+  std::vector<Index> toUnknown;       // netlist node -> reduced index or -1
+  std::vector<double> knownVoltage;   // netlist node -> voltage (if known)
+  std::vector<bool> known;            // netlist node -> is known
+  Index unknownCount = 0;
+};
+
+ReducedIndexing buildIndexing(const Netlist& netlist) {
+  const Index n = netlist.nodeCount();
+  ReducedIndexing idx;
+  idx.toUnknown.assign(static_cast<std::size_t>(n), -1);
+  idx.knownVoltage.assign(static_cast<std::size_t>(n), 0.0);
+  idx.known.assign(static_cast<std::size_t>(n), false);
+
+  for (const auto& v : netlist.voltageSources()) {
+    Index node;
+    double volts;
+    if (v.negative == kGroundNode) {
+      node = v.positive;
+      volts = v.volts;
+    } else if (v.positive == kGroundNode) {
+      node = v.negative;
+      volts = -v.volts;
+    } else {
+      throw ParseError("voltage source " + v.name +
+                       " is not referenced to ground; unsupported topology");
+    }
+    VIADUCT_CHECK(node >= 0);
+    if (idx.known[static_cast<std::size_t>(node)] &&
+        idx.knownVoltage[static_cast<std::size_t>(node)] != volts) {
+      throw ParseError("conflicting voltage sources at node " +
+                       netlist.nodeName(node));
+    }
+    idx.known[static_cast<std::size_t>(node)] = true;
+    idx.knownVoltage[static_cast<std::size_t>(node)] = volts;
+  }
+
+  for (Index i = 0; i < n; ++i) {
+    if (!idx.known[static_cast<std::size_t>(i)])
+      idx.toUnknown[static_cast<std::size_t>(i)] = idx.unknownCount++;
+  }
+  return idx;
+}
+
+}  // namespace
+
+PowerGridModel::PowerGridModel(const Netlist& netlist,
+                               const PowerGridConfig& config)
+    : config_(config) {
+  VIADUCT_REQUIRE(config.irDropThresholdFraction > 0.0 &&
+                  config.irDropThresholdFraction < 1.0);
+  VIADUCT_REQUIRE_MSG(!netlist.voltageSources().empty(),
+                      "power grid has no supply pads");
+
+  const ReducedIndexing idx = buildIndexing(netlist);
+  unknownCount_ = idx.unknownCount;
+  VIADUCT_REQUIRE_MSG(unknownCount_ > 0, "no unknown nodes in the grid");
+
+  vdd_ = 0.0;
+  for (const auto& v : netlist.voltageSources())
+    vdd_ = std::max(vdd_, std::abs(v.volts));
+  VIADUCT_REQUIRE_MSG(vdd_ > 0.0, "Vdd is zero");
+
+  auto reduced = [&](Index node) -> std::pair<Index, double> {
+    // Returns (unknown index or kGroundNode, known voltage).
+    if (node == kGroundNode) return {kGroundNode, 0.0};
+    if (idx.known[static_cast<std::size_t>(node)])
+      return {kGroundNode, idx.knownVoltage[static_cast<std::size_t>(node)]};
+    return {idx.toUnknown[static_cast<std::size_t>(node)], 0.0};
+  };
+
+  TripletMatrix triplets(unknownCount_, unknownCount_);
+  triplets.reserve(4 * netlist.resistors().size() + 16);
+  rhs_.assign(static_cast<std::size_t>(unknownCount_), 0.0);
+
+  for (const auto& r : netlist.resistors()) {
+    VIADUCT_REQUIRE_MSG(r.ohms > 0.0,
+                        "zero-resistance branch " + r.name +
+                            " (the paper re-inserts via resistances; "
+                            "preprocess the netlist)");
+    const double g = 1.0 / r.ohms;
+    const auto [ia, va] = reduced(r.a);
+    const auto [ib, vb] = reduced(r.b);
+    const bool isVia = r.name.rfind(config_.viaArrayPrefix, 0) == 0;
+    if (ia == kGroundNode && ib == kGroundNode) continue;  // pad-to-pad
+    triplets.stampConductance(ia, ib, g);
+    if (ia == kGroundNode && ib >= 0) rhs_[ib] += g * va;
+    if (ib == kGroundNode && ia >= 0) rhs_[ia] += g * vb;
+    if (isVia) {
+      VIADUCT_REQUIRE_MSG(
+          ia >= 0 && ib >= 0,
+          "via-array branch " + r.name + " touches a pad/known node");
+      viaArrays_.push_back({r.name, ia, ib, r.ohms});
+    }
+  }
+
+  for (const auto& c : netlist.currentSources()) {
+    const auto [ip, vp] = reduced(c.positive);
+    const auto [in, vn] = reduced(c.negative);
+    (void)vp;
+    (void)vn;
+    if (ip >= 0) rhs_[ip] -= c.amps;
+    if (in >= 0) rhs_[in] += c.amps;
+  }
+
+  conductance_ = CsrMatrix::fromTriplets(triplets);
+  nodeToUnknown_ = idx.toUnknown;
+  nodeKnownVoltage_ = idx.knownVoltage;
+  nodeIsKnown_ = idx.known;
+  VIADUCT_DEBUG << "power grid: " << unknownCount_ << " unknowns, "
+                << viaArrays_.size() << " via arrays, Vdd=" << vdd_;
+}
+
+double PowerGridModel::nodeVoltage(Index netlistNode,
+                                   const DcSolution& solution) const {
+  if (netlistNode == kGroundNode) return 0.0;
+  VIADUCT_REQUIRE(netlistNode >= 0 &&
+                  static_cast<std::size_t>(netlistNode) <
+                      nodeToUnknown_.size());
+  VIADUCT_REQUIRE(solution.voltages.size() ==
+                  static_cast<std::size_t>(unknownCount_));
+  if (nodeIsKnown_[static_cast<std::size_t>(netlistNode)])
+    return nodeKnownVoltage_[static_cast<std::size_t>(netlistNode)];
+  return solution.voltages[static_cast<std::size_t>(
+      nodeToUnknown_[static_cast<std::size_t>(netlistNode)])];
+}
+
+PowerGridModel::DcSolution PowerGridModel::evaluate(
+    const WoodburySolver& solver, const std::vector<double>& arrayOhms) const {
+  DcSolution sol;
+  try {
+    sol.voltages = solver.solve(rhs_);
+  } catch (const NumericalError&) {
+    sol.worstIrDrop = std::numeric_limits<double>::infinity();
+    sol.worstIrDropFraction = std::numeric_limits<double>::infinity();
+    sol.viaArrayCurrents.assign(viaArrays_.size(), 0.0);
+    return sol;
+  }
+  double minV = std::numeric_limits<double>::infinity();
+  for (double v : sol.voltages) minV = std::min(minV, v);
+  sol.worstIrDrop = vdd_ - minV;
+  sol.worstIrDropFraction = sol.worstIrDrop / vdd_;
+
+  sol.viaArrayCurrents.reserve(viaArrays_.size());
+  for (std::size_t m = 0; m < viaArrays_.size(); ++m) {
+    const auto& site = viaArrays_[m];
+    const double va = site.a >= 0 ? sol.voltages[site.a] : 0.0;
+    const double vb = site.b >= 0 ? sol.voltages[site.b] : 0.0;
+    sol.viaArrayCurrents.push_back(std::abs(va - vb) / arrayOhms[m]);
+  }
+  return sol;
+}
+
+PowerGridModel::DcSolution PowerGridModel::solveNominal() const {
+  WoodburySolver solver{conductance_};
+  std::vector<double> ohms;
+  ohms.reserve(viaArrays_.size());
+  for (const auto& site : viaArrays_) ohms.push_back(site.nominalOhms);
+  return evaluate(solver, ohms);
+}
+
+double PowerGridModel::kclResidual(const DcSolution& solution) const {
+  VIADUCT_REQUIRE(solution.voltages.size() ==
+                  static_cast<std::size_t>(unknownCount_));
+  return conductance_.residualNorm(solution.voltages, rhs_);
+}
+
+PowerGridModel::Session::Session(const PowerGridModel& model)
+    : model_(model), solver_(model.conductance_) {
+  currentOhms_.reserve(model.viaArrays_.size());
+  for (const auto& site : model.viaArrays_)
+    currentOhms_.push_back(site.nominalOhms);
+  open_.assign(model.viaArrays_.size(), false);
+}
+
+void PowerGridModel::Session::degradeArray(int arrayIndex, double factor) {
+  VIADUCT_REQUIRE(arrayIndex >= 0 &&
+                  static_cast<std::size_t>(arrayIndex) < currentOhms_.size());
+  VIADUCT_REQUIRE_MSG(factor > 1.0, "degrade factor must exceed 1");
+  VIADUCT_REQUIRE_MSG(!open_[static_cast<std::size_t>(arrayIndex)],
+                      "array already open");
+  const auto& site = model_.viaArrays_[static_cast<std::size_t>(arrayIndex)];
+  const double oldG = 1.0 / currentOhms_[static_cast<std::size_t>(arrayIndex)];
+  currentOhms_[static_cast<std::size_t>(arrayIndex)] *= factor;
+  const double newG = 1.0 / currentOhms_[static_cast<std::size_t>(arrayIndex)];
+  solver_.updateBranch(site.a, site.b, newG - oldG);
+}
+
+void PowerGridModel::Session::openArray(int arrayIndex) {
+  VIADUCT_REQUIRE(arrayIndex >= 0 &&
+                  static_cast<std::size_t>(arrayIndex) < currentOhms_.size());
+  VIADUCT_REQUIRE_MSG(!open_[static_cast<std::size_t>(arrayIndex)],
+                      "array already open");
+  const auto& site = model_.viaArrays_[static_cast<std::size_t>(arrayIndex)];
+  const double oldG = 1.0 / currentOhms_[static_cast<std::size_t>(arrayIndex)];
+  const double newG = oldG * model_.config_.openResidualFraction;
+  currentOhms_[static_cast<std::size_t>(arrayIndex)] = 1.0 / newG;
+  open_[static_cast<std::size_t>(arrayIndex)] = true;
+  solver_.updateBranch(site.a, site.b, newG - oldG);
+}
+
+bool PowerGridModel::Session::arrayOpen(int arrayIndex) const {
+  VIADUCT_REQUIRE(arrayIndex >= 0 &&
+                  static_cast<std::size_t>(arrayIndex) < open_.size());
+  return open_[static_cast<std::size_t>(arrayIndex)];
+}
+
+PowerGridModel::DcSolution PowerGridModel::Session::solve() const {
+  return model_.evaluate(solver_, currentOhms_);
+}
+
+void scaleLoads(Netlist& netlist, double factor) {
+  VIADUCT_REQUIRE(factor > 0.0);
+  for (auto& c : netlist.mutableCurrentSources()) c.amps *= factor;
+}
+
+double tuneNominalIrDrop(Netlist& netlist, double targetFraction,
+                         const PowerGridConfig& config) {
+  VIADUCT_REQUIRE(targetFraction > 0.0 && targetFraction < 1.0);
+  const PowerGridModel model(netlist, config);
+  const auto sol = model.solveNominal();
+  VIADUCT_REQUIRE_MSG(sol.worstIrDrop > 0.0,
+                      "grid has no IR drop; nothing to tune");
+  const double factor = targetFraction * model.vdd() / sol.worstIrDrop;
+  scaleLoads(netlist, factor);
+  return factor;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,120 @@
+// Power-grid electrical model built from a SPICE netlist.
+//
+// Reduced nodal analysis: every voltage source must tie a pad node to
+// ground (the form used by the IBM power-grid benchmarks), so pad nodes
+// have known voltages and are eliminated, leaving an SPD conductance
+// system over the unknown nodes. Via-array branches are identified by
+// resistor-name prefix ("Rvia" in generated netlists) and can be degraded /
+// opened for the EM Monte Carlo through a Woodbury-updated solver.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "numerics/woodbury.h"
+#include "spice/netlist.h"
+
+namespace viaduct {
+
+struct PowerGridConfig {
+  /// Resistor-name prefix marking via-array branches.
+  std::string viaArrayPrefix = "Rvia";
+  /// IR-drop failure threshold as a fraction of Vdd (the paper: 10 %).
+  double irDropThresholdFraction = 0.10;
+  /// Residual conductance fraction left when an array is opened, keeping
+  /// the system numerically nonsingular while guaranteeing an IR breach.
+  double openResidualFraction = 1e-9;
+};
+
+/// One via-array site in the grid.
+struct ViaArraySite {
+  std::string name;
+  Index a = kGroundNode;  // unknown-node indices (reduced numbering);
+  Index b = kGroundNode;  // kGroundNode if tied to an eliminated node
+  double nominalOhms = 0.0;
+};
+
+class PowerGridModel {
+ public:
+  PowerGridModel(const Netlist& netlist, const PowerGridConfig& config);
+  explicit PowerGridModel(const Netlist& netlist)
+      : PowerGridModel(netlist, PowerGridConfig{}) {}
+
+  Index unknownCount() const { return unknownCount_; }
+  double vdd() const { return vdd_; }
+  const PowerGridConfig& config() const { return config_; }
+  const std::vector<ViaArraySite>& viaArrays() const { return viaArrays_; }
+
+  struct DcSolution {
+    std::vector<double> voltages;       // per unknown node
+    double worstIrDrop = 0.0;           // max (Vdd - v) [V]
+    double worstIrDropFraction = 0.0;   // / Vdd
+    std::vector<double> viaArrayCurrents;  // |I| per via-array site [A]
+  };
+
+  /// Solves the healthy grid (fresh factorization).
+  DcSolution solveNominal() const;
+
+  /// Voltage of an original netlist node under a solution: unknown nodes
+  /// read from `solution.voltages`, pad nodes return their source value,
+  /// ground returns 0.
+  double nodeVoltage(Index netlistNode, const DcSolution& solution) const;
+
+  /// A mutable failure session over this grid: degrade via arrays one at a
+  /// time and re-evaluate cheaply (Woodbury incremental updates).
+  class Session {
+   public:
+    explicit Session(const PowerGridModel& model);
+
+    /// Multiplies a via array's resistance by `factor` (>1 degrades;
+    /// use openArray() for a full open).
+    void degradeArray(int arrayIndex, double factor);
+
+    /// Opens a via array (leaves the configured residual conductance).
+    void openArray(int arrayIndex);
+
+    bool arrayOpen(int arrayIndex) const;
+
+    /// Current DC solution; `worstIrDropFraction` is +inf if the grid has
+    /// become effectively disconnected.
+    DcSolution solve() const;
+
+   private:
+    const PowerGridModel& model_;
+    WoodburySolver solver_;
+    std::vector<double> currentOhms_;
+    std::vector<bool> open_;
+  };
+
+  /// KCL residual of a solution against the healthy matrix (tests).
+  double kclResidual(const DcSolution& solution) const;
+
+ private:
+  friend class Session;
+  DcSolution evaluate(const WoodburySolver& solver,
+                      const std::vector<double>& arrayOhms) const;
+
+  PowerGridConfig config_;
+  Index unknownCount_ = 0;
+  double vdd_ = 0.0;
+  CsrMatrix conductance_;      // healthy reduced system
+  std::vector<double> rhs_;    // load + pad injections
+  std::vector<ViaArraySite> viaArrays_;
+  // Netlist-node -> reduced-system mapping (for nodeVoltage()).
+  std::vector<Index> nodeToUnknown_;
+  std::vector<double> nodeKnownVoltage_;
+  std::vector<bool> nodeIsKnown_;
+};
+
+/// Scales every current-source load by `factor` (in place).
+void scaleLoads(Netlist& netlist, double factor);
+
+/// Scales loads so the healthy grid's worst IR drop equals
+/// `targetFraction`·Vdd (DC response is linear in the loads, so one solve
+/// suffices). Returns the applied factor. This mirrors the paper's "tuned
+/// ... to obtain a reasonable IR drop" step.
+double tuneNominalIrDrop(Netlist& netlist, double targetFraction,
+                         const PowerGridConfig& config = PowerGridConfig{});
+
+}  // namespace viaduct

@@ -1,0 +1,47 @@
+#include "grid/wire_mortality.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "em/blech.h"
+#include "grid/power_grid.h"
+
+namespace viaduct {
+
+WireMortality classifyWires(const Netlist& netlist,
+                            const WireGeometry& geometry, double stressMargin,
+                            const EmParameters& params) {
+  VIADUCT_REQUIRE(geometry.crossSectionArea > 0.0 &&
+                  geometry.segmentLength > 0.0);
+  VIADUCT_REQUIRE(!geometry.wirePrefixes.empty());
+
+  const PowerGridModel model(netlist);
+  const auto solution = model.solveNominal();
+
+  WireMortality census;
+  census.productLimit = blechProductLimit(stressMargin, params);
+
+  for (const auto& r : netlist.resistors()) {
+    const bool isWire =
+        std::any_of(geometry.wirePrefixes.begin(),
+                    geometry.wirePrefixes.end(), [&](const std::string& p) {
+                      return r.name.rfind(p, 0) == 0;
+                    });
+    if (!isWire) continue;
+    const double va = model.nodeVoltage(r.a, solution);
+    const double vb = model.nodeVoltage(r.b, solution);
+    const double current = std::abs(va - vb) / r.ohms;
+    const double j = current / geometry.crossSectionArea;
+    const double product = j * geometry.segmentLength;
+    ++census.totalWires;
+    census.worstProduct = std::max(census.worstProduct, product);
+    census.worstCurrentDensity = std::max(census.worstCurrentDensity, j);
+    if (product >= census.productLimit) ++census.mortalWires;
+  }
+  VIADUCT_REQUIRE_MSG(census.totalWires > 0,
+                      "no wire segments matched the configured prefixes");
+  return census;
+}
+
+}  // namespace viaduct

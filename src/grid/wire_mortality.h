@@ -1,0 +1,52 @@
+// Wire-segment immortality census for a power grid.
+//
+// The paper restricts EM failures to via arrays, assuming the grid "is
+// designed such that spanning voids in wires have a very low probability"
+// (§5.2). This module verifies that assumption for a concrete netlist: it
+// computes every wire segment's current density at the healthy DC
+// operating point and applies the Blech immortality criterion
+// (em/blech.h). bench/ablation_wire_em reports the census for the PG
+// stand-ins.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "em/em_params.h"
+#include "spice/netlist.h"
+
+namespace viaduct {
+
+struct WireGeometry {
+  /// Wire cross-section area [m²] used to convert branch current to j.
+  double crossSectionArea = 2.0e-6 * 0.3e-6;  // 2 um wide, 0.3 um thick
+  /// Segment length [m] (one stripe pitch in generated grids).
+  double segmentLength = 20e-6;
+  /// Resistor-name prefixes identifying wire segments.
+  std::vector<std::string> wirePrefixes = {"Rh_", "Rv_"};
+};
+
+struct WireMortality {
+  int totalWires = 0;
+  int mortalWires = 0;
+  /// Worst (largest) jL product over all wires [A/m].
+  double worstProduct = 0.0;
+  /// (jL)_crit used for the verdicts [A/m].
+  double productLimit = 0.0;
+  /// Largest wire current density seen [A/m²].
+  double worstCurrentDensity = 0.0;
+
+  double mortalFraction() const {
+    return totalWires == 0 ? 0.0
+                           : static_cast<double>(mortalWires) /
+                                 static_cast<double>(totalWires);
+  }
+};
+
+/// Classifies every wire segment of the netlist at the healthy grid's DC
+/// operating point. `stressMargin` is (σ_C − σ_T) for the wires [Pa].
+WireMortality classifyWires(const Netlist& netlist,
+                            const WireGeometry& geometry, double stressMargin,
+                            const EmParameters& params);
+
+}  // namespace viaduct

@@ -1,0 +1,86 @@
+#include "numerics/cg.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
+                           std::span<double> x, const Preconditioner& m,
+                           const CgOptions& options) {
+  const auto n = static_cast<std::size_t>(a.size());
+  VIADUCT_REQUIRE(b.size() == n && x.size() == n);
+
+  std::vector<double> r(n), z(n), p(n), ap(n);
+
+  // r = b - A x.
+  a.apply(x, r);
+  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+
+  const double bnorm = norm2(b);
+  const double target =
+      std::max(options.relativeTolerance * bnorm, options.absoluteTolerance);
+
+  CgResult result;
+  double rnorm = norm2(r);
+  if (rnorm <= target) {
+    result.converged = true;
+    result.relativeResidual = bnorm > 0.0 ? rnorm / bnorm : 0.0;
+    return result;
+  }
+
+  m.apply(r, z);
+  std::copy(z.begin(), z.end(), p.begin());
+  double rz = dot(r, z);
+
+  for (int it = 1; it <= options.maxIterations; ++it) {
+    a.apply(p, ap);
+    const double pap = dot(p, ap);
+    if (!(pap > 0.0)) {
+      throw NumericalError(
+          "CG: matrix is not positive definite (p'Ap <= 0 encountered)");
+    }
+    const double alpha = rz / pap;
+    axpy(alpha, p, x);
+    axpy(-alpha, ap, r);
+    rnorm = norm2(r);
+    result.iterations = it;
+    if (rnorm <= target) {
+      result.converged = true;
+      break;
+    }
+    m.apply(r, z);
+    const double rzNew = dot(r, z);
+    const double beta = rzNew / rz;
+    rz = rzNew;
+    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+  }
+
+  result.relativeResidual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
+  if (!result.converged && options.throwOnStall) {
+    throw NumericalError("CG failed to converge in " +
+                         std::to_string(options.maxIterations) +
+                         " iterations (rel. residual " +
+                         std::to_string(result.relativeResidual) + ")");
+  }
+  return result;
+}
+
+CgResult conjugateGradient(const CsrMatrix& a, std::span<const double> b,
+                           std::span<double> x, const Preconditioner& m,
+                           const CgOptions& options) {
+  VIADUCT_REQUIRE(a.rows() == a.cols());
+  const CsrOperator op(a);
+  return conjugateGradient(op, b, x, m, options);
+}
+
+std::vector<double> solveCgJacobi(const CsrMatrix& a, std::span<const double> b,
+                                  const CgOptions& options) {
+  std::vector<double> x(b.size(), 0.0);
+  const JacobiPreconditioner m(a);
+  conjugateGradient(a, b, x, m, options);
+  return x;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,211 @@
+#include "numerics/cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+SparseCholesky::SparseCholesky(const CsrMatrix& a, OrderingChoice ordering) {
+  VIADUCT_REQUIRE_MSG(a.rows() == a.cols(), "Cholesky needs a square matrix");
+  n_ = a.rows();
+  switch (ordering) {
+    case OrderingChoice::kRcm:
+      ordering_ = reverseCuthillMcKee(a);
+      break;
+    case OrderingChoice::kMinimumDegree:
+      ordering_ = minimumDegree(a);
+      break;
+    case OrderingChoice::kNatural:
+      ordering_ = Ordering::identity(n_);
+      break;
+  }
+  const CsrMatrix permuted = (ordering == OrderingChoice::kNatural)
+                                 ? a
+                                 : permuteSymmetric(a, ordering_);
+  symbolicAnalysis(permuted);
+  numericFactor(permuted);
+}
+
+void SparseCholesky::symbolicAnalysis(const CsrMatrix& permuted) {
+  // Extract the lower triangle row-wise: row k holds {A(k,j): j <= k},
+  // sorted by j, which is exactly column k of the upper triangle.
+  aRowPtr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  aColIdx_.clear();
+  aValues_.clear();
+  const auto rp = permuted.rowPointers();
+  const auto ci = permuted.colIndices();
+  const auto va = permuted.values();
+  for (Index r = 0; r < n_; ++r) {
+    for (Index k = rp[r]; k < rp[r + 1]; ++k) {
+      if (ci[k] <= r) {
+        aColIdx_.push_back(ci[k]);
+        aValues_.push_back(va[k]);
+      }
+    }
+    aRowPtr_[r + 1] = static_cast<Index>(aColIdx_.size());
+  }
+
+  // Elimination tree (Liu's algorithm with path compression via ancestors).
+  parent_.assign(static_cast<std::size_t>(n_), -1);
+  std::vector<Index> ancestor(static_cast<std::size_t>(n_), -1);
+  for (Index k = 0; k < n_; ++k) {
+    for (Index p = aRowPtr_[k]; p < aRowPtr_[k + 1]; ++p) {
+      Index i = aColIdx_[p];
+      while (i != -1 && i < k) {
+        const Index next = ancestor[i];
+        ancestor[i] = k;
+        if (next == -1) {
+          parent_[i] = k;
+          break;
+        }
+        i = next;
+      }
+    }
+  }
+
+  // Column counts of L via one ereach sweep (counts include the diagonal).
+  std::vector<Index> counts(static_cast<std::size_t>(n_), 1);
+  mark_.assign(static_cast<std::size_t>(n_), -1);
+  stack_.resize(static_cast<std::size_t>(n_));
+  for (Index k = 0; k < n_; ++k) {
+    mark_[k] = k;  // mark the diagonal so walks stop at k
+    for (Index p = aRowPtr_[k]; p < aRowPtr_[k + 1]; ++p) {
+      Index i = aColIdx_[p];
+      if (i == k) continue;
+      while (mark_[i] != k) {
+        mark_[i] = k;
+        counts[i]++;  // L(k,i) exists
+        i = parent_[i];
+        VIADUCT_CHECK(i != -1);
+      }
+    }
+  }
+
+  colPtr_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (Index j = 0; j < n_; ++j) colPtr_[j + 1] = colPtr_[j] + counts[j];
+  rowIdx_.assign(static_cast<std::size_t>(colPtr_[n_]), 0);
+  values_.assign(static_cast<std::size_t>(colPtr_[n_]), 0.0);
+
+  work_.assign(static_cast<std::size_t>(n_), 0.0);
+  colNext_.assign(static_cast<std::size_t>(n_), 0);
+  mark_.assign(static_cast<std::size_t>(n_), -1);
+}
+
+void SparseCholesky::numericFactor(const CsrMatrix& permuted) {
+  // Refresh numeric values of the stored lower-triangle rows when called
+  // from refactor() (structure must match).
+  {
+    const auto rp = permuted.rowPointers();
+    const auto ci = permuted.colIndices();
+    const auto va = permuted.values();
+    std::size_t out = 0;
+    for (Index r = 0; r < n_; ++r) {
+      for (Index k = rp[r]; k < rp[r + 1]; ++k) {
+        if (ci[k] <= r) {
+          VIADUCT_CHECK_MSG(out < aColIdx_.size() && aColIdx_[out] == ci[k],
+                            "refactor: sparsity structure changed");
+          aValues_[out++] = va[k];
+        }
+      }
+    }
+    VIADUCT_CHECK(out == aValues_.size());
+  }
+
+  // Reset column fill cursors: first slot of each column is the diagonal.
+  for (Index j = 0; j < n_; ++j) {
+    rowIdx_[colPtr_[j]] = j;
+    colNext_[j] = colPtr_[j] + 1;
+  }
+  std::fill(mark_.begin(), mark_.end(), -1);
+  std::fill(work_.begin(), work_.end(), 0.0);
+
+  // Up-looking factorization, row k at a time.
+  for (Index k = 0; k < n_; ++k) {
+    // ereach: pattern of row k of L (excluding diagonal), topological order.
+    Index top = n_;
+    mark_[k] = k;
+    double dkk = 0.0;
+    for (Index p = aRowPtr_[k]; p < aRowPtr_[k + 1]; ++p) {
+      const Index col = aColIdx_[p];
+      if (col == k) {
+        dkk = aValues_[p];
+        continue;
+      }
+      work_[col] = aValues_[p];
+      Index len = 0;
+      Index i = col;
+      while (mark_[i] != k) {
+        mark_[i] = k;
+        stack_[len++] = i;
+        i = parent_[i];
+      }
+      // Push the path in reverse so that stack_[top..n) is topological.
+      while (len > 0) stack_[--top] = stack_[--len];
+    }
+
+    // Sparse triangular elimination along the pattern.
+    for (Index s = top; s < n_; ++s) {
+      const Index j = stack_[s];
+      const double ljj = values_[colPtr_[j]];
+      const double lkj = work_[j] / ljj;
+      work_[j] = 0.0;
+      // Subtract lkj * L(:, j) for rows > j already present in column j.
+      for (Index p = colPtr_[j] + 1; p < colNext_[j]; ++p)
+        work_[rowIdx_[p]] -= values_[p] * lkj;
+      dkk -= lkj * lkj;
+      // Append L(k, j) to column j (rows arrive in increasing k).
+      const Index slot = colNext_[j]++;
+      VIADUCT_CHECK(slot < colPtr_[j + 1]);
+      rowIdx_[slot] = k;
+      values_[slot] = lkj;
+    }
+
+    if (!(dkk > 0.0))
+      throw NumericalError(
+          "SparseCholesky: matrix is not positive definite at pivot " +
+          std::to_string(k));
+    values_[colPtr_[k]] = std::sqrt(dkk);
+  }
+}
+
+void SparseCholesky::refactor(const CsrMatrix& a) {
+  VIADUCT_REQUIRE(a.rows() == n_ && a.cols() == n_);
+  const CsrMatrix permuted = ordering_.perm.empty() || n_ == 0
+                                 ? a
+                                 : permuteSymmetric(a, ordering_);
+  numericFactor(permuted);
+}
+
+std::vector<double> SparseCholesky::solve(std::span<const double> b) const {
+  std::vector<double> x(b.size());
+  solve(b, x);
+  return x;
+}
+
+void SparseCholesky::solve(std::span<const double> b,
+                           std::span<double> x) const {
+  VIADUCT_REQUIRE(b.size() == static_cast<std::size_t>(n_) &&
+                  x.size() == b.size());
+  std::vector<double> y = permuteVector(b, ordering_);
+  // Forward: L y' = y.
+  for (Index j = 0; j < n_; ++j) {
+    const Index start = colPtr_[j];
+    y[j] /= values_[start];
+    const double yj = y[j];
+    for (Index p = start + 1; p < colPtr_[j + 1]; ++p)
+      y[rowIdx_[p]] -= values_[p] * yj;
+  }
+  // Backward: Lᵀ z = y'.
+  for (Index j = n_; j-- > 0;) {
+    const Index start = colPtr_[j];
+    double s = y[j];
+    for (Index p = start + 1; p < colPtr_[j + 1]; ++p)
+      s -= values_[p] * y[rowIdx_[p]];
+    y[j] = s / values_[start];
+  }
+  const std::vector<double> out = unpermuteVector(y, ordering_);
+  std::copy(out.begin(), out.end(), x.begin());
+}
+
+}  // namespace viaduct

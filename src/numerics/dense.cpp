@@ -1,0 +1,127 @@
+#include "numerics/dense.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+DenseMatrix::DenseMatrix(std::size_t rows, std::size_t cols, double fill)
+    : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+DenseMatrix DenseMatrix::identity(std::size_t n) {
+  DenseMatrix m(n, n);
+  for (std::size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+double& DenseMatrix::operator()(std::size_t r, std::size_t c) {
+  VIADUCT_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+double DenseMatrix::operator()(std::size_t r, std::size_t c) const {
+  VIADUCT_REQUIRE(r < rows_ && c < cols_);
+  return data_[r * cols_ + c];
+}
+
+std::vector<double> DenseMatrix::multiply(std::span<const double> x) const {
+  VIADUCT_REQUIRE(x.size() == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (std::size_t r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    const double* row = &data_[r * cols_];
+    for (std::size_t c = 0; c < cols_; ++c) s += row[c] * x[c];
+    y[r] = s;
+  }
+  return y;
+}
+
+std::vector<double> DenseMatrix::solve(std::span<const double> b) const {
+  return DenseLu(*this).solve(b);
+}
+
+DenseMatrix DenseMatrix::solveMultiple(const DenseMatrix& b) const {
+  VIADUCT_REQUIRE(rows_ == cols_ && b.rows() == rows_);
+  const DenseLu lu(*this);
+  DenseMatrix x(b.rows(), b.cols());
+  std::vector<double> col(rows_);
+  for (std::size_t c = 0; c < b.cols(); ++c) {
+    for (std::size_t r = 0; r < rows_; ++r) col[r] = b(r, c);
+    const auto sol = lu.solve(col);
+    for (std::size_t r = 0; r < rows_; ++r) x(r, c) = sol[r];
+  }
+  return x;
+}
+
+double DenseMatrix::frobeniusNorm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+DenseMatrix DenseMatrix::transposed() const {
+  DenseMatrix t(cols_, rows_);
+  for (std::size_t r = 0; r < rows_; ++r)
+    for (std::size_t c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  return t;
+}
+
+DenseLu::DenseLu(const DenseMatrix& a) : n_(a.rows()) {
+  VIADUCT_REQUIRE_MSG(a.rows() == a.cols(), "LU requires a square matrix");
+  lu_.resize(n_ * n_);
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = 0; c < n_; ++c) lu_[r * n_ + c] = a(r, c);
+  piv_.resize(n_);
+  for (std::size_t i = 0; i < n_; ++i) piv_[i] = i;
+
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Partial pivot.
+    std::size_t p = k;
+    double best = std::abs(lu_[k * n_ + k]);
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double v = std::abs(lu_[r * n_ + k]);
+      if (v > best) {
+        best = v;
+        p = r;
+      }
+    }
+    if (best < 1e-300)
+      throw NumericalError("DenseLu: matrix is singular to working precision");
+    if (p != k) {
+      for (std::size_t c = 0; c < n_; ++c)
+        std::swap(lu_[k * n_ + c], lu_[p * n_ + c]);
+      std::swap(piv_[k], piv_[p]);
+    }
+    const double pivot = lu_[k * n_ + k];
+    for (std::size_t r = k + 1; r < n_; ++r) {
+      const double factor = lu_[r * n_ + k] / pivot;
+      lu_[r * n_ + k] = factor;
+      if (factor != 0.0) {
+        for (std::size_t c = k + 1; c < n_; ++c)
+          lu_[r * n_ + c] -= factor * lu_[k * n_ + c];
+      }
+    }
+  }
+}
+
+std::vector<double> DenseLu::solve(std::span<const double> b) const {
+  VIADUCT_REQUIRE(b.size() == n_);
+  std::vector<double> x(n_);
+  for (std::size_t i = 0; i < n_; ++i) x[i] = b[piv_[i]];
+  // Forward substitution (L has implicit unit diagonal).
+  for (std::size_t r = 1; r < n_; ++r) {
+    double s = x[r];
+    for (std::size_t c = 0; c < r; ++c) s -= lu_[r * n_ + c] * x[c];
+    x[r] = s;
+  }
+  // Back substitution.
+  for (std::size_t ri = n_; ri-- > 0;) {
+    double s = x[ri];
+    for (std::size_t c = ri + 1; c < n_; ++c) s -= lu_[ri * n_ + c] * x[c];
+    x[ri] = s / lu_[ri * n_ + ri];
+  }
+  return x;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,207 @@
+#include "numerics/sparse.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+TripletMatrix::TripletMatrix(Index rows, Index cols)
+    : rows_(rows), cols_(cols) {
+  VIADUCT_REQUIRE(rows >= 0 && cols >= 0);
+}
+
+void TripletMatrix::add(Index row, Index col, double value) {
+  VIADUCT_REQUIRE(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  rowIdx_.push_back(row);
+  colIdx_.push_back(col);
+  vals_.push_back(value);
+}
+
+void TripletMatrix::stampConductance(Index i, Index j, double g) {
+  VIADUCT_REQUIRE(g >= 0.0);
+  if (i >= 0) add(i, i, g);
+  if (j >= 0) add(j, j, g);
+  if (i >= 0 && j >= 0) {
+    add(i, j, -g);
+    add(j, i, -g);
+  }
+}
+
+void TripletMatrix::reserve(std::size_t n) {
+  rowIdx_.reserve(n);
+  colIdx_.reserve(n);
+  vals_.reserve(n);
+}
+
+CsrMatrix CsrMatrix::fromTriplets(const TripletMatrix& t) {
+  CsrMatrix m;
+  m.rows_ = t.rows();
+  m.cols_ = t.cols();
+  const auto ri = t.rowIndices();
+  const auto ci = t.colIndices();
+  const auto va = t.values();
+  const std::size_t nnzIn = ri.size();
+
+  // Count entries per row, then bucket, then sort+dedupe within rows.
+  std::vector<Index> counts(static_cast<std::size_t>(m.rows_) + 1, 0);
+  for (std::size_t k = 0; k < nnzIn; ++k) counts[ri[k] + 1]++;
+  std::partial_sum(counts.begin(), counts.end(), counts.begin());
+
+  std::vector<Index> cols(nnzIn);
+  std::vector<double> vals(nnzIn);
+  {
+    std::vector<Index> cursor(counts.begin(), counts.end() - 1);
+    for (std::size_t k = 0; k < nnzIn; ++k) {
+      const Index pos = cursor[ri[k]]++;
+      cols[pos] = ci[k];
+      vals[pos] = va[k];
+    }
+  }
+
+  m.rowPtr_.assign(static_cast<std::size_t>(m.rows_) + 1, 0);
+  std::vector<std::pair<Index, double>> rowBuf;
+  for (Index r = 0; r < m.rows_; ++r) {
+    rowBuf.clear();
+    for (Index k = counts[r]; k < counts[r + 1]; ++k)
+      rowBuf.emplace_back(cols[k], vals[k]);
+    std::sort(rowBuf.begin(), rowBuf.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    // Merge duplicates.
+    std::size_t out = m.colIdx_.size();
+    for (const auto& [c, v] : rowBuf) {
+      if (m.colIdx_.size() > out && m.colIdx_.back() == c) {
+        m.values_.back() += v;
+      } else {
+        m.colIdx_.push_back(c);
+        m.values_.push_back(v);
+      }
+    }
+    m.rowPtr_[r + 1] = static_cast<Index>(m.colIdx_.size());
+  }
+  return m;
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(cols_) &&
+                  y.size() == static_cast<std::size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (Index k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+      s += values_[k] * x[colIdx_[k]];
+    y[r] = s;
+  }
+}
+
+void CsrMatrix::multiplyAdd(std::span<const double> x, std::span<double> y,
+                            double alpha) const {
+  VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(cols_) &&
+                  y.size() == static_cast<std::size_t>(rows_));
+  for (Index r = 0; r < rows_; ++r) {
+    double s = 0.0;
+    for (Index k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k)
+      s += values_[k] * x[colIdx_[k]];
+    y[r] += alpha * s;
+  }
+}
+
+double CsrMatrix::at(Index row, Index col) const {
+  const std::ptrdiff_t pos = valueIndex(row, col);
+  return pos >= 0 ? values_[static_cast<std::size_t>(pos)] : 0.0;
+}
+
+std::ptrdiff_t CsrMatrix::valueIndex(Index row, Index col) const {
+  VIADUCT_REQUIRE(row >= 0 && row < rows_ && col >= 0 && col < cols_);
+  const Index* begin = colIdx_.data() + rowPtr_[row];
+  const Index* end = colIdx_.data() + rowPtr_[row + 1];
+  const Index* it = std::lower_bound(begin, end, col);
+  if (it != end && *it == col) return it - colIdx_.data();
+  return -1;
+}
+
+std::vector<double> CsrMatrix::diagonal() const {
+  std::vector<double> d(static_cast<std::size_t>(rows_), 0.0);
+  for (Index r = 0; r < rows_ && r < cols_; ++r) d[r] = at(r, r);
+  return d;
+}
+
+double CsrMatrix::residualNorm(std::span<const double> x,
+                               std::span<const double> b) const {
+  VIADUCT_REQUIRE(b.size() == static_cast<std::size_t>(rows_));
+  std::vector<double> r(b.begin(), b.end());
+  multiplyAdd(x, r, -1.0);
+  return norm2(r);
+}
+
+bool CsrMatrix::isSymmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (Index r = 0; r < rows_; ++r) {
+    for (Index k = rowPtr_[r]; k < rowPtr_[r + 1]; ++k) {
+      const Index c = colIdx_[k];
+      if (std::abs(values_[k] - at(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+CscLowerMatrix CscLowerMatrix::fromSymmetricTriplets(const TripletMatrix& t) {
+  VIADUCT_REQUIRE(t.rows() == t.cols());
+  // The input triplets describe the FULL symmetric matrix (both triangles
+  // stamped, as stampConductance does). We keep the lower triangle and
+  // compress it column-wise by compressing the transposed triplets row-wise.
+  TripletMatrix lower(t.rows(), t.cols());
+  const auto ri = t.rowIndices();
+  const auto ci = t.colIndices();
+  const auto va = t.values();
+  for (std::size_t k = 0; k < ri.size(); ++k) {
+    if (ri[k] < ci[k]) continue;            // drop strict upper triangle
+    lower.add(ci[k], ri[k], va[k]);         // store transposed
+  }
+  const CsrMatrix byCol = CsrMatrix::fromTriplets(lower);
+  CscLowerMatrix m;
+  m.n_ = t.rows();
+  m.colPtr_.assign(byCol.rowPointers().begin(), byCol.rowPointers().end());
+  m.rowIdx_.assign(byCol.colIndices().begin(), byCol.colIndices().end());
+  m.values_.assign(byCol.values().begin(), byCol.values().end());
+  return m;
+}
+
+CscLowerMatrix CscLowerMatrix::fromCsr(const CsrMatrix& a) {
+  VIADUCT_REQUIRE(a.rows() == a.cols());
+  TripletMatrix t(a.rows(), a.cols());
+  const auto rp = a.rowPointers();
+  const auto ci = a.colIndices();
+  const auto va = a.values();
+  for (Index r = 0; r < a.rows(); ++r)
+    for (Index k = rp[r]; k < rp[r + 1]; ++k)
+      if (ci[k] <= r) t.add(ci[k], r, va[k]);  // transposed storage as above
+  const CsrMatrix byCol = CsrMatrix::fromTriplets(t);
+  CscLowerMatrix m;
+  m.n_ = a.rows();
+  m.colPtr_.assign(byCol.rowPointers().begin(), byCol.rowPointers().end());
+  m.rowIdx_.assign(byCol.colIndices().begin(), byCol.colIndices().end());
+  m.values_.assign(byCol.values().begin(), byCol.values().end());
+  return m;
+}
+
+double dot(std::span<const double> a, std::span<const double> b) {
+  VIADUCT_REQUIRE(a.size() == b.size());
+  double s = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) s += a[i] * b[i];
+  return s;
+}
+
+double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y) {
+  VIADUCT_REQUIRE(x.size() == y.size());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+void scale(double alpha, std::span<double> x) {
+  for (double& v : x) v *= alpha;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,126 @@
+// Sparse matrix types.
+//
+// TripletMatrix is the assembly-time builder (duplicates are summed on
+// compression). CsrMatrix is the mat-vec workhorse for iterative solvers.
+// CscMatrix (lower-triangle view) feeds the sparse Cholesky factorization.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace viaduct {
+
+using Index = std::int32_t;
+
+/// Coordinate-format builder; duplicate entries are summed when compressed.
+class TripletMatrix {
+ public:
+  TripletMatrix(Index rows, Index cols);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  std::size_t entryCount() const { return rowIdx_.size(); }
+
+  void add(Index row, Index col, double value);
+
+  /// Symmetric stamp convenience for conductance assembly:
+  /// A[i][i]+=g, A[j][j]+=g, A[i][j]-=g, A[j][i]-=g. Negative node indices
+  /// denote eliminated (grounded / fixed-voltage) nodes and are skipped.
+  void stampConductance(Index i, Index j, double g);
+
+  void reserve(std::size_t n);
+
+  std::span<const Index> rowIndices() const { return rowIdx_; }
+  std::span<const Index> colIndices() const { return colIdx_; }
+  std::span<const double> values() const { return vals_; }
+
+ private:
+  Index rows_;
+  Index cols_;
+  std::vector<Index> rowIdx_;
+  std::vector<Index> colIdx_;
+  std::vector<double> vals_;
+};
+
+/// Compressed-sparse-row matrix; immutable structure, mutable values.
+class CsrMatrix {
+ public:
+  CsrMatrix() = default;
+
+  /// Compresses a triplet matrix, summing duplicates and dropping explicit
+  /// zeros produced by cancellation is NOT done (structure kept stable).
+  static CsrMatrix fromTriplets(const TripletMatrix& t);
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  std::size_t nonZeroCount() const { return values_.size(); }
+
+  std::span<const Index> rowPointers() const { return rowPtr_; }
+  std::span<const Index> colIndices() const { return colIdx_; }
+  std::span<const double> values() const { return values_; }
+  std::span<double> mutableValues() { return values_; }
+
+  /// y = A x.
+  void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y += alpha * A x.
+  void multiplyAdd(std::span<const double> x, std::span<double> y,
+                   double alpha = 1.0) const;
+
+  /// Returns A[row][col], or 0 if not stored.
+  double at(Index row, Index col) const;
+
+  /// Returns the storage position of entry (row, col), or -1 if absent.
+  /// Use with mutableValues() for in-place numeric updates that preserve
+  /// the sparsity structure.
+  std::ptrdiff_t valueIndex(Index row, Index col) const;
+
+  /// Extracts the diagonal (missing entries read as 0).
+  std::vector<double> diagonal() const;
+
+  /// ||Ax - b||_2.
+  double residualNorm(std::span<const double> x,
+                      std::span<const double> b) const;
+
+  /// Checks structural + numerical symmetry to a tolerance.
+  bool isSymmetric(double tol = 1e-9) const;
+
+ private:
+  Index rows_ = 0;
+  Index cols_ = 0;
+  std::vector<Index> rowPtr_;
+  std::vector<Index> colIdx_;
+  std::vector<double> values_;
+};
+
+/// Compressed-sparse-column storage of the LOWER triangle (including the
+/// diagonal) of a symmetric matrix, as consumed by SparseCholesky.
+class CscLowerMatrix {
+ public:
+  /// Builds the lower triangle from a symmetric triplet matrix (entries in
+  /// the upper triangle are mirrored; duplicates summed).
+  static CscLowerMatrix fromSymmetricTriplets(const TripletMatrix& t);
+
+  /// Builds from a full symmetric CSR matrix, keeping the lower triangle.
+  static CscLowerMatrix fromCsr(const CsrMatrix& a);
+
+  Index size() const { return n_; }
+  std::span<const Index> colPointers() const { return colPtr_; }
+  std::span<const Index> rowIndices() const { return rowIdx_; }
+  std::span<const double> values() const { return values_; }
+
+ private:
+  Index n_ = 0;
+  std::vector<Index> colPtr_;
+  std::vector<Index> rowIdx_;
+  std::vector<double> values_;
+};
+
+// Basic vector kernels shared by the solvers.
+double dot(std::span<const double> a, std::span<const double> b);
+double norm2(std::span<const double> a);
+void axpy(double alpha, std::span<const double> x, std::span<double> y);
+void scale(double alpha, std::span<double> x);
+
+}  // namespace viaduct

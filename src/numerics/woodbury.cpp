@@ -1,0 +1,113 @@
+#include "numerics/woodbury.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+WoodburySolver::WoodburySolver(CsrMatrix g0, const Options& options)
+    : options_(options), g_(std::move(g0)) {
+  VIADUCT_REQUIRE(g_.rows() == g_.cols());
+  factor_ = std::make_unique<SparseCholesky>(g_, options_.ordering);
+}
+
+void WoodburySolver::applyDeltaToMatrix(Index i, Index j, double deltaG) {
+  auto values = g_.mutableValues();
+  auto bump = [&](Index r, Index c, double dv) {
+    const std::ptrdiff_t pos = g_.valueIndex(r, c);
+    VIADUCT_REQUIRE_MSG(pos >= 0,
+                        "branch entry absent from the sparsity structure");
+    values[static_cast<std::size_t>(pos)] += dv;
+  };
+  if (i >= 0) bump(i, i, deltaG);
+  if (j >= 0) bump(j, j, deltaG);
+  if (i >= 0 && j >= 0) {
+    bump(i, j, -deltaG);
+    bump(j, i, -deltaG);
+  }
+}
+
+std::vector<double> WoodburySolver::incidenceSolve(Index i, Index j) const {
+  std::vector<double> a(static_cast<std::size_t>(g_.rows()), 0.0);
+  if (i >= 0) a[i] = 1.0;
+  if (j >= 0) a[j] = -1.0;
+  return factor_->solve(a);
+}
+
+void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
+  VIADUCT_REQUIRE_MSG(i != j, "branch endpoints must differ");
+  VIADUCT_REQUIRE_MSG(i >= 0 || j >= 0, "at least one endpoint must be live");
+  // Canonical key: the update a·aᵀ with a = e_i − e_j is symmetric in
+  // (i, j), so sort the pair and keep a ground endpoint (−1) in slot j.
+  if (i < 0) std::swap(i, j);
+  if (j >= 0 && i > j) std::swap(i, j);
+  VIADUCT_REQUIRE(i >= 0 && i < g_.rows() && j < g_.rows());
+
+  applyDeltaToMatrix(i, j, deltaG);
+
+  const auto key = std::make_pair(i, j);
+  if (const auto it = branchIndex_.find(key); it != branchIndex_.end()) {
+    branches_[it->second].deltaG += deltaG;
+    // A delta that cancels back to (near) zero keeps its column; harmless.
+  } else {
+    Branch b;
+    b.i = i;
+    b.j = j;
+    b.deltaG = deltaG;
+    b.z = incidenceSolve(i, j);
+    branchIndex_.emplace(key, branches_.size());
+    branches_.push_back(std::move(b));
+  }
+
+  if (static_cast<int>(branches_.size()) > options_.rebaseThreshold) rebase();
+}
+
+void WoodburySolver::rebase() {
+  if (branches_.empty()) return;
+  factor_->refactor(g_);
+  branches_.clear();
+  branchIndex_.clear();
+  ++rebases_;
+}
+
+std::vector<double> WoodburySolver::solve(std::span<const double> b) const {
+  std::vector<double> x = factor_->solve(b);
+  const std::size_t k = branches_.size();
+  if (k == 0) return x;
+
+  // Capacitance matrix C = D⁻¹ + Uᵀ Z, with (Uᵀ Z)[m][l] = aₘᵀ z_l.
+  DenseMatrix c(k, k);
+  for (std::size_t m = 0; m < k; ++m) {
+    VIADUCT_CHECK_MSG(std::abs(branches_[m].deltaG) > 1e-300,
+                      "zero-delta branch in update set");
+    for (std::size_t l = 0; l < k; ++l) {
+      const Branch& bm = branches_[m];
+      const Branch& bl = branches_[l];
+      double utz = bl.z[bm.i];
+      if (bm.j >= 0) utz -= bl.z[bm.j];
+      c(m, l) = utz;
+    }
+    c(m, m) += 1.0 / branches_[m].deltaG;
+  }
+
+  // w = Uᵀ x.
+  std::vector<double> w(k);
+  for (std::size_t m = 0; m < k; ++m) {
+    const Branch& bm = branches_[m];
+    w[m] = x[bm.i] - (bm.j >= 0 ? x[bm.j] : 0.0);
+  }
+
+  const std::vector<double> y = c.solve(w);
+
+  // x -= Z y.
+  for (std::size_t m = 0; m < k; ++m) {
+    const double ym = y[m];
+    if (ym == 0.0) continue;
+    const auto& z = branches_[m].z;
+    for (std::size_t r = 0; r < x.size(); ++r) x[r] -= z[r] * ym;
+  }
+  return x;
+}
+
+}  // namespace viaduct

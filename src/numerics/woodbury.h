@@ -1,0 +1,88 @@
+// Incremental solves for a conductance matrix under a sequence of branch
+// (two-terminal) conductance changes, via the Sherman–Morrison–Woodbury
+// identity.
+//
+// The grid Monte Carlo (Algorithm 1, level 2) fails via arrays one at a
+// time; each failure changes one branch conductance. With G = G0 + U D Uᵀ
+// (U columns are ±1 incidence vectors of the changed branches, D the
+// conductance deltas),
+//   G⁻¹ b = G0⁻¹ b − Z (D⁻¹ + Uᵀ Z)⁻¹ Zᵀ b,   Z = G0⁻¹ U,
+// so each *new* failed branch costs one factored solve (to extend Z) and
+// each voltage evaluation costs one factored solve plus a dense k×k solve,
+// where k is the number of distinct changed branches so far. When k exceeds
+// `rebaseThreshold`, the updates are folded into G0 and the matrix is
+// re-factored numerically (symbolic analysis reused).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "numerics/cholesky.h"
+#include "numerics/dense.h"
+#include "numerics/sparse.h"
+
+namespace viaduct {
+
+class WoodburySolver {
+ public:
+  struct Options {
+    /// Fold updates into the base factorization when the number of distinct
+    /// changed branches exceeds this.
+    int rebaseThreshold = 48;
+    SparseCholesky::OrderingChoice ordering =
+        SparseCholesky::OrderingChoice::kRcm;
+  };
+
+  /// `g0` must be SPD. A copy is kept for rebase operations.
+  explicit WoodburySolver(CsrMatrix g0) : WoodburySolver(std::move(g0), Options{}) {}
+  WoodburySolver(CsrMatrix g0, const Options& options);
+
+  Index size() const { return g_.rows(); }
+
+  /// Applies a conductance delta to branch (i, j). Node index -1 denotes
+  /// ground (an eliminated node), giving a rank-1 update on a single node.
+  /// Requires i != j and at least one of them >= 0. The branch entries must
+  /// exist in the sparsity structure of g0 (true for any branch that was
+  /// stamped at build time). The resulting matrix must remain SPD — a fully
+  /// disconnected node would make it singular and the next solve throws.
+  void updateBranch(Index i, Index j, double deltaG);
+
+  /// Solves G x = b with the current accumulated updates.
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Number of distinct branches currently tracked as low-rank updates
+  /// (zero right after construction or a rebase).
+  int pendingUpdateCount() const { return static_cast<int>(branches_.size()); }
+
+  /// Total rebase operations performed (for instrumentation/ablation).
+  int rebaseCount() const { return rebases_; }
+
+  /// Forces folding updates into the base factorization now.
+  void rebase();
+
+  /// Read access to the current (updated) matrix values.
+  const CsrMatrix& currentMatrix() const { return g_; }
+
+ private:
+  struct Branch {
+    Index i;
+    Index j;
+    double deltaG;           // accumulated conductance change
+    std::vector<double> z;   // G0⁻¹ a, a = e_i − e_j
+  };
+
+  void applyDeltaToMatrix(Index i, Index j, double deltaG);
+  std::vector<double> incidenceSolve(Index i, Index j) const;
+
+  Options options_;
+  CsrMatrix g_;  // current matrix (kept numerically up to date)
+  std::unique_ptr<SparseCholesky> factor_;  // factorization of the BASE G0
+  std::map<std::pair<Index, Index>, std::size_t> branchIndex_;
+  std::vector<Branch> branches_;
+  int rebases_ = 0;
+};
+
+}  // namespace viaduct

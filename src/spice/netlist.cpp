@@ -1,0 +1,60 @@
+#include "spice/netlist.h"
+
+#include "common/check.h"
+
+namespace viaduct {
+
+bool Netlist::isGroundName(std::string_view name) {
+  return name == "0" || name == "gnd" || name == "GND";
+}
+
+Index Netlist::internNode(std::string_view name) {
+  VIADUCT_REQUIRE_MSG(!name.empty(), "empty node name");
+  if (isGroundName(name)) return kGroundNode;
+  const auto it = nodeIndex_.find(std::string(name));
+  if (it != nodeIndex_.end()) return it->second;
+  const Index id = static_cast<Index>(nodeNames_.size());
+  nodeNames_.emplace_back(name);
+  nodeIndex_.emplace(nodeNames_.back(), id);
+  return id;
+}
+
+std::optional<Index> Netlist::findNode(std::string_view name) const {
+  if (isGroundName(name)) return kGroundNode;
+  const auto it = nodeIndex_.find(std::string(name));
+  if (it == nodeIndex_.end()) return std::nullopt;
+  return it->second;
+}
+
+const std::string& Netlist::nodeName(Index node) const {
+  static const std::string ground = "0";
+  if (node == kGroundNode) return ground;
+  VIADUCT_REQUIRE(node >= 0 && node < nodeCount());
+  return nodeNames_[static_cast<std::size_t>(node)];
+}
+
+void Netlist::addResistor(std::string name, Index a, Index b, double ohms) {
+  VIADUCT_REQUIRE_MSG(ohms >= 0.0, "negative resistance");
+  VIADUCT_REQUIRE_MSG(a != b, "resistor shorted to itself");
+  VIADUCT_REQUIRE(a >= kGroundNode && a < nodeCount());
+  VIADUCT_REQUIRE(b >= kGroundNode && b < nodeCount());
+  resistors_.push_back({std::move(name), a, b, ohms});
+}
+
+void Netlist::addVoltageSource(std::string name, Index pos, Index neg,
+                               double volts) {
+  VIADUCT_REQUIRE(pos != neg);
+  VIADUCT_REQUIRE(pos >= kGroundNode && pos < nodeCount());
+  VIADUCT_REQUIRE(neg >= kGroundNode && neg < nodeCount());
+  voltageSources_.push_back({std::move(name), pos, neg, volts});
+}
+
+void Netlist::addCurrentSource(std::string name, Index pos, Index neg,
+                               double amps) {
+  VIADUCT_REQUIRE(pos != neg);
+  VIADUCT_REQUIRE(pos >= kGroundNode && pos < nodeCount());
+  VIADUCT_REQUIRE(neg >= kGroundNode && neg < nodeCount());
+  currentSources_.push_back({std::move(name), pos, neg, amps});
+}
+
+}  // namespace viaduct

@@ -1,0 +1,87 @@
+// In-memory netlist model for the SPICE subset used by the IBM power-grid
+// benchmarks [Nassif, ASP-DAC'08]: resistors, independent voltage sources,
+// and independent current sources, over named nodes with a distinguished
+// ground ("0" / "gnd").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "numerics/sparse.h"
+
+namespace viaduct {
+
+/// Index of the ground node in element terminal fields.
+inline constexpr Index kGroundNode = -1;
+
+struct Resistor {
+  std::string name;
+  Index a = kGroundNode;
+  Index b = kGroundNode;
+  double ohms = 0.0;
+};
+
+struct VoltageSource {
+  std::string name;
+  Index positive = kGroundNode;
+  Index negative = kGroundNode;
+  double volts = 0.0;
+};
+
+struct CurrentSource {
+  std::string name;
+  /// Conventional SPICE direction: current flows from `positive` through
+  /// the source to `negative` (i.e. it REMOVES current from `positive`).
+  Index positive = kGroundNode;
+  Index negative = kGroundNode;
+  double amps = 0.0;
+};
+
+class Netlist {
+ public:
+  /// Interns a node name; "0"/"gnd"/"GND" map to kGroundNode.
+  Index internNode(std::string_view name);
+
+  /// Looks up an existing node; returns std::nullopt if never interned.
+  std::optional<Index> findNode(std::string_view name) const;
+
+  Index nodeCount() const { return static_cast<Index>(nodeNames_.size()); }
+  const std::string& nodeName(Index node) const;
+
+  void addResistor(std::string name, Index a, Index b, double ohms);
+  void addVoltageSource(std::string name, Index pos, Index neg, double volts);
+  void addCurrentSource(std::string name, Index pos, Index neg, double amps);
+
+  const std::vector<Resistor>& resistors() const { return resistors_; }
+  const std::vector<VoltageSource>& voltageSources() const {
+    return voltageSources_;
+  }
+  const std::vector<CurrentSource>& currentSources() const {
+    return currentSources_;
+  }
+
+  std::vector<Resistor>& mutableResistors() { return resistors_; }
+  std::vector<CurrentSource>& mutableCurrentSources() {
+    return currentSources_;
+  }
+
+  /// Optional benchmark title (from a leading comment or .title card).
+  const std::string& title() const { return title_; }
+  void setTitle(std::string title) { title_ = std::move(title); }
+
+  /// True if a node name denotes ground.
+  static bool isGroundName(std::string_view name);
+
+ private:
+  std::string title_;
+  std::unordered_map<std::string, Index> nodeIndex_;
+  std::vector<std::string> nodeNames_;
+  std::vector<Resistor> resistors_;
+  std::vector<VoltageSource> voltageSources_;
+  std::vector<CurrentSource> currentSources_;
+};
+
+}  // namespace viaduct

@@ -1,0 +1,191 @@
+#include "spice/parser.h"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+namespace {
+
+std::string toLower(std::string s) {
+  std::transform(s.begin(), s.end(), s.begin(),
+                 [](unsigned char c) { return std::tolower(c); });
+  return s;
+}
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+[[noreturn]] void fail(const std::string& source, int lineNo,
+                       const std::string& msg) {
+  throw ParseError(source + ":" + std::to_string(lineNo) + ": " + msg);
+}
+
+}  // namespace
+
+double parseSpiceNumber(const std::string& token) {
+  VIADUCT_REQUIRE(!token.empty());
+  std::size_t pos = 0;
+  double value = 0.0;
+  try {
+    value = std::stod(token, &pos);
+  } catch (const std::exception&) {
+    throw ParseError("malformed number: '" + token + "'");
+  }
+  if (pos == token.size()) return value;
+  const std::string suffix = toLower(token.substr(pos));
+  // "meg" must be matched before "m".
+  if (suffix.rfind("meg", 0) == 0) return value * 1e6;
+  switch (suffix[0]) {
+    case 'f':
+      return value * 1e-15;
+    case 'p':
+      return value * 1e-12;
+    case 'n':
+      return value * 1e-9;
+    case 'u':
+      return value * 1e-6;
+    case 'm':
+      return value * 1e-3;
+    case 'k':
+      return value * 1e3;
+    case 'g':
+      return value * 1e9;
+    case 't':
+      return value * 1e12;
+    default:
+      throw ParseError("unknown magnitude suffix in '" + token + "'");
+  }
+}
+
+Netlist parseSpice(std::istream& input, const std::string& sourceName) {
+  Netlist netlist;
+  std::string raw;
+  std::string pending;  // logical line assembled across '+' continuations
+  int lineNo = 0;
+  int pendingLineNo = 0;
+  bool ended = false;
+
+  auto processLogicalLine = [&](const std::string& line, int atLine) {
+    const auto tokens = tokenize(line);
+    if (tokens.empty()) return;
+    const std::string first = toLower(tokens[0]);
+
+    if (first[0] == '.') {
+      if (first == ".title") {
+        std::string title;
+        for (std::size_t i = 1; i < tokens.size(); ++i) {
+          if (i > 1) title += ' ';
+          title += tokens[i];
+        }
+        netlist.setTitle(title);
+      } else if (first == ".end") {
+        ended = true;
+      }
+      // .op and other cards: ignored (DC analysis is implied).
+      return;
+    }
+
+    const char kind = static_cast<char>(std::tolower(tokens[0][0]));
+    if (kind != 'r' && kind != 'v' && kind != 'i')
+      fail(sourceName, atLine,
+           "unsupported element '" + tokens[0] + "' (expected R/V/I)");
+    if (tokens.size() < 4)
+      fail(sourceName, atLine, "element needs: name node node value");
+    // Benchmarks sometimes carry trailing fields (e.g. source type "DC");
+    // accept `name n+ n- DC value` too.
+    std::string valueToken = tokens[3];
+    if (toLower(valueToken) == "dc") {
+      if (tokens.size() < 5) fail(sourceName, atLine, "missing DC value");
+      valueToken = tokens[4];
+    }
+    double value = 0.0;
+    try {
+      value = parseSpiceNumber(valueToken);
+    } catch (const ParseError& e) {
+      fail(sourceName, atLine, e.what());
+    }
+
+    const Index a = netlist.internNode(tokens[1]);
+    const Index b = netlist.internNode(tokens[2]);
+    try {
+      switch (kind) {
+        case 'r':
+          netlist.addResistor(tokens[0], a, b, value);
+          break;
+        case 'v':
+          netlist.addVoltageSource(tokens[0], a, b, value);
+          break;
+        case 'i':
+          netlist.addCurrentSource(tokens[0], a, b, value);
+          break;
+        default:
+          break;
+      }
+    } catch (const PreconditionError& e) {
+      fail(sourceName, atLine, e.what());
+    }
+  };
+
+  bool firstContentLine = true;
+  while (std::getline(input, raw)) {
+    ++lineNo;
+    if (ended) break;
+    // Strip trailing comment introduced by '$' (seen in some benchmarks).
+    if (const auto dollar = raw.find('$'); dollar != std::string::npos)
+      raw.resize(dollar);
+    // Trim.
+    const auto begin = raw.find_first_not_of(" \t\r");
+    if (begin == std::string::npos) continue;
+    const auto end = raw.find_last_not_of(" \t\r");
+    std::string line = raw.substr(begin, end - begin + 1);
+
+    if (line[0] == '*') {
+      // SPICE convention: the first line of a deck is its title even when
+      // written as a comment.
+      if (firstContentLine && netlist.title().empty()) {
+        const auto pos = line.find_first_not_of("* \t");
+        if (pos != std::string::npos) netlist.setTitle(line.substr(pos));
+      }
+      firstContentLine = false;
+      continue;
+    }
+
+    if (line[0] == '+') {
+      if (pending.empty())
+        fail(sourceName, lineNo, "continuation line with nothing to continue");
+      pending += ' ';
+      pending += line.substr(1);
+      continue;
+    }
+
+    if (!pending.empty()) processLogicalLine(pending, pendingLineNo);
+    pending = line;
+    pendingLineNo = lineNo;
+    firstContentLine = false;
+  }
+  if (!pending.empty() && !ended) processLogicalLine(pending, pendingLineNo);
+  return netlist;
+}
+
+Netlist parseSpiceString(const std::string& text) {
+  std::istringstream is(text);
+  return parseSpice(is, "<string>");
+}
+
+Netlist parseSpiceFile(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw ParseError("cannot open netlist file: " + path);
+  return parseSpice(is, path);
+}
+
+}  // namespace viaduct

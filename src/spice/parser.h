@@ -1,0 +1,32 @@
+// Parser for the SPICE subset used by the IBM power-grid benchmarks:
+//   * comment lines ('*'), blank lines
+//   * R<name> node1 node2 value
+//   * V<name> node+ node- value
+//   * I<name> node+ node- value
+//   * .op / .end / .title (cards other than .title are ignored)
+// Values accept SPICE magnitude suffixes (f p n u m k meg g t, case
+// insensitive) and scientific notation. Line continuations ('+') are
+// supported. Malformed input raises ParseError with a line number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spice/netlist.h"
+
+namespace viaduct {
+
+/// Parses a netlist from a stream. `sourceName` is used in error messages.
+Netlist parseSpice(std::istream& input, const std::string& sourceName = "<stream>");
+
+/// Parses a netlist from a string.
+Netlist parseSpiceString(const std::string& text);
+
+/// Parses a netlist from a file; throws ParseError if unreadable.
+Netlist parseSpiceFile(const std::string& path);
+
+/// Parses one SPICE number ("1.5", "3k", "2meg", "1e-3", "0.1u").
+/// Throws ParseError on malformed input.
+double parseSpiceNumber(const std::string& token);
+
+}  // namespace viaduct

@@ -1,0 +1,41 @@
+#include "spice/writer.h"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+void writeSpice(const Netlist& netlist, std::ostream& os) {
+  if (!netlist.title().empty()) os << "* " << netlist.title() << '\n';
+  os << std::setprecision(12);
+  for (const auto& r : netlist.resistors()) {
+    os << r.name << ' ' << netlist.nodeName(r.a) << ' ' << netlist.nodeName(r.b)
+       << ' ' << r.ohms << '\n';
+  }
+  for (const auto& v : netlist.voltageSources()) {
+    os << v.name << ' ' << netlist.nodeName(v.positive) << ' '
+       << netlist.nodeName(v.negative) << ' ' << v.volts << '\n';
+  }
+  for (const auto& i : netlist.currentSources()) {
+    os << i.name << ' ' << netlist.nodeName(i.positive) << ' '
+       << netlist.nodeName(i.negative) << ' ' << i.amps << '\n';
+  }
+  os << ".op\n.end\n";
+}
+
+std::string writeSpiceString(const Netlist& netlist) {
+  std::ostringstream os;
+  writeSpice(netlist, os);
+  return os.str();
+}
+
+void writeSpiceFile(const Netlist& netlist, const std::string& path) {
+  std::ofstream os(path);
+  if (!os) throw ParseError("cannot create netlist file: " + path);
+  writeSpice(netlist, os);
+}
+
+}  // namespace viaduct

@@ -1,0 +1,18 @@
+// Serializes a Netlist back to SPICE text (round-trips through the parser).
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "spice/netlist.h"
+
+namespace viaduct {
+
+void writeSpice(const Netlist& netlist, std::ostream& os);
+
+std::string writeSpiceString(const Netlist& netlist);
+
+/// Writes to a file; throws ParseError if the file cannot be created.
+void writeSpiceFile(const Netlist& netlist, const std::string& path);
+
+}  // namespace viaduct

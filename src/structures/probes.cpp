@@ -1,0 +1,63 @@
+#include "structures/probes.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+Index nucleationCellLayer(const BuiltStructure& built) {
+  // The cell layer just below the Mx/cap interface.
+  const double eps = 1e-12;
+  return built.grid.cellAtZ(built.zMetalLower1 - eps);
+}
+
+Index cellRowAtY(const BuiltStructure& built, double y) {
+  return built.grid.cellAtY(y);
+}
+
+ThermoSolver::Profile stressProfileAtY(const ThermoSolver& solver,
+                                       const BuiltStructure& built,
+                                       double y) {
+  VIADUCT_REQUIRE(&solver.grid() == &built.grid);
+  return solver.hydrostaticProfileX(cellRowAtY(built, y),
+                                    nucleationCellLayer(built));
+}
+
+double peakStressUnderVia(const ThermoSolver& solver,
+                          const BuiltStructure& built, const ViaFootprint& v) {
+  VIADUCT_REQUIRE(&solver.grid() == &built.grid);
+  const VoxelGrid& g = built.grid;
+  const Index k = nucleationCellLayer(built);
+  // The painter snaps via footprints to voxel centers, so probe the columns
+  // actually painted as via copper in the via layer (this avoids half-voxel
+  // aliasing between the nominal footprint and the voxelized one).
+  const Index kVia = g.cellAtZ(0.5 * (built.zVia0 + built.zVia1));
+  const Index i0 = g.cellAtX(v.x0 - 0.5 * g.cellSizeX(0));
+  const Index i1 = std::min(g.nx(), g.cellAtX(v.x1 + 0.5 * g.cellSizeX(0)) + 1);
+  const Index j0 = g.cellAtY(v.y0 - 0.5 * g.cellSizeY(0));
+  const Index j1 = std::min(g.ny(), g.cellAtY(v.y1 + 0.5 * g.cellSizeY(0)) + 1);
+  double peak = -std::numeric_limits<double>::infinity();
+  for (Index j = j0; j < j1; ++j) {
+    for (Index i = i0; i < i1; ++i) {
+      if (g.material(i, j, kVia) != MaterialId::kCopper) continue;
+      if (g.material(i, j, k) != MaterialId::kCopper) continue;
+      peak = std::max(peak, solver.cellHydrostatic(i, j, k));
+    }
+  }
+  VIADUCT_REQUIRE_MSG(std::isfinite(peak),
+                      "no painted via copper found under the footprint");
+  return peak;
+}
+
+std::vector<double> perViaPeakStress(const ThermoSolver& solver,
+                                     const BuiltStructure& built) {
+  std::vector<double> peaks;
+  peaks.reserve(built.vias.size());
+  for (const auto& v : built.vias)
+    peaks.push_back(peakStressUnderVia(solver, built, v));
+  return peaks;
+}
+
+}  // namespace viaduct

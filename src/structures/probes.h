@@ -1,0 +1,35 @@
+// Probing helpers connecting a built Cu DD structure to FEA results:
+// where to look for the paper's quantities (stress profile beneath a via
+// row, peak tensile stress under each via at the nucleation plane).
+#pragma once
+
+#include <vector>
+
+#include "fea/thermo_solver.h"
+#include "structures/cudd_builder.h"
+
+namespace viaduct {
+
+/// Cell z-layer index of the top of the lower metal Mx — the Cu/capping
+/// interface where slit voids nucleate (paper Figure 3).
+Index nucleationCellLayer(const BuiltStructure& built);
+
+/// Cell row index (j) whose y-interval contains the given coordinate.
+Index cellRowAtY(const BuiltStructure& built, double y);
+
+/// Hydrostatic stress profile along x in the Mx top layer at a given y
+/// (use built.viaRowCenterY(r) for the paper's "black arrow" probes and
+/// built.viaGapCenterY(r) for the "red arrow" probes).
+ThermoSolver::Profile stressProfileAtY(const ThermoSolver& solver,
+                                       const BuiltStructure& built, double y);
+
+/// Peak σ_H among the Mx copper cells directly beneath one via footprint
+/// (the per-via thermomechanical stress σ_T of Eq. 1).
+double peakStressUnderVia(const ThermoSolver& solver,
+                          const BuiltStructure& built, const ViaFootprint& v);
+
+/// Per-via peak σ_T for every via in the array, in built.vias order.
+std::vector<double> perViaPeakStress(const ThermoSolver& solver,
+                                     const BuiltStructure& built);
+
+}  // namespace viaduct

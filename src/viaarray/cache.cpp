@@ -1,0 +1,153 @@
+#include "viaarray/cache.h"
+
+#include <cmath>
+#include <fstream>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+
+namespace viaduct {
+
+namespace {
+
+constexpr const char* kMagic = "viaduct-characterization-cache v1";
+
+struct RawEntry {
+  std::string sigmaLine;
+  std::vector<std::string> traceLines;
+};
+
+/// Parses the whole file into key -> raw lines; returns empty map on any
+/// structural problem (treated as cache miss).
+std::map<std::string, RawEntry> readAll(const std::string& path) {
+  std::map<std::string, RawEntry> entries;
+  std::ifstream is(path);
+  if (!is) return entries;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return entries;
+
+  std::string key;
+  RawEntry current;
+  auto flush = [&]() {
+    if (!key.empty()) entries[key] = std::move(current);
+    key.clear();
+    current = RawEntry{};
+  };
+  while (std::getline(is, line)) {
+    if (line.rfind("entry ", 0) == 0) {
+      flush();
+      key = line.substr(6);
+    } else if (line.rfind("sigma ", 0) == 0) {
+      current.sigmaLine = line.substr(6);
+    } else if (line.rfind("trace ", 0) == 0) {
+      current.traceLines.push_back(line.substr(6));
+    } else if (!line.empty()) {
+      return {};  // unknown directive: treat whole file as invalid
+    }
+  }
+  flush();
+  return entries;
+}
+
+std::vector<double> parseDoubles(const std::string& s) {
+  std::vector<double> out;
+  std::istringstream is(s);
+  std::string tok;
+  while (is >> tok) {
+    if (tok == "inf") {
+      out.push_back(std::numeric_limits<double>::infinity());
+    } else {
+      out.push_back(std::stod(tok));
+    }
+  }
+  return out;
+}
+
+void writeDoubles(std::ostream& os, const std::vector<double>& v) {
+  os.precision(17);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ' ';
+    if (std::isinf(v[i]))
+      os << "inf";
+    else
+      os << v[i];
+  }
+}
+
+}  // namespace
+
+CharacterizationStore::CharacterizationStore(std::string path)
+    : path_(std::move(path)) {
+  VIADUCT_REQUIRE(!path_.empty());
+}
+
+std::optional<CharacterizationData> CharacterizationStore::load(
+    const std::string& key) const {
+  const auto entries = readAll(path_);
+  const auto it = entries.find(key);
+  if (it == entries.end()) return std::nullopt;
+
+  CharacterizationData data;
+  data.rawSigmaT = parseDoubles(it->second.sigmaLine);
+  if (data.rawSigmaT.empty()) return std::nullopt;
+  for (const auto& line : it->second.traceLines) {
+    const auto bar = line.find('|');
+    if (bar == std::string::npos) return std::nullopt;
+    FailureTrace trace;
+    trace.failureTimes = parseDoubles(line.substr(0, bar));
+    trace.resistanceAfter = parseDoubles(line.substr(bar + 1));
+    if (trace.failureTimes.size() != trace.resistanceAfter.size() ||
+        trace.failureTimes.empty()) {
+      return std::nullopt;
+    }
+    data.traces.push_back(std::move(trace));
+  }
+  if (data.traces.empty()) return std::nullopt;
+  return data;
+}
+
+void CharacterizationStore::save(const std::string& key,
+                                 const CharacterizationData& data) {
+  VIADUCT_REQUIRE(!data.rawSigmaT.empty() && !data.traces.empty());
+  auto entries = readAll(path_);
+
+  std::ofstream os(path_, std::ios::trunc);
+  if (!os) throw ParseError("cannot write characterization cache: " + path_);
+  os << kMagic << '\n';
+
+  auto writeEntry = [&os](const std::string& k, const RawEntry& e) {
+    os << "entry " << k << '\n';
+    os << "sigma " << e.sigmaLine << '\n';
+    for (const auto& t : e.traceLines) os << "trace " << t << '\n';
+  };
+  for (const auto& [k, e] : entries) {
+    if (k == key) continue;  // replaced below
+    writeEntry(k, e);
+  }
+
+  RawEntry fresh;
+  {
+    std::ostringstream sig;
+    writeDoubles(sig, data.rawSigmaT);
+    fresh.sigmaLine = sig.str();
+    for (const auto& trace : data.traces) {
+      std::ostringstream tl;
+      writeDoubles(tl, trace.failureTimes);
+      tl << " | ";
+      writeDoubles(tl, trace.resistanceAfter);
+      fresh.traceLines.push_back(tl.str());
+    }
+  }
+  writeEntry(key, fresh);
+  VIADUCT_DEBUG << "characterization cache: stored entry (" << entries.size() + 1
+                << " total)";
+}
+
+std::size_t CharacterizationStore::entryCount() const {
+  return readAll(path_).size();
+}
+
+}  // namespace viaduct

@@ -1,0 +1,323 @@
+#include "viaarray/characterize.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "em/korhonen.h"
+#include "fea/thermo_solver.h"
+#include "structures/probes.h"
+#include "viaarray/cache.h"
+
+namespace viaduct {
+
+ViaArrayFailureCriterion ViaArrayFailureCriterion::weakestLink() {
+  return {.kind = Kind::kViaCount, .viaCount = 1, .ratio = 0.0};
+}
+
+ViaArrayFailureCriterion ViaArrayFailureCriterion::kthVia(int k) {
+  VIADUCT_REQUIRE(k >= 1);
+  return {.kind = Kind::kViaCount, .viaCount = k, .ratio = 0.0};
+}
+
+ViaArrayFailureCriterion ViaArrayFailureCriterion::resistanceRatio(
+    double ratio) {
+  VIADUCT_REQUIRE(ratio > 1.0);
+  return {.kind = Kind::kResistanceRatio, .viaCount = 0, .ratio = ratio};
+}
+
+ViaArrayFailureCriterion ViaArrayFailureCriterion::openCircuit() {
+  return {.kind = Kind::kOpen, .viaCount = 0, .ratio = 0.0};
+}
+
+std::string ViaArrayFailureCriterion::describe() const {
+  switch (kind) {
+    case Kind::kViaCount:
+      return viaCount == 1 ? "weakest-link"
+                           : ("via #" + std::to_string(viaCount));
+    case Kind::kResistanceRatio: {
+      std::ostringstream os;
+      os << "R=" << ratio << "x";
+      return os.str();
+    }
+    case Kind::kOpen:
+      return "R=inf";
+  }
+  return "?";
+}
+
+double ViaArrayCharacterizationSpec::totalCurrent() const {
+  return totalCurrentDensity * array.effectiveArea;
+}
+
+std::string ViaArrayCharacterizationSpec::cacheKey() const {
+  std::ostringstream os;
+  os.precision(12);
+  os << "n=" << array.n << ";A=" << array.effectiveArea
+     << ";sp=" << array.minSpacing
+     << ";pat=" << patternName(pattern) << ";w=" << wireWidth
+     << ";m=" << margin << ";res=" << resolutionXy
+     << ";j=" << totalCurrentDensity << ";Rarr=" << network.arrayResistanceOhms
+     << ";sheet=" << network.sheetResistancePerSquare
+     << ";Ea=" << em.activationEnergyEv << ";D0=" << em.diffusivityPrefactor
+     << ";sD=" << em.deffSigma << ";rho=" << em.resistivityOhmM
+     << ";B=" << em.bulkModulusPa << ";gam=" << em.surfaceEnergyJm2
+     << ";Rf=" << em.meanFlawRadius << ";sRf=" << em.flawSigmaFraction
+     << ";T=" << em.temperatureK << ";pkg=" << em.packageStressPa
+     << ";cal=" << stressScale << "," << stressOffsetPa
+     << ";tr=" << trials << ";seed=" << seed
+     << ";stk=" << stack.metalLower << "," << stack.via << ","
+     << stack.metalUpper;
+  return os.str();
+}
+
+namespace {
+BuiltStructure buildFor(const ViaArrayCharacterizationSpec& spec) {
+  return buildViaArrayStructure(ViaArrayStructureSpec{
+      .viaArray = spec.array,
+      .pattern = spec.pattern,
+      .wireWidth = spec.wireWidth,
+      .margin = spec.margin,
+      .resolutionXy = spec.resolutionXy,
+      .stack = spec.stack,
+  });
+}
+}  // namespace
+
+ViaArrayCharacterizer::ViaArrayCharacterizer(
+    const ViaArrayCharacterizationSpec& spec)
+    : spec_(spec), built_(buildFor(spec)) {
+  spec_.em.validate();
+  VIADUCT_REQUIRE(spec_.trials >= 2);
+  VIADUCT_REQUIRE(spec_.stressScale > 0.0);
+
+  // Nominal healthy-network resistance, the reference of the R=ratio
+  // criterion (includes the crowding network's plate segments).
+  {
+    ViaArrayNetworkConfig netCfg = spec_.network;
+    netCfg.n = spec_.array.n;
+    netCfg.totalCurrentAmps = spec_.totalCurrent();
+    nominalResistance_ = ViaArrayNetwork(netCfg).nominalResistance();
+  }
+
+  ThermoSolver solver(built_.grid);
+  const CgResult res = solver.solve();
+  VIADUCT_CHECK_MSG(res.converged, "FEA solve did not converge");
+  rawSigmaT_ = perViaPeakStress(solver, built_);
+  sigmaT_.reserve(rawSigmaT_.size());
+  for (double s : rawSigmaT_)
+    sigmaT_.push_back(spec_.stressScale * s + spec_.stressOffsetPa);
+  VIADUCT_INFO << "characterized " << spec_.array.n << "x" << spec_.array.n
+               << " " << patternName(spec_.pattern) << " array: sigma_T in ["
+               << *std::min_element(sigmaT_.begin(), sigmaT_.end()) / 1e6
+               << ", "
+               << *std::max_element(sigmaT_.begin(), sigmaT_.end()) / 1e6
+               << "] MPa (" << res.iterations << " CG iters)";
+}
+
+ViaArrayCharacterizer::ViaArrayCharacterizer(
+    const ViaArrayCharacterizationSpec& spec,
+    const CharacterizationData& data)
+    : spec_(spec), built_(buildFor(spec)) {
+  spec_.em.validate();
+  VIADUCT_REQUIRE(spec_.trials >= 2);
+  VIADUCT_REQUIRE(spec_.stressScale > 0.0);
+  VIADUCT_REQUIRE_MSG(
+      data.rawSigmaT.size() == built_.vias.size(),
+      "cached stress vector does not match the via count");
+  VIADUCT_REQUIRE_MSG(
+      data.traces.size() == static_cast<std::size_t>(spec_.trials),
+      "cached trace count does not match the spec's trial count");
+  for (const auto& t : data.traces) {
+    VIADUCT_REQUIRE_MSG(t.failureTimes.size() == built_.vias.size(),
+                        "cached trace length does not match the via count");
+  }
+  {
+    ViaArrayNetworkConfig netCfg = spec_.network;
+    netCfg.n = spec_.array.n;
+    netCfg.totalCurrentAmps = spec_.totalCurrent();
+    nominalResistance_ = ViaArrayNetwork(netCfg).nominalResistance();
+  }
+  rawSigmaT_ = data.rawSigmaT;
+  for (double s : rawSigmaT_)
+    sigmaT_.push_back(spec_.stressScale * s + spec_.stressOffsetPa);
+  traces_ = data.traces;
+  tracesReady_ = true;
+}
+
+CharacterizationData ViaArrayCharacterizer::exportData() {
+  return CharacterizationData{.rawSigmaT = rawSigmaT_, .traces = traces()};
+}
+
+FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
+  const int count = spec_.array.viaCount();
+  const double viaArea =
+      spec_.array.effectiveArea / static_cast<double>(count);
+
+  ViaArrayNetworkConfig netCfg = spec_.network;
+  netCfg.n = spec_.array.n;
+  netCfg.totalCurrentAmps = spec_.totalCurrent();
+  ViaArrayNetwork network(netCfg);
+
+  // Per-via nucleation budget at unit current density: K_i such that the
+  // nucleation time at density j is K_i / j² (Eq. 3 scaling).
+  std::vector<double> budget(static_cast<std::size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    budget[static_cast<std::size_t>(i)] =
+        sampleTtf(rng, sigmaT_[static_cast<std::size_t>(i)],
+                  /*currentDensity=*/1.0, spec_.em);
+  }
+
+  std::vector<double> damage(static_cast<std::size_t>(count), 0.0);
+  std::vector<double> currents = network.viaCurrents();
+
+  FailureTrace trace;
+  trace.failureTimes.reserve(static_cast<std::size_t>(count));
+  trace.resistanceAfter.reserve(static_cast<std::size_t>(count));
+
+  double t = 0.0;
+  for (int failed = 0; failed < count; ++failed) {
+    // Find the next failing via: minimal remaining time.
+    double best = std::numeric_limits<double>::infinity();
+    int victim = -1;
+    std::vector<double> rates(static_cast<std::size_t>(count), 0.0);
+    for (int i = 0; i < count; ++i) {
+      if (!network.viaAlive(i)) continue;
+      const double j = std::abs(currents[static_cast<std::size_t>(i)]) / viaArea;
+      const double k = budget[static_cast<std::size_t>(i)];
+      double remaining;
+      if (k <= 0.0) {
+        remaining = 0.0;  // instant nucleation (sigma_C below sigma_T)
+        rates[static_cast<std::size_t>(i)] = std::numeric_limits<double>::infinity();
+      } else if (j <= 0.0) {
+        remaining = std::numeric_limits<double>::infinity();
+      } else {
+        const double rate = j * j / k;
+        rates[static_cast<std::size_t>(i)] = rate;
+        remaining = (1.0 - damage[static_cast<std::size_t>(i)]) / rate;
+      }
+      if (remaining < best) {
+        best = remaining;
+        victim = i;
+      }
+    }
+    VIADUCT_CHECK_MSG(victim >= 0 && std::isfinite(best),
+                      "no failing via found (zero currents everywhere?)");
+
+    // Advance damage on survivors and fail the victim.
+    t += best;
+    for (int i = 0; i < count; ++i) {
+      if (!network.viaAlive(i) || i == victim) continue;
+      const double r = rates[static_cast<std::size_t>(i)];
+      if (std::isfinite(r)) damage[static_cast<std::size_t>(i)] += r * best;
+    }
+    network.failVia(victim);
+    trace.failureTimes.push_back(t);
+    if (network.aliveCount() > 0) {
+      trace.resistanceAfter.push_back(network.effectiveResistance());
+      currents = network.viaCurrents();
+    } else {
+      trace.resistanceAfter.push_back(std::numeric_limits<double>::infinity());
+    }
+  }
+  return trace;
+}
+
+const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
+  if (!tracesReady_) {
+    Rng rng(spec_.seed);
+    traces_.reserve(static_cast<std::size_t>(spec_.trials));
+    for (int trial = 0; trial < spec_.trials; ++trial)
+      traces_.push_back(simulateTrial(rng));
+    tracesReady_ = true;
+  }
+  return traces_;
+}
+
+std::vector<double> ViaArrayCharacterizer::ttfSamples(
+    const ViaArrayFailureCriterion& criterion) {
+  const auto& all = traces();
+  const int count = spec_.array.viaCount();
+  std::vector<double> samples;
+  samples.reserve(all.size());
+  for (const auto& trace : all) {
+    double ttf = 0.0;
+    switch (criterion.kind) {
+      case ViaArrayFailureCriterion::Kind::kViaCount: {
+        VIADUCT_REQUIRE_MSG(criterion.viaCount >= 1 &&
+                                criterion.viaCount <= count,
+                            "criterion via count out of range");
+        ttf = trace.failureTimes[static_cast<std::size_t>(criterion.viaCount) -
+                                 1];
+        break;
+      }
+      case ViaArrayFailureCriterion::Kind::kResistanceRatio: {
+        const double limit = criterion.ratio * nominalResistance_;
+        ttf = trace.failureTimes.back();  // fallback: open circuit
+        for (std::size_t m = 0; m < trace.resistanceAfter.size(); ++m) {
+          if (trace.resistanceAfter[m] >= limit) {
+            ttf = trace.failureTimes[m];
+            break;
+          }
+        }
+        break;
+      }
+      case ViaArrayFailureCriterion::Kind::kOpen:
+        ttf = trace.failureTimes.back();
+        break;
+    }
+    samples.push_back(ttf);
+  }
+  return samples;
+}
+
+EmpiricalCdf ViaArrayCharacterizer::ttfCdf(
+    const ViaArrayFailureCriterion& criterion) {
+  return EmpiricalCdf(ttfSamples(criterion));
+}
+
+Lognormal ViaArrayCharacterizer::ttfLognormal(
+    const ViaArrayFailureCriterion& criterion) {
+  std::vector<double> samples = ttfSamples(criterion);
+  std::vector<double> positive;
+  positive.reserve(samples.size());
+  for (double s : samples)
+    if (s > 0.0) positive.push_back(s);
+  VIADUCT_CHECK_MSG(positive.size() * 2 > samples.size(),
+                    "more than half the TTF samples are zero; the stress "
+                    "calibration is unphysical");
+  if (positive.size() < samples.size()) {
+    VIADUCT_WARN << (samples.size() - positive.size()) << "/" << samples.size()
+                 << " trials nucleated instantly; lognormal fit uses the "
+                    "positive samples";
+  }
+  return Lognormal::fitMle(positive);
+}
+
+ViaArrayLibrary::ViaArrayLibrary(std::shared_ptr<CharacterizationStore> store)
+    : store_(std::move(store)) {}
+
+std::shared_ptr<ViaArrayCharacterizer> ViaArrayLibrary::get(
+    const ViaArrayCharacterizationSpec& spec) {
+  const std::string key = spec.cacheKey();
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+
+  if (store_) {
+    if (const auto data = store_->load(key)) {
+      auto rehydrated = std::make_shared<ViaArrayCharacterizer>(spec, *data);
+      cache_.emplace(key, rehydrated);
+      return rehydrated;
+    }
+  }
+
+  auto created = std::make_shared<ViaArrayCharacterizer>(spec);
+  if (store_) store_->save(key, created->exportData());
+  cache_.emplace(key, created);
+  return created;
+}
+
+}  // namespace viaduct

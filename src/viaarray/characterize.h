@@ -1,0 +1,171 @@
+// Via-array TTF characterization (Algorithm 1, level 1).
+//
+// For one via-array configuration (size, pattern, wire width), this:
+//   1. runs the FEA thermomechanical solve once and extracts the per-via
+//      peak stress σ_T (§3.2);
+//   2. Monte Carlo simulates sequential via failures with current
+//      redistribution through the crowding network (§4): each via draws a
+//      lognormal nucleation-time budget from the Korhonen model, consumes
+//      it at a rate ∝ j² (Eq. 3), and failures re-solve the network;
+//   3. evaluates the TTF distribution under any failure criterion (k-th
+//      via, resistance ratio, or open circuit) from the recorded failure
+//      traces, and fits the two-parameter lognormal that the power-grid
+//      level samples (§5.1).
+//
+// Characterization is a per-technology one-time step (like standard-cell
+// characterization); ViaArrayLibrary memoizes it per configuration.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/lognormal.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "em/em_params.h"
+#include "structures/cudd_builder.h"
+#include "viaarray/network.h"
+
+namespace viaduct {
+
+/// Default affine calibration of raw FEA hydrostatic stress onto the
+/// paper's reported 180–280 MPa window (single global map, applied to all
+/// configurations so that all *differences* are preserved; see DESIGN.md §6).
+inline constexpr double kDefaultStressScale = 0.80;
+inline constexpr double kDefaultStressOffsetPa = 0.0;
+
+/// When a via array is deemed failed (§4/§5.1).
+struct ViaArrayFailureCriterion {
+  enum class Kind { kViaCount, kResistanceRatio, kOpen };
+  Kind kind = Kind::kOpen;
+  int viaCount = 1;      // for kViaCount
+  double ratio = 2.0;    // for kResistanceRatio: R >= ratio * nominal
+
+  static ViaArrayFailureCriterion weakestLink();
+  static ViaArrayFailureCriterion kthVia(int k);
+  static ViaArrayFailureCriterion resistanceRatio(double ratio);
+  static ViaArrayFailureCriterion openCircuit();
+
+  std::string describe() const;
+};
+
+struct ViaArrayCharacterizationSpec {
+  ViaArraySpec array;
+  IntersectionPattern pattern = IntersectionPattern::kPlus;
+  double wireWidth = 2.0e-6;
+  double margin = 1.5e-6;
+  /// One lateral resolution for ALL configurations being compared (peak
+  /// stress sampling is resolution dependent). 0.125 µm resolves 8×8.
+  double resolutionXy = 0.125e-6;
+  StackSpec stack;
+
+  /// Total current density over the effective via area [A/m²]; the paper
+  /// stresses the Figure 8 array at 1e10 A/m².
+  double totalCurrentDensity = 1.0e10;
+
+  ViaArrayNetworkConfig network;  // totalCurrentAmps derived, see below
+  EmParameters em;
+
+  double stressScale = kDefaultStressScale;
+  double stressOffsetPa = kDefaultStressOffsetPa;
+
+  int trials = 500;
+  std::uint64_t seed = 12345;
+
+  /// Total array current [A] implied by the density and effective area.
+  double totalCurrent() const;
+
+  /// Stable cache key over every physical field.
+  std::string cacheKey() const;
+};
+
+/// One Monte Carlo trial's full failure trace.
+struct FailureTrace {
+  /// failureTimes[m] = time [s] of the (m+1)-th via failure.
+  std::vector<double> failureTimes;
+  /// resistanceAfter[m] = array resistance [Ω] after that failure
+  /// (infinity for the last).
+  std::vector<double> resistanceAfter;
+};
+
+struct CharacterizationData;  // viaarray/cache.h
+
+class ViaArrayCharacterizer {
+ public:
+  explicit ViaArrayCharacterizer(const ViaArrayCharacterizationSpec& spec);
+
+  /// Rehydrates from persisted data (viaarray/cache.h), skipping the FEA
+  /// solve and the Monte Carlo. The data must match the spec (via count
+  /// and trial count are validated).
+  ViaArrayCharacterizer(const ViaArrayCharacterizationSpec& spec,
+                        const CharacterizationData& data);
+
+  /// Exports the persistable payload (forces the Monte Carlo to run).
+  CharacterizationData exportData();
+
+  const ViaArrayCharacterizationSpec& spec() const { return spec_; }
+
+  /// Calibrated per-via σ_T [Pa], in BuiltStructure::vias order.
+  const std::vector<double>& sigmaT() const { return sigmaT_; }
+
+  /// Raw (uncalibrated) FEA per-via peak stress [Pa].
+  const std::vector<double>& rawSigmaT() const { return rawSigmaT_; }
+
+  const BuiltStructure& structure() const { return built_; }
+
+  /// Runs (or returns memoized) Monte Carlo traces.
+  const std::vector<FailureTrace>& traces();
+
+  /// TTF samples [s] under a criterion (one per trial).
+  std::vector<double> ttfSamples(const ViaArrayFailureCriterion& criterion);
+
+  /// Empirical CDF of the TTF under a criterion.
+  EmpiricalCdf ttfCdf(const ViaArrayFailureCriterion& criterion);
+
+  /// Two-parameter lognormal fit of the TTF (log-space MLE over nonzero
+  /// samples; zero samples are counted and must be rare).
+  Lognormal ttfLognormal(const ViaArrayFailureCriterion& criterion);
+
+  /// Healthy-array network resistance (reference for ratio criteria) [Ω].
+  double nominalResistance() const { return nominalResistance_; }
+
+ private:
+  FailureTrace simulateTrial(Rng& rng) const;
+
+  ViaArrayCharacterizationSpec spec_;
+  BuiltStructure built_;
+  double nominalResistance_ = 0.0;
+  std::vector<double> rawSigmaT_;
+  std::vector<double> sigmaT_;
+  std::vector<FailureTrace> traces_;
+  bool tracesReady_ = false;
+};
+
+/// Memoizing library of characterizers keyed by spec.cacheKey(). This is
+/// the object the power-grid analysis consults; it plays the role of the
+/// precharacterized technology library of §5.1.
+class CharacterizationStore;  // viaarray/cache.h
+
+class ViaArrayLibrary {
+ public:
+  ViaArrayLibrary() = default;
+
+  /// A library backed by an on-disk store: misses are computed, persisted,
+  /// and shared across processes (see viaarray/cache.h).
+  explicit ViaArrayLibrary(std::shared_ptr<CharacterizationStore> store);
+
+  /// Returns a shared characterizer for the spec (creating it — including
+  /// the FEA solve — on first use, or rehydrating from the store).
+  std::shared_ptr<ViaArrayCharacterizer> get(
+      const ViaArrayCharacterizationSpec& spec);
+
+  std::size_t size() const { return cache_.size(); }
+
+ private:
+  std::map<std::string, std::shared_ptr<ViaArrayCharacterizer>> cache_;
+  std::shared_ptr<CharacterizationStore> store_;
+};
+
+}  // namespace viaduct

@@ -1,0 +1,137 @@
+#include "viaarray/network.h"
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+ViaArrayNetwork::ViaArrayNetwork(const ViaArrayNetworkConfig& config)
+    : config_(config) {
+  VIADUCT_REQUIRE(config.n >= 1);
+  VIADUCT_REQUIRE(config.arrayResistanceOhms > 0.0);
+  VIADUCT_REQUIRE(config.sheetResistancePerSquare >= 0.0);
+  VIADUCT_REQUIRE(config.totalCurrentAmps > 0.0);
+  reset();
+  nominalResistance_ = effectiveResistance();
+}
+
+void ViaArrayNetwork::reset() {
+  alive_.assign(static_cast<std::size_t>(viaCount()), true);
+  aliveCount_ = viaCount();
+}
+
+bool ViaArrayNetwork::viaAlive(int via) const {
+  VIADUCT_REQUIRE(via >= 0 && via < viaCount());
+  return alive_[static_cast<std::size_t>(via)];
+}
+
+void ViaArrayNetwork::failVia(int via) {
+  VIADUCT_REQUIRE(via >= 0 && via < viaCount());
+  VIADUCT_REQUIRE_MSG(alive_[static_cast<std::size_t>(via)],
+                      "via already failed");
+  alive_[static_cast<std::size_t>(via)] = false;
+  --aliveCount_;
+}
+
+int ViaArrayNetwork::viaIndex(int row, int col) const {
+  VIADUCT_REQUIRE(row >= 0 && row < config_.n && col >= 0 && col < config_.n);
+  return row * config_.n + col;
+}
+
+double ViaArrayNetwork::idealResistanceIncrease(int totalVias,
+                                                int failedVias) {
+  VIADUCT_REQUIRE(totalVias >= 1 && failedVias >= 0 &&
+                  failedVias < totalVias);
+  return static_cast<double>(failedVias) /
+         static_cast<double>(totalVias - failedVias);
+}
+
+// Node layout for the dense solve:
+//   0 .. n²-1        upper plate nodes (row-major)
+//   n² .. 2n²-1      lower plate nodes
+//   2n²              feed rail (current injected here)
+// The drain rail is ground (eliminated).
+void ViaArrayNetwork::solveNetwork(std::vector<double>& v) const {
+  if (aliveCount_ == 0)
+    throw NumericalError("via array fully failed: no conducting path");
+  const int n = config_.n;
+  const int plate = n * n;
+  const int feed = 2 * plate;
+  const int total = 2 * plate + 1;
+
+  const double gVia =
+      1.0 / (config_.arrayResistanceOhms * static_cast<double>(plate));
+  // Lateral plate segments: one square per pitch step per track.
+  const double gSheet = config_.sheetResistancePerSquare > 0.0
+                            ? 1.0 / config_.sheetResistancePerSquare
+                            : 0.0;
+  // Rail hookups use a half-segment.
+  const double gRail = gSheet > 0.0 ? 2.0 * gSheet : 0.0;
+
+  DenseMatrix g(static_cast<std::size_t>(total), static_cast<std::size_t>(total));
+  auto stamp = [&g](int a, int b, double cond) {
+    // b < 0 denotes ground.
+    if (a >= 0) g(static_cast<std::size_t>(a), static_cast<std::size_t>(a)) += cond;
+    if (b >= 0) g(static_cast<std::size_t>(b), static_cast<std::size_t>(b)) += cond;
+    if (a >= 0 && b >= 0) {
+      g(static_cast<std::size_t>(a), static_cast<std::size_t>(b)) -= cond;
+      g(static_cast<std::size_t>(b), static_cast<std::size_t>(a)) -= cond;
+    }
+  };
+
+  for (int r = 0; r < n; ++r) {
+    for (int c = 0; c < n; ++c) {
+      const int u = r * n + c;
+      const int l = plate + r * n + c;
+      if (alive_[static_cast<std::size_t>(r * n + c)]) stamp(u, l, gVia);
+      if (gSheet > 0.0) {
+        if (c + 1 < n) {
+          stamp(u, r * n + c + 1, gSheet);
+          stamp(l, plate + r * n + c + 1, gSheet);
+        }
+        if (r + 1 < n) {
+          stamp(u, (r + 1) * n + c, gSheet);
+          stamp(l, plate + (r + 1) * n + c, gSheet);
+        }
+      }
+      // Feed rail ties to the upper plate's -y edge (row 0).
+      if (r == 0) stamp(feed, u, gRail > 0.0 ? gRail : 1e6);
+      // Drain (ground) ties to the lower plate's +x edge (col n-1).
+      if (c == n - 1) stamp(l, -1, gRail > 0.0 ? gRail : 1e6);
+    }
+  }
+
+  // Degenerate n == 1 case with no sheet segments is handled by the 1e6
+  // rail conductances above (they cancel out of relative comparisons).
+  std::vector<double> rhs(static_cast<std::size_t>(total), 0.0);
+  rhs[static_cast<std::size_t>(feed)] = config_.totalCurrentAmps;
+  v = g.solve(rhs);
+}
+
+std::vector<double> ViaArrayNetwork::viaCurrents() const {
+  std::vector<double> v;
+  solveNetwork(v);
+  const int n = config_.n;
+  const int plate = n * n;
+  const double gVia =
+      1.0 / (config_.arrayResistanceOhms * static_cast<double>(plate));
+  std::vector<double> currents(static_cast<std::size_t>(plate), 0.0);
+  for (int i = 0; i < plate; ++i) {
+    if (!alive_[static_cast<std::size_t>(i)]) continue;
+    currents[static_cast<std::size_t>(i)] =
+        (v[static_cast<std::size_t>(i)] -
+         v[static_cast<std::size_t>(plate + i)]) *
+        gVia;
+  }
+  return currents;
+}
+
+double ViaArrayNetwork::effectiveResistance() const {
+  std::vector<double> v;
+  solveNetwork(v);
+  const int feed = 2 * config_.n * config_.n;
+  return v[static_cast<std::size_t>(feed)] / config_.totalCurrentAmps;
+}
+
+}  // namespace viaduct

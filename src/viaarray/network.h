@@ -1,0 +1,73 @@
+// Electrical model of an n×n via array with current crowding.
+//
+// The array is discretized as two n×n plates of nodes (upper metal above
+// each via, lower metal below each via) connected by the via resistances.
+// Plate nodes are linked laterally by sheet-resistance segments. Current
+// enters from a feed rail at the upper wire's −y edge and leaves through a
+// drain rail at the lower wire's +x edge — the "turn the corner" flow of a
+// power-grid intersection, which produces the edge/corner current crowding
+// reported for multi-via structures [Li et al., SISPAD'12].
+//
+// Failing a via removes its branch; the remaining vias' currents
+// redistribute (and increase), which is what couples redundancy to EM in
+// Algorithm 1.
+#pragma once
+
+#include <vector>
+
+#include "numerics/dense.h"
+
+namespace viaduct {
+
+struct ViaArrayNetworkConfig {
+  int n = 4;
+  /// Nominal resistance of the WHOLE healthy array [Ω]; one via is n²×this.
+  double arrayResistanceOhms = 0.4;
+  /// Plate sheet resistance [Ω/sq] for the lateral segments.
+  double sheetResistancePerSquare = 0.02;
+  /// Total current pushed through the array [A].
+  double totalCurrentAmps = 0.01;
+};
+
+class ViaArrayNetwork {
+ public:
+  explicit ViaArrayNetwork(const ViaArrayNetworkConfig& config);
+
+  int viaCount() const { return config_.n * config_.n; }
+  int aliveCount() const { return aliveCount_; }
+  bool viaAlive(int via) const;
+
+  /// Marks a via failed (idempotent-checked: failing twice throws).
+  void failVia(int via);
+
+  /// Restores all vias.
+  void reset();
+
+  /// Per-via currents [A] under the configured total current; failed vias
+  /// carry 0. Throws NumericalError if no conducting path remains.
+  std::vector<double> viaCurrents() const;
+
+  /// Effective feed-to-drain resistance of the array network [Ω].
+  /// Infinite (throws NumericalError) once all vias have failed.
+  double effectiveResistance() const;
+
+  /// Healthy-array effective resistance (cached at construction).
+  double nominalResistance() const { return nominalResistance_; }
+
+  /// Eq. (5): idealized fractional resistance increase when nF of n² equal
+  /// parallel vias fail: ΔR/R = nF/(n² − nF). Static, for analysis/tests.
+  static double idealResistanceIncrease(int totalVias, int failedVias);
+
+  /// Via index helpers (row-major: via = row*n + col).
+  int viaIndex(int row, int col) const;
+
+ private:
+  void solveNetwork(std::vector<double>& nodeVoltages) const;
+
+  ViaArrayNetworkConfig config_;
+  std::vector<bool> alive_;
+  int aliveCount_ = 0;
+  double nominalResistance_ = 0.0;
+};
+
+}  // namespace viaduct

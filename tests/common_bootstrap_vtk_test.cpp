@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/lognormal.h"
+#include "common/rng.h"
+#include "common/statistics.h"
+#include "fea/vtk_writer.h"
+
+namespace viaduct {
+namespace {
+
+TEST(BootstrapCi, CoversTheTrueQuantile) {
+  // Draw lognormal samples; the bootstrap CI for the median should cover
+  // the true median in the vast majority of repetitions.
+  Rng rng(97);
+  const Lognormal truth(1.0, 0.5);
+  int covered = 0;
+  const int reps = 40;
+  for (int rep = 0; rep < reps; ++rep) {
+    std::vector<double> samples;
+    for (int i = 0; i < 400; ++i) samples.push_back(truth.sample(rng));
+    const auto ci = bootstrapQuantileCi(samples, 0.5, 0.95, 200, rng);
+    if (truth.median() >= ci.lower && truth.median() <= ci.upper) ++covered;
+    EXPECT_LT(ci.lower, ci.upper);
+  }
+  EXPECT_GE(covered, 33);  // ~95% nominal; allow slack at 40 reps
+}
+
+TEST(BootstrapCi, TailQuantileIsWiderThanMedian) {
+  Rng rng(101);
+  const Lognormal truth(1.0, 0.4);
+  std::vector<double> samples;
+  for (int i = 0; i < 500; ++i) samples.push_back(truth.sample(rng));
+  const auto med = bootstrapQuantileCi(samples, 0.5, 0.95, 300, rng);
+  const auto tail = bootstrapQuantileCi(samples, 0.003, 0.95, 300, rng);
+  EXPECT_GT(tail.width() / tail.lower, med.width() / med.lower);
+}
+
+TEST(BootstrapCi, ValidatesArguments) {
+  Rng rng(1);
+  std::vector<double> one = {1.0};
+  EXPECT_THROW(bootstrapQuantileCi(one, 0.5, 0.95, 100, rng),
+               PreconditionError);
+  std::vector<double> ok = {1.0, 2.0, 3.0};
+  EXPECT_THROW(bootstrapQuantileCi(ok, 1.5, 0.95, 100, rng),
+               PreconditionError);
+  EXPECT_THROW(bootstrapQuantileCi(ok, 0.5, 0.95, 10, rng),
+               PreconditionError);
+}
+
+TEST(VtkWriter, EmitsWellFormedDataset) {
+  auto grid = VoxelGrid::uniform(3, 2, 2, 0.5e-6, 0.5e-6, 0.5e-6,
+                                 MaterialId::kCopper);
+  grid.setMaterial(1, 1, 1, MaterialId::kSiCOH);
+  ThermoSolver solver(grid);
+  solver.solve();
+  std::ostringstream os;
+  writeVtk(solver, os, "test dataset");
+  const std::string vtk = os.str();
+  EXPECT_NE(vtk.find("# vtk DataFile Version 3.0"), std::string::npos);
+  EXPECT_NE(vtk.find("DATASET RECTILINEAR_GRID"), std::string::npos);
+  EXPECT_NE(vtk.find("DIMENSIONS 4 3 3"), std::string::npos);
+  EXPECT_NE(vtk.find("CELL_DATA 12"), std::string::npos);
+  EXPECT_NE(vtk.find("POINT_DATA 36"), std::string::npos);
+  EXPECT_NE(vtk.find("SCALARS sigma_h_mpa double 1"), std::string::npos);
+  EXPECT_NE(vtk.find("VECTORS displacement_nm double"), std::string::npos);
+
+  // Count data lines of the material section: one per cell.
+  const auto pos = vtk.find("SCALARS material int 1");
+  const auto start = vtk.find('\n', vtk.find("LOOKUP_TABLE", pos)) + 1;
+  int lines = 0;
+  for (std::size_t i = start; i < vtk.size() && lines < 13; ++i) {
+    if (vtk[i] == '\n') ++lines;
+    if (vtk.compare(i, 7, "SCALARS") == 0) break;
+  }
+  EXPECT_GE(lines, 12);
+}
+
+TEST(VtkWriter, RequiresSolvedState) {
+  auto grid = VoxelGrid::uniform(2, 2, 2, 1e-6, 1e-6, 1e-6);
+  ThermoSolver solver(grid);
+  std::ostringstream os;
+  EXPECT_THROW(writeVtk(solver, os), PreconditionError);
+}
+
+TEST(VtkWriter, FileVariantRejectsBadPath) {
+  auto grid = VoxelGrid::uniform(2, 2, 2, 1e-6, 1e-6, 1e-6,
+                                 MaterialId::kSilicon);
+  ThermoSolver solver(grid);
+  solver.solve();
+  EXPECT_THROW(writeVtkFile(solver, "/nonexistent-dir/out.vtk"), ParseError);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,175 @@
+#include "common/lognormal.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace viaduct {
+namespace {
+
+TEST(NormalCdf, KnownValues) {
+  EXPECT_NEAR(normalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(normalCdf(1.0), 0.8413447460685429, 1e-9);
+  EXPECT_NEAR(normalCdf(-1.96), 0.024997895148220435, 1e-9);
+}
+
+TEST(NormalQuantile, InvertsCdf) {
+  for (double p : {0.001, 0.003, 0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.997}) {
+    EXPECT_NEAR(normalCdf(normalQuantile(p)), p, 1e-9) << "p=" << p;
+  }
+}
+
+TEST(NormalQuantile, RejectsOutOfRange) {
+  EXPECT_THROW(normalQuantile(0.0), PreconditionError);
+  EXPECT_THROW(normalQuantile(1.0), PreconditionError);
+}
+
+TEST(Lognormal, MomentsMatchClosedForm) {
+  const Lognormal d(1.2, 0.5);
+  EXPECT_NEAR(d.mean(), std::exp(1.2 + 0.125), 1e-12);
+  EXPECT_NEAR(d.median(), std::exp(1.2), 1e-12);
+  const double s2 = 0.25;
+  EXPECT_NEAR(d.variance(), (std::exp(s2) - 1.0) * std::exp(2.4 + s2), 1e-9);
+}
+
+TEST(Lognormal, FromMeanStddevRoundTrip) {
+  const Lognormal d = Lognormal::fromMeanStddev(10.0, 3.0);
+  EXPECT_NEAR(d.mean(), 10.0, 1e-9);
+  EXPECT_NEAR(d.stddev(), 3.0, 1e-9);
+}
+
+TEST(Lognormal, CdfQuantileRoundTrip) {
+  const Lognormal d(0.3, 0.8);
+  for (double p : {0.003, 0.1, 0.5, 0.9, 0.997}) {
+    EXPECT_NEAR(d.cdf(d.quantile(p)), p, 1e-9);
+  }
+}
+
+TEST(Lognormal, CdfIsZeroForNonPositive) {
+  const Lognormal d(0.0, 1.0);
+  EXPECT_EQ(d.cdf(0.0), 0.0);
+  EXPECT_EQ(d.cdf(-5.0), 0.0);
+}
+
+TEST(Lognormal, PdfIntegratesToCdf) {
+  const Lognormal d(0.5, 0.6);
+  // Trapezoidal integration of the pdf from ~0 to x should match the cdf.
+  const double x = 3.0;
+  const int steps = 20000;
+  double acc = 0.0;
+  double prev = d.pdf(1e-9);
+  for (int i = 1; i <= steps; ++i) {
+    const double xi = 1e-9 + (x - 1e-9) * i / steps;
+    const double cur = d.pdf(xi);
+    acc += 0.5 * (prev + cur) * (x - 1e-9) / steps;
+    prev = cur;
+  }
+  EXPECT_NEAR(acc, d.cdf(x), 1e-4);
+}
+
+TEST(Lognormal, MleFitRecoversParameters) {
+  Rng rng(101);
+  const Lognormal truth(2.0, 0.3);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(truth.sample(rng));
+  const Lognormal fit = Lognormal::fitMle(samples);
+  EXPECT_NEAR(fit.mu(), 2.0, 0.01);
+  EXPECT_NEAR(fit.sigma(), 0.3, 0.01);
+}
+
+TEST(Lognormal, MomentFitRecoversParameters) {
+  Rng rng(103);
+  const Lognormal truth(1.0, 0.25);
+  std::vector<double> samples;
+  for (int i = 0; i < 50000; ++i) samples.push_back(truth.sample(rng));
+  const Lognormal fit = Lognormal::fitMoments(samples);
+  EXPECT_NEAR(fit.mu(), 1.0, 0.02);
+  EXPECT_NEAR(fit.sigma(), 0.25, 0.02);
+}
+
+TEST(Lognormal, FitRejectsNonPositiveSamples) {
+  const std::vector<double> bad = {1.0, -2.0, 3.0};
+  EXPECT_THROW(Lognormal::fitMle(bad), PreconditionError);
+}
+
+TEST(Lognormal, FitRejectsTooFewSamples) {
+  const std::vector<double> one = {1.0};
+  EXPECT_THROW(Lognormal::fitMle(one), PreconditionError);
+}
+
+TEST(Lognormal, WilkinsonSumMatchesMonteCarlo) {
+  // Sum of 4 moderate-sigma lognormals: Wilkinson should be close in both
+  // the bulk and the tails the paper cares about.
+  const std::vector<Lognormal> terms = {
+      Lognormal(0.0, 0.3), Lognormal(0.5, 0.25), Lognormal(-0.2, 0.4),
+      Lognormal(0.3, 0.2)};
+  const Lognormal approx = Lognormal::wilkinsonSum(terms);
+
+  Rng rng(107);
+  std::vector<double> sums;
+  const int n = 100000;
+  sums.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double s = 0.0;
+    for (const auto& t : terms) s += t.sample(rng);
+    sums.push_back(s);
+  }
+  double mean = 0.0;
+  for (double s : sums) mean += s;
+  mean /= n;
+  EXPECT_NEAR(approx.mean(), mean, 0.02 * mean);
+
+  // Median comparison (distributional, not just moments).
+  std::nth_element(sums.begin(), sums.begin() + n / 2, sums.end());
+  EXPECT_NEAR(approx.median(), sums[n / 2], 0.03 * sums[n / 2]);
+}
+
+TEST(Lognormal, ProductIsExact) {
+  // X^2 / Y with X, Y lognormal is exactly lognormal.
+  const Lognormal x(1.0, 0.2), y(0.5, 0.3);
+  const std::vector<Lognormal> terms = {x, y};
+  const std::vector<double> exps = {2.0, -1.0};
+  const Lognormal p = Lognormal::product(terms, exps);
+  EXPECT_NEAR(p.mu(), 2.0 * 1.0 - 0.5, 1e-12);
+  EXPECT_NEAR(p.sigma(), std::sqrt(4 * 0.04 + 0.09), 1e-12);
+}
+
+TEST(Lognormal, ScaledShiftsMedian) {
+  const Lognormal d(1.0, 0.4);
+  const Lognormal s = d.scaled(3.0);
+  EXPECT_NEAR(s.median(), 3.0 * d.median(), 1e-9);
+  EXPECT_NEAR(s.sigma(), d.sigma(), 1e-12);
+}
+
+TEST(Lognormal, DegenerateSigmaZero) {
+  const Lognormal d(std::log(7.0), 0.0);
+  EXPECT_EQ(d.cdf(6.9), 0.0);
+  EXPECT_EQ(d.cdf(7.1), 1.0);
+  EXPECT_NEAR(d.mean(), 7.0, 1e-12);
+}
+
+class LognormalSweep : public ::testing::TestWithParam<std::pair<double, double>> {};
+
+TEST_P(LognormalSweep, SampleMomentsMatchAnalytic) {
+  const auto [mu, sigma] = GetParam();
+  const Lognormal d(mu, sigma);
+  Rng rng(static_cast<std::uint64_t>(mu * 1000 + sigma * 100 + 7));
+  double sum = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += d.sample(rng);
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, d.mean(), 0.05 * d.mean());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MuSigmaGrid, LognormalSweep,
+    ::testing::Values(std::pair{0.0, 0.1}, std::pair{0.0, 0.5},
+                      std::pair{1.0, 0.3}, std::pair{2.0, 0.2},
+                      std::pair{-1.0, 0.4}, std::pair{3.0, 0.6}));
+
+}  // namespace
+}  // namespace viaduct

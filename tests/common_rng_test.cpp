@@ -1,0 +1,129 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+
+namespace viaduct {
+namespace {
+
+TEST(Rng, DeterministicForSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (a() == b()) ++same;
+  EXPECT_EQ(same, 0);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanAndVariance) {
+  Rng rng(11);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double u = rng.uniform();
+    sum += u;
+    sumSq += u * u;
+  }
+  const double mean = sum / n;
+  const double var = sumSq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.5, 0.005);
+  EXPECT_NEAR(var, 1.0 / 12.0, 0.005);
+}
+
+TEST(Rng, UniformRange) {
+  Rng rng(3);
+  for (int i = 0; i < 1000; ++i) {
+    const double v = rng.uniform(-5.0, 9.0);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 9.0);
+  }
+}
+
+TEST(Rng, UniformIntCoversRangeUniformly) {
+  Rng rng(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) counts[rng.uniformInt(10)]++;
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 10 * 0.1);
+}
+
+TEST(Rng, UniformIntRejectsZero) {
+  Rng rng(5);
+  EXPECT_THROW(rng.uniformInt(0), PreconditionError);
+}
+
+TEST(Rng, GaussianMoments) {
+  Rng rng(13);
+  double sum = 0.0, sumSq = 0.0, sumCube = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian();
+    sum += g;
+    sumSq += g * g;
+    sumCube += g * g * g;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.01);
+  EXPECT_NEAR(sumSq / n, 1.0, 0.02);
+  EXPECT_NEAR(sumCube / n, 0.0, 0.05);  // symmetry
+}
+
+TEST(Rng, GaussianShiftScale) {
+  Rng rng(17);
+  double sum = 0.0, sumSq = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.gaussian(10.0, 2.0);
+    sum += g;
+    sumSq += g * g;
+  }
+  const double mean = sum / n;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(sumSq / n - mean * mean, 4.0, 0.1);
+}
+
+TEST(Rng, GaussianNegativeStddevRejected) {
+  Rng rng(1);
+  EXPECT_THROW(rng.gaussian(0.0, -1.0), PreconditionError);
+}
+
+TEST(Rng, LognormalMedian) {
+  Rng rng(19);
+  std::vector<double> v;
+  const int n = 50001;
+  v.reserve(n);
+  for (int i = 0; i < n; ++i) v.push_back(rng.lognormal(std::log(5.0), 0.4));
+  std::nth_element(v.begin(), v.begin() + n / 2, v.end());
+  EXPECT_NEAR(v[n / 2], 5.0, 0.1);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(23);
+  Rng child = parent.split();
+  // The child must not replay the parent's stream.
+  Rng parentCopy(23);
+  parentCopy.split();
+  int same = 0;
+  for (int i = 0; i < 100; ++i)
+    if (child() == parent()) ++same;
+  EXPECT_LE(same, 1);
+}
+
+}  // namespace
+}  // namespace viaduct

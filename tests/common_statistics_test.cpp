@@ -1,0 +1,106 @@
+#include "common/statistics.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/lognormal.h"
+#include "common/rng.h"
+
+namespace viaduct {
+namespace {
+
+TEST(RunningStats, MeanVarianceMinMax) {
+  RunningStats s;
+  for (double x : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(x);
+  EXPECT_EQ(s.count(), 8u);
+  EXPECT_NEAR(s.mean(), 5.0, 1e-12);
+  EXPECT_NEAR(s.variance(), 32.0 / 7.0, 1e-12);
+  EXPECT_EQ(s.min(), 2.0);
+  EXPECT_EQ(s.max(), 9.0);
+}
+
+TEST(RunningStats, RequiresSamples) {
+  RunningStats s;
+  EXPECT_THROW(s.mean(), PreconditionError);
+  s.add(1.0);
+  EXPECT_THROW(s.variance(), PreconditionError);
+}
+
+TEST(EmpiricalCdf, SortsAndEvaluates) {
+  EmpiricalCdf cdf({3.0, 1.0, 2.0, 4.0});
+  EXPECT_EQ(cdf.cdf(0.5), 0.0);
+  EXPECT_EQ(cdf.cdf(1.0), 0.25);
+  EXPECT_EQ(cdf.cdf(2.5), 0.5);
+  EXPECT_EQ(cdf.cdf(100.0), 1.0);
+}
+
+TEST(EmpiricalCdf, QuantileEndpoints) {
+  EmpiricalCdf cdf({10.0, 20.0, 30.0});
+  EXPECT_EQ(cdf.quantile(0.0), 10.0);
+  EXPECT_EQ(cdf.quantile(1.0), 30.0);
+  EXPECT_NEAR(cdf.quantile(0.5), 20.0, 1e-12);
+}
+
+TEST(EmpiricalCdf, QuantileInterpolates) {
+  EmpiricalCdf cdf({0.0, 1.0});
+  EXPECT_NEAR(cdf.quantile(0.25), 0.25, 1e-12);
+  EXPECT_NEAR(cdf.quantile(0.75), 0.75, 1e-12);
+}
+
+TEST(EmpiricalCdf, SingleSample) {
+  EmpiricalCdf cdf({5.0});
+  EXPECT_EQ(cdf.quantile(0.003), 5.0);
+  EXPECT_EQ(cdf.median(), 5.0);
+}
+
+TEST(EmpiricalCdf, RejectsEmpty) {
+  EXPECT_THROW(EmpiricalCdf(std::vector<double>{}), PreconditionError);
+}
+
+TEST(EmpiricalCdf, WorstCaseTracksLowTail) {
+  // 0.3%ile of a large lognormal sample should approximate the analytic
+  // quantile.
+  Rng rng(31);
+  const Lognormal d(2.0, 0.4);
+  std::vector<double> samples;
+  for (int i = 0; i < 100000; ++i) samples.push_back(d.sample(rng));
+  EmpiricalCdf cdf(std::move(samples));
+  EXPECT_NEAR(cdf.worstCase(), d.quantile(0.003), 0.05 * d.quantile(0.003));
+}
+
+TEST(EmpiricalCdf, MeanMatches) {
+  EmpiricalCdf cdf({1.0, 2.0, 3.0, 4.0});
+  EXPECT_NEAR(cdf.mean(), 2.5, 1e-12);
+}
+
+TEST(KsStatistic, ZeroForPerfectMatch) {
+  // Reference CDF equal to the empirical mid-step values gives small D.
+  std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ref = {0.125, 0.375, 0.625, 0.875};
+  EXPECT_NEAR(ksStatistic(samples, ref), 0.125, 1e-12);
+}
+
+TEST(KsStatistic, DetectsMismatch) {
+  std::vector<double> samples = {1.0, 2.0, 3.0, 4.0};
+  std::vector<double> ref = {0.9, 0.95, 0.99, 1.0};  // way off
+  EXPECT_GT(ksStatistic(samples, ref), 0.5);
+}
+
+TEST(KsStatistic, LognormalSamplesAgainstOwnCdf) {
+  Rng rng(37);
+  const Lognormal d(1.0, 0.3);
+  std::vector<double> samples;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) samples.push_back(d.sample(rng));
+  std::sort(samples.begin(), samples.end());
+  std::vector<double> ref;
+  ref.reserve(samples.size());
+  for (double x : samples) ref.push_back(d.cdf(x));
+  // KS statistic should be ~ O(1/sqrt(n)).
+  EXPECT_LT(ksStatistic(samples, ref), 2.0 / std::sqrt(double(n)) * 2.0);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/table.h"
+
+namespace viaduct {
+namespace {
+
+TEST(TextTable, FormatsAlignedTable) {
+  TextTable t({"name", "value"});
+  t.addRow({"alpha", "1"});
+  t.addRow({"b", "22.5"});
+  std::ostringstream os;
+  t.print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| alpha | 1     |"), std::string::npos);
+  EXPECT_NE(out.find("| b     | 22.5  |"), std::string::npos);
+}
+
+TEST(TextTable, RejectsMismatchedRow) {
+  TextTable t({"a", "b"});
+  EXPECT_THROW(t.addRow({"only-one"}), PreconditionError);
+}
+
+TEST(TextTable, NumTrimsZeros) {
+  EXPECT_EQ(TextTable::num(1.5, 3), "1.5");
+  EXPECT_EQ(TextTable::num(2.0, 3), "2");
+  EXPECT_EQ(TextTable::num(0.1251, 2), "0.13");
+}
+
+TEST(CsvWriter, WritesHeaderAndRows) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  w.writeRow(std::vector<double>{1.0, 2.5});
+  EXPECT_EQ(os.str(), "x,y\n1,2.5\n");
+}
+
+TEST(CsvWriter, RejectsWrongWidth) {
+  std::ostringstream os;
+  CsvWriter w(os, {"x", "y"});
+  EXPECT_THROW(w.writeRow(std::vector<double>{1.0}), PreconditionError);
+}
+
+TEST(CliFlags, ParsesAllTypes) {
+  int i = 1;
+  double d = 2.0;
+  std::string s = "default";
+  bool b = false;
+  CliFlags flags("test");
+  flags.addInt("count", &i, "");
+  flags.addDouble("ratio", &d, "");
+  flags.addString("name", &s, "");
+  flags.addBool("verbose", &b, "");
+  const char* argv[] = {"prog", "--count", "5", "--ratio=3.5",
+                        "--name", "abc", "--verbose"};
+  EXPECT_TRUE(flags.parse(7, argv));
+  EXPECT_EQ(i, 5);
+  EXPECT_EQ(d, 3.5);
+  EXPECT_EQ(s, "abc");
+  EXPECT_TRUE(b);
+}
+
+TEST(CliFlags, UnknownFlagThrows) {
+  CliFlags flags("test");
+  const char* argv[] = {"prog", "--nope", "1"};
+  EXPECT_THROW(flags.parse(3, argv), PreconditionError);
+}
+
+TEST(CliFlags, MissingValueThrows) {
+  int i = 0;
+  CliFlags flags("test");
+  flags.addInt("count", &i, "");
+  const char* argv[] = {"prog", "--count"};
+  EXPECT_THROW(flags.parse(2, argv), PreconditionError);
+}
+
+TEST(CliFlags, BadIntegerThrows) {
+  int i = 0;
+  CliFlags flags("test");
+  flags.addInt("count", &i, "");
+  const char* argv[] = {"prog", "--count", "5x"};
+  EXPECT_THROW(flags.parse(3, argv), PreconditionError);
+}
+
+TEST(CliFlags, HelpReturnsFalse) {
+  CliFlags flags("test");
+  const char* argv[] = {"prog", "--help"};
+  EXPECT_FALSE(flags.parse(2, argv));
+}
+
+TEST(CliFlags, BoolExplicitFalse) {
+  bool b = true;
+  CliFlags flags("test");
+  flags.addBool("opt", &b, "");
+  const char* argv[] = {"prog", "--opt=false"};
+  EXPECT_TRUE(flags.parse(2, argv));
+  EXPECT_FALSE(b);
+}
+
+}  // namespace
+}  // namespace viaduct

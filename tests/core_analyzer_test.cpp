@@ -1,0 +1,124 @@
+#include "core/analyzer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "spice/generator.h"
+#include "spice/parser.h"
+
+namespace viaduct {
+namespace {
+
+/// Shared library so the FEA/MC characterizations run once per pattern.
+std::shared_ptr<ViaArrayLibrary> sharedLibrary() {
+  static auto lib = std::make_shared<ViaArrayLibrary>();
+  return lib;
+}
+
+Netlist tinyGrid() {
+  // Large enough that one array failure does not already breach 10% IR.
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 10;
+  cfg.stripesY = 10;
+  cfg.padCount = 4;
+  cfg.totalCurrentAmps = 1.2;
+  cfg.seed = 3;
+  return generatePowerGrid(cfg);
+}
+
+AnalyzerConfig fastConfig() {
+  AnalyzerConfig cfg;
+  cfg.viaArraySize = 4;
+  cfg.trials = 30;
+  cfg.characterization.trials = 60;
+  cfg.characterization.resolutionXy = 0.25e-6;
+  cfg.characterization.margin = 1.0e-6;
+  return cfg;
+}
+
+TEST(Analyzer, AssignsPatternsByMeshPosition) {
+  PowerGridEmAnalyzer analyzer(tinyGrid(), fastConfig(), sharedLibrary());
+  const auto& patterns = analyzer.sitePatterns();
+  ASSERT_EQ(patterns.size(), 100u);
+  int corners = 0, edges = 0, interior = 0;
+  for (const auto p : patterns) {
+    if (p == IntersectionPattern::kL) ++corners;
+    if (p == IntersectionPattern::kT) ++edges;
+    if (p == IntersectionPattern::kPlus) ++interior;
+  }
+  EXPECT_EQ(corners, 4);
+  EXPECT_EQ(edges, 4 * (10 - 2));
+  EXPECT_EQ(interior, 8 * 8);
+}
+
+TEST(Analyzer, PositionalPatternsCanBeDisabled) {
+  auto cfg = fastConfig();
+  cfg.usePositionalPatterns = false;
+  PowerGridEmAnalyzer analyzer(tinyGrid(), cfg, sharedLibrary());
+  for (const auto p : analyzer.sitePatterns())
+    EXPECT_EQ(p, IntersectionPattern::kPlus);
+}
+
+TEST(Analyzer, TunesNominalIrDrop) {
+  auto cfg = fastConfig();
+  cfg.tuneNominalIrDropFraction = 0.05;
+  PowerGridEmAnalyzer analyzer(tinyGrid(), cfg, sharedLibrary());
+  EXPECT_NEAR(analyzer.model().solveNominal().worstIrDropFraction, 0.05,
+              1e-9);
+}
+
+TEST(Analyzer, ReportShapesMatchThePaper) {
+  auto cfg = fastConfig();
+  PowerGridEmAnalyzer analyzer(tinyGrid(), cfg, sharedLibrary());
+  using AC = ViaArrayFailureCriterion;
+  using SC = GridFailureCriterion;
+  const auto wlwl = analyzer.analyze(AC::weakestLink(), SC::weakestLink());
+  const auto wlir = analyzer.analyze(AC::weakestLink(), SC::irDrop(0.10));
+  const auto opwl = analyzer.analyze(AC::openCircuit(), SC::weakestLink());
+  const auto opir = analyzer.analyze(AC::openCircuit(), SC::irDrop(0.10));
+
+  // Table 2 orderings.
+  EXPECT_LT(wlwl.worstCaseYears, wlir.worstCaseYears);
+  EXPECT_LT(opwl.worstCaseYears, opir.worstCaseYears);
+  EXPECT_LT(wlwl.worstCaseYears, opwl.worstCaseYears);
+  EXPECT_LT(wlir.worstCaseYears, opir.worstCaseYears);
+
+  EXPECT_GT(wlwl.worstCaseYears, 0.0);
+  EXPECT_EQ(wlwl.systemCriterion, "weakest-link");
+  EXPECT_EQ(opir.arrayCriterion, "R=inf");
+  EXPECT_EQ(opir.systemCriterion, "10% IR-drop");
+  EXPECT_GT(opir.meanFailuresToBreach, 1.0);
+  EXPECT_NEAR(wlwl.nominalIrDropFraction, 0.06, 1e-6);
+  EXPECT_GE(wlwl.medianYears, wlwl.worstCaseYears);
+}
+
+TEST(Analyzer, SharedLibraryIsReused) {
+  auto lib = sharedLibrary();
+  const std::size_t before = lib->size();
+  auto cfg = fastConfig();
+  PowerGridEmAnalyzer analyzer(tinyGrid(), cfg, lib);
+  analyzer.analyze(ViaArrayFailureCriterion::weakestLink(),
+                   GridFailureCriterion::weakestLink());
+  const std::size_t after = lib->size();
+  // Second analyzer with the same config adds nothing new.
+  PowerGridEmAnalyzer analyzer2(tinyGrid(), cfg, lib);
+  analyzer2.analyze(ViaArrayFailureCriterion::weakestLink(),
+                    GridFailureCriterion::weakestLink());
+  EXPECT_EQ(lib->size(), after);
+  EXPECT_GE(after, before);
+}
+
+TEST(Analyzer, RejectsNetlistWithoutViaArrays) {
+  const Netlist n = parseSpiceString(
+      "R1 a b 1.0\n"
+      "V1 p 0 1.0\n"
+      "Rp p a 0.01\n"
+      "I1 b 0 0.001\n");
+  auto cfg = fastConfig();
+  cfg.tuneNominalIrDropFraction.reset();
+  EXPECT_THROW(PowerGridEmAnalyzer(n, cfg, sharedLibrary()),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

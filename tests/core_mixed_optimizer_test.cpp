@@ -1,0 +1,103 @@
+#include "core/mixed_optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "core/analyzer.h"
+#include "spice/generator.h"
+
+namespace viaduct {
+namespace {
+
+std::shared_ptr<ViaArrayLibrary> sharedLibrary() {
+  static auto lib = std::make_shared<ViaArrayLibrary>();
+  return lib;
+}
+
+struct Fixture {
+  Fixture() {
+    GridGeneratorConfig cfg;
+    cfg.stripesX = 8;
+    cfg.stripesY = 8;
+    cfg.padCount = 4;
+    cfg.totalCurrentAmps = 1.0;
+    cfg.seed = 31;
+    netlist = generatePowerGrid(cfg);
+    tuneNominalIrDrop(netlist, 0.06);
+    model = std::make_unique<PowerGridModel>(netlist);
+    patterns.assign(model->viaArrays().size(), IntersectionPattern::kPlus);
+    options.characterization.resolutionXy = 0.25e-6;
+    options.characterization.margin = 1.0e-6;
+    options.characterization.trials = 60;
+    options.trials = 60;
+    // 0.25 um voxels cannot resolve 8x8 vias; upgrade 2x2 -> 4x4 in tests.
+    options.baseSize = 2;
+    options.upgradedSize = 4;
+  }
+  Netlist netlist;
+  std::unique_ptr<PowerGridModel> model;
+  std::vector<IntersectionPattern> patterns;
+  MixedArrayOptions options;
+};
+
+TEST(MixedOptimizer, RankingIsByDescendingCurrent) {
+  Fixture f;
+  MixedArrayOptimizer opt(*f.model, f.patterns, f.options, sharedLibrary());
+  const auto nominal = f.model->solveNominal();
+  const auto& ranked = opt.rankedSites();
+  ASSERT_EQ(ranked.size(), f.model->viaArrays().size());
+  for (std::size_t i = 1; i < ranked.size(); ++i) {
+    EXPECT_GE(nominal.viaArrayCurrents[static_cast<std::size_t>(ranked[i - 1])],
+              nominal.viaArrayCurrents[static_cast<std::size_t>(ranked[i])]);
+  }
+}
+
+TEST(MixedOptimizer, UpgradingHelpsMonotonically) {
+  Fixture f;
+  MixedArrayOptimizer opt(*f.model, f.patterns, f.options, sharedLibrary());
+  const auto plans = opt.greedySweep({0, 8, 64});
+  ASSERT_EQ(plans.size(), 3u);
+  EXPECT_EQ(plans[0].upgradedSites.size(), 0u);
+  EXPECT_EQ(plans[2].upgradedSites.size(), 64u);
+  // All-base < partial <= all-upgraded (worst-case TTF).
+  EXPECT_LT(plans[0].worstCaseYears, plans[2].worstCaseYears);
+  EXPECT_LE(plans[0].worstCaseYears, plans[1].worstCaseYears);
+  EXPECT_LE(plans[1].worstCaseYears, plans[2].worstCaseYears * 1.001);
+}
+
+TEST(MixedOptimizer, FewHotUpgradesCaptureMostOfTheBenefit) {
+  // The optimization premise: worst-case TTF is set by the hottest arrays,
+  // so upgrading the top ~12% captures most of the full-upgrade gain.
+  Fixture f;
+  f.options.systemCriterion = GridFailureCriterion::weakestLink();
+  MixedArrayOptimizer opt(*f.model, f.patterns, f.options, sharedLibrary());
+  const auto plans = opt.greedySweep({0, 8, 64});
+  const double gainAll = plans[2].worstCaseYears - plans[0].worstCaseYears;
+  const double gainTop = plans[1].worstCaseYears - plans[0].worstCaseYears;
+  ASSERT_GT(gainAll, 0.0);
+  EXPECT_GT(gainTop, 0.5 * gainAll);
+}
+
+TEST(MixedOptimizer, EvaluateValidatesSites) {
+  Fixture f;
+  MixedArrayOptimizer opt(*f.model, f.patterns, f.options, sharedLibrary());
+  EXPECT_THROW(opt.evaluate({-1}), PreconditionError);
+  EXPECT_THROW(opt.evaluate({10000}), PreconditionError);
+  EXPECT_THROW(opt.greedySweep({100000}), PreconditionError);
+}
+
+TEST(MixedOptimizer, RejectsBadConfiguration) {
+  Fixture f;
+  f.options.upgradedSize = f.options.baseSize;  // not an upgrade
+  EXPECT_THROW(
+      MixedArrayOptimizer(*f.model, f.patterns, f.options, sharedLibrary()),
+      PreconditionError);
+  f.options.upgradedSize = 4;
+  std::vector<IntersectionPattern> wrongSize(3, IntersectionPattern::kPlus);
+  EXPECT_THROW(
+      MixedArrayOptimizer(*f.model, wrongSize, f.options, sharedLibrary()),
+      PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

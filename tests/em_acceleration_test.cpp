@@ -1,0 +1,116 @@
+#include "em/acceleration.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/physical_constants.h"
+
+namespace viaduct {
+namespace {
+
+TEST(Acceleration, BlackFactorMatchesClosedForm) {
+  EmParameters p;
+  p.activationEnergyEv = 0.85;
+  TestCondition test{.temperatureK = 573.15, .currentDensity = 2e10};
+  UseCondition use{.temperatureK = 378.15, .currentDensity = 1e10};
+  const double af = blackAccelerationFactor(test, use, p);
+  const double expected =
+      4.0 * std::exp((0.85 * constants::kElectronVolt / constants::kBoltzmann) *
+                     (1.0 / 378.15 - 1.0 / 573.15));
+  EXPECT_NEAR(af, expected, 1e-6 * expected);
+  EXPECT_GT(af, 1e3);  // accelerated tests buy orders of magnitude
+}
+
+TEST(Acceleration, BlackFactorIdentityAtSameConditions) {
+  EmParameters p;
+  TestCondition test{.temperatureK = 378.15, .currentDensity = 1e10};
+  UseCondition use{.temperatureK = 378.15, .currentDensity = 1e10};
+  EXPECT_NEAR(blackAccelerationFactor(test, use, p), 1.0, 1e-12);
+}
+
+TEST(Acceleration, StressScalesLinearlyInTemperature) {
+  // Reference stress 250 MPa at 105 C with a 350 C anneal.
+  const double anneal = 623.15, ref = 378.15;
+  EXPECT_NEAR(stressAtTemperature(250e6, ref, anneal, ref), 250e6, 1.0);
+  // At the anneal temperature the stress vanishes.
+  EXPECT_NEAR(stressAtTemperature(250e6, ref, anneal, anneal), 0.0, 1.0);
+  // Halfway in (anneal - T): half the stress.
+  const double mid = anneal - 0.5 * (anneal - ref);
+  EXPECT_NEAR(stressAtTemperature(250e6, ref, anneal, mid), 125e6, 1e3);
+  // Above anneal: clamped at zero (compressive regime not modeled here).
+  EXPECT_EQ(stressAtTemperature(250e6, ref, anneal, anneal + 50.0), 0.0);
+}
+
+TEST(Acceleration, TestConditionSeesLittleStress) {
+  // The paper's motivation: at a 300 C test with a 350 C anneal, only
+  // ~18% of the use-condition stress remains.
+  const double sTest = stressAtTemperature(250e6, 378.15, 623.15, 573.15);
+  EXPECT_LT(sTest, 0.25 * 250e6);
+  EXPECT_GT(sTest, 0.10 * 250e6);
+}
+
+TEST(Acceleration, StressAwareFactorExceedsNeitherBoundObviously) {
+  EmParameters p;
+  TestCondition test;
+  UseCondition use;
+  const double aware =
+      stressAwareAccelerationFactor(test, use, 250e6, 623.15, p);
+  EXPECT_GT(aware, 1.0);  // use condition still outlives the oven
+}
+
+TEST(Acceleration, StressBlindExtrapolationOverestimates) {
+  // The headline: ignoring sigma_T makes the classical extrapolation
+  // overpredict field lifetime, increasingly so at higher sigma_T.
+  EmParameters p;
+  TestCondition test;
+  UseCondition use;
+  const double over150 =
+      lifetimeOverestimationFactor(test, use, 150e6, 623.15, p);
+  const double over250 =
+      lifetimeOverestimationFactor(test, use, 250e6, 623.15, p);
+  EXPECT_GT(over150, 1.0);
+  EXPECT_GT(over250, over150);
+  EXPECT_GT(over250, 2.0);  // a serious reliability gap at power-grid stress
+}
+
+TEST(Acceleration, ZeroStressRecoversBlack) {
+  // With no thermomechanical stress the two extrapolations agree (up to
+  // the mild temperature dependence of sigma_C's prefactor, which is
+  // none — Eq. 4 is athermal — and of Ctn's 1/T factor).
+  EmParameters p;
+  TestCondition test;
+  UseCondition use;
+  const double over = lifetimeOverestimationFactor(test, use, 0.0, 623.15, p);
+  // Ctn carries a 1/T factor that Black's form ignores; allow ~2x slack.
+  EXPECT_NEAR(over, 1.0, 1.0);
+}
+
+TEST(Acceleration, InstantNucleationAtUseRejected) {
+  EmParameters p;
+  TestCondition test;
+  UseCondition use;
+  // sigma_T above sigma_C at use temperature: no finite lifetime.
+  EXPECT_THROW(
+      stressAwareAccelerationFactor(test, use, 400e6, 623.15, p),
+      PreconditionError);
+}
+
+class OverestimationSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(OverestimationSweep, MonotoneInUseStress) {
+  EmParameters p;
+  TestCondition test;
+  UseCondition use;
+  const double s = GetParam();
+  const double a = lifetimeOverestimationFactor(test, use, s, 623.15, p);
+  const double b = lifetimeOverestimationFactor(test, use, s + 25e6, 623.15, p);
+  EXPECT_GT(b, a);
+}
+
+INSTANTIATE_TEST_SUITE_P(StressRange, OverestimationSweep,
+                         ::testing::Values(50e6, 120e6, 180e6, 230e6, 270e6));
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,113 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "em/blech.h"
+#include "em/korhonen.h"
+#include "em/void_growth.h"
+
+namespace viaduct {
+namespace {
+
+TEST(Blech, ProductLimitClosedForm) {
+  EmParameters p;
+  const double margin = 100e6;  // Pa
+  const double limit = blechProductLimit(margin, p);
+  // 2 * Omega * margin / (e Z* rho).
+  const double expected = 2.0 * p.atomicVolume * margin /
+                          (1.602176634e-19 * p.effectiveChargeNumber *
+                           p.resistivityOhmM);
+  EXPECT_NEAR(limit, expected, 1e-6 * expected);
+  // Order of magnitude: a few 1e5 A/m (a few 1e3 A/cm) for Cu at a
+  // 100 MPa margin, consistent with reported Blech products.
+  EXPECT_GT(limit, 1e5);
+  EXPECT_LT(limit, 1e6);
+}
+
+TEST(Blech, LimitScalesWithMargin) {
+  EmParameters p;
+  EXPECT_NEAR(blechProductLimit(200e6, p), 2.0 * blechProductLimit(100e6, p),
+              1e-3);
+}
+
+TEST(Blech, RejectsNonPositiveMargin) {
+  EmParameters p;
+  EXPECT_THROW(blechProductLimit(0.0, p), PreconditionError);
+  EXPECT_THROW(blechProductLimit(-1e6, p), PreconditionError);
+}
+
+TEST(Blech, ImmortalityVerdicts) {
+  EmParameters p;
+  const double margin = 90e6;
+  const double limit = blechProductLimit(margin, p);
+  EXPECT_TRUE(isImmortal(0.5 * limit / 20e-6, 20e-6, margin, p));
+  EXPECT_FALSE(isImmortal(2.0 * limit / 20e-6, 20e-6, margin, p));
+}
+
+TEST(Blech, ConsistentWithPdeSaturation) {
+  // At exactly the Blech limit, the PDE saturation stress equals the
+  // critical threshold: G*L/2 == margin.
+  EmParameters p;
+  const double margin = 85e6;
+  const double limit = blechProductLimit(margin, p);
+  const double L = 20e-6;
+  const double j = limit / L;
+  // Saturation stress G*L/2 with G = e Z* rho j / Omega.
+  const double g = 1.602176634e-19 * p.effectiveChargeNumber *
+                   p.resistivityOhmM * j / p.atomicVolume;
+  EXPECT_NEAR(0.5 * g * L, margin, 1e-3 * margin);
+}
+
+TEST(VoidGrowth, DriftVelocityScale) {
+  EmParameters p;
+  const double v = emDriftVelocity(1e10, p);
+  // nm/year scale at operating conditions.
+  EXPECT_GT(v * units::year, 0.5e-9);
+  EXPECT_LT(v * units::year, 100e-9);
+  // Linear in j.
+  EXPECT_NEAR(emDriftVelocity(2e10, p), 2.0 * v, 1e-6 * v);
+}
+
+TEST(VoidGrowth, SlitVoidVolume) {
+  EXPECT_NEAR(slitVoidCriticalVolume(0.25e-6 * 0.25e-6, 20e-9),
+              1.25e-21, 1e-27);
+}
+
+TEST(VoidGrowth, GrowthTimeInverseInJ) {
+  EmParameters p;
+  const double v1 = voidGrowthTime(1e-21, 6e-13, 1e10, p);
+  const double v2 = voidGrowthTime(1e-21, 6e-13, 2e10, p);
+  EXPECT_NEAR(v1 / v2, 2.0, 1e-9);
+}
+
+TEST(VoidGrowth, SlitGrowthIsMinorVsNucleation) {
+  // The paper's §2.1 justification: for slit voids the growth phase is a
+  // small correction to the nucleation time at matched conditions.
+  EmParameters p;
+  const double j = 1e10;
+  const double sigmaT = 250e6;
+  const double tn = nucleationTime(340e6, sigmaT, j, p.medianDeff(), p);
+  const double tg = voidGrowthTime(
+      slitVoidCriticalVolume(0.25e-6 * 0.25e-6, 20e-9),
+      /*feedArea=*/2e-6 * 0.3e-6, j, p);
+  EXPECT_LT(tg, 0.25 * tn);
+  EXPECT_NEAR(ttfWithGrowth(tn, slitVoidCriticalVolume(0.0625e-12, 20e-9),
+                            6e-13, j, p),
+              tn + tg, 1e-3 * tn);
+}
+
+TEST(VoidGrowth, ThickVoidsAreNotNegligible) {
+  // A catastrophic (wire-thickness) void takes much longer to grow —
+  // where the Al-era growth term mattered.
+  EmParameters p;
+  const double thin = voidGrowthTime(
+      slitVoidCriticalVolume(0.0625e-12, 20e-9), 6e-13, 1e10, p);
+  const double thick = voidGrowthTime(
+      slitVoidCriticalVolume(0.0625e-12, 300e-9), 6e-13, 1e10, p);
+  EXPECT_NEAR(thick / thin, 15.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace viaduct

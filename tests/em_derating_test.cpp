@@ -1,0 +1,99 @@
+#include "em/derating.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+
+namespace viaduct {
+namespace {
+
+TEST(DutyCycle, DcWaveformIsIdentity) {
+  const std::vector<CurrentPhase> dc = {{1e10, 1.0}};
+  EXPECT_DOUBLE_EQ(effectiveCurrentDensity(dc), 1e10);
+}
+
+TEST(DutyCycle, FiftyPercentDutyHalves) {
+  const std::vector<CurrentPhase> wave = {{2e10, 1.0}, {0.0, 1.0}};
+  EXPECT_DOUBLE_EQ(effectiveCurrentDensity(wave), 1e10);
+}
+
+TEST(DutyCycle, FullRecoveryCancelsSymmetricAc) {
+  const std::vector<CurrentPhase> ac = {{1e10, 1.0}, {-1e10, 1.0}};
+  EXPECT_DOUBLE_EQ(effectiveCurrentDensity(ac, 1.0), 0.0);
+}
+
+TEST(DutyCycle, PartialRecovery) {
+  const std::vector<CurrentPhase> ac = {{1e10, 1.0}, {-1e10, 1.0}};
+  EXPECT_NEAR(effectiveCurrentDensity(ac, 0.5), 0.25e10, 1.0);
+  EXPECT_NEAR(effectiveCurrentDensity(ac, 0.0), 0.5e10, 1.0);
+}
+
+TEST(DutyCycle, ClampsAtZero) {
+  const std::vector<CurrentPhase> reverseHeavy = {{1e10, 1.0}, {-3e10, 1.0}};
+  EXPECT_DOUBLE_EQ(effectiveCurrentDensity(reverseHeavy, 1.0), 0.0);
+}
+
+TEST(DutyCycle, WeightsByDuration) {
+  const std::vector<CurrentPhase> wave = {{4e10, 1.0}, {0.0, 3.0}};
+  EXPECT_DOUBLE_EQ(effectiveCurrentDensity(wave), 1e10);
+}
+
+TEST(DutyCycle, Validation) {
+  const std::vector<CurrentPhase> empty;
+  EXPECT_THROW(effectiveCurrentDensity(empty), PreconditionError);
+  const std::vector<CurrentPhase> zeroTime = {{1e10, 0.0}};
+  EXPECT_THROW(effectiveCurrentDensity(zeroTime), PreconditionError);
+  const std::vector<CurrentPhase> ok = {{1e10, 1.0}};
+  EXPECT_THROW(effectiveCurrentDensity(ok, 2.0), PreconditionError);
+}
+
+TEST(TemperatureDerating, IdentityAtReference) {
+  EmParameters p;
+  EXPECT_NEAR(temperatureDeratingFactor(378.15, 378.15, 250e6,
+                                        units::kelvinFromCelsius(350.0), p),
+              1.0, 1e-9);
+}
+
+TEST(TemperatureDerating, HotterIsShorterDespiteStressRelaxation) {
+  // The Arrhenius acceleration dominates the sigma_T relaxation in the
+  // operating range: a 125 C hotspot lives shorter than 105 C ambient.
+  EmParameters p;
+  const double annealK = units::kelvinFromCelsius(350.0);
+  const double f125 = temperatureDeratingFactor(
+      units::kelvinFromCelsius(125.0), 378.15, 250e6, annealK, p);
+  EXPECT_LT(f125, 1.0);
+  EXPECT_GT(f125, 0.05);
+  // And monotone: 145 C is worse than 125 C.
+  const double f145 = temperatureDeratingFactor(
+      units::kelvinFromCelsius(145.0), 378.15, 250e6, annealK, p);
+  EXPECT_LT(f145, f125);
+}
+
+TEST(TemperatureDerating, ColdSideIsFlattenedByStress) {
+  // Cooling from 105 C to 65 C: diffusion slows (longer life) but sigma_T
+  // grows (shorter life) — the net gain is SMALLER than the stress-blind
+  // Arrhenius factor alone.
+  EmParameters p;
+  const double annealK = units::kelvinFromCelsius(350.0);
+  const double withStress = temperatureDeratingFactor(
+      units::kelvinFromCelsius(65.0), 378.15, 250e6, annealK, p);
+  const double nearlyBlind = temperatureDeratingFactor(
+      units::kelvinFromCelsius(65.0), 378.15, 1.0 /* ~no stress */, annealK,
+      p);
+  EXPECT_GT(withStress, 1.0);
+  EXPECT_LT(withStress, nearlyBlind);
+}
+
+TEST(TemperatureDerating, Validation) {
+  EmParameters p;
+  EXPECT_THROW(temperatureDeratingFactor(378.15, 378.15, -1.0, 623.15, p),
+               PreconditionError);
+  EXPECT_THROW(temperatureDeratingFactor(378.15, 700.0, 0.0, 623.15, p),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,145 @@
+#include "em/korhonen_pde.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "em/critical_stress.h"
+#include "em/korhonen.h"
+
+namespace viaduct {
+namespace {
+
+KorhonenPdeConfig baseConfig() {
+  KorhonenPdeConfig c;
+  c.lineLength = 50e-6;
+  c.currentDensity = 1e10;
+  c.initialStress = 0.0;
+  c.gridPoints = 300;
+  c.cellTimeFraction = 1.0;
+  return c;
+}
+
+TEST(KorhonenPde, InitialConditionIsUniform) {
+  EmParameters p;
+  KorhonenPdeSolver solver(baseConfig(), p);
+  for (double s : solver.stress()) EXPECT_EQ(s, 0.0);
+  EXPECT_EQ(solver.time(), 0.0);
+}
+
+TEST(KorhonenPde, CathodeStressGrowsAnodeDrops) {
+  EmParameters p;
+  KorhonenPdeSolver solver(baseConfig(), p);
+  solver.advanceTo(0.2 * units::year);
+  EXPECT_GT(solver.stress().front(), 1e6);   // cathode in tension
+  EXPECT_LT(solver.stress().back(), -1e6);   // anode in compression
+}
+
+TEST(KorhonenPde, MassConservation) {
+  // Blocking boundaries conserve atoms; the mean stress stays at sigma_T.
+  EmParameters p;
+  auto cfg = baseConfig();
+  cfg.initialStress = 100e6;
+  KorhonenPdeSolver solver(cfg, p);
+  solver.advanceTo(1.0 * units::year);
+  double mean = 0.0;
+  for (double s : solver.stress()) mean += s;
+  mean /= static_cast<double>(solver.stress().size());
+  EXPECT_NEAR(mean, 100e6, 0.01e6);
+}
+
+TEST(KorhonenPde, MatchesSimilaritySolutionAtShortTimes) {
+  // While the diffusion front is far from the far end, the cathode stress
+  // must follow sigma_T + 2G*sqrt(kappa t / pi).
+  EmParameters p;
+  KorhonenPdeSolver solver(baseConfig(), p);
+  // Diffusion time of the whole line:
+  const double tDiff = solver.kappa() > 0.0
+                           ? (50e-6 * 50e-6) / solver.kappa()
+                           : 0.0;
+  const double t = 0.01 * tDiff;  // firmly in the short-time regime
+  solver.advanceTo(t);
+  const double numeric = solver.cathodeStress();
+  const double analytic = solver.analyticCathodeStress(t);
+  EXPECT_NEAR(numeric, analytic, 0.03 * analytic);
+}
+
+TEST(KorhonenPde, SaturatesAtBlechSteadyState) {
+  EmParameters p;
+  auto cfg = baseConfig();
+  cfg.lineLength = 5e-6;  // short line saturates quickly
+  cfg.gridPoints = 100;
+  KorhonenPdeSolver solver(cfg, p);
+  const double tDiff = (5e-6 * 5e-6) / solver.kappa();
+  solver.advanceTo(20.0 * tDiff);
+  EXPECT_NEAR(solver.cathodeStress(), solver.steadyStateCathodeStress(),
+              0.01 * solver.steadyStateCathodeStress());
+  // Steady profile is linear: mid-point stress = initial stress.
+  const auto& s = solver.stress();
+  EXPECT_NEAR(s[s.size() / 2], cfg.initialStress,
+              0.02 * solver.steadyStateCathodeStress());
+}
+
+TEST(KorhonenPde, TimeToThresholdMatchesClosedFormNucleationTime) {
+  // The library's closed-form t_n (em/korhonen.h) must agree with the PDE
+  // for thresholds well below saturation.
+  EmParameters p;
+  auto cfg = baseConfig();
+  cfg.lineLength = 200e-6;  // long line: short-time regime holds
+  cfg.gridPoints = 600;
+  cfg.initialStress = 250e6;  // sigma_T
+  KorhonenPdeSolver solver(cfg, p);
+
+  const double sigmaC = 300e6;  // threshold 50 MPa above sigma_T
+  const double tPde = solver.timeToCathodeStress(sigmaC);
+  const double tClosed =
+      nucleationTime(sigmaC, 250e6, 1e10, p.medianDeff(), p);
+  ASSERT_TRUE(std::isfinite(tPde));
+  EXPECT_NEAR(tPde, tClosed, 0.05 * tClosed);
+}
+
+TEST(KorhonenPde, ImmortalLineNeverReachesThreshold) {
+  EmParameters p;
+  auto cfg = baseConfig();
+  cfg.lineLength = 2e-6;  // very short: saturation below threshold
+  cfg.gridPoints = 64;
+  KorhonenPdeSolver solver(cfg, p);
+  const double saturation = solver.steadyStateCathodeStress();
+  EXPECT_TRUE(std::isinf(solver.timeToCathodeStress(saturation * 2.0)));
+}
+
+TEST(KorhonenPde, ThresholdAlreadyMetReturnsNow) {
+  EmParameters p;
+  auto cfg = baseConfig();
+  cfg.initialStress = 300e6;
+  KorhonenPdeSolver solver(cfg, p);
+  EXPECT_EQ(solver.timeToCathodeStress(250e6), 0.0);
+}
+
+TEST(KorhonenPde, TimeMustIncrease) {
+  EmParameters p;
+  KorhonenPdeSolver solver(baseConfig(), p);
+  solver.advanceTo(1e5);
+  EXPECT_THROW(solver.advanceTo(1e4), PreconditionError);
+}
+
+TEST(KorhonenPde, RefinementConverges) {
+  // Halving dx and dt changes the cathode stress by little.
+  EmParameters p;
+  auto coarse = baseConfig();
+  coarse.gridPoints = 100;
+  auto fine = baseConfig();
+  fine.gridPoints = 400;
+  fine.cellTimeFraction = 1.0;
+  KorhonenPdeSolver a(coarse, p), b(fine, p);
+  const double t = 0.5 * units::year;
+  a.advanceTo(t);
+  b.advanceTo(t);
+  EXPECT_NEAR(a.cathodeStress(), b.cathodeStress(),
+              0.02 * std::abs(b.cathodeStress()));
+}
+
+}  // namespace
+}  // namespace viaduct

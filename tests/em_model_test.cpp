@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/statistics.h"
+#include "common/units.h"
+#include "em/critical_stress.h"
+#include "em/em_params.h"
+#include "em/korhonen.h"
+
+namespace viaduct {
+namespace {
+
+TEST(EmParams, DefaultsValidate) {
+  EmParameters p;
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(EmParams, MedianDeffArrhenius) {
+  EmParameters p;
+  p.diffusivityPrefactor = 1e-8;
+  p.activationEnergyEv = 0.85;
+  p.temperatureK = 378.15;
+  // exp(-0.85 / (8.617e-5 * 378.15)) ~ exp(-26.09)
+  const double expected = 1e-8 * std::exp(-0.85 / (8.617333262e-5 * 378.15));
+  EXPECT_NEAR(p.medianDeff(), expected, 1e-3 * expected);
+}
+
+TEST(EmParams, HigherTemperatureDiffusesFaster) {
+  EmParameters cold, hot;
+  hot.temperatureK = 573.15;  // 300C accelerated test condition
+  EXPECT_GT(hot.medianDeff(), 100.0 * cold.medianDeff());
+}
+
+TEST(EmParams, ValidationCatchesBadValues) {
+  EmParameters p;
+  p.activationEnergyEv = -1.0;
+  EXPECT_THROW(p.validate(), PreconditionError);
+  p = EmParameters{};
+  p.flawSigmaFraction = 1.5;
+  EXPECT_THROW(p.validate(), PreconditionError);
+}
+
+TEST(CriticalStress, Equation4Value) {
+  // sigma_C = 2 * 1.7 J/m² * sin(90°) / 10 nm = 340 MPa.
+  EmParameters p;
+  EXPECT_NEAR(criticalStress(10e-9, p), 340e6, 1e3);
+  // Halving the flaw radius doubles the critical stress.
+  EXPECT_NEAR(criticalStress(5e-9, p), 680e6, 1e3);
+}
+
+TEST(CriticalStress, ContactAngleScaling) {
+  EmParameters p;
+  p.contactAngleDeg = 30.0;
+  EXPECT_NEAR(criticalStress(10e-9, p), 170e6, 1e3);  // sin(30)=0.5
+}
+
+TEST(CriticalStress, DistributionMedianNearEq4Value) {
+  EmParameters p;
+  const Lognormal d = criticalStressDistribution(p);
+  // Median of c/R_f = c/median(R_f); with 5% sigma this is ~340 MPa.
+  EXPECT_NEAR(d.median(), 340e6, 3e6);
+  EXPECT_NEAR(d.sigma(), flawRadiusDistribution(p).sigma(), 1e-12);
+}
+
+TEST(CriticalStress, PaperVariationClaim) {
+  // "it is easy to verify that it can vary by as much as 100 MPa": the
+  // ±3 sigma spread should be on the order of 100 MPa.
+  EmParameters p;
+  const Lognormal d = criticalStressDistribution(p);
+  const double spread = d.quantile(0.9985) - d.quantile(0.0015);
+  EXPECT_GT(spread, 60e6);
+  EXPECT_LT(spread, 180e6);
+}
+
+TEST(Korhonen, NucleationTimeJSquaredScaling) {
+  EmParameters p;
+  const double deff = p.medianDeff();
+  const double t1 = nucleationTime(340e6, 250e6, 1e10, deff, p);
+  const double t2 = nucleationTime(340e6, 250e6, 2e10, deff, p);
+  EXPECT_NEAR(t1 / t2, 4.0, 1e-9);
+}
+
+TEST(Korhonen, NucleationTimeStressSquaredScaling) {
+  EmParameters p;
+  const double deff = p.medianDeff();
+  const double ta = nucleationTime(340e6, 240e6, 1e10, deff, p);  // eff 100
+  const double tb = nucleationTime(340e6, 290e6, 1e10, deff, p);  // eff 50
+  EXPECT_NEAR(ta / tb, 4.0, 1e-9);
+}
+
+TEST(Korhonen, ZeroWhenPreStressExceedsCritical) {
+  EmParameters p;
+  EXPECT_EQ(nucleationTime(300e6, 340e6, 1e10, p.medianDeff(), p), 0.0);
+  EXPECT_EQ(nucleationTime(300e6, 300e6, 1e10, p.medianDeff(), p), 0.0);
+}
+
+TEST(Korhonen, PackageStressAddsToSigmaT) {
+  EmParameters p;
+  const double base = nucleationTime(340e6, 240e6, 1e10, p.medianDeff(), p);
+  p.packageStressPa = 50e6;
+  const double packaged =
+      nucleationTime(340e6, 240e6, 1e10, p.medianDeff(), p);
+  EXPECT_LT(packaged, base);
+  EXPECT_NEAR(packaged / base, (50.0 * 50.0) / (100.0 * 100.0), 1e-9);
+}
+
+TEST(Korhonen, CalibratedTtfIsYearsScale) {
+  // At the paper's Figure 8 operating point the nucleation time must land
+  // in single-digit-to-tens of years.
+  EmParameters p;
+  const double tn = nucleationTime(340e6, 255e6, 1e10, p.medianDeff(), p);
+  EXPECT_GT(tn, 1.0 * units::year);
+  EXPECT_LT(tn, 50.0 * units::year);
+}
+
+TEST(Korhonen, SampleTtfMedianTracksDeterministicValue) {
+  EmParameters p;
+  Rng rng(7);
+  std::vector<double> samples;
+  for (int i = 0; i < 4000; ++i)
+    samples.push_back(sampleTtf(rng, 250e6, 1e10, p));
+  EmpiricalCdf cdf(std::move(samples));
+  const double deterministic =
+      nucleationTime(criticalStressDistribution(p).median(), 250e6, 1e10,
+                     p.medianDeff(), p);
+  EXPECT_NEAR(cdf.median(), deterministic, 0.1 * deterministic);
+}
+
+TEST(Korhonen, ApproximateLognormalMatchesMonteCarlo) {
+  EmParameters p;
+  const double sigmaT = 240e6;
+  const Lognormal approx = approximateTtfLognormal(sigmaT, 1e10, p);
+  Rng rng(11);
+  std::vector<double> samples;
+  for (int i = 0; i < 20000; ++i)
+    samples.push_back(sampleTtf(rng, sigmaT, 1e10, p));
+  EmpiricalCdf cdf(std::move(samples));
+  EXPECT_NEAR(approx.median(), cdf.median(), 0.05 * cdf.median());
+  EXPECT_NEAR(approx.quantile(0.1), cdf.quantile(0.1),
+              0.10 * cdf.quantile(0.1));
+  EXPECT_NEAR(approx.quantile(0.9), cdf.quantile(0.9),
+              0.10 * cdf.quantile(0.9));
+}
+
+TEST(Korhonen, ApproximationRejectsInfeasibleRegime) {
+  EmParameters p;
+  // sigma_T above the entire sigma_C distribution: fit is meaningless.
+  EXPECT_THROW(approximateTtfLognormal(400e6, 1e10, p), NumericalError);
+}
+
+TEST(Korhonen, CtnPositiveAndQuadraticInJ) {
+  EmParameters p;
+  const double c1 = korhonenCtn(1e10, p);
+  const double c2 = korhonenCtn(2e10, p);
+  EXPECT_GT(c1, 0.0);
+  EXPECT_NEAR(c2 / c1, 4.0, 1e-9);
+  EXPECT_THROW(korhonenCtn(0.0, p), PreconditionError);
+}
+
+class TtfStressSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(TtfStressSweep, MonotoneInSigmaT) {
+  // Higher preexisting tensile stress always shortens the TTF.
+  EmParameters p;
+  const double sigmaT = GetParam();
+  const double lower = nucleationTime(340e6, sigmaT, 1e10, p.medianDeff(), p);
+  const double higher =
+      nucleationTime(340e6, sigmaT + 20e6, 1e10, p.medianDeff(), p);
+  EXPECT_GT(lower, higher);
+}
+
+INSTANTIATE_TEST_SUITE_P(SigmaTRange, TtfStressSweep,
+                         ::testing::Values(150e6, 200e6, 240e6, 280e6, 300e6));
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,139 @@
+#include "fea/hex8.h"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "fea/material.h"
+
+namespace viaduct {
+namespace {
+
+const Material& copper() { return materialProperties(MaterialId::kCopper); }
+
+TEST(Hex8, StiffnessIsSymmetric) {
+  const auto ops = computeHex8Operators(copper(), 1e-6, 2e-6, 0.5e-6, -245.0);
+  for (int r = 0; r < kHexDofs; ++r)
+    for (int c = 0; c < kHexDofs; ++c)
+      EXPECT_NEAR(ops.stiffness[r * kHexDofs + c],
+                  ops.stiffness[c * kHexDofs + r],
+                  1e-3 * std::abs(ops.stiffness[r * kHexDofs + r]) + 1e-6);
+}
+
+TEST(Hex8, RigidTranslationProducesNoForce) {
+  const auto ops = computeHex8Operators(copper(), 1e-6, 1e-6, 1e-6, 0.0);
+  // u = constant per direction.
+  for (int d = 0; d < 3; ++d) {
+    std::array<double, kHexDofs> u{};
+    for (int n = 0; n < kHexNodes; ++n) u[3 * n + d] = 1.0;
+    for (int r = 0; r < kHexDofs; ++r) {
+      double f = 0.0;
+      for (int c = 0; c < kHexDofs; ++c)
+        f += ops.stiffness[r * kHexDofs + c] * u[c];
+      EXPECT_NEAR(f, 0.0, 1e-3);  // stiffness entries are O(1e5) N/m
+    }
+  }
+}
+
+TEST(Hex8, StiffnessIsPositiveSemidefinite) {
+  const auto ops = computeHex8Operators(copper(), 1e-6, 1e-6, 2e-6, 0.0);
+  Rng rng(5);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::array<double, kHexDofs> x{};
+    for (auto& v : x) v = rng.uniform(-1.0, 1.0);
+    double xkx = 0.0;
+    for (int r = 0; r < kHexDofs; ++r) {
+      double row = 0.0;
+      for (int c = 0; c < kHexDofs; ++c)
+        row += ops.stiffness[r * kHexDofs + c] * x[c];
+      xkx += x[r] * row;
+    }
+    EXPECT_GE(xkx, -1e-6);
+  }
+}
+
+TEST(Hex8, UniformStrainPatchStress) {
+  // Impose u_x = e * x: strain [e,0,0,...], stress via isotropic C.
+  const double hx = 1e-6, hy = 2e-6, hz = 0.5e-6;
+  const double e = 1e-4;
+  std::array<double, kHexDofs> u{};
+  for (int n = 0; n < kHexNodes; ++n) {
+    const double x = (n & 1) ? hx : 0.0;
+    u[3 * n + 0] = e * x;
+  }
+  const auto stress = hex8CentroidStress(copper(), hx, hy, hz, 0.0, u);
+  const double lambda = copper().lameLambda();
+  const double mu = copper().lameMu();
+  EXPECT_NEAR(stress[0], (lambda + 2 * mu) * e, 1e-3 * std::abs(stress[0]));
+  EXPECT_NEAR(stress[1], lambda * e, 1e-3 * std::abs(stress[1]));
+  EXPECT_NEAR(stress[2], lambda * e, 1e-3 * std::abs(stress[2]));
+  EXPECT_NEAR(stress[3], 0.0, 1.0);
+  EXPECT_NEAR(stress[4], 0.0, 1.0);
+  EXPECT_NEAR(stress[5], 0.0, 1.0);
+}
+
+TEST(Hex8, ShearPatchStress) {
+  // u_x = g * y: engineering shear gamma_xy = g.
+  const double hx = 1e-6, hy = 1e-6, hz = 1e-6;
+  const double g = 2e-4;
+  std::array<double, kHexDofs> u{};
+  for (int n = 0; n < kHexNodes; ++n) {
+    const double y = (n & 2) ? hy : 0.0;
+    u[3 * n + 0] = g * y;
+  }
+  const auto stress = hex8CentroidStress(copper(), hx, hy, hz, 0.0, u);
+  EXPECT_NEAR(stress[3], copper().lameMu() * g, 1e-3 * std::abs(stress[3]));
+  EXPECT_NEAR(stress[0], 0.0, 1.0);
+}
+
+TEST(Hex8, FreeThermalExpansionIsExactSolution) {
+  // u = alpha*dT*x is the zero-stress solution of free expansion, so
+  // Ke*u_th must equal the thermal load vector exactly.
+  const double hx = 1e-6, hy = 1.5e-6, hz = 0.75e-6;
+  const double dT = -245.0;
+  const auto ops = computeHex8Operators(copper(), hx, hy, hz, dT);
+  const double a = copper().ctePerK * dT;
+  std::array<double, kHexDofs> u{};
+  for (int n = 0; n < kHexNodes; ++n) {
+    u[3 * n + 0] = a * ((n & 1) ? hx : 0.0);
+    u[3 * n + 1] = a * ((n & 2) ? hy : 0.0);
+    u[3 * n + 2] = a * ((n & 4) ? hz : 0.0);
+  }
+  for (int r = 0; r < kHexDofs; ++r) {
+    double f = 0.0;
+    for (int c = 0; c < kHexDofs; ++c)
+      f += ops.stiffness[r * kHexDofs + c] * u[c];
+    const double scale = std::abs(ops.thermalLoad[r]) + 1e-9;
+    EXPECT_NEAR(f, ops.thermalLoad[r], 1e-6 * scale);
+  }
+  // And the resulting mechanical stress is zero.
+  const auto stress = hex8CentroidStress(copper(), hx, hy, hz, dT, u);
+  for (double s : stress) EXPECT_NEAR(s, 0.0, 1.0);
+}
+
+TEST(Hex8, ThermalLoadScalesWithDeltaT) {
+  const auto a = computeHex8Operators(copper(), 1e-6, 1e-6, 1e-6, -100.0);
+  const auto b = computeHex8Operators(copper(), 1e-6, 1e-6, 1e-6, -200.0);
+  for (int r = 0; r < kHexDofs; ++r)
+    EXPECT_NEAR(b.thermalLoad[r], 2.0 * a.thermalLoad[r],
+                1e-9 * std::abs(a.thermalLoad[r]) + 1e-12);
+}
+
+TEST(Hex8, HydrostaticAndVonMises) {
+  const std::array<double, 6> uniaxial = {300e6, 0, 0, 0, 0, 0};
+  EXPECT_NEAR(hydrostatic(uniaxial), 100e6, 1.0);
+  EXPECT_NEAR(vonMises(uniaxial), 300e6, 1.0);
+  const std::array<double, 6> hydro = {100e6, 100e6, 100e6, 0, 0, 0};
+  EXPECT_NEAR(vonMises(hydro), 0.0, 1.0);
+}
+
+TEST(Hex8, RejectsBadCellSizes) {
+  EXPECT_THROW(computeHex8Operators(copper(), 0.0, 1.0, 1.0, 0.0),
+               PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,110 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "fea/material.h"
+#include "fea/voxel_grid.h"
+
+namespace viaduct {
+namespace {
+
+TEST(Material, Table1Values) {
+  const Material& si = materialProperties(MaterialId::kSilicon);
+  EXPECT_NEAR(si.youngsModulusPa, 162.0e9, 1e6);
+  EXPECT_NEAR(si.poissonRatio, 0.28, 1e-12);
+  EXPECT_NEAR(si.ctePerK, 3.05e-6, 1e-12);
+  const Material& cu = materialProperties(MaterialId::kCopper);
+  EXPECT_NEAR(cu.youngsModulusPa, 111.6e9, 1e6);
+  EXPECT_NEAR(cu.ctePerK, 17.7e-6, 1e-12);
+  const Material& ta = materialProperties(MaterialId::kTantalum);
+  EXPECT_NEAR(ta.poissonRatio, 0.342, 1e-12);
+  const Material& sin = materialProperties(MaterialId::kSiN);
+  EXPECT_NEAR(sin.youngsModulusPa, 222.8e9, 1e6);
+  const Material& ild = materialProperties(MaterialId::kSiCOH);
+  EXPECT_NEAR(ild.youngsModulusPa, 16.2e9, 1e6);
+}
+
+TEST(Material, LameRelations) {
+  const Material& cu = materialProperties(MaterialId::kCopper);
+  const double e = cu.youngsModulusPa, nu = cu.poissonRatio;
+  EXPECT_NEAR(cu.lameMu(), e / (2 * (1 + nu)), 1.0);
+  EXPECT_NEAR(cu.lameLambda(), e * nu / ((1 + nu) * (1 - 2 * nu)), 1.0);
+  EXPECT_NEAR(cu.bulkModulus(), cu.lameLambda() + 2.0 / 3.0 * cu.lameMu(),
+              1e3);
+}
+
+TEST(VoxelGrid, UniformConstruction) {
+  const auto g = VoxelGrid::uniform(4, 3, 2, 0.5, 1.0, 2.0);
+  EXPECT_EQ(g.nx(), 4);
+  EXPECT_EQ(g.ny(), 3);
+  EXPECT_EQ(g.nz(), 2);
+  EXPECT_EQ(g.cellCount(), 24);
+  EXPECT_EQ(g.nodeCount(), 5 * 4 * 3);
+  EXPECT_DOUBLE_EQ(g.extentX(), 2.0);
+  EXPECT_DOUBLE_EQ(g.extentY(), 3.0);
+  EXPECT_DOUBLE_EQ(g.extentZ(), 4.0);
+}
+
+TEST(VoxelGrid, NonUniformCoordinates) {
+  VoxelGrid g({1.0, 2.0}, {1.0}, {0.5, 0.5, 1.0});
+  EXPECT_DOUBLE_EQ(g.nodeX(0), 0.0);
+  EXPECT_DOUBLE_EQ(g.nodeX(1), 1.0);
+  EXPECT_DOUBLE_EQ(g.nodeX(2), 3.0);
+  EXPECT_DOUBLE_EQ(g.cellCenterX(1), 2.0);
+  EXPECT_DOUBLE_EQ(g.nodeZ(3), 2.0);
+}
+
+TEST(VoxelGrid, RejectsNonPositiveCells) {
+  EXPECT_THROW(VoxelGrid({1.0, 0.0}, {1.0}, {1.0}), PreconditionError);
+  EXPECT_THROW(VoxelGrid({}, {1.0}, {1.0}), PreconditionError);
+}
+
+TEST(VoxelGrid, DefaultFillAndSetMaterial) {
+  auto g = VoxelGrid::uniform(2, 2, 2, 1, 1, 1, MaterialId::kSiCOH);
+  EXPECT_EQ(g.material(0, 0, 0), MaterialId::kSiCOH);
+  g.setMaterial(1, 1, 1, MaterialId::kCopper);
+  EXPECT_EQ(g.material(1, 1, 1), MaterialId::kCopper);
+  EXPECT_NEAR(g.materialFraction(MaterialId::kCopper), 1.0 / 8.0, 1e-12);
+}
+
+TEST(VoxelGrid, PaintBoxByCellCenters) {
+  auto g = VoxelGrid::uniform(4, 4, 1, 1, 1, 1);
+  // Box covering centers of cells x in {1,2}: [1.0, 3.0).
+  g.paintBox(1.0, 3.0, 0.0, 4.0, 0.0, 1.0, MaterialId::kCopper);
+  EXPECT_EQ(g.material(0, 0, 0), MaterialId::kSiCOH);
+  EXPECT_EQ(g.material(1, 0, 0), MaterialId::kCopper);
+  EXPECT_EQ(g.material(2, 0, 0), MaterialId::kCopper);
+  EXPECT_EQ(g.material(3, 0, 0), MaterialId::kSiCOH);
+}
+
+TEST(VoxelGrid, PaintBoxClipsToDomain) {
+  auto g = VoxelGrid::uniform(2, 2, 2, 1, 1, 1);
+  g.paintBox(-100, 100, -100, 100, -100, 100, MaterialId::kSilicon);
+  EXPECT_NEAR(g.materialFraction(MaterialId::kSilicon), 1.0, 1e-12);
+}
+
+TEST(VoxelGrid, ZLayerRange) {
+  VoxelGrid g({1.0}, {1.0}, {0.5, 0.5, 1.0, 1.0});
+  const auto [k0, k1] = g.zLayerRange(0.5, 2.0);
+  EXPECT_EQ(k0, 1);
+  EXPECT_EQ(k1, 3);
+  const auto [e0, e1] = g.zLayerRange(100.0, 200.0);
+  EXPECT_EQ(e0, e1);
+}
+
+TEST(VoxelGrid, CellAtCoordinatesClamped) {
+  auto g = VoxelGrid::uniform(4, 4, 4, 0.25, 0.25, 0.25);
+  EXPECT_EQ(g.cellAtX(0.3), 1);
+  EXPECT_EQ(g.cellAtX(-5.0), 0);
+  EXPECT_EQ(g.cellAtX(99.0), 3);
+  EXPECT_EQ(g.cellAtZ(0.999), 3);
+}
+
+TEST(VoxelGrid, IndexBoundsChecked) {
+  auto g = VoxelGrid::uniform(2, 2, 2, 1, 1, 1);
+  EXPECT_THROW(g.cellIndex(2, 0, 0), PreconditionError);
+  EXPECT_THROW(g.nodeIndex(0, 3, 0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

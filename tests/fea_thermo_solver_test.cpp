@@ -1,0 +1,145 @@
+#include "fea/thermo_solver.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+
+namespace viaduct {
+namespace {
+
+TEST(ThermoSolver, LaterallyConstrainedSlabMatchesAnalytic) {
+  // Uniform copper slab, clamped bottom, roller sides, free top. Away from
+  // the bottom the state is exx = eyy = 0, szz = 0 (plane stress in z):
+  //   sxx = syy = -E*alpha*dT/(1-nu),  sigma_H = 2/3 * sxx.
+  auto grid = VoxelGrid::uniform(6, 6, 10, 0.5e-6, 0.5e-6, 0.5e-6,
+                                 MaterialId::kCopper);
+  ThermoSolverOptions opts;
+  opts.annealTemperatureC = 350.0;
+  opts.operatingTemperatureC = 105.0;
+  ThermoSolver solver(grid, opts);
+  const CgResult res = solver.solve();
+  EXPECT_TRUE(res.converged);
+
+  const Material& cu = materialProperties(MaterialId::kCopper);
+  const double dT = opts.operatingTemperatureC - opts.annealTemperatureC;
+  const double sxxExpected =
+      -cu.youngsModulusPa * cu.ctePerK * dT / (1.0 - cu.poissonRatio);
+  const double sigmaHExpected = 2.0 / 3.0 * sxxExpected;
+
+  // Probe mid-slab, horizontally centered, above the clamped boundary layer.
+  const auto stress = solver.cellStress(3, 3, 7);
+  EXPECT_NEAR(stress[0], sxxExpected, 0.05 * std::abs(sxxExpected));
+  EXPECT_NEAR(stress[1], sxxExpected, 0.05 * std::abs(sxxExpected));
+  EXPECT_NEAR(stress[2], 0.0, 0.08 * std::abs(sxxExpected));
+  EXPECT_NEAR(solver.cellHydrostatic(3, 3, 7), sigmaHExpected,
+              0.05 * std::abs(sigmaHExpected));
+  // Cooling high-CTE metal under lateral constraint is tensile.
+  EXPECT_GT(solver.cellHydrostatic(3, 3, 7), 0.0);
+}
+
+TEST(ThermoSolver, ZeroDeltaTGivesZeroEverything) {
+  auto grid = VoxelGrid::uniform(4, 4, 4, 1e-6, 1e-6, 1e-6,
+                                 MaterialId::kSilicon);
+  ThermoSolverOptions opts;
+  opts.annealTemperatureC = 100.0;
+  opts.operatingTemperatureC = 100.0;
+  ThermoSolver solver(grid, opts);
+  solver.solve();
+  for (Index k = 0; k < 4; ++k)
+    for (Index j = 0; j < 4; ++j)
+      for (Index i = 0; i < 4; ++i)
+        EXPECT_NEAR(solver.cellHydrostatic(i, j, k), 0.0, 1.0);
+  const auto u = solver.displacement(2, 2, 2);
+  EXPECT_NEAR(u[0], 0.0, 1e-18);
+}
+
+TEST(ThermoSolver, StressScalesLinearlyWithDeltaT) {
+  auto grid = VoxelGrid::uniform(4, 4, 6, 0.5e-6, 0.5e-6, 0.5e-6,
+                                 MaterialId::kCopper);
+  ThermoSolverOptions a;
+  a.annealTemperatureC = 205.0;
+  a.operatingTemperatureC = 105.0;  // dT = -100
+  ThermoSolverOptions b;
+  b.annealTemperatureC = 305.0;
+  b.operatingTemperatureC = 105.0;  // dT = -200
+  ThermoSolver sa(grid, a), sb(grid, b);
+  sa.solve();
+  sb.solve();
+  const double ha = sa.cellHydrostatic(2, 2, 4);
+  const double hb = sb.cellHydrostatic(2, 2, 4);
+  EXPECT_NEAR(hb, 2.0 * ha, 1e-5 * std::abs(hb) + 1.0);
+}
+
+TEST(ThermoSolver, LowCteSubstrateUnderHighCteFilm) {
+  // Cu film on Si substrate: on cooling the film is tensile, and much more
+  // stressed than the substrate interior.
+  auto grid = VoxelGrid::uniform(6, 6, 8, 0.5e-6, 0.5e-6, 0.5e-6,
+                                 MaterialId::kSilicon);
+  grid.paintBox(-1, 1, -1, 1, 3.5e-6, 4.0e-6, MaterialId::kCopper);
+  ThermoSolver solver(grid);
+  solver.solve();
+  const double filmStress = solver.cellHydrostatic(3, 3, 7);
+  const double substrateStress = solver.cellHydrostatic(3, 3, 2);
+  EXPECT_GT(filmStress, 3.0 * std::abs(substrateStress));
+  EXPECT_GT(filmStress, 100e6);  // hundreds of MPa scale
+}
+
+TEST(ThermoSolver, RequiresSolveBeforeQueries) {
+  auto grid = VoxelGrid::uniform(2, 2, 2, 1e-6, 1e-6, 1e-6);
+  ThermoSolver solver(grid);
+  EXPECT_THROW(solver.cellHydrostatic(0, 0, 0), PreconditionError);
+  EXPECT_THROW(solver.displacement(0, 0, 0), PreconditionError);
+}
+
+TEST(ThermoSolver, SolveIsIdempotent) {
+  auto grid = VoxelGrid::uniform(3, 3, 3, 1e-6, 1e-6, 1e-6,
+                                 MaterialId::kCopper);
+  ThermoSolver solver(grid);
+  const CgResult first = solver.solve();
+  EXPECT_GT(first.iterations, 0);
+  const CgResult second = solver.solve();
+  EXPECT_EQ(second.iterations, 0);
+  EXPECT_TRUE(second.converged);
+}
+
+TEST(ThermoSolver, ProfileHasOneValuePerColumn) {
+  auto grid = VoxelGrid::uniform(5, 4, 3, 1e-6, 1e-6, 1e-6,
+                                 MaterialId::kCopper);
+  ThermoSolver solver(grid);
+  solver.solve();
+  const auto prof = solver.hydrostaticProfileX(1, 1);
+  EXPECT_EQ(prof.x.size(), 5u);
+  EXPECT_EQ(prof.sigmaH.size(), 5u);
+  EXPECT_DOUBLE_EQ(prof.x[0], 0.5e-6);
+}
+
+TEST(ThermoSolver, PeakHydrostaticRespectsMaterialFilter) {
+  auto grid = VoxelGrid::uniform(4, 4, 4, 0.5e-6, 0.5e-6, 0.5e-6,
+                                 MaterialId::kSiCOH);
+  grid.setMaterial(1, 1, 2, MaterialId::kCopper);
+  ThermoSolver solver(grid);
+  solver.solve();
+  const double peakCu =
+      solver.peakHydrostatic(0, 4, 0, 4, 0, 4, MaterialId::kCopper);
+  EXPECT_NEAR(peakCu, solver.cellHydrostatic(1, 1, 2), 1e-6);
+  EXPECT_THROW(
+      solver.peakHydrostatic(0, 4, 0, 4, 0, 4, MaterialId::kSilicon),
+      PreconditionError);
+}
+
+TEST(ThermoSolver, DisplacementFieldSymmetry) {
+  // Uniform material, symmetric domain: the x-displacement field must be
+  // antisymmetric about the mid-plane.
+  auto grid = VoxelGrid::uniform(6, 6, 4, 0.5e-6, 0.5e-6, 0.5e-6,
+                                 MaterialId::kCopper);
+  ThermoSolver solver(grid);
+  solver.solve();
+  const auto uLeft = solver.displacement(1, 3, 3);
+  const auto uRight = solver.displacement(5, 3, 3);
+  EXPECT_NEAR(uLeft[0], -uRight[0], 1e-6 * std::abs(uLeft[0]) + 1e-15);
+}
+
+}  // namespace
+}  // namespace viaduct

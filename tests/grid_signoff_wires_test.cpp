@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "grid/signoff.h"
+#include "grid/wire_mortality.h"
+#include "spice/generator.h"
+
+namespace viaduct {
+namespace {
+
+Netlist grid(double amps = 1.0) {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.totalCurrentAmps = amps;
+  cfg.seed = 77;
+  return generatePowerGrid(cfg);
+}
+
+TEST(Signoff, CountsAndWorstDensity) {
+  const PowerGridModel model(grid());
+  const auto report = signoffViaArrays(model);
+  EXPECT_EQ(report.totalArrays, 64);
+  EXPECT_GT(report.worstCurrentDensity, 0.0);
+  EXPECT_EQ(report.limit, 2.0e10);
+}
+
+TEST(Signoff, LimitControlsVerdict) {
+  const PowerGridModel model(grid());
+  SignoffConfig strict;
+  strict.currentDensityLimit = 1.0;  // absurdly strict: everything fails
+  const auto bad = signoffViaArrays(model, strict);
+  EXPECT_EQ(bad.violations, bad.totalArrays);
+  EXPECT_FALSE(bad.passed());
+
+  SignoffConfig loose;
+  loose.currentDensityLimit = 1e30;
+  const auto good = signoffViaArrays(model, loose);
+  EXPECT_EQ(good.violations, 0);
+  EXPECT_TRUE(good.passed());
+  EXPECT_LT(good.worstUtilization(), 1e-10);
+}
+
+TEST(Signoff, ViolationsScaleWithLoad) {
+  const PowerGridModel light(grid(0.5));
+  const PowerGridModel heavy(grid(4.0));
+  SignoffConfig cfg;
+  cfg.currentDensityLimit = 1.2e10;
+  EXPECT_LE(signoffViaArrays(light, cfg).violations,
+            signoffViaArrays(heavy, cfg).violations);
+  EXPECT_NEAR(signoffViaArrays(heavy, cfg).worstCurrentDensity,
+              8.0 * signoffViaArrays(light, cfg).worstCurrentDensity,
+              0.01 * signoffViaArrays(heavy, cfg).worstCurrentDensity);
+}
+
+TEST(Signoff, RejectsBadConfig) {
+  const PowerGridModel model(grid());
+  SignoffConfig cfg;
+  cfg.currentDensityLimit = 0.0;
+  EXPECT_THROW(signoffViaArrays(model, cfg), PreconditionError);
+}
+
+TEST(WireMortality, CensusCountsAllWireSegments) {
+  const Netlist n = grid();
+  const auto census = classifyWires(n, WireGeometry{}, 100e6,
+                                    EmParameters{});
+  // 8x8 grid: 7*8 upper + 8*7 lower = 112 wire segments.
+  EXPECT_EQ(census.totalWires, 112);
+  EXPECT_GT(census.productLimit, 0.0);
+  EXPECT_GT(census.worstProduct, 0.0);
+}
+
+TEST(WireMortality, GeneratedGridsAreMostlyImmortalStressBlind) {
+  // The paper's assumption: grid wires are designed Blech-safe — under
+  // the traditional stress-blind margin (the full sigma_C, as a foundry
+  // characterization would derive it).
+  Netlist n = grid();
+  tuneNominalIrDrop(n, 0.06);
+  const auto census =
+      classifyWires(n, WireGeometry{}, 340e6, EmParameters{});
+  // This tiny 8x8 test grid concentrates pad current harder than the PG
+  // presets (which pass at < 2%); only the pad-adjacent straps flag.
+  EXPECT_LT(census.mortalFraction(), 0.10);
+}
+
+TEST(WireMortality, StressAwareMarginFlagsMoreWires) {
+  // Including sigma_T shrinks the margin and can only add mortal wires —
+  // the Blech-side expression of the paper's thesis.
+  Netlist n = grid();
+  tuneNominalIrDrop(n, 0.06);
+  const auto blind = classifyWires(n, WireGeometry{}, 340e6, EmParameters{});
+  const auto aware = classifyWires(n, WireGeometry{}, 120e6, EmParameters{});
+  EXPECT_GE(aware.mortalWires, blind.mortalWires);
+  EXPECT_LT(aware.productLimit, blind.productLimit);
+}
+
+TEST(WireMortality, OverloadedGridViolates) {
+  Netlist n = grid();
+  scaleLoads(n, 500.0);
+  const auto census =
+      classifyWires(n, WireGeometry{}, 100e6, EmParameters{});
+  EXPECT_GT(census.mortalFraction(), 0.1);
+}
+
+TEST(WireMortality, PrefixFilterIsRespected) {
+  const Netlist n = grid();
+  WireGeometry geo;
+  geo.wirePrefixes = {"Rh_"};  // upper layer only
+  const auto census = classifyWires(n, geo, 100e6, EmParameters{});
+  EXPECT_EQ(census.totalWires, 56);
+  geo.wirePrefixes = {"Zz_"};
+  EXPECT_THROW(classifyWires(n, geo, 100e6, EmParameters{}),
+               PreconditionError);
+}
+
+TEST(NodeVoltage, PadAndGroundConventions) {
+  const Netlist n = grid();
+  const PowerGridModel model(n);
+  const auto sol = model.solveNominal();
+  EXPECT_EQ(model.nodeVoltage(kGroundNode, sol), 0.0);
+  const Index pad = n.findNode("pad_0").value();
+  EXPECT_NEAR(model.nodeVoltage(pad, sol), 1.0, 1e-12);
+  const Index inner = n.findNode("n1_3_3").value();
+  const double v = model.nodeVoltage(inner, sol);
+  EXPECT_GT(v, 0.5);
+  EXPECT_LT(v, 1.0);
+}
+
+}  // namespace
+}  // namespace viaduct

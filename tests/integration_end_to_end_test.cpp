@@ -1,0 +1,186 @@
+// End-to-end integration properties across the whole stack: netlist text →
+// parser → analyzer → report, cache round trips through the analyzer path,
+// and cross-module consistency checks that no single-module test can see.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "core/analyzer.h"
+#include "spice/generator.h"
+#include "spice/parser.h"
+#include "spice/writer.h"
+#include "viaarray/cache.h"
+
+namespace viaduct {
+namespace {
+
+std::shared_ptr<ViaArrayLibrary> sharedLibrary() {
+  static auto lib = std::make_shared<ViaArrayLibrary>();
+  return lib;
+}
+
+AnalyzerConfig fastConfig() {
+  AnalyzerConfig cfg;
+  cfg.viaArraySize = 4;
+  cfg.trials = 40;
+  cfg.characterization.trials = 60;
+  cfg.characterization.resolutionXy = 0.25e-6;
+  cfg.characterization.margin = 1.0e-6;
+  cfg.usePositionalPatterns = false;  // one characterization, fast
+  return cfg;
+}
+
+Netlist smallGrid() {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.totalCurrentAmps = 1.0;
+  cfg.seed = 55;
+  return generatePowerGrid(cfg);
+}
+
+TEST(EndToEnd, AnalysisSurvivesSpiceRoundTrip) {
+  // Analyzing a netlist and analyzing its parse(write(.)) twin must give
+  // identical TTF samples (same seeds throughout).
+  const Netlist original = smallGrid();
+  const Netlist reparsed = parseSpiceString(writeSpiceString(original));
+  PowerGridEmAnalyzer a(original, fastConfig(), sharedLibrary());
+  PowerGridEmAnalyzer b(reparsed, fastConfig(), sharedLibrary());
+  const auto ra = a.analyze(ViaArrayFailureCriterion::openCircuit(),
+                            GridFailureCriterion::irDrop(0.10));
+  const auto rb = b.analyze(ViaArrayFailureCriterion::openCircuit(),
+                            GridFailureCriterion::irDrop(0.10));
+  ASSERT_EQ(ra.mc.ttfSamples.size(), rb.mc.ttfSamples.size());
+  for (std::size_t i = 0; i < ra.mc.ttfSamples.size(); ++i)
+    EXPECT_NEAR(ra.mc.ttfSamples[i], rb.mc.ttfSamples[i],
+                1e-9 * ra.mc.ttfSamples[i]);
+}
+
+TEST(EndToEnd, BootstrapCiBracketsPointEstimate) {
+  PowerGridEmAnalyzer analyzer(smallGrid(), fastConfig(), sharedLibrary());
+  const auto report = analyzer.analyze(ViaArrayFailureCriterion::openCircuit(),
+                                       GridFailureCriterion::weakestLink());
+  EXPECT_LE(report.worstCaseCiLowYears, report.worstCaseYears);
+  EXPECT_GE(report.worstCaseCiHighYears, report.worstCaseYears);
+  EXPECT_GT(report.worstCaseCiLowYears, 0.0);
+  // At 40 trials the tail CI must be visibly wide (honest uncertainty).
+  EXPECT_GT(report.worstCaseCiHighYears - report.worstCaseCiLowYears,
+            0.005 * report.worstCaseYears);
+}
+
+TEST(EndToEnd, CachedAndFreshAnalysesAgree) {
+  const std::string cachePath =
+      (std::filesystem::temp_directory_path() / "viaduct_e2e_cache.tbl")
+          .string();
+  std::filesystem::remove(cachePath);
+
+  auto cfg = fastConfig();
+  const auto store = std::make_shared<CharacterizationStore>(cachePath);
+  auto freshLib = std::make_shared<ViaArrayLibrary>(store);
+  PowerGridEmAnalyzer first(smallGrid(), cfg, freshLib);
+  const auto r1 = first.analyze(ViaArrayFailureCriterion::kthVia(8),
+                                GridFailureCriterion::irDrop(0.10));
+  ASSERT_GE(store->entryCount(), 1u);
+
+  // New library instance, same store: rehydration path end to end.
+  auto rehydratedLib = std::make_shared<ViaArrayLibrary>(
+      std::make_shared<CharacterizationStore>(cachePath));
+  PowerGridEmAnalyzer second(smallGrid(), cfg, rehydratedLib);
+  const auto r2 = second.analyze(ViaArrayFailureCriterion::kthVia(8),
+                                 GridFailureCriterion::irDrop(0.10));
+  ASSERT_EQ(r1.mc.ttfSamples.size(), r2.mc.ttfSamples.size());
+  for (std::size_t i = 0; i < r1.mc.ttfSamples.size(); ++i)
+    EXPECT_NEAR(r1.mc.ttfSamples[i], r2.mc.ttfSamples[i],
+                1e-9 * r1.mc.ttfSamples[i]);
+  std::filesystem::remove(cachePath);
+}
+
+TEST(EndToEnd, StricterArrayCriterionNeverHelpsTheGrid) {
+  PowerGridEmAnalyzer analyzer(smallGrid(), fastConfig(), sharedLibrary());
+  const auto sc = GridFailureCriterion::irDrop(0.10);
+  const double wl =
+      analyzer.analyze(ViaArrayFailureCriterion::weakestLink(), sc)
+          .medianYears;
+  const double k8 =
+      analyzer.analyze(ViaArrayFailureCriterion::kthVia(8), sc).medianYears;
+  const double open =
+      analyzer.analyze(ViaArrayFailureCriterion::openCircuit(), sc)
+          .medianYears;
+  EXPECT_LT(wl, k8);
+  EXPECT_LT(k8, open);
+}
+
+TEST(EndToEnd, HigherCurrentGridDiesFaster) {
+  // Bypass IR tuning so the load level actually differs.
+  auto cfg = fastConfig();
+  cfg.tuneNominalIrDropFraction.reset();
+  cfg.trials = 30;
+
+  GridGeneratorConfig gen;
+  gen.stripesX = 8;
+  gen.stripesY = 8;
+  gen.seed = 66;
+  gen.totalCurrentAmps = 0.6;
+  PowerGridEmAnalyzer light(generatePowerGrid(gen), cfg, sharedLibrary());
+  gen.totalCurrentAmps = 1.2;
+  PowerGridEmAnalyzer heavy(generatePowerGrid(gen), cfg, sharedLibrary());
+
+  const auto sc = GridFailureCriterion::weakestLink();
+  const auto ac = ViaArrayFailureCriterion::openCircuit();
+  const double tLight = light.analyze(ac, sc).medianYears;
+  const double tHeavy = heavy.analyze(ac, sc).medianYears;
+  // TTF scales as 1/I^2: doubling the load costs ~4x.
+  EXPECT_NEAR(tLight / tHeavy, 4.0, 0.8);
+}
+
+TEST(EndToEnd, MultiLayerGridAnalyzesEndToEnd) {
+  GridGeneratorConfig gen;
+  gen.stripesX = 6;
+  gen.stripesY = 6;
+  gen.layers = 3;
+  gen.totalCurrentAmps = 0.5;
+  gen.seed = 99;
+  auto cfg = fastConfig();
+  cfg.trials = 20;
+  PowerGridEmAnalyzer analyzer(generatePowerGrid(gen), cfg, sharedLibrary());
+  EXPECT_EQ(analyzer.model().viaArrays().size(), 2u * 36u);
+  const auto report =
+      analyzer.analyze(ViaArrayFailureCriterion::openCircuit(),
+                       GridFailureCriterion::irDrop(0.10));
+  EXPECT_GT(report.worstCaseYears, 0.0);
+  EXPECT_GT(report.meanFailuresToBreach, 1.0);
+}
+
+class CriterionSweep
+    : public ::testing::TestWithParam<std::pair<int, double>> {};
+
+TEST_P(CriterionSweep, KthViaMediansAreMonotone) {
+  // Characterization-level property across the k-criterion sweep, via the
+  // same shared library the analyzer uses.
+  auto cfg = fastConfig();
+  auto ch = sharedLibrary()->get(
+      [&] {
+        auto spec = cfg.characterization;
+        spec.array.n = cfg.viaArraySize;
+        spec.pattern = IntersectionPattern::kPlus;
+        return spec;
+      }());
+  const auto [k, minRatio] = GetParam();
+  const double tK = ch->ttfCdf(ViaArrayFailureCriterion::kthVia(k)).median();
+  const double t1 =
+      ch->ttfCdf(ViaArrayFailureCriterion::weakestLink()).median();
+  EXPECT_GE(tK, t1 * minRatio);
+}
+
+INSTANTIATE_TEST_SUITE_P(KSweep, CriterionSweep,
+                         ::testing::Values(std::pair{2, 1.0},
+                                           std::pair{4, 1.1},
+                                           std::pair{8, 1.2},
+                                           std::pair{12, 1.3},
+                                           std::pair{16, 1.3}));
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,188 @@
+#include "numerics/cg.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "numerics/dense.h"
+
+namespace viaduct {
+namespace {
+
+/// Builds a 2-D 5-point Laplacian (grounded at every node via +extra on the
+/// diagonal), a standard SPD test matrix resembling power-grid systems.
+CsrMatrix laplacian2d(Index nx, Index ny, double ground = 0.01) {
+  TripletMatrix t(nx * ny, nx * ny);
+  auto id = [nx](Index x, Index y) { return y * nx + x; };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      t.add(id(x, y), id(x, y), ground);
+      if (x + 1 < nx) t.stampConductance(id(x, y), id(x + 1, y), 1.0);
+      if (y + 1 < ny) t.stampConductance(id(x, y), id(x, y + 1), 1.0);
+    }
+  }
+  return CsrMatrix::fromTriplets(t);
+}
+
+std::vector<double> randomVector(std::size_t n, Rng& rng) {
+  std::vector<double> v(n);
+  for (auto& x : v) x = rng.uniform(-1.0, 1.0);
+  return v;
+}
+
+TEST(ConjugateGradient, SolvesSmallSpdSystem) {
+  const CsrMatrix a = laplacian2d(4, 4);
+  Rng rng(3);
+  const auto xTrue = randomVector(16, rng);
+  std::vector<double> b(16);
+  a.multiply(xTrue, b);
+  const auto x = solveCgJacobi(a, b);
+  for (std::size_t i = 0; i < 16; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-6);
+}
+
+TEST(ConjugateGradient, ZeroRhsGivesZero) {
+  const CsrMatrix a = laplacian2d(3, 3);
+  const std::vector<double> b(9, 0.0);
+  const auto x = solveCgJacobi(a, b);
+  for (double v : x) EXPECT_EQ(v, 0.0);
+}
+
+TEST(ConjugateGradient, WarmStartConvergesInstantly) {
+  const CsrMatrix a = laplacian2d(8, 8);
+  Rng rng(5);
+  const auto xTrue = randomVector(64, rng);
+  std::vector<double> b(64);
+  a.multiply(xTrue, b);
+  std::vector<double> x(xTrue);  // exact warm start
+  const JacobiPreconditioner m(a);
+  const CgResult res = conjugateGradient(a, b, x, m);
+  EXPECT_TRUE(res.converged);
+  EXPECT_EQ(res.iterations, 0);
+}
+
+TEST(ConjugateGradient, ThrowsOnIndefiniteMatrix) {
+  TripletMatrix t(2, 2);
+  t.add(0, 0, 1.0);
+  t.add(1, 1, -1.0);
+  const CsrMatrix a = CsrMatrix::fromTriplets(t);
+  std::vector<double> b = {1.0, 1.0};
+  std::vector<double> x(2, 0.0);
+  const IdentityPreconditioner m;
+  EXPECT_THROW(conjugateGradient(a, b, x, m), NumericalError);
+}
+
+TEST(ConjugateGradient, StallThrowsWhenRequested) {
+  const CsrMatrix a = laplacian2d(16, 16, 1e-8);
+  Rng rng(9);
+  std::vector<double> b = randomVector(256, rng);
+  std::vector<double> x(256, 0.0);
+  const IdentityPreconditioner m;
+  CgOptions opts;
+  opts.maxIterations = 2;
+  opts.relativeTolerance = 1e-14;
+  EXPECT_THROW(conjugateGradient(a, b, x, m, opts), NumericalError);
+  opts.throwOnStall = false;
+  std::fill(x.begin(), x.end(), 0.0);
+  const CgResult res = conjugateGradient(a, b, x, m, opts);
+  EXPECT_FALSE(res.converged);
+  EXPECT_EQ(res.iterations, 2);
+}
+
+TEST(Preconditioner, JacobiMatchesDiagonalScaling) {
+  const CsrMatrix a = laplacian2d(3, 3, 1.0);
+  const JacobiPreconditioner m(a);
+  std::vector<double> r(9, 1.0);
+  std::vector<double> z(9);
+  m.apply(r, z);
+  const auto d = a.diagonal();
+  for (std::size_t i = 0; i < 9; ++i) EXPECT_NEAR(z[i], 1.0 / d[i], 1e-14);
+}
+
+TEST(Preconditioner, BlockJacobiReducesIterationsOnBlockSystem) {
+  // Build a 3-dof-per-node system with strong intra-block coupling.
+  const Index nodes = 60;
+  TripletMatrix t(nodes * 3, nodes * 3);
+  Rng rng(21);
+  for (Index n = 0; n < nodes; ++n) {
+    for (int i = 0; i < 3; ++i) {
+      t.add(n * 3 + i, n * 3 + i, 10.0);
+      for (int j = i + 1; j < 3; ++j) {
+        const double c = rng.uniform(2.0, 4.0);
+        t.add(n * 3 + i, n * 3 + j, c);
+        t.add(n * 3 + j, n * 3 + i, c);
+      }
+    }
+    if (n + 1 < nodes)
+      for (int i = 0; i < 3; ++i) t.stampConductance(n * 3 + i, (n + 1) * 3 + i, 0.5);
+  }
+  const CsrMatrix a = CsrMatrix::fromTriplets(t);
+  std::vector<double> b = randomVector(static_cast<std::size_t>(nodes) * 3, rng);
+
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const JacobiPreconditioner jac(a);
+  const BlockJacobiPreconditioner bj(a, 3);
+  const CgResult r1 = conjugateGradient(a, b, x1, jac);
+  const CgResult r2 = conjugateGradient(a, b, x2, bj);
+  EXPECT_TRUE(r1.converged);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LE(r2.iterations, r1.iterations);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x1[i], x2[i], 1e-6);
+}
+
+TEST(Preconditioner, BlockJacobiRequiresDivisibleSize)
+{
+  const CsrMatrix a = laplacian2d(4, 4);  // 16 rows, not divisible by 3
+  EXPECT_THROW(BlockJacobiPreconditioner(a, 3), PreconditionError);
+}
+
+TEST(Preconditioner, Ic0AcceleratesLaplacian) {
+  const CsrMatrix a = laplacian2d(24, 24, 0.001);
+  Rng rng(33);
+  std::vector<double> b = randomVector(576, rng);
+
+  std::vector<double> x1(b.size(), 0.0), x2(b.size(), 0.0);
+  const JacobiPreconditioner jac(a);
+  const IncompleteCholeskyPreconditioner ic(a);
+  EXPECT_EQ(ic.shiftUsed(), 0.0);  // M-matrix: IC(0) cannot break down
+  const CgResult r1 = conjugateGradient(a, b, x1, jac);
+  const CgResult r2 = conjugateGradient(a, b, x2, ic);
+  EXPECT_TRUE(r2.converged);
+  EXPECT_LT(r2.iterations, r1.iterations);
+  for (std::size_t i = 0; i < b.size(); ++i) EXPECT_NEAR(x1[i], x2[i], 1e-5);
+}
+
+TEST(Preconditioner, Ic0ExactForDiagonal) {
+  TripletMatrix t(3, 3);
+  t.add(0, 0, 4.0);
+  t.add(1, 1, 9.0);
+  t.add(2, 2, 16.0);
+  const CsrMatrix a = CsrMatrix::fromTriplets(t);
+  const IncompleteCholeskyPreconditioner ic(a);
+  std::vector<double> r = {4.0, 9.0, 16.0};
+  std::vector<double> z(3);
+  ic.apply(r, z);
+  for (double v : z) EXPECT_NEAR(v, 1.0, 1e-14);
+}
+
+class CgSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CgSizeSweep, ResidualMeetsTolerance) {
+  const int n = GetParam();
+  const CsrMatrix a = laplacian2d(n, n, 0.05);
+  Rng rng(1000 + n);
+  std::vector<double> b =
+      randomVector(static_cast<std::size_t>(n) * n, rng);
+  std::vector<double> x(b.size(), 0.0);
+  const JacobiPreconditioner m(a);
+  CgOptions opts;
+  opts.relativeTolerance = 1e-10;
+  const CgResult res = conjugateGradient(a, b, x, m, opts);
+  EXPECT_TRUE(res.converged);
+  EXPECT_LE(a.residualNorm(x, b), 1e-10 * norm2(b) * 1.01);
+}
+
+INSTANTIATE_TEST_SUITE_P(GridSizes, CgSizeSweep,
+                         ::testing::Values(2, 5, 9, 16, 25));
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,125 @@
+#include "numerics/dense.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace viaduct {
+namespace {
+
+TEST(DenseMatrix, IdentitySolve) {
+  const DenseMatrix eye = DenseMatrix::identity(4);
+  const std::vector<double> b = {1.0, 2.0, 3.0, 4.0};
+  const auto x = eye.solve(b);
+  for (std::size_t i = 0; i < 4; ++i) EXPECT_NEAR(x[i], b[i], 1e-14);
+}
+
+TEST(DenseMatrix, Solve2x2) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 2.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 3.0;
+  const std::vector<double> b = {5.0, 10.0};
+  const auto x = a.solve(b);
+  EXPECT_NEAR(x[0], 1.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, PivotingHandlesZeroDiagonal) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 0.0;
+  a(0, 1) = 1.0;
+  a(1, 0) = 1.0;
+  a(1, 1) = 0.0;
+  const std::vector<double> b = {3.0, 7.0};
+  const auto x = a.solve(b);
+  EXPECT_NEAR(x[0], 7.0, 1e-12);
+  EXPECT_NEAR(x[1], 3.0, 1e-12);
+}
+
+TEST(DenseMatrix, SingularThrows) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 1.0;
+  a(0, 1) = 2.0;
+  a(1, 0) = 2.0;
+  a(1, 1) = 4.0;
+  const std::vector<double> b = {1.0, 2.0};
+  EXPECT_THROW(a.solve(b), NumericalError);
+}
+
+TEST(DenseMatrix, MultiplyMatchesManual) {
+  DenseMatrix a(2, 3);
+  a(0, 0) = 1;
+  a(0, 1) = 2;
+  a(0, 2) = 3;
+  a(1, 0) = 4;
+  a(1, 1) = 5;
+  a(1, 2) = 6;
+  const std::vector<double> x = {1.0, 0.5, 2.0};
+  const auto y = a.multiply(x);
+  EXPECT_NEAR(y[0], 8.0, 1e-14);
+  EXPECT_NEAR(y[1], 18.5, 1e-14);
+}
+
+TEST(DenseMatrix, TransposedSwapsIndices) {
+  DenseMatrix a(2, 3);
+  a(0, 2) = 7.0;
+  const auto t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_EQ(t(2, 0), 7.0);
+}
+
+TEST(DenseMatrix, SolveMultipleColumns) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 2.0;
+  DenseMatrix b(2, 2);
+  b(0, 0) = 6.0;
+  b(1, 1) = 4.0;
+  const auto x = a.solveMultiple(b);
+  EXPECT_NEAR(x(0, 0), 2.0, 1e-12);
+  EXPECT_NEAR(x(1, 1), 2.0, 1e-12);
+  EXPECT_NEAR(x(0, 1), 0.0, 1e-12);
+}
+
+TEST(DenseLu, RandomRoundTrip) {
+  Rng rng(71);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t n = 2 + trial % 15;
+    DenseMatrix a(n, n);
+    for (std::size_t r = 0; r < n; ++r)
+      for (std::size_t c = 0; c < n; ++c) a(r, c) = rng.uniform(-1.0, 1.0);
+    for (std::size_t i = 0; i < n; ++i) a(i, i) += 3.0;  // diagonally dominant
+    std::vector<double> xTrue(n);
+    for (auto& v : xTrue) v = rng.uniform(-2.0, 2.0);
+    const auto b = a.multiply(xTrue);
+    const auto x = a.solve(b);
+    for (std::size_t i = 0; i < n; ++i) EXPECT_NEAR(x[i], xTrue[i], 1e-9);
+  }
+}
+
+TEST(DenseMatrix, OutOfBoundsRejected) {
+  DenseMatrix a(2, 2);
+  EXPECT_THROW(a(2, 0), PreconditionError);
+  EXPECT_THROW(a(0, 2), PreconditionError);
+}
+
+TEST(DenseMatrix, NonSquareLuRejected) {
+  DenseMatrix a(2, 3);
+  EXPECT_THROW(DenseLu{a}, PreconditionError);
+}
+
+TEST(DenseMatrix, FrobeniusNorm) {
+  DenseMatrix a(2, 2);
+  a(0, 0) = 3.0;
+  a(1, 1) = 4.0;
+  EXPECT_NEAR(a.frobeniusNorm(), 5.0, 1e-14);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,192 @@
+#include "numerics/woodbury.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/rng.h"
+
+namespace viaduct {
+namespace {
+
+CsrMatrix gridConductance(Index nx, Index ny, double gGround = 0.1) {
+  TripletMatrix t(nx * ny, nx * ny);
+  auto id = [nx](Index x, Index y) { return y * nx + x; };
+  for (Index y = 0; y < ny; ++y) {
+    for (Index x = 0; x < nx; ++x) {
+      if (x == 0 && y == 0) t.add(0, 0, gGround * 10);  // "pad" tie-down
+      t.add(id(x, y), id(x, y), gGround * 0.01);
+      if (x + 1 < nx) t.stampConductance(id(x, y), id(x + 1, y), 1.0);
+      if (y + 1 < ny) t.stampConductance(id(x, y), id(x, y + 1), 1.0);
+    }
+  }
+  return CsrMatrix::fromTriplets(t);
+}
+
+std::vector<double> referenceSolve(const CsrMatrix& g,
+                                   std::span<const double> b) {
+  return SparseCholesky(g).solve(b);
+}
+
+TEST(WoodburySolver, MatchesBaseSolveWithoutUpdates) {
+  const CsrMatrix g = gridConductance(6, 6);
+  Rng rng(51);
+  std::vector<double> b(36);
+  for (auto& v : b) v = rng.uniform(0.0, 1.0);
+  WoodburySolver w(g);
+  const auto x = w.solve(b);
+  const auto ref = referenceSolve(g, b);
+  for (std::size_t i = 0; i < 36; ++i) EXPECT_NEAR(x[i], ref[i], 1e-10);
+}
+
+TEST(WoodburySolver, SingleBranchUpdateMatchesRefactor) {
+  CsrMatrix g = gridConductance(6, 6);
+  Rng rng(53);
+  std::vector<double> b(36);
+  for (auto& v : b) v = rng.uniform(0.0, 1.0);
+
+  WoodburySolver w(g);
+  w.updateBranch(3, 4, -0.7);  // weaken one branch
+  const auto x = w.solve(b);
+
+  // Reference: rebuild the modified matrix from scratch.
+  EXPECT_NEAR(norm2(x), norm2(referenceSolve(w.currentMatrix(), b)), 1e-8);
+  const auto ref = referenceSolve(w.currentMatrix(), b);
+  for (std::size_t i = 0; i < 36; ++i) EXPECT_NEAR(x[i], ref[i], 1e-9);
+}
+
+TEST(WoodburySolver, SequenceOfUpdatesMatchesRefactor) {
+  const CsrMatrix g = gridConductance(8, 8);
+  Rng rng(59);
+  std::vector<double> b(64);
+  for (auto& v : b) v = rng.uniform(0.0, 1.0);
+
+  WoodburySolver w(g);
+  // Fail several branches fully (conductance -> ~0) one at a time.
+  const std::vector<std::pair<Index, Index>> branches = {
+      {0, 1}, {9, 10}, {20, 28}, {45, 46}, {17, 25}};
+  for (const auto& [i, j] : branches) {
+    const double gOld = -w.currentMatrix().at(i, j);
+    ASSERT_GT(gOld, 0.0);
+    w.updateBranch(i, j, -gOld * 0.999);
+    const auto x = w.solve(b);
+    const auto ref = referenceSolve(w.currentMatrix(), b);
+    for (std::size_t k = 0; k < 64; ++k) EXPECT_NEAR(x[k], ref[k], 1e-7);
+  }
+  EXPECT_EQ(w.pendingUpdateCount(), 5);
+}
+
+TEST(WoodburySolver, RepeatedUpdateOfSameBranchAccumulates) {
+  const CsrMatrix g = gridConductance(5, 5);
+  std::vector<double> b(25, 0.5);
+  WoodburySolver w(g);
+  w.updateBranch(2, 3, -0.3);
+  w.updateBranch(2, 3, -0.3);
+  EXPECT_EQ(w.pendingUpdateCount(), 1);  // same branch: one column
+  const auto x = w.solve(b);
+  const auto ref = referenceSolve(w.currentMatrix(), b);
+  for (std::size_t k = 0; k < 25; ++k) EXPECT_NEAR(x[k], ref[k], 1e-9);
+}
+
+TEST(WoodburySolver, EndpointOrderIrrelevant) {
+  const CsrMatrix g = gridConductance(5, 5);
+  std::vector<double> b(25, 1.0);
+  WoodburySolver w1(g), w2(g);
+  w1.updateBranch(7, 8, -0.5);
+  w2.updateBranch(8, 7, -0.5);
+  const auto x1 = w1.solve(b);
+  const auto x2 = w2.solve(b);
+  for (std::size_t k = 0; k < 25; ++k) EXPECT_NEAR(x1[k], x2[k], 1e-12);
+}
+
+TEST(WoodburySolver, GroundBranchUpdate) {
+  const CsrMatrix g = gridConductance(4, 4);
+  std::vector<double> b(16, 1.0);
+  WoodburySolver w(g);
+  w.updateBranch(5, -1, 2.0);  // strengthen a tie to ground
+  const auto x = w.solve(b);
+  const auto ref = referenceSolve(w.currentMatrix(), b);
+  for (std::size_t k = 0; k < 16; ++k) EXPECT_NEAR(x[k], ref[k], 1e-9);
+}
+
+TEST(WoodburySolver, RebasePreservesSolutions) {
+  const CsrMatrix g = gridConductance(6, 6);
+  Rng rng(61);
+  std::vector<double> b(36);
+  for (auto& v : b) v = rng.uniform(0.0, 1.0);
+  WoodburySolver w(g);
+  w.updateBranch(1, 2, -0.4);
+  w.updateBranch(8, 14, -0.9);
+  const auto before = w.solve(b);
+  w.rebase();
+  EXPECT_EQ(w.pendingUpdateCount(), 0);
+  EXPECT_EQ(w.rebaseCount(), 1);
+  const auto after = w.solve(b);
+  for (std::size_t k = 0; k < 36; ++k) EXPECT_NEAR(before[k], after[k], 1e-9);
+}
+
+TEST(WoodburySolver, AutoRebaseAtThreshold) {
+  const CsrMatrix g = gridConductance(10, 10);
+  WoodburySolver::Options opts;
+  opts.rebaseThreshold = 3;
+  WoodburySolver w(g, opts);
+  w.updateBranch(0, 1, -0.1);
+  w.updateBranch(1, 2, -0.1);
+  w.updateBranch(2, 3, -0.1);
+  EXPECT_EQ(w.rebaseCount(), 0);
+  w.updateBranch(3, 4, -0.1);  // exceeds threshold -> rebase
+  EXPECT_EQ(w.rebaseCount(), 1);
+  EXPECT_EQ(w.pendingUpdateCount(), 0);
+  std::vector<double> b(100, 1.0);
+  const auto x = w.solve(b);
+  const auto ref = referenceSolve(w.currentMatrix(), b);
+  for (std::size_t k = 0; k < 100; ++k) EXPECT_NEAR(x[k], ref[k], 1e-8);
+}
+
+TEST(WoodburySolver, RejectsSelfLoopAndDoubleGround) {
+  const CsrMatrix g = gridConductance(3, 3);
+  WoodburySolver w(g);
+  EXPECT_THROW(w.updateBranch(2, 2, 1.0), PreconditionError);
+  EXPECT_THROW(w.updateBranch(-1, -1, 1.0), PreconditionError);
+}
+
+TEST(WoodburySolver, RejectsStructurallyAbsentBranch) {
+  const CsrMatrix g = gridConductance(3, 3);
+  WoodburySolver w(g);
+  // Nodes 0 and 8 are opposite corners: no direct branch entry.
+  EXPECT_THROW(w.updateBranch(0, 8, -0.1), PreconditionError);
+}
+
+class WoodburyFailureSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WoodburyFailureSweep, ManySequentialOpensStayAccurate) {
+  const int failures = GetParam();
+  const CsrMatrix g = gridConductance(9, 9, 0.5);
+  Rng rng(1009);
+  std::vector<double> b(81);
+  for (auto& v : b) v = rng.uniform(0.0, 0.2);
+
+  WoodburySolver::Options opts;
+  opts.rebaseThreshold = 6;  // force several rebases for large sweeps
+  WoodburySolver w(g, opts);
+
+  int done = 0;
+  for (Index y = 0; y < 9 && done < failures; ++y) {
+    for (Index x = 0; x + 1 < 9 && done < failures; x += 2) {
+      const Index i = y * 9 + x;
+      const Index j = y * 9 + x + 1;
+      const double gOld = -w.currentMatrix().at(i, j);
+      if (gOld <= 0.0) continue;
+      w.updateBranch(i, j, -gOld * 0.999);
+      ++done;
+    }
+  }
+  const auto x = w.solve(b);
+  const auto ref = referenceSolve(w.currentMatrix(), b);
+  for (std::size_t k = 0; k < 81; ++k) EXPECT_NEAR(x[k], ref[k], 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(FailureCounts, WoodburyFailureSweep,
+                         ::testing::Values(1, 4, 8, 16, 30));
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,79 @@
+#include "spice/netlist.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+
+namespace viaduct {
+namespace {
+
+TEST(Netlist, InternAssignsStableIndices) {
+  Netlist n;
+  const Index a = n.internNode("n1_0_0");
+  const Index b = n.internNode("n1_0_1");
+  EXPECT_EQ(a, 0);
+  EXPECT_EQ(b, 1);
+  EXPECT_EQ(n.internNode("n1_0_0"), a);
+  EXPECT_EQ(n.nodeCount(), 2);
+}
+
+TEST(Netlist, GroundAliases) {
+  Netlist n;
+  EXPECT_EQ(n.internNode("0"), kGroundNode);
+  EXPECT_EQ(n.internNode("gnd"), kGroundNode);
+  EXPECT_EQ(n.internNode("GND"), kGroundNode);
+  EXPECT_EQ(n.nodeCount(), 0);
+}
+
+TEST(Netlist, FindNode) {
+  Netlist n;
+  n.internNode("x");
+  EXPECT_TRUE(n.findNode("x").has_value());
+  EXPECT_FALSE(n.findNode("y").has_value());
+  EXPECT_EQ(n.findNode("0").value(), kGroundNode);
+}
+
+TEST(Netlist, NodeNameRoundTrip) {
+  Netlist n;
+  const Index a = n.internNode("some_node");
+  EXPECT_EQ(n.nodeName(a), "some_node");
+  EXPECT_EQ(n.nodeName(kGroundNode), "0");
+}
+
+TEST(Netlist, AddElements) {
+  Netlist n;
+  const Index a = n.internNode("a");
+  const Index b = n.internNode("b");
+  n.addResistor("R1", a, b, 10.0);
+  n.addVoltageSource("V1", a, kGroundNode, 1.8);
+  n.addCurrentSource("I1", b, kGroundNode, 0.01);
+  EXPECT_EQ(n.resistors().size(), 1u);
+  EXPECT_EQ(n.voltageSources().size(), 1u);
+  EXPECT_EQ(n.currentSources().size(), 1u);
+}
+
+TEST(Netlist, RejectsSelfLoopResistor) {
+  Netlist n;
+  const Index a = n.internNode("a");
+  EXPECT_THROW(n.addResistor("R1", a, a, 1.0), PreconditionError);
+}
+
+TEST(Netlist, RejectsNegativeResistance) {
+  Netlist n;
+  const Index a = n.internNode("a");
+  EXPECT_THROW(n.addResistor("R1", a, kGroundNode, -1.0), PreconditionError);
+}
+
+TEST(Netlist, RejectsEmptyNodeName) {
+  Netlist n;
+  EXPECT_THROW(n.internNode(""), PreconditionError);
+}
+
+TEST(Netlist, RejectsOutOfRangeIndices) {
+  Netlist n;
+  n.internNode("a");
+  EXPECT_THROW(n.addResistor("R1", 0, 5, 1.0), PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,146 @@
+#include "spice/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "spice/writer.h"
+
+namespace viaduct {
+namespace {
+
+TEST(ParseSpiceNumber, PlainAndScientific) {
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1.5"), 1.5);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("-2"), -2.0);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1e-3"), 1e-3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2.5E6"), 2.5e6);
+}
+
+TEST(ParseSpiceNumber, MagnitudeSuffixes) {
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3k"), 3e3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("5m"), 5e-3);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2meg"), 2e6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2MEG"), 2e6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("7u"), 7e-6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1n"), 1e-9);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("4p"), 4e-12);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1f"), 1e-15);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("9g"), 9e9);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1t"), 1e12);
+}
+
+TEST(ParseSpiceNumber, RejectsGarbage) {
+  EXPECT_THROW(parseSpiceNumber("abc"), ParseError);
+  EXPECT_THROW(parseSpiceNumber("1.5x"), ParseError);
+}
+
+TEST(ParseSpice, MinimalDeck) {
+  const auto n = parseSpiceString(
+      "* test grid\n"
+      "R1 a b 0.5\n"
+      "V1 vddnode 0 1.8\n"
+      "I1 b 0 10m\n"
+      ".op\n"
+      ".end\n");
+  EXPECT_EQ(n.title(), "test grid");
+  ASSERT_EQ(n.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.resistors()[0].ohms, 0.5);
+  ASSERT_EQ(n.voltageSources().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.voltageSources()[0].volts, 1.8);
+  ASSERT_EQ(n.currentSources().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.currentSources()[0].amps, 0.01);
+}
+
+TEST(ParseSpice, IbmStyleNodeNames) {
+  const auto n = parseSpiceString(
+      "r100 n1_123_456 n1_123_789 0.021\n"
+      "v_X_3 n4_0_0 gnd 1.8\n"
+      "i77 n1_123_456 0 3.4e-5\n");
+  EXPECT_EQ(n.resistors().size(), 1u);
+  EXPECT_EQ(n.voltageSources()[0].negative, kGroundNode);
+  EXPECT_TRUE(n.findNode("n1_123_456").has_value());
+}
+
+TEST(ParseSpice, DcKeywordAccepted) {
+  const auto n = parseSpiceString("Vdd p 0 DC 1.2\n");
+  ASSERT_EQ(n.voltageSources().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.voltageSources()[0].volts, 1.2);
+}
+
+TEST(ParseSpice, ContinuationLines) {
+  const auto n = parseSpiceString(
+      "R1 a\n"
+      "+ b\n"
+      "+ 2.5\n");
+  ASSERT_EQ(n.resistors().size(), 1u);
+  EXPECT_DOUBLE_EQ(n.resistors()[0].ohms, 2.5);
+}
+
+TEST(ParseSpice, DollarCommentsStripped) {
+  const auto n = parseSpiceString("R1 a b 1.0 $ trailing note\n");
+  ASSERT_EQ(n.resistors().size(), 1u);
+}
+
+TEST(ParseSpice, StopsAtEnd) {
+  const auto n = parseSpiceString(
+      "R1 a b 1.0\n"
+      ".end\n"
+      "R2 c d 2.0\n");
+  EXPECT_EQ(n.resistors().size(), 1u);
+}
+
+TEST(ParseSpice, TitleCard) {
+  const auto n = parseSpiceString(".title my power grid\nR1 a 0 1\n");
+  EXPECT_EQ(n.title(), "my power grid");
+}
+
+TEST(ParseSpice, UnsupportedElementThrows) {
+  EXPECT_THROW(parseSpiceString("C1 a b 1p\n"), ParseError);
+}
+
+TEST(ParseSpice, TooFewTokensThrows) {
+  EXPECT_THROW(parseSpiceString("R1 a b\n"), ParseError);
+}
+
+TEST(ParseSpice, BadValueThrows) {
+  EXPECT_THROW(parseSpiceString("R1 a b xyz\n"), ParseError);
+}
+
+TEST(ParseSpice, OrphanContinuationThrows) {
+  EXPECT_THROW(parseSpiceString("+ R1 a b 1\n"), ParseError);
+}
+
+TEST(ParseSpice, ErrorMentionsLineNumber) {
+  try {
+    parseSpiceString("R1 a b 1.0\nQ1 x y z\n");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find(":2:"), std::string::npos);
+  }
+}
+
+TEST(ParseSpice, MissingFileThrows) {
+  EXPECT_THROW(parseSpiceFile("/nonexistent/path.sp"), ParseError);
+}
+
+TEST(Writer, RoundTripsThroughParser) {
+  const auto original = parseSpiceString(
+      "* roundtrip\n"
+      "R1 a b 0.125\n"
+      "Rvia_1_2 b c 0.4\n"
+      "V1 p 0 1.0\n"
+      "I1 c 0 0.002\n");
+  const std::string text = writeSpiceString(original);
+  const auto reparsed = parseSpiceString(text);
+  ASSERT_EQ(reparsed.resistors().size(), original.resistors().size());
+  for (std::size_t i = 0; i < original.resistors().size(); ++i) {
+    EXPECT_EQ(reparsed.resistors()[i].name, original.resistors()[i].name);
+    EXPECT_DOUBLE_EQ(reparsed.resistors()[i].ohms,
+                     original.resistors()[i].ohms);
+  }
+  EXPECT_EQ(reparsed.title(), original.title());
+  EXPECT_DOUBLE_EQ(reparsed.voltageSources()[0].volts, 1.0);
+  EXPECT_DOUBLE_EQ(reparsed.currentSources()[0].amps, 0.002);
+}
+
+}  // namespace
+}  // namespace viaduct

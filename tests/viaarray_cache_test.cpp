@@ -1,0 +1,148 @@
+#include "viaarray/cache.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "common/check.h"
+
+namespace viaduct {
+namespace {
+
+class CacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("viaduct_cache_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".tbl"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override { std::filesystem::remove(path_); }
+
+  std::string path_;
+};
+
+CharacterizationData sampleData(int vias = 4, int trials = 3) {
+  CharacterizationData data;
+  for (int v = 0; v < vias; ++v) data.rawSigmaT.push_back(2.5e8 + v * 1e6);
+  for (int t = 0; t < trials; ++t) {
+    FailureTrace trace;
+    for (int v = 0; v < vias; ++v) {
+      trace.failureTimes.push_back(1e7 * (t + 1) + v * 1e5);
+      trace.resistanceAfter.push_back(
+          v + 1 == vias ? std::numeric_limits<double>::infinity()
+                        : 0.4 * (v + 2));
+    }
+    data.traces.push_back(std::move(trace));
+  }
+  return data;
+}
+
+TEST_F(CacheTest, MissOnEmptyStore) {
+  CharacterizationStore store(path_);
+  EXPECT_FALSE(store.load("anything").has_value());
+  EXPECT_EQ(store.entryCount(), 0u);
+}
+
+TEST_F(CacheTest, SaveAndLoadRoundTrip) {
+  CharacterizationStore store(path_);
+  const auto data = sampleData();
+  store.save("key-a", data);
+  const auto loaded = store.load("key-a");
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->rawSigmaT.size(), data.rawSigmaT.size());
+  for (std::size_t i = 0; i < data.rawSigmaT.size(); ++i)
+    EXPECT_DOUBLE_EQ(loaded->rawSigmaT[i], data.rawSigmaT[i]);
+  ASSERT_EQ(loaded->traces.size(), data.traces.size());
+  for (std::size_t t = 0; t < data.traces.size(); ++t) {
+    for (std::size_t v = 0; v < data.traces[t].failureTimes.size(); ++v) {
+      EXPECT_DOUBLE_EQ(loaded->traces[t].failureTimes[v],
+                       data.traces[t].failureTimes[v]);
+    }
+    EXPECT_TRUE(std::isinf(loaded->traces[t].resistanceAfter.back()));
+  }
+}
+
+TEST_F(CacheTest, MultipleEntriesCoexist) {
+  CharacterizationStore store(path_);
+  store.save("key-a", sampleData(4));
+  store.save("key-b", sampleData(16));
+  EXPECT_EQ(store.entryCount(), 2u);
+  EXPECT_EQ(store.load("key-a")->rawSigmaT.size(), 4u);
+  EXPECT_EQ(store.load("key-b")->rawSigmaT.size(), 16u);
+}
+
+TEST_F(CacheTest, SaveReplacesExistingKey) {
+  CharacterizationStore store(path_);
+  store.save("key", sampleData(4, 2));
+  store.save("key", sampleData(4, 5));
+  EXPECT_EQ(store.entryCount(), 1u);
+  EXPECT_EQ(store.load("key")->traces.size(), 5u);
+}
+
+TEST_F(CacheTest, CorruptFileIsTreatedAsMiss) {
+  {
+    std::ofstream os(path_);
+    os << "not a cache file\ngarbage\n";
+  }
+  CharacterizationStore store(path_);
+  EXPECT_FALSE(store.load("key").has_value());
+  // And save still recovers a clean file.
+  store.save("key", sampleData());
+  EXPECT_TRUE(store.load("key").has_value());
+}
+
+TEST_F(CacheTest, RejectsEmptyPayload) {
+  CharacterizationStore store(path_);
+  EXPECT_THROW(store.save("key", CharacterizationData{}), PreconditionError);
+}
+
+TEST_F(CacheTest, LibraryRehydratesFromStore) {
+  ViaArrayCharacterizationSpec spec;
+  spec.array.n = 2;
+  spec.resolutionXy = 0.5e-6;
+  spec.margin = 1.0e-6;
+  spec.trials = 20;
+
+  auto store = std::make_shared<CharacterizationStore>(path_);
+  std::vector<double> samplesA;
+  {
+    ViaArrayLibrary lib(store);
+    auto ch = lib.get(spec);  // computes FEA + MC, persists
+    samplesA = ch->ttfSamples(ViaArrayFailureCriterion::openCircuit());
+    EXPECT_EQ(store->entryCount(), 1u);
+  }
+  {
+    ViaArrayLibrary lib2(store);  // fresh in-memory cache
+    auto ch2 = lib2.get(spec);    // must rehydrate, not recompute
+    const auto samplesB =
+        ch2->ttfSamples(ViaArrayFailureCriterion::openCircuit());
+    ASSERT_EQ(samplesA.size(), samplesB.size());
+    for (std::size_t i = 0; i < samplesA.size(); ++i)
+      EXPECT_DOUBLE_EQ(samplesA[i], samplesB[i]);
+    // Calibrated stress is rederived from raw + spec calibration.
+    EXPECT_FALSE(ch2->sigmaT().empty());
+  }
+}
+
+TEST_F(CacheTest, RehydrationValidatesShape) {
+  ViaArrayCharacterizationSpec spec;
+  spec.array.n = 2;
+  spec.resolutionXy = 0.5e-6;
+  spec.margin = 1.0e-6;
+  spec.trials = 20;
+  // Wrong via count.
+  auto bad = sampleData(/*vias=*/9, /*trials=*/20);
+  EXPECT_THROW(ViaArrayCharacterizer(spec, bad), PreconditionError);
+  // Wrong trial count.
+  auto bad2 = sampleData(/*vias=*/4, /*trials=*/3);
+  EXPECT_THROW(ViaArrayCharacterizer(spec, bad2), PreconditionError);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,167 @@
+#include "viaarray/network.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "common/check.h"
+
+namespace viaduct {
+namespace {
+
+ViaArrayNetworkConfig config(int n, double sheet = 0.02) {
+  ViaArrayNetworkConfig c;
+  c.n = n;
+  c.arrayResistanceOhms = 0.4;
+  c.sheetResistancePerSquare = sheet;
+  c.totalCurrentAmps = 0.01;
+  return c;
+}
+
+TEST(ViaArrayNetwork, CurrentsSumToTotal) {
+  ViaArrayNetwork net(config(4));
+  const auto currents = net.viaCurrents();
+  const double sum = std::accumulate(currents.begin(), currents.end(), 0.0);
+  EXPECT_NEAR(sum, 0.01, 1e-9);
+}
+
+TEST(ViaArrayNetwork, SingleViaCarriesEverything) {
+  ViaArrayNetwork net(config(1));
+  const auto currents = net.viaCurrents();
+  ASSERT_EQ(currents.size(), 1u);
+  EXPECT_NEAR(currents[0], 0.01, 1e-9);
+}
+
+TEST(ViaArrayNetwork, CrowdingFavorsFeedAndDrainEdges) {
+  // Feed ties to row 0 of the upper plate; drain to column n-1 of the lower
+  // plate: the (0, n-1) corner via must out-carry the most sheltered via.
+  // At power-grid sheet resistances the via resistance dominates and the
+  // crowding is a few percent.
+  ViaArrayNetwork net(config(4));
+  const auto currents = net.viaCurrents();
+  const double corner = currents[static_cast<std::size_t>(net.viaIndex(0, 3))];
+  const double sheltered =
+      currents[static_cast<std::size_t>(net.viaIndex(3, 0))];
+  EXPECT_GT(corner, sheltered * 1.01);
+  // And all vias carry positive current.
+  for (double i : currents) EXPECT_GT(i, 0.0);
+}
+
+TEST(ViaArrayNetwork, CrowdingGrowsWithSheetResistance) {
+  // With resistive plates the crowding becomes first-order (Li et al.'s
+  // regime): the feed/drain corner carries >2x the sheltered corner.
+  ViaArrayNetwork net(config(4, /*sheet=*/1.0));
+  const auto currents = net.viaCurrents();
+  const double corner = currents[static_cast<std::size_t>(net.viaIndex(0, 3))];
+  const double sheltered =
+      currents[static_cast<std::size_t>(net.viaIndex(3, 0))];
+  EXPECT_GT(corner, sheltered * 2.0);
+  // Symmetry of the corner-turn network: (0,0) and (3,3) carry equal
+  // current, as do any (r,c) and (3-c, 3-r) transpose pairs.
+  const double a = currents[static_cast<std::size_t>(net.viaIndex(0, 0))];
+  const double b = currents[static_cast<std::size_t>(net.viaIndex(3, 3))];
+  EXPECT_NEAR(a, b, 1e-9);
+}
+
+TEST(ViaArrayNetwork, NegligibleSheetGivesUniformSharing) {
+  ViaArrayNetwork net(config(4, /*sheet=*/1e-9));
+  const auto currents = net.viaCurrents();
+  for (double i : currents) EXPECT_NEAR(i, 0.01 / 16.0, 1e-6);
+}
+
+TEST(ViaArrayNetwork, FailureRedistributesToSurvivors) {
+  ViaArrayNetwork net(config(4));
+  const auto before = net.viaCurrents();
+  const int victim = net.viaIndex(1, 1);
+  net.failVia(victim);
+  const auto after = net.viaCurrents();
+  EXPECT_EQ(after[static_cast<std::size_t>(victim)], 0.0);
+  // Neighbors pick up current.
+  const int neighbor = net.viaIndex(1, 2);
+  EXPECT_GT(after[static_cast<std::size_t>(neighbor)],
+            before[static_cast<std::size_t>(neighbor)]);
+  // Total is conserved.
+  EXPECT_NEAR(std::accumulate(after.begin(), after.end(), 0.0), 0.01, 1e-9);
+}
+
+TEST(ViaArrayNetwork, ResistanceMonotoneUnderFailures) {
+  ViaArrayNetwork net(config(4));
+  double prev = net.effectiveResistance();
+  for (int v : {0, 5, 10, 15, 3, 12}) {
+    net.failVia(v);
+    const double now = net.effectiveResistance();
+    EXPECT_GT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(ViaArrayNetwork, Equation5IdealIncrease) {
+  EXPECT_NEAR(ViaArrayNetwork::idealResistanceIncrease(16, 1), 1.0 / 15.0,
+              1e-12);
+  EXPECT_NEAR(ViaArrayNetwork::idealResistanceIncrease(16, 8), 1.0, 1e-12);
+  EXPECT_NEAR(ViaArrayNetwork::idealResistanceIncrease(16, 15), 15.0, 1e-12);
+  EXPECT_THROW(ViaArrayNetwork::idealResistanceIncrease(16, 16),
+               PreconditionError);
+}
+
+TEST(ViaArrayNetwork, NegligibleSheetMatchesEquation5) {
+  // With an ideal plate, failing nF of n² equal vias must match Eq. (5).
+  ViaArrayNetwork net(config(4, /*sheet=*/1e-9));
+  const double r0 = net.nominalResistance();
+  int failed = 0;
+  for (int v : {0, 3, 7, 9}) {
+    net.failVia(v);
+    ++failed;
+    const double expected =
+        r0 * (1.0 + ViaArrayNetwork::idealResistanceIncrease(16, failed));
+    // The rail resistances add a tiny series term; compare the via part.
+    EXPECT_NEAR(net.effectiveResistance(), expected, 0.02 * expected);
+  }
+}
+
+TEST(ViaArrayNetwork, FullFailureThrows) {
+  ViaArrayNetwork net(config(2));
+  for (int v = 0; v < 4; ++v) net.failVia(v);
+  EXPECT_EQ(net.aliveCount(), 0);
+  EXPECT_THROW(net.viaCurrents(), NumericalError);
+  EXPECT_THROW(net.effectiveResistance(), NumericalError);
+}
+
+TEST(ViaArrayNetwork, DoubleFailureRejected) {
+  ViaArrayNetwork net(config(2));
+  net.failVia(1);
+  EXPECT_THROW(net.failVia(1), PreconditionError);
+}
+
+TEST(ViaArrayNetwork, ResetRestoresNominal) {
+  ViaArrayNetwork net(config(3));
+  const double r0 = net.effectiveResistance();
+  net.failVia(4);
+  EXPECT_GT(net.effectiveResistance(), r0);
+  net.reset();
+  EXPECT_EQ(net.aliveCount(), 9);
+  EXPECT_NEAR(net.effectiveResistance(), r0, 1e-12);
+}
+
+TEST(ViaArrayNetwork, BadConfigRejected) {
+  auto c = config(0);
+  EXPECT_THROW(ViaArrayNetwork{c}, PreconditionError);
+  c = config(2);
+  c.arrayResistanceOhms = 0.0;
+  EXPECT_THROW(ViaArrayNetwork{c}, PreconditionError);
+}
+
+class NetworkSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(NetworkSizeSweep, NominalResistanceNearConfigured) {
+  // The via-parallel part dominates; plates add a modest series term.
+  ViaArrayNetwork net(config(GetParam()));
+  EXPECT_GT(net.nominalResistance(), 0.4);
+  EXPECT_LT(net.nominalResistance(), 0.7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, NetworkSizeSweep, ::testing::Values(1, 2, 4, 8));
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,263 @@
+// viaduct command-line driver: the library's main flows as subcommands.
+//
+//   viaduct_cli generate     --preset PG1 --out grid.spice
+//   viaduct_cli analyze      --netlist grid.spice --via-n 4 --trials 300
+//   viaduct_cli characterize --n 8 --pattern T --criterion 2x
+//   viaduct_cli signoff      --preset PG1 --limit 2e10
+//   viaduct_cli census       --preset PG1 --margin-mpa 340
+//
+// Every subcommand accepts --help.
+#include <iostream>
+#include <string>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "common/table.h"
+#include "common/units.h"
+#include "core/analyzer.h"
+#include "grid/signoff.h"
+#include "grid/wire_mortality.h"
+#include "spice/generator.h"
+#include "spice/parser.h"
+#include "spice/writer.h"
+#include "viaarray/cache.h"
+
+using namespace viaduct;
+
+namespace {
+
+Netlist loadGrid(const std::string& netlistPath, const std::string& preset) {
+  if (!netlistPath.empty()) return parseSpiceFile(netlistPath);
+  if (preset == "PG1") return generatePgBenchmark(PgPreset::kPg1);
+  if (preset == "PG2") return generatePgBenchmark(PgPreset::kPg2);
+  if (preset == "PG5") return generatePgBenchmark(PgPreset::kPg5);
+  throw PreconditionError("unknown preset '" + preset + "' (PG1/PG2/PG5)");
+}
+
+int cmdGenerate(int argc, const char* const* argv) {
+  std::string preset = "PG1";
+  std::string out;
+  int stripes = 0;
+  int layers = 2;
+  double amps = 0.0;
+  CliFlags flags("viaduct_cli generate: write a synthetic power-grid netlist");
+  flags.addString("preset", &preset, "PG1, PG2, or PG5");
+  flags.addString("out", &out, "output SPICE file (stdout if empty)");
+  flags.addInt("stripes", &stripes, "override stripe count (0 = preset)");
+  flags.addInt("layers", &layers, "routed metal layers");
+  flags.addDouble("amps", &amps, "override total load current (0 = preset)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  GridGeneratorConfig cfg =
+      preset == "PG2"   ? pgPresetConfig(PgPreset::kPg2)
+      : preset == "PG5" ? pgPresetConfig(PgPreset::kPg5)
+                        : pgPresetConfig(PgPreset::kPg1);
+  if (stripes > 0) cfg.stripesX = cfg.stripesY = stripes;
+  if (amps > 0.0) cfg.totalCurrentAmps = amps;
+  cfg.layers = layers;
+  const Netlist netlist = generatePowerGrid(cfg);
+  if (out.empty()) {
+    writeSpice(netlist, std::cout);
+  } else {
+    writeSpiceFile(netlist, out);
+    std::cout << "wrote " << out << " (" << netlist.resistors().size()
+              << " resistors, " << netlist.currentSources().size()
+              << " loads)\n";
+  }
+  return 0;
+}
+
+int cmdAnalyze(int argc, const char* const* argv) {
+  std::string netlistPath, preset = "PG1", arrayCrit = "open",
+                           systemCrit = "ir", cachePath;
+  int viaN = 4, trials = 300, charTrials = 300;
+  double tuneIr = 0.06;
+  CliFlags flags("viaduct_cli analyze: two-level EM TTF analysis");
+  flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
+  flags.addString("preset", &preset, "PG1/PG2/PG5");
+  flags.addInt("via-n", &viaN, "via array dimension");
+  flags.addString("array-criterion", &arrayCrit,
+                  "open, weakest, <k>, or <r>x");
+  flags.addString("system-criterion", &systemCrit, "ir or weakest");
+  flags.addInt("trials", &trials, "grid Monte Carlo trials");
+  flags.addInt("char-trials", &charTrials, "characterization trials");
+  flags.addDouble("tune-ir", &tuneIr, "nominal IR-drop tuning target");
+  flags.addString("cache", &cachePath, "characterization cache file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  AnalyzerConfig config;
+  config.viaArraySize = viaN;
+  config.trials = trials;
+  config.characterization.trials = charTrials;
+  config.tuneNominalIrDropFraction = tuneIr;
+
+  auto library =
+      cachePath.empty()
+          ? std::make_shared<ViaArrayLibrary>()
+          : std::make_shared<ViaArrayLibrary>(
+                std::make_shared<CharacterizationStore>(cachePath));
+  PowerGridEmAnalyzer analyzer(loadGrid(netlistPath, preset), config,
+                               library);
+
+  const auto ac = arrayCrit == "weakest"
+                      ? ViaArrayFailureCriterion::weakestLink()
+                  : arrayCrit == "open"
+                      ? ViaArrayFailureCriterion::openCircuit()
+                  : arrayCrit.back() == 'x'
+                      ? ViaArrayFailureCriterion::resistanceRatio(
+                            std::stod(arrayCrit.substr(0, arrayCrit.size() - 1)))
+                      : ViaArrayFailureCriterion::kthVia(std::stoi(arrayCrit));
+  const auto sc = systemCrit == "weakest" ? GridFailureCriterion::weakestLink()
+                                          : GridFailureCriterion::irDrop(0.10);
+  const auto report = analyzer.analyze(ac, sc);
+  std::cout << "grid: " << analyzer.model().unknownCount() << " nodes, "
+            << analyzer.model().viaArrays().size() << " via arrays ("
+            << viaN << "x" << viaN << ")\n";
+  std::cout << "criteria: array " << report.arrayCriterion << ", system "
+            << report.systemCriterion << "\n";
+  std::cout << "worst-case TTF: " << TextTable::num(report.worstCaseYears, 2)
+            << " years (95% CI "
+            << TextTable::num(report.worstCaseCiLowYears, 2) << "-"
+            << TextTable::num(report.worstCaseCiHighYears, 2)
+            << "), median " << TextTable::num(report.medianYears, 2)
+            << " years, " << TextTable::num(report.meanFailuresToBreach, 1)
+            << " failures to breach\n";
+  return 0;
+}
+
+int cmdCharacterize(int argc, const char* const* argv) {
+  int n = 4, trials = 500;
+  std::string pattern = "Plus", criterion = "open", cachePath;
+  CliFlags flags("viaduct_cli characterize: level-1 via-array TTF");
+  flags.addInt("n", &n, "via array dimension");
+  flags.addString("pattern", &pattern, "Plus, T, or L");
+  flags.addString("criterion", &criterion, "open, weakest, <k>, or <r>x");
+  flags.addInt("trials", &trials, "Monte Carlo trials");
+  flags.addString("cache", &cachePath, "characterization cache file");
+  if (!flags.parse(argc, argv)) return 0;
+
+  ViaArrayCharacterizationSpec spec;
+  spec.array.n = n;
+  spec.pattern = pattern == "T"   ? IntersectionPattern::kT
+                 : pattern == "L" ? IntersectionPattern::kL
+                                  : IntersectionPattern::kPlus;
+  spec.trials = trials;
+
+  auto library =
+      cachePath.empty()
+          ? std::make_shared<ViaArrayLibrary>()
+          : std::make_shared<ViaArrayLibrary>(
+                std::make_shared<CharacterizationStore>(cachePath));
+  auto ch = library->get(spec);
+  const auto crit =
+      criterion == "weakest" ? ViaArrayFailureCriterion::weakestLink()
+      : criterion == "open"  ? ViaArrayFailureCriterion::openCircuit()
+      : criterion.back() == 'x'
+          ? ViaArrayFailureCriterion::resistanceRatio(
+                std::stod(criterion.substr(0, criterion.size() - 1)))
+          : ViaArrayFailureCriterion::kthVia(std::stoi(criterion));
+  const auto cdf = ch->ttfCdf(crit);
+  const auto fit = ch->ttfLognormal(crit);
+  std::cout << n << "x" << n << " " << patternName(spec.pattern)
+            << " array, criterion " << crit.describe() << ":\n";
+  std::cout << "  median " << TextTable::num(cdf.median() / units::year, 2)
+            << " yr, 0.3%ile " << TextTable::num(cdf.worstCase() / units::year, 2)
+            << " yr, lognormal(mu=" << TextTable::num(fit.mu(), 3)
+            << ", sigma=" << TextTable::num(fit.sigma(), 3) << ")\n";
+  return 0;
+}
+
+int cmdSignoff(int argc, const char* const* argv) {
+  std::string netlistPath, preset = "PG1";
+  double limit = 2e10;
+  double tuneIr = 0.06;
+  CliFlags flags("viaduct_cli signoff: traditional current-density check");
+  flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
+  flags.addString("preset", &preset, "PG1/PG2/PG5");
+  flags.addDouble("limit", &limit, "foundry via limit [A/m^2]");
+  flags.addDouble("tune-ir", &tuneIr,
+                  "retune loads to this nominal IR fraction (0 = as-is)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  Netlist netlist = loadGrid(netlistPath, preset);
+  if (tuneIr > 0.0) tuneNominalIrDrop(netlist, tuneIr);
+  const PowerGridModel model(netlist);
+  SignoffConfig cfg;
+  cfg.currentDensityLimit = limit;
+  const auto report = signoffViaArrays(model, cfg);
+  std::cout << (report.passed() ? "PASS" : "FAIL") << ": "
+            << report.violations << "/" << report.totalArrays
+            << " via arrays over the limit; worst j = "
+            << report.worstCurrentDensity << " A/m^2 ("
+            << TextTable::num(100.0 * report.worstUtilization(), 1)
+            << "% of limit)\n";
+  return report.passed() ? 0 : 2;
+}
+
+int cmdCensus(int argc, const char* const* argv) {
+  std::string netlistPath, preset = "PG1";
+  double marginMpa = 340.0;
+  double tuneIr = 0.06;
+  CliFlags flags("viaduct_cli census: wire Blech immortality census");
+  flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
+  flags.addString("preset", &preset, "PG1/PG2/PG5");
+  flags.addDouble("margin-mpa", &marginMpa,
+                  "critical-stress margin sigma_C - sigma_T [MPa]");
+  flags.addDouble("tune-ir", &tuneIr,
+                  "retune loads to this nominal IR fraction (0 = as-is)");
+  if (!flags.parse(argc, argv)) return 0;
+
+  Netlist netlist = loadGrid(netlistPath, preset);
+  if (tuneIr > 0.0) tuneNominalIrDrop(netlist, tuneIr);
+  const auto census = classifyWires(netlist, WireGeometry{},
+                                    marginMpa * units::MPa, EmParameters{});
+  std::cout << census.mortalWires << "/" << census.totalWires
+            << " wires mortal ("
+            << TextTable::num(100.0 * census.mortalFraction(), 2)
+            << "%); worst jL = " << TextTable::num(census.worstProduct, 0)
+            << " A/m vs limit " << TextTable::num(census.productLimit, 0)
+            << " A/m\n";
+  return census.mortalWires == 0 ? 0 : 2;
+}
+
+void printUsage() {
+  std::cout << "usage: viaduct_cli <command> [flags]\n\ncommands:\n"
+               "  generate      write a synthetic power-grid netlist\n"
+               "  analyze       two-level EM TTF analysis of a grid\n"
+               "  characterize  level-1 via-array TTF characterization\n"
+               "  signoff       traditional current-density check\n"
+               "  census        wire Blech immortality census\n"
+               "\nrun 'viaduct_cli <command> --help' for flags.\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  setLogLevel(LogLevel::kWarn);
+  if (argc < 2) {
+    printUsage();
+    return 1;
+  }
+  const std::string cmd = argv[1];
+  // Shift argv so each subcommand sees its own flags.
+  const int subArgc = argc - 1;
+  const char* const* subArgv = argv + 1;
+  try {
+    if (cmd == "generate") return cmdGenerate(subArgc, subArgv);
+    if (cmd == "analyze") return cmdAnalyze(subArgc, subArgv);
+    if (cmd == "characterize") return cmdCharacterize(subArgc, subArgv);
+    if (cmd == "signoff") return cmdSignoff(subArgc, subArgv);
+    if (cmd == "census") return cmdCensus(subArgc, subArgv);
+    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+      printUsage();
+      return 0;
+    }
+    std::cerr << "unknown command: " << cmd << "\n";
+    printUsage();
+    return 1;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
