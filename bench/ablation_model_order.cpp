@@ -103,5 +103,5 @@ int main(int argc, char** argv) {
                tgSlit < 0.2 * tn);
   checks.check("thick voids would NOT be negligible (Al-era regime)",
                tgThick > 0.5 * tgSlit * 10.0);
-  return 0;
+  return checks.exitCode();
 }

@@ -54,5 +54,5 @@ int main(int argc, char** argv) {
                lastStep > firstStep);
   checks.check("75 MPa of package stress costs >2x lifetime",
                medians[0] / medians[3] > 2.0);
-  return 0;
+  return checks.exitCode();
 }

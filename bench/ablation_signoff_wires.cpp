@@ -107,5 +107,5 @@ int main(int argc, char** argv) {
   checks.check("bootstrap CI brackets the point estimate",
                report.worstCaseCiLowYears <= report.worstCaseYears &&
                    report.worstCaseYears <= report.worstCaseCiHighYears);
-  return 0;
+  return checks.exitCode();
 }

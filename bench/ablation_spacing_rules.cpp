@@ -100,5 +100,5 @@ int main(int argc, char** argv) {
   checks.check("pitch stretching shifts the array TTF by < 15% "
                "(area is the binding cost)",
                (hi - lo) / lo < 0.15);
-  return 0;
+  return checks.exitCode();
 }

@@ -92,5 +92,5 @@ int main(int argc, char** argv) {
   const double blindColdSlope = blind.front() / at(105.0, blind);
   checks.check("sigma_T flattens the cold-side lifetime gain",
                coldSlope < blindColdSlope);
-  return 0;
+  return checks.exitCode();
 }

@@ -38,6 +38,10 @@ class ShapeChecks {
 
   int failures() const { return failures_; }
 
+  /// Process exit code for the bench's main(): nonzero when any shape
+  /// property failed, so CI catches regressions instead of grepping logs.
+  int exitCode() const { return failures_ == 0 ? 0 : 1; }
+
  private:
   std::string figure_;
   int total_ = 0;

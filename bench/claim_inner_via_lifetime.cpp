@@ -98,5 +98,5 @@ int main(int argc, char** argv) {
                innerGainMin > 0.5 && innerGainMax < 6.0);
   checks.check("inner vias beat the most-stressed (array-peak) via",
                innerGainMin > perimGainMin);
-  return 0;
+  return checks.exitCode();
 }

@@ -18,6 +18,7 @@ using namespace viaduct;
 int main(int argc, char** argv) {
   int trials = 500;
   int charTrials = 500;
+  int threads = 0;
   std::string csvDir;
   std::string cachePath;
   CliFlags flags("Figure 10: PG1 TTF percentile curves");
@@ -25,6 +26,9 @@ int main(int argc, char** argv) {
                   "characterization cache file (shared across benches)");
   flags.addInt("trials", &trials, "grid Monte Carlo trials");
   flags.addInt("char-trials", &charTrials, "characterization trials");
+  flags.addInt("threads", &threads,
+               "worker threads (0 = hardware concurrency); results are "
+               "identical for any value");
   flags.addString("csv-dir", &csvDir, "directory for CSV dumps");
   if (!flags.parse(argc, argv)) return 0;
   setLogLevel(LogLevel::kWarn);
@@ -53,6 +57,7 @@ int main(int argc, char** argv) {
     config.viaArraySize = n;
     config.trials = trials;
     config.characterization.trials = charTrials;
+    config.parallelism.threads = threads;
     PowerGridEmAnalyzer analyzer(generatePgBenchmark(PgPreset::kPg1), config,
                                  library);
     std::cout << "--- PG1 with " << n << "x" << n << " via arrays (Figure 10"
@@ -103,5 +108,5 @@ int main(int argc, char** argv) {
   checks.check("8x8 outlives 4x4 under the realistic criteria (0.3%ile)",
                find(8, "sys 10% IR, array R=inf").worstCase() >
                    find(4, "sys 10% IR, array R=inf").worstCase());
-  return 0;
+  return checks.exitCode();
 }

@@ -170,5 +170,5 @@ int main(int argc, char** argv) {
     dump("4x4_gap", four.gapProfile);
     std::cout << "wrote " << csvDir << "/fig1_profiles.csv\n";
   }
-  return 0;
+  return checks.exitCode();
 }

@@ -88,5 +88,5 @@ int main(int argc, char** argv) {
   checks.check("T > L (mean per-via stress)", mean[1] > mean[2]);
   checks.check("all patterns within the ~160-320 MPa window",
                peak[0] < 320e6 && mean[2] > 140e6);
-  return 0;
+  return checks.exitCode();
 }

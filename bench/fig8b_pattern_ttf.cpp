@@ -51,5 +51,5 @@ int main(int argc, char** argv) {
   checks.check("all medians in a plausible 2-30 year range",
                cdfs[0].median() > 2.0 * units::year &&
                    cdfs[2].median() < 30.0 * units::year);
-  return 0;
+  return checks.exitCode();
 }

@@ -86,5 +86,5 @@ int main(int argc, char** argv) {
                (one.quantile(0.997) - one.worstCase()) / one.median() >
                    (eightInf.quantile(0.997) - eightInf.worstCase()) /
                        eightInf.median());
-  return 0;
+  return checks.exitCode();
 }

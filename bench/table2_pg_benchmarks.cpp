@@ -27,12 +27,16 @@ using namespace viaduct;
 int main(int argc, char** argv) {
   int trials = 500;
   int charTrials = 500;
+  int threads = 0;
   std::string cachePath;
   CliFlags flags("Table 2: worst-case TTF for PG benchmarks");
   flags.addString("cache", &cachePath,
                   "characterization cache file (shared across benches)");
   flags.addInt("trials", &trials, "grid Monte Carlo trials");
   flags.addInt("char-trials", &charTrials, "characterization trials");
+  flags.addInt("threads", &threads,
+               "worker threads (0 = hardware concurrency); results are "
+               "identical for any value");
   if (!flags.parse(argc, argv)) return 0;
   setLogLevel(LogLevel::kWarn);
 
@@ -60,6 +64,7 @@ int main(int argc, char** argv) {
       config.viaArraySize = n;
       config.trials = trials;
       config.characterization.trials = charTrials;
+      config.parallelism.threads = threads;
       config.tuneNominalIrDropFraction =
           pgPresetConfig(preset).suggestedIrDropTarget;
       PowerGridEmAnalyzer analyzer(generatePgBenchmark(preset), config,
@@ -109,5 +114,5 @@ int main(int argc, char** argv) {
   }
   checks.check("worst-case TTFs within a 0.1-30 year sanity envelope",
                results[4]["PG1"][0] > 0.1 && results[8]["PG5"][3] < 30.0);
-  return 0;
+  return checks.exitCode();
 }

@@ -19,6 +19,16 @@ std::uint64_t splitmix64(std::uint64_t& state) {
 }
 }  // namespace
 
+Rng::Rng(std::uint64_t seed, std::uint64_t stream) {
+  // Golden-ratio spread of the stream index followed by a splitmix64 step:
+  // bijective in `stream` for a fixed seed, so no two streams share the
+  // derived seed, and the full 4-word state is then expanded as usual.
+  std::uint64_t x = seed + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  std::uint64_t sm = splitmix64(x);
+  for (auto& s : s_) s = splitmix64(sm);
+  if ((s_[0] | s_[1] | s_[2] | s_[3]) == 0) s_[0] = 1;
+}
+
 Rng::Rng(std::uint64_t seed) {
   std::uint64_t sm = seed;
   for (auto& s : s_) s = splitmix64(sm);

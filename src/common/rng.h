@@ -19,6 +19,13 @@ class Rng {
 
   explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull);
 
+  /// Counter-based stream constructor for parallel Monte Carlo: the state
+  /// is a pure function of (seed, stream), so worker threads can construct
+  /// the stream for any trial index directly and the trial→sample mapping
+  /// never depends on scheduling or thread count. Distinct streams of the
+  /// same seed are independent for all practical MC purposes.
+  Rng(std::uint64_t seed, std::uint64_t stream);
+
   static constexpr result_type min() { return 0; }
   static constexpr result_type max() { return ~std::uint64_t{0}; }
 

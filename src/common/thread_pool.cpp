@@ -1,0 +1,143 @@
+#include "common/thread_pool.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace viaduct {
+
+namespace {
+/// Pool whose runChunks() the current thread is executing inside, if any.
+thread_local const ThreadPool* t_currentPool = nullptr;
+}  // namespace
+
+int Parallelism::resolved() const {
+  VIADUCT_REQUIRE_MSG(threads >= 0, "thread count must be >= 0");
+  return threads > 0 ? threads : ThreadPool::hardwareConcurrency();
+}
+
+int Parallelism::resolvedFor(std::int64_t workItems) const {
+  const std::int64_t cap = std::max<std::int64_t>(1, workItems);
+  return static_cast<int>(std::min<std::int64_t>(resolved(), cap));
+}
+
+struct ThreadPool::Job {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  std::int64_t grain = 1;
+  std::int64_t chunkCount = 0;
+  const ChunkFn* fn = nullptr;
+
+  std::atomic<std::int64_t> nextChunk{0};
+  std::atomic<std::int64_t> doneChunks{0};
+  std::atomic<bool> abort{false};
+  std::mutex errorMutex;
+  std::exception_ptr error;
+};
+
+int ThreadPool::hardwareConcurrency() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+ThreadPool::ThreadPool(int threadCount)
+    : threadCount_(std::max(1, threadCount)) {
+  workers_.reserve(static_cast<std::size_t>(threadCount_ - 1));
+  for (int i = 0; i + 1 < threadCount_; ++i)
+    workers_.emplace_back([this] { workerMain(); });
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  workAvailable_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::workerMain() {
+  std::uint64_t seenSeq = 0;
+  for (;;) {
+    std::shared_ptr<Job> job;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      workAvailable_.wait(
+          lock, [&] { return stop_ || (job_ && jobSeq_ != seenSeq); });
+      if (stop_) return;
+      seenSeq = jobSeq_;
+      job = job_;
+    }
+    participate(*job);
+  }
+}
+
+void ThreadPool::participate(Job& job) {
+  const ThreadPool* prev = t_currentPool;
+  t_currentPool = this;
+  for (;;) {
+    const std::int64_t c = job.nextChunk.fetch_add(1, std::memory_order_relaxed);
+    if (c >= job.chunkCount) break;
+    if (!job.abort.load(std::memory_order_relaxed)) {
+      try {
+        const std::int64_t b = job.begin + c * job.grain;
+        const std::int64_t e = std::min(b + job.grain, job.end);
+        (*job.fn)(b, e);
+      } catch (...) {
+        std::lock_guard<std::mutex> lock(job.errorMutex);
+        if (!job.error) job.error = std::current_exception();
+        job.abort.store(true, std::memory_order_relaxed);
+      }
+    }
+    if (job.doneChunks.fetch_add(1, std::memory_order_acq_rel) + 1 ==
+        job.chunkCount) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      jobDone_.notify_all();
+    }
+  }
+  t_currentPool = prev;
+}
+
+void ThreadPool::runChunks(std::int64_t begin, std::int64_t end,
+                           std::int64_t grain, const ChunkFn& fn) {
+  if (end <= begin) return;
+  if (grain < 1) grain = 1;
+  const std::int64_t chunkCount = (end - begin + grain - 1) / grain;
+
+  // Inline serial path: single-lane pool, a single chunk, or a nested call
+  // from one of this pool's own workers. Chunk boundaries are identical to
+  // the parallel path so per-chunk reductions see the same layout.
+  if (threadCount_ == 1 || chunkCount == 1 || t_currentPool == this) {
+    for (std::int64_t c = 0; c < chunkCount; ++c) {
+      const std::int64_t b = begin + c * grain;
+      fn(b, std::min(b + grain, end));
+    }
+    return;
+  }
+
+  std::lock_guard<std::mutex> outerLock(runMutex_);
+  auto job = std::make_shared<Job>();
+  job->begin = begin;
+  job->end = end;
+  job->grain = grain;
+  job->chunkCount = chunkCount;
+  job->fn = &fn;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = job;
+    ++jobSeq_;
+  }
+  workAvailable_.notify_all();
+  participate(*job);
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    jobDone_.wait(lock, [&] {
+      return job->doneChunks.load(std::memory_order_acquire) ==
+             job->chunkCount;
+    });
+    job_.reset();
+  }
+  if (job->error) std::rethrow_exception(job->error);
+}
+
+}  // namespace viaduct

@@ -1,0 +1,126 @@
+// Deterministic shared-memory parallelism primitives.
+//
+// ThreadPool runs chunked index ranges across a fixed set of workers plus
+// the calling thread. Everything is built on runChunks(), whose chunk
+// layout depends only on (begin, end, grain) — never on the worker count —
+// so any per-chunk computation combined in chunk order yields bit-identical
+// results for every thread count, including 1 (which executes inline on the
+// caller with no pool machinery involved). A nested call issued from inside
+// one of this pool's workers degrades to inline serial execution instead of
+// deadlocking or oversubscribing.
+//
+// The Monte Carlo layers pair this with counter-based RNG streams
+// (Rng(seed, trialIndex)): each work item derives its randomness from its
+// index alone, so the trial→sample mapping is a pure function of the seed
+// and results cannot depend on scheduling. See DESIGN.md §5.5.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace viaduct {
+
+/// Thread-count configuration carried through analysis configs and CLI
+/// flags. 0 requests one lane per hardware thread; 1 is strictly serial.
+struct Parallelism {
+  int threads = 0;
+
+  /// Lane count this config resolves to (>= 1).
+  int resolved() const;
+
+  /// Lane count clamped to the number of independent work items.
+  int resolvedFor(std::int64_t workItems) const;
+};
+
+class ThreadPool {
+ public:
+  using ChunkFn = std::function<void(std::int64_t, std::int64_t)>;
+
+  /// A pool with `threadCount` execution lanes total: the calling thread
+  /// participates in every run, so threadCount - 1 workers are spawned and
+  /// ThreadPool(1) spawns none.
+  explicit ThreadPool(int threadCount);
+  explicit ThreadPool(const Parallelism& parallelism)
+      : ThreadPool(parallelism.resolved()) {}
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int threadCount() const { return threadCount_; }
+
+  static int hardwareConcurrency();
+
+  /// Partitions [begin, end) into chunks of `grain` (the last one ragged)
+  /// and runs fn(chunkBegin, chunkEnd) over all of them. Blocks until every
+  /// chunk completed; the first exception thrown by any chunk is rethrown
+  /// on the caller (remaining chunks are skipped). Chunk boundaries are a
+  /// function of (begin, end, grain) only.
+  void runChunks(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                 const ChunkFn& fn);
+
+  /// fn(i) for every i in [begin, end), distributed in chunks of `grain`.
+  template <typename Fn>
+  void parallelFor(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   Fn&& fn) {
+    runChunks(begin, end, grain, [&fn](std::int64_t b, std::int64_t e) {
+      for (std::int64_t i = b; i < e; ++i) fn(i);
+    });
+  }
+
+  /// Deterministic reduction: map(chunkBegin, chunkEnd) produces one partial
+  /// per chunk; partials are combined in chunk order on the caller, so the
+  /// result is bit-identical for any thread count given the same grain.
+  template <typename T, typename ChunkMap, typename Combine>
+  T parallelReduce(std::int64_t begin, std::int64_t end, std::int64_t grain,
+                   T identity, ChunkMap&& map, Combine&& combine) {
+    if (end <= begin) return identity;
+    if (grain < 1) grain = 1;
+    const std::int64_t chunks = (end - begin + grain - 1) / grain;
+    std::vector<T> partials(static_cast<std::size_t>(chunks), identity);
+    runChunks(begin, end, grain, [&](std::int64_t b, std::int64_t e) {
+      partials[static_cast<std::size_t>((b - begin) / grain)] = map(b, e);
+    });
+    T acc = identity;
+    for (const T& p : partials) acc = combine(acc, p);
+    return acc;
+  }
+
+ private:
+  struct Job;
+
+  void workerMain();
+  void participate(Job& job);
+
+  int threadCount_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex runMutex_;  // serializes concurrent runChunks() submissions
+
+  std::mutex mutex_;
+  std::condition_variable workAvailable_;
+  std::condition_variable jobDone_;
+  std::shared_ptr<Job> job_;
+  std::uint64_t jobSeq_ = 0;
+  bool stop_ = false;
+};
+
+/// Serial-or-parallel dispatch used by kernels that accept an optional
+/// pool: nullptr runs the plain loop inline.
+template <typename Fn>
+void parallelFor(ThreadPool* pool, std::int64_t begin, std::int64_t end,
+                 std::int64_t grain, Fn&& fn) {
+  if (pool) {
+    pool->parallelFor(begin, end, grain, std::forward<Fn>(fn));
+  } else {
+    for (std::int64_t i = begin; i < end; ++i) fn(i);
+  }
+}
+
+}  // namespace viaduct

@@ -95,6 +95,7 @@ ViaArrayCharacterizationSpec PowerGridEmAnalyzer::specForPattern(
   ViaArrayCharacterizationSpec spec = config_.characterization;
   spec.array.n = config_.viaArraySize;
   spec.pattern = p;
+  spec.parallelism = config_.parallelism;
   return spec;
 }
 
@@ -126,6 +127,7 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   options.systemCriterion = systemCriterion;
   options.trials = config_.trials;
   options.seed = config_.seed;
+  options.parallelism = config_.parallelism;
 
   GridTtfReport report;
   report.mc = runGridMonteCarlo(*model_, options);

@@ -54,6 +54,11 @@ struct AnalyzerConfig {
   /// Grid Monte Carlo.
   int trials = 500;
   std::uint64_t seed = 777;
+
+  /// Worker threads for both Monte Carlo levels and the FEA solves
+  /// (0 = hardware concurrency). Results are bit-identical for every
+  /// thread count; see DESIGN.md §5.5.
+  Parallelism parallelism;
 };
 
 struct GridTtfReport {

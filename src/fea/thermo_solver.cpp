@@ -1,5 +1,6 @@
 #include "fea/thermo_solver.h"
 
+#include <algorithm>
 #include <cmath>
 #include <optional>
 
@@ -16,10 +17,35 @@ long long quantize(double h) {
   // this is far below any physical difference while being hash-stable.
   return static_cast<long long>(std::llround(h * 1e12));
 }
+
+// Node-partitioned assembly grain. Compile-time constant (never derived
+// from the thread count) so chunk layouts are identical for any pool size.
+constexpr std::int64_t kNodeGrain = 256;
+
+/// Visits the cells adjacent to node (I, J, K) in increasing (k, j, i)
+/// order — the same order the legacy cell-sweep scatter visited them — and
+/// calls fn(cellIndex, localNode) for each. Gathering per OUTPUT node this
+/// way makes the assembly race-free and, because the per-node summation
+/// order matches the serial sweep, bit-identical to it.
+template <typename Fn>
+void forEachAdjacentCell(const VoxelGrid& g, Index I, Index J, Index K,
+                         Fn&& fn) {
+  const Index k0 = std::max<Index>(K - 1, 0), k1 = std::min<Index>(K, g.nz() - 1);
+  const Index j0 = std::max<Index>(J - 1, 0), j1 = std::min<Index>(J, g.ny() - 1);
+  const Index i0 = std::max<Index>(I - 1, 0), i1 = std::min<Index>(I, g.nx() - 1);
+  for (Index ck = k0; ck <= k1; ++ck)
+    for (Index cj = j0; cj <= j1; ++cj)
+      for (Index ci = i0; ci <= i1; ++ci) {
+        const int n = (I - ci) + 2 * (J - cj) + 4 * (K - ck);
+        fn(g.cellIndex(ci, cj, ck), n, ci, cj, ck);
+      }
+}
 }  // namespace
 
 /// Matrix-free stiffness operator with symmetric Dirichlet handling:
-/// constrained dofs act as identity rows/columns.
+/// constrained dofs act as identity rows/columns. The product is gathered
+/// per output node (see forEachAdjacentCell) and partitioned across the
+/// solver's pool.
 class VoxelElasticityOperator final : public LinearOperator {
  public:
   explicit VoxelElasticityOperator(const ThermoSolver& solver)
@@ -30,46 +56,51 @@ class VoxelElasticityOperator final : public LinearOperator {
   void apply(std::span<const double> x, std::span<double> y) const override {
     VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(size()) &&
                     y.size() == x.size());
-    std::fill(y.begin(), y.end(), 0.0);
     const VoxelGrid& g = s_.grid_;
-    std::array<double, kHexDofs> ue{}, fe{};
-    std::array<Index, kHexNodes> nodes{};
-    for (Index k = 0; k < g.nz(); ++k) {
-      for (Index j = 0; j < g.ny(); ++j) {
-        for (Index i = 0; i < g.nx(); ++i) {
-          const Hex8Operators& ops = *s_.cellOps_[static_cast<std::size_t>(
-              g.cellIndex(i, j, k))];
-          for (int n = 0; n < kHexNodes; ++n)
-            nodes[n] =
-                g.nodeIndex(i + (n & 1), j + ((n >> 1) & 1), k + ((n >> 2) & 1));
-          // Gather with constrained entries zeroed.
-          for (int n = 0; n < kHexNodes; ++n) {
-            for (int d = 0; d < 3; ++d) {
-              const Index dof = nodes[n] * 3 + d;
-              ue[3 * n + d] = s_.constrained_[dof] ? 0.0 : x[dof];
-            }
-          }
-          // fe = Ke * ue.
-          for (int r = 0; r < kHexDofs; ++r) {
-            double acc = 0.0;
-            const double* row = &ops.stiffness[static_cast<std::size_t>(r) *
-                                               kHexDofs];
-            for (int c = 0; c < kHexDofs; ++c) acc += row[c] * ue[c];
-            fe[r] = acc;
-          }
-          // Scatter, skipping constrained rows.
-          for (int n = 0; n < kHexNodes; ++n) {
-            for (int d = 0; d < 3; ++d) {
-              const Index dof = nodes[n] * 3 + d;
-              if (!s_.constrained_[dof]) y[dof] += fe[3 * n + d];
-            }
-          }
-        }
+    const Index nodesPerRow = g.nx() + 1;
+    const Index nodesPerSlab = nodesPerRow * (g.ny() + 1);
+    parallelFor(s_.pool_, 0, g.nodeCount(), kNodeGrain, [&](std::int64_t ni) {
+      const Index node = static_cast<Index>(ni);
+      const Index K = node / nodesPerSlab;
+      const Index rem = node % nodesPerSlab;
+      const Index J = rem / nodesPerRow;
+      const Index I = rem % nodesPerRow;
+      double out[3] = {0.0, 0.0, 0.0};
+      const bool allConstrained = s_.constrained_[node * 3 + 0] &&
+                                  s_.constrained_[node * 3 + 1] &&
+                                  s_.constrained_[node * 3 + 2];
+      if (!allConstrained) {
+        std::array<double, kHexDofs> ue{};
+        forEachAdjacentCell(
+            g, I, J, K,
+            [&](Index cell, int n, Index ci, Index cj, Index ck) {
+              const Hex8Operators& ops =
+                  *s_.cellOps_[static_cast<std::size_t>(cell)];
+              // Gather with constrained entries zeroed.
+              for (int m = 0; m < kHexNodes; ++m) {
+                const Index mn = g.nodeIndex(ci + (m & 1), cj + ((m >> 1) & 1),
+                                             ck + ((m >> 2) & 1));
+                for (int d = 0; d < 3; ++d) {
+                  const Index dof = mn * 3 + d;
+                  ue[3 * m + d] = s_.constrained_[dof] ? 0.0 : x[dof];
+                }
+              }
+              // Rows 3n..3n+2 of fe = Ke * ue.
+              for (int d = 0; d < 3; ++d) {
+                const double* row =
+                    &ops.stiffness[static_cast<std::size_t>(3 * n + d) *
+                                   kHexDofs];
+                double acc = 0.0;
+                for (int c = 0; c < kHexDofs; ++c) acc += row[c] * ue[c];
+                out[d] += acc;
+              }
+            });
       }
-    }
-    // Identity action on constrained dofs.
-    for (std::size_t dof = 0; dof < x.size(); ++dof)
-      if (s_.constrained_[dof]) y[dof] = x[dof];
+      for (int d = 0; d < 3; ++d) {
+        const Index dof = node * 3 + d;
+        y[dof] = s_.constrained_[dof] ? x[dof] : out[d];
+      }
+    });
   }
 
  private:
@@ -79,6 +110,12 @@ class VoxelElasticityOperator final : public LinearOperator {
 ThermoSolver::ThermoSolver(const VoxelGrid& grid,
                            const ThermoSolverOptions& options)
     : grid_(grid), options_(options) {
+  if (options_.pool) {
+    pool_ = options_.pool;
+  } else {
+    ownedPool_ = std::make_unique<ThreadPool>(options_.parallelism);
+    pool_ = ownedPool_.get();
+  }
   deltaT_ = options_.operatingTemperatureC - options_.annealTemperatureC;
   setupConstraints();
   buildOperators();
@@ -134,22 +171,25 @@ void ThermoSolver::buildOperators() {
 
 std::vector<double> ThermoSolver::assembleThermalLoad() const {
   std::vector<double> f(static_cast<std::size_t>(grid_.nodeCount()) * 3, 0.0);
-  for (Index k = 0; k < grid_.nz(); ++k) {
-    for (Index j = 0; j < grid_.ny(); ++j) {
-      for (Index i = 0; i < grid_.nx(); ++i) {
-        const Hex8Operators& ops =
-            *cellOps_[static_cast<std::size_t>(grid_.cellIndex(i, j, k))];
-        for (int n = 0; n < kHexNodes; ++n) {
-          const Index node = grid_.nodeIndex(i + (n & 1), j + ((n >> 1) & 1),
-                                             k + ((n >> 2) & 1));
-          for (int d = 0; d < 3; ++d) {
-            const Index dof = node * 3 + d;
-            if (!constrained_[dof]) f[dof] += ops.thermalLoad[3 * n + d];
-          }
-        }
-      }
-    }
-  }
+  const Index nodesPerRow = grid_.nx() + 1;
+  const Index nodesPerSlab = nodesPerRow * (grid_.ny() + 1);
+  parallelFor(pool_, 0, grid_.nodeCount(), kNodeGrain, [&](std::int64_t ni) {
+    const Index node = static_cast<Index>(ni);
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    forEachAdjacentCell(grid_, I, J, K,
+                        [&](Index cell, int n, Index, Index, Index) {
+                          const Hex8Operators& ops =
+                              *cellOps_[static_cast<std::size_t>(cell)];
+                          for (int d = 0; d < 3; ++d) {
+                            const Index dof = node * 3 + d;
+                            if (!constrained_[dof])
+                              f[dof] += ops.thermalLoad[3 * n + d];
+                          }
+                        });
+  });
   return f;
 }
 
@@ -159,50 +199,56 @@ CgResult ThermoSolver::solve() {
   const std::vector<double> f = assembleThermalLoad();
 
   // Nodal 3×3 block-Jacobi preconditioner assembled from element diagonal
-  // blocks, with constrained dofs replaced by identity.
+  // blocks (gathered per node, partitioned across the pool), with
+  // constrained dofs replaced by identity.
   const Index nodes = grid_.nodeCount();
+  const Index nodesPerRow = grid_.nx() + 1;
+  const Index nodesPerSlab = nodesPerRow * (grid_.ny() + 1);
   std::vector<double> blocks(static_cast<std::size_t>(nodes) * 9, 0.0);
-  for (Index k = 0; k < grid_.nz(); ++k) {
-    for (Index j = 0; j < grid_.ny(); ++j) {
-      for (Index i = 0; i < grid_.nx(); ++i) {
-        const Hex8Operators& ops =
-            *cellOps_[static_cast<std::size_t>(grid_.cellIndex(i, j, k))];
-        for (int n = 0; n < kHexNodes; ++n) {
-          const Index node = grid_.nodeIndex(i + (n & 1), j + ((n >> 1) & 1),
-                                             k + ((n >> 2) & 1));
-          double* blk = &blocks[static_cast<std::size_t>(node) * 9];
-          for (int p = 0; p < 3; ++p)
-            for (int q = 0; q < 3; ++q)
-              blk[p * 3 + q] +=
-                  ops.stiffness[(3 * n + p) * kHexDofs + (3 * n + q)];
-        }
-      }
-    }
-  }
+  parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
+    const Index node = static_cast<Index>(ni);
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    double* blk = &blocks[static_cast<std::size_t>(node) * 9];
+    forEachAdjacentCell(grid_, I, J, K,
+                        [&](Index cell, int n, Index, Index, Index) {
+                          const Hex8Operators& ops =
+                              *cellOps_[static_cast<std::size_t>(cell)];
+                          for (int p = 0; p < 3; ++p)
+                            for (int q = 0; q < 3; ++q)
+                              blk[p * 3 + q] += ops.stiffness[(3 * n + p) *
+                                                                  kHexDofs +
+                                                              (3 * n + q)];
+                        });
+  });
 
   class NodalBlockPreconditioner final : public Preconditioner {
    public:
-    NodalBlockPreconditioner(std::vector<double> inverses)
-        : inv_(std::move(inverses)) {}
+    NodalBlockPreconditioner(std::vector<double> inverses, ThreadPool* pool)
+        : inv_(std::move(inverses)), pool_(pool) {}
     void apply(std::span<const double> r, std::span<double> z) const override {
-      const std::size_t nodes = inv_.size() / 9;
-      for (std::size_t n = 0; n < nodes; ++n) {
-        const double* m = &inv_[n * 9];
-        const double* rn = &r[n * 3];
-        double* zn = &z[n * 3];
+      const auto nodes = static_cast<std::int64_t>(inv_.size() / 9);
+      parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t n) {
+        const double* m = &inv_[static_cast<std::size_t>(n) * 9];
+        const double* rn = &r[static_cast<std::size_t>(n) * 3];
+        double* zn = &z[static_cast<std::size_t>(n) * 3];
         for (int p = 0; p < 3; ++p)
           zn[p] = m[p * 3] * rn[0] + m[p * 3 + 1] * rn[1] + m[p * 3 + 2] * rn[2];
-      }
+      });
     }
     const char* name() const override { return "nodal-block-jacobi"; }
 
    private:
     std::vector<double> inv_;
+    ThreadPool* pool_ = nullptr;
   };
 
   // Impose identity on constrained dofs, then invert each 3×3 block.
   std::vector<double> inverses(blocks.size(), 0.0);
-  for (Index n = 0; n < nodes; ++n) {
+  parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
+    const Index n = static_cast<Index>(ni);
     double* blk = &blocks[static_cast<std::size_t>(n) * 9];
     for (int d = 0; d < 3; ++d) {
       if (!constrained_[n * 3 + d]) continue;
@@ -220,13 +266,14 @@ CgResult ThermoSolver::solve() {
     double* out = &inverses[static_cast<std::size_t>(n) * 9];
     for (int p = 0; p < 3; ++p)
       for (int q = 0; q < 3; ++q) out[p * 3 + q] = inv(p, q);
-  }
-  const NodalBlockPreconditioner precond(std::move(inverses));
+  });
+  const NodalBlockPreconditioner precond(std::move(inverses), pool_);
 
   displacements_.assign(f.size(), 0.0);
   CgOptions cgOpts;
   cgOpts.relativeTolerance = options_.cgRelativeTolerance;
   cgOpts.maxIterations = options_.cgMaxIterations;
+  cgOpts.pool = pool_;
   const CgResult result =
       conjugateGradient(op, f, displacements_, precond, cgOpts);
   VIADUCT_DEBUG << "FEA solve: " << result.iterations << " CG iterations, "

@@ -22,6 +22,7 @@
 #include <optional>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "fea/hex8.h"
 #include "fea/voxel_grid.h"
 #include "numerics/cg.h"
@@ -35,6 +36,13 @@ struct ThermoSolverOptions {
 
   double cgRelativeTolerance = 1e-7;
   int cgMaxIterations = 20000;
+
+  /// Worker pool shared with the caller (borrowed, not owned). When null
+  /// the solver creates its own pool from `parallelism`. All assembly and
+  /// CG kernels partition work with fixed compile-time grains, so the
+  /// solution is bit-identical for every pool size (including 1).
+  ThreadPool* pool = nullptr;
+  Parallelism parallelism;
 };
 
 class ThermoSolver {
@@ -93,6 +101,9 @@ class ThermoSolver {
   const VoxelGrid& grid_;
   ThermoSolverOptions options_;
   double deltaT_ = 0.0;
+
+  std::unique_ptr<ThreadPool> ownedPool_;
+  ThreadPool* pool_ = nullptr;  // always non-null after construction
 
   // Distinct element operators keyed by (material, quantized cell sizes).
   std::map<std::tuple<int, long long, long long, long long>, Hex8Operators>

@@ -26,16 +26,31 @@ std::string GridFailureCriterion::describe() const {
 
 namespace {
 
+/// Trials are partitioned into fixed chunks of this size (a compile-time
+/// constant, never derived from the thread count, so the chunk layout is
+/// identical for any pool size). Scratch buffers are reused across the
+/// trials of a chunk.
+constexpr std::int64_t kTrialChunk = 4;
+
+/// Per-trial scratch, reused across the trials of a chunk to avoid
+/// re-allocating the three O(count) vectors every trial.
+struct TrialWorkspace {
+  std::vector<double> budget;
+  std::vector<double> damage;
+  std::vector<double> rates;
+};
+
 /// One trial of sequential array failures (damage-accumulation form of
 /// Algorithm 1: budgets are consumed at a current-dependent rate, so TTFs
 /// re-scale automatically whenever the currents redistribute).
 double runTrial(const PowerGridModel& model, const GridMcOptions& options,
-                Rng& rng, int* failuresOut) {
+                Rng& rng, TrialWorkspace& ws, int* failuresOut) {
   const int count = static_cast<int>(model.viaArrays().size());
   VIADUCT_CHECK(count > 0);
 
   // Per-array budget: nucleation time if the array carried I_ref forever.
-  std::vector<double> budget(static_cast<std::size_t>(count));
+  std::vector<double>& budget = ws.budget;
+  budget.resize(static_cast<std::size_t>(count));
   if (!options.perArrayTtf.empty()) {
     VIADUCT_REQUIRE(options.perArrayTtf.size() == budget.size());
     for (std::size_t m = 0; m < budget.size(); ++m)
@@ -61,7 +76,8 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
           options.systemCriterion.kind == GridFailureCriterion::Kind::kWeakestLink,
       "healthy grid already violates the IR-drop criterion; retune loads");
 
-  std::vector<double> damage(static_cast<std::size_t>(count), 0.0);
+  std::vector<double>& damage = ws.damage;
+  damage.assign(static_cast<std::size_t>(count), 0.0);
   const double iRef = options.referenceCurrentAmps;
   VIADUCT_REQUIRE(iRef > 0.0);
 
@@ -69,12 +85,17 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
                               ? std::min(options.maxFailuresPerTrial, count)
                               : count;
 
+  // Hoisted out of the failure loop: every alive array's entry is
+  // overwritten each iteration and open arrays are skipped by both readers,
+  // so no per-iteration zero-fill (or allocation) is needed.
+  std::vector<double>& rates = ws.rates;
+  rates.resize(static_cast<std::size_t>(count));
+
   double t = 0.0;
   for (int failed = 0; failed < maxFailures; ++failed) {
     // Next victim: minimal remaining time under current rates.
     double best = std::numeric_limits<double>::infinity();
     int victim = -1;
-    std::vector<double> rates(static_cast<std::size_t>(count), 0.0);
     for (int m = 0; m < count; ++m) {
       if (session.arrayOpen(m)) continue;
       const double ratio = sol.viaArrayCurrents[static_cast<std::size_t>(m)] / iRef;
@@ -129,15 +150,28 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
 GridMcResult runGridMonteCarlo(const PowerGridModel& model,
                                const GridMcOptions& options) {
   VIADUCT_REQUIRE(options.trials >= 1);
-  Rng rng(options.seed);
   GridMcResult result;
-  result.ttfSamples.reserve(static_cast<std::size_t>(options.trials));
+  result.ttfSamples.assign(static_cast<std::size_t>(options.trials), 0.0);
+  std::vector<int> failures(static_cast<std::size_t>(options.trials), 0);
+
+  // Each trial draws from its own counter-based stream Rng(seed, trial)
+  // and runs a private Session, so every trial's sample is a pure function
+  // of (model, options, trial) — never of scheduling — and the result is
+  // bit-identical for any thread count.
+  ThreadPool pool(options.parallelism);
+  pool.runChunks(0, options.trials, kTrialChunk,
+                 [&](std::int64_t lo, std::int64_t hi) {
+                   TrialWorkspace ws;
+                   for (std::int64_t trial = lo; trial < hi; ++trial) {
+                     Rng rng(options.seed, static_cast<std::uint64_t>(trial));
+                     const auto idx = static_cast<std::size_t>(trial);
+                     result.ttfSamples[idx] =
+                         runTrial(model, options, rng, ws, &failures[idx]);
+                   }
+                 });
+
   long long failureTotal = 0;
-  for (int trial = 0; trial < options.trials; ++trial) {
-    int failures = 0;
-    result.ttfSamples.push_back(runTrial(model, options, rng, &failures));
-    failureTotal += failures;
-  }
+  for (const int f : failures) failureTotal += f;
   result.meanFailuresToBreach =
       static_cast<double>(failureTotal) / static_cast<double>(options.trials);
   return result;

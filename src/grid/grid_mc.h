@@ -16,6 +16,7 @@
 
 #include "common/lognormal.h"
 #include "common/statistics.h"
+#include "common/thread_pool.h"
 #include "grid/power_grid.h"
 
 namespace viaduct {
@@ -54,6 +55,11 @@ struct GridMcOptions {
 
   /// Safety valve: maximum failures simulated per trial (0 = all arrays).
   int maxFailuresPerTrial = 0;
+
+  /// Worker threads for the trials. Trial t draws from the counter-based
+  /// stream Rng(seed, t) and runs its own Session, so the samples are
+  /// bit-identical for every thread count (including 1).
+  Parallelism parallelism;
 };
 
 struct GridMcResult {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace viaduct {
 
@@ -12,18 +13,41 @@ CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
   const auto n = static_cast<std::size_t>(a.size());
   VIADUCT_REQUIRE(b.size() == n && x.size() == n);
 
+  // With a pool, every reduction goes through the fixed-chunk kernels so
+  // the iterate sequence is bit-identical for any pool size; without one,
+  // the legacy serial kernels are used unchanged.
+  ThreadPool* const pool = options.pool;
+  const auto vdot = [&](std::span<const double> u, std::span<const double> v) {
+    return pool ? dot(u, v, pool) : dot(u, v);
+  };
+  const auto vnorm = [&](std::span<const double> u) {
+    return pool ? norm2(u, pool) : norm2(u);
+  };
+  const auto vaxpy = [&](double alpha, std::span<const double> u,
+                         std::span<double> v) {
+    if (pool)
+      axpy(alpha, u, v, pool);
+    else
+      axpy(alpha, u, v);
+  };
+
   std::vector<double> r(n), z(n), p(n), ap(n);
 
   // r = b - A x.
   a.apply(x, r);
-  for (std::size_t i = 0; i < n; ++i) r[i] = b[i] - r[i];
+  parallelFor(pool, 0, static_cast<std::int64_t>(n), kVectorOpGrain,
+              [&](std::int64_t i) {
+                r[static_cast<std::size_t>(i)] =
+                    b[static_cast<std::size_t>(i)] -
+                    r[static_cast<std::size_t>(i)];
+              });
 
-  const double bnorm = norm2(b);
+  const double bnorm = vnorm(b);
   const double target =
       std::max(options.relativeTolerance * bnorm, options.absoluteTolerance);
 
   CgResult result;
-  double rnorm = norm2(r);
+  double rnorm = vnorm(r);
   if (rnorm <= target) {
     result.converged = true;
     result.relativeResidual = bnorm > 0.0 ? rnorm / bnorm : 0.0;
@@ -32,29 +56,34 @@ CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
 
   m.apply(r, z);
   std::copy(z.begin(), z.end(), p.begin());
-  double rz = dot(r, z);
+  double rz = vdot(r, z);
 
   for (int it = 1; it <= options.maxIterations; ++it) {
     a.apply(p, ap);
-    const double pap = dot(p, ap);
+    const double pap = vdot(p, ap);
     if (!(pap > 0.0)) {
       throw NumericalError(
           "CG: matrix is not positive definite (p'Ap <= 0 encountered)");
     }
     const double alpha = rz / pap;
-    axpy(alpha, p, x);
-    axpy(-alpha, ap, r);
-    rnorm = norm2(r);
+    vaxpy(alpha, p, x);
+    vaxpy(-alpha, ap, r);
+    rnorm = vnorm(r);
     result.iterations = it;
     if (rnorm <= target) {
       result.converged = true;
       break;
     }
     m.apply(r, z);
-    const double rzNew = dot(r, z);
+    const double rzNew = vdot(r, z);
     const double beta = rzNew / rz;
     rz = rzNew;
-    for (std::size_t i = 0; i < n; ++i) p[i] = z[i] + beta * p[i];
+    parallelFor(pool, 0, static_cast<std::int64_t>(n), kVectorOpGrain,
+                [&](std::int64_t i) {
+                  p[static_cast<std::size_t>(i)] =
+                      z[static_cast<std::size_t>(i)] +
+                      beta * p[static_cast<std::size_t>(i)];
+                });
   }
 
   result.relativeResidual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
@@ -71,7 +100,7 @@ CgResult conjugateGradient(const CsrMatrix& a, std::span<const double> b,
                            std::span<double> x, const Preconditioner& m,
                            const CgOptions& options) {
   VIADUCT_REQUIRE(a.rows() == a.cols());
-  const CsrOperator op(a);
+  const CsrOperator op(a, options.pool);
   return conjugateGradient(op, b, x, m, options);
 }
 

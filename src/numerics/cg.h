@@ -20,17 +20,20 @@ class LinearOperator {
   virtual void apply(std::span<const double> x, std::span<double> y) const = 0;
 };
 
-/// Adapts a CsrMatrix to the LinearOperator interface.
+/// Adapts a CsrMatrix to the LinearOperator interface. With a pool the
+/// product is row-partitioned (bit-identical to serial for any pool size).
 class CsrOperator final : public LinearOperator {
  public:
-  explicit CsrOperator(const CsrMatrix& a) : a_(a) {}
+  explicit CsrOperator(const CsrMatrix& a, ThreadPool* pool = nullptr)
+      : a_(a), pool_(pool) {}
   Index size() const override { return a_.rows(); }
   void apply(std::span<const double> x, std::span<double> y) const override {
-    a_.multiply(x, y);
+    a_.multiply(x, y, pool_);
   }
 
  private:
   const CsrMatrix& a_;
+  ThreadPool* pool_ = nullptr;
 };
 
 struct CgOptions {
@@ -42,6 +45,12 @@ struct CgOptions {
   /// If true, a non-converged solve throws NumericalError; otherwise the
   /// result reports converged = false and the best iterate is returned.
   bool throwOnStall = true;
+  /// Optional pool for the axpy/dot/update kernels (the operator and the
+  /// preconditioner parallelize themselves). nullptr keeps the legacy
+  /// serial kernels bit-for-bit; a non-null pool switches to fixed-chunk
+  /// reductions whose results are bit-identical for EVERY pool size
+  /// (including 1), which is what makes threaded FEA deterministic.
+  ThreadPool* pool = nullptr;
 };
 
 struct CgResult {

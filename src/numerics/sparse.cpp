@@ -5,6 +5,7 @@
 #include <numeric>
 
 #include "common/check.h"
+#include "common/thread_pool.h"
 
 namespace viaduct {
 
@@ -93,6 +94,20 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
       s += values_[k] * x[colIdx_[k]];
     y[r] = s;
   }
+}
+
+void CsrMatrix::multiply(std::span<const double> x, std::span<double> y,
+                         ThreadPool* pool) const {
+  VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(cols_) &&
+                  y.size() == static_cast<std::size_t>(rows_));
+  viaduct::parallelFor(pool, 0, rows_, kSpmvRowGrain, [&](std::int64_t r) {
+    double s = 0.0;
+    for (Index k = rowPtr_[static_cast<std::size_t>(r)];
+         k < rowPtr_[static_cast<std::size_t>(r) + 1]; ++k)
+      s += values_[static_cast<std::size_t>(k)]
+           * x[static_cast<std::size_t>(colIdx_[static_cast<std::size_t>(k)])];
+    y[static_cast<std::size_t>(r)] = s;
+  });
 }
 
 void CsrMatrix::multiplyAdd(std::span<const double> x, std::span<double> y,
@@ -186,6 +201,22 @@ CscLowerMatrix CscLowerMatrix::fromCsr(const CsrMatrix& a) {
   return m;
 }
 
+CsrMatrix csrFromTripletChunks(Index rows, Index cols,
+                               std::span<const TripletMatrix> chunks) {
+  TripletMatrix merged(rows, cols);
+  std::size_t total = 0;
+  for (const auto& c : chunks) total += c.entryCount();
+  merged.reserve(total);
+  for (const auto& c : chunks) {
+    VIADUCT_REQUIRE(c.rows() == rows && c.cols() == cols);
+    const auto ri = c.rowIndices();
+    const auto ci = c.colIndices();
+    const auto va = c.values();
+    for (std::size_t k = 0; k < ri.size(); ++k) merged.add(ri[k], ci[k], va[k]);
+  }
+  return CsrMatrix::fromTriplets(merged);
+}
+
 double dot(std::span<const double> a, std::span<const double> b) {
   VIADUCT_REQUIRE(a.size() == b.size());
   double s = 0.0;
@@ -198,6 +229,43 @@ double norm2(std::span<const double> a) { return std::sqrt(dot(a, a)); }
 void axpy(double alpha, std::span<const double> x, std::span<double> y) {
   VIADUCT_REQUIRE(x.size() == y.size());
   for (std::size_t i = 0; i < x.size(); ++i) y[i] += alpha * x[i];
+}
+
+double dot(std::span<const double> a, std::span<const double> b,
+           ThreadPool* pool) {
+  VIADUCT_REQUIRE(a.size() == b.size());
+  const auto n = static_cast<std::int64_t>(a.size());
+  const auto chunkSum = [&](std::int64_t lo, std::int64_t hi) {
+    double s = 0.0;
+    for (std::int64_t i = lo; i < hi; ++i)
+      s += a[static_cast<std::size_t>(i)] * b[static_cast<std::size_t>(i)];
+    return s;
+  };
+  if (!pool) {
+    // Same fixed-grain chunking as the pooled path so the summation order
+    // (and therefore the rounding) is identical.
+    double acc = 0.0;
+    for (std::int64_t lo = 0; lo < n; lo += kVectorOpGrain)
+      acc += chunkSum(lo, std::min(lo + kVectorOpGrain, n));
+    return acc;
+  }
+  return pool->parallelReduce<double>(
+      0, n, kVectorOpGrain, 0.0, chunkSum,
+      [](double x, double y) { return x + y; });
+}
+
+double norm2(std::span<const double> a, ThreadPool* pool) {
+  return std::sqrt(dot(a, a, pool));
+}
+
+void axpy(double alpha, std::span<const double> x, std::span<double> y,
+          ThreadPool* pool) {
+  VIADUCT_REQUIRE(x.size() == y.size());
+  viaduct::parallelFor(pool, 0, static_cast<std::int64_t>(x.size()),
+                       kVectorOpGrain, [&](std::int64_t i) {
+                         y[static_cast<std::size_t>(i)] +=
+                             alpha * x[static_cast<std::size_t>(i)];
+                       });
 }
 
 void scale(double alpha, std::span<double> x) {

@@ -11,7 +11,15 @@
 
 namespace viaduct {
 
+class ThreadPool;  // common/thread_pool.h
+
 using Index = std::int32_t;
+
+/// Chunk sizes for the parallel kernels below. They are compile-time
+/// constants (never derived from the thread count) so that chunked
+/// reductions produce bit-identical results for every pool size.
+inline constexpr std::int64_t kVectorOpGrain = 8192;
+inline constexpr std::int64_t kSpmvRowGrain = 256;
 
 /// Coordinate-format builder; duplicate entries are summed when compressed.
 class TripletMatrix {
@@ -63,6 +71,12 @@ class CsrMatrix {
 
   /// y = A x.
   void multiply(std::span<const double> x, std::span<double> y) const;
+
+  /// y = A x, row-partitioned across `pool` (nullptr = serial). Each row's
+  /// sum is computed identically regardless of the partitioning, so the
+  /// result is bit-identical to the serial product for any thread count.
+  void multiply(std::span<const double> x, std::span<double> y,
+                ThreadPool* pool) const;
 
   /// y += alpha * A x.
   void multiplyAdd(std::span<const double> x, std::span<double> y,
@@ -117,10 +131,30 @@ class CscLowerMatrix {
   std::vector<double> values_;
 };
 
+/// Deterministic parallel triplet assembly: concatenates per-worker triplet
+/// buffers in buffer order (a fixed order chosen by the caller, independent
+/// of how chunks were scheduled) and compresses. Builders fill `chunks[c]`
+/// from contiguous element ranges so the merged entry sequence — and hence
+/// the duplicate-summing order inside fromTriplets — matches a serial
+/// single-buffer assembly exactly.
+CsrMatrix csrFromTripletChunks(Index rows, Index cols,
+                               std::span<const TripletMatrix> chunks);
+
 // Basic vector kernels shared by the solvers.
 double dot(std::span<const double> a, std::span<const double> b);
 double norm2(std::span<const double> a);
 void axpy(double alpha, std::span<const double> x, std::span<double> y);
 void scale(double alpha, std::span<double> x);
+
+// Pooled variants. dot/norm2 always sum in fixed kVectorOpGrain chunks
+// (partials combined in chunk order), so their results are bit-identical
+// for every pool size including nullptr — but differ in the last ulps from
+// the plain serial dot above. axpy is elementwise and exactly matches the
+// serial kernel for any partitioning.
+double dot(std::span<const double> a, std::span<const double> b,
+           ThreadPool* pool);
+double norm2(std::span<const double> a, ThreadPool* pool);
+void axpy(double alpha, std::span<const double> x, std::span<double> y,
+          ThreadPool* pool);
 
 }  // namespace viaduct

@@ -70,7 +70,12 @@ std::string ViaArrayCharacterizationSpec::cacheKey() const {
      << ";cal=" << stressScale << "," << stressOffsetPa
      << ";tr=" << trials << ";seed=" << seed
      << ";stk=" << stack.metalLower << "," << stack.via << ","
-     << stack.metalUpper;
+     << stack.metalUpper
+     // RNG scheme tag: trial t draws from the counter-based stream
+     // Rng(seed, t). Bumping this invalidates caches written under the
+     // old sequential shared-stream scheme. `parallelism` is excluded:
+     // results are bit-identical for every thread count.
+     << ";rng=ctr1";
   return os.str();
 }
 
@@ -103,7 +108,10 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
     nominalResistance_ = ViaArrayNetwork(netCfg).nominalResistance();
   }
 
-  ThermoSolver solver(built_.grid);
+  ThreadPool pool(spec_.parallelism);
+  ThermoSolverOptions feaOpts;
+  feaOpts.pool = &pool;
+  ThermoSolver solver(built_.grid, feaOpts);
   const CgResult res = solver.solve();
   VIADUCT_CHECK_MSG(res.converged, "FEA solve did not converge");
   rawSigmaT_ = perViaPeakStress(solver, built_);
@@ -228,10 +236,15 @@ FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
 
 const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
   if (!tracesReady_) {
-    Rng rng(spec_.seed);
-    traces_.reserve(static_cast<std::size_t>(spec_.trials));
-    for (int trial = 0; trial < spec_.trials; ++trial)
-      traces_.push_back(simulateTrial(rng));
+    traces_.assign(static_cast<std::size_t>(spec_.trials), FailureTrace{});
+    ThreadPool pool(spec_.parallelism);
+    // Each trial draws from its own counter-based stream Rng(seed, t), so
+    // the trial→sample mapping never depends on scheduling and the traces
+    // are bit-identical for any thread count.
+    pool.parallelFor(0, spec_.trials, 1, [&](std::int64_t trial) {
+      Rng rng(spec_.seed, static_cast<std::uint64_t>(trial));
+      traces_[static_cast<std::size_t>(trial)] = simulateTrial(rng);
+    });
     tracesReady_ = true;
   }
   return traces_;

@@ -24,6 +24,7 @@
 #include "common/lognormal.h"
 #include "common/rng.h"
 #include "common/statistics.h"
+#include "common/thread_pool.h"
 #include "em/em_params.h"
 #include "structures/cudd_builder.h"
 #include "viaarray/network.h"
@@ -73,6 +74,13 @@ struct ViaArrayCharacterizationSpec {
 
   int trials = 500;
   std::uint64_t seed = 12345;
+
+  /// Worker threads for the FEA solve and the Monte Carlo trials. Trial t
+  /// draws from the counter-based stream Rng(seed, t) and the FEA kernels
+  /// chunk with fixed grains, so results are bit-identical for every
+  /// thread count — which is why this is deliberately NOT part of
+  /// cacheKey().
+  Parallelism parallelism;
 
   /// Total array current [A] implied by the density and effective area.
   double totalCurrent() const;

@@ -80,6 +80,26 @@ TEST(GridMc, DeterministicForSeed) {
     EXPECT_DOUBLE_EQ(a.ttfSamples[i], b.ttfSamples[i]);
 }
 
+TEST(GridMc, BitIdenticalAcrossThreadCounts) {
+  // Trial t draws from the counter-based stream Rng(seed, t), so the
+  // samples must be byte-for-byte identical no matter how trials are
+  // scheduled across workers.
+  const PowerGridModel model(tunedGrid());
+  auto opts = baseOptions();
+  opts.trials = 30;
+  opts.parallelism.threads = 1;
+  const auto serial = runGridMonteCarlo(model, opts);
+  for (const int threads : {2, 4}) {
+    opts.parallelism.threads = threads;
+    const auto parallel = runGridMonteCarlo(model, opts);
+    ASSERT_EQ(parallel.ttfSamples.size(), serial.ttfSamples.size());
+    for (std::size_t i = 0; i < serial.ttfSamples.size(); ++i)
+      EXPECT_EQ(parallel.ttfSamples[i], serial.ttfSamples[i])
+          << "trial " << i << " with " << threads << " threads";
+    EXPECT_EQ(parallel.meanFailuresToBreach, serial.meanFailuresToBreach);
+  }
+}
+
 TEST(GridMc, LongerArrayTtfShiftsGridTtf) {
   const PowerGridModel model(tunedGrid());
   auto opts = baseOptions();

@@ -146,6 +146,31 @@ TEST(Characterizer, DeterministicForSeed) {
   for (std::size_t i = 0; i < sa.size(); ++i) EXPECT_DOUBLE_EQ(sa[i], sb[i]);
 }
 
+TEST(Characterizer, BitIdenticalAcrossThreadCounts) {
+  // Both the FEA stress extraction and the per-trial counter-based RNG
+  // streams are thread-count invariant, so the full characterization —
+  // sigma_T and every TTF sample — must be byte-for-byte identical
+  // between a serial and a parallel run.
+  auto spec = fastSpec();
+  spec.seed = 31;
+  spec.trials = 24;
+  spec.parallelism.threads = 1;
+  ViaArrayCharacterizer serial(spec);
+  spec.parallelism.threads = 4;
+  ViaArrayCharacterizer parallel(spec);
+
+  ASSERT_EQ(serial.sigmaT().size(), parallel.sigmaT().size());
+  for (std::size_t i = 0; i < serial.sigmaT().size(); ++i)
+    EXPECT_EQ(serial.sigmaT()[i], parallel.sigmaT()[i]) << "via " << i;
+
+  const auto crit = ViaArrayFailureCriterion::openCircuit();
+  const auto sa = serial.ttfSamples(crit);
+  const auto sb = parallel.ttfSamples(crit);
+  ASSERT_EQ(sa.size(), sb.size());
+  for (std::size_t i = 0; i < sa.size(); ++i)
+    EXPECT_EQ(sa[i], sb[i]) << "trial " << i;
+}
+
 TEST(Library, MemoizesBySpec) {
   auto& lib = sharedLibrary();
   auto a = lib.get(fastSpec());

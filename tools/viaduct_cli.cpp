@@ -71,7 +71,7 @@ int cmdGenerate(int argc, const char* const* argv) {
 int cmdAnalyze(int argc, const char* const* argv) {
   std::string netlistPath, preset = "PG1", arrayCrit = "open",
                            systemCrit = "ir", cachePath;
-  int viaN = 4, trials = 300, charTrials = 300;
+  int viaN = 4, trials = 300, charTrials = 300, threads = 0;
   double tuneIr = 0.06;
   CliFlags flags("viaduct_cli analyze: two-level EM TTF analysis");
   flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
@@ -84,6 +84,9 @@ int cmdAnalyze(int argc, const char* const* argv) {
   flags.addInt("char-trials", &charTrials, "characterization trials");
   flags.addDouble("tune-ir", &tuneIr, "nominal IR-drop tuning target");
   flags.addString("cache", &cachePath, "characterization cache file");
+  flags.addInt("threads", &threads,
+               "worker threads (0 = hardware concurrency); results are "
+               "identical for any value");
   if (!flags.parse(argc, argv)) return 0;
 
   AnalyzerConfig config;
@@ -91,6 +94,7 @@ int cmdAnalyze(int argc, const char* const* argv) {
   config.trials = trials;
   config.characterization.trials = charTrials;
   config.tuneNominalIrDropFraction = tuneIr;
+  config.parallelism.threads = threads;
 
   auto library =
       cachePath.empty()
@@ -127,7 +131,7 @@ int cmdAnalyze(int argc, const char* const* argv) {
 }
 
 int cmdCharacterize(int argc, const char* const* argv) {
-  int n = 4, trials = 500;
+  int n = 4, trials = 500, threads = 0;
   std::string pattern = "Plus", criterion = "open", cachePath;
   CliFlags flags("viaduct_cli characterize: level-1 via-array TTF");
   flags.addInt("n", &n, "via array dimension");
@@ -135,6 +139,9 @@ int cmdCharacterize(int argc, const char* const* argv) {
   flags.addString("criterion", &criterion, "open, weakest, <k>, or <r>x");
   flags.addInt("trials", &trials, "Monte Carlo trials");
   flags.addString("cache", &cachePath, "characterization cache file");
+  flags.addInt("threads", &threads,
+               "worker threads (0 = hardware concurrency); results are "
+               "identical for any value");
   if (!flags.parse(argc, argv)) return 0;
 
   ViaArrayCharacterizationSpec spec;
@@ -143,6 +150,7 @@ int cmdCharacterize(int argc, const char* const* argv) {
                  : pattern == "L" ? IntersectionPattern::kL
                                   : IntersectionPattern::kPlus;
   spec.trials = trials;
+  spec.parallelism.threads = threads;
 
   auto library =
       cachePath.empty()
