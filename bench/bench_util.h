@@ -16,6 +16,7 @@
 #include "common/statistics.h"
 #include "common/table.h"
 #include "common/units.h"
+#include "obs/obs.h"
 
 namespace viaduct::bench {
 
@@ -27,26 +28,43 @@ class ShapeChecks {
 
   void check(const std::string& property, bool ok) {
     std::cout << "  [" << (ok ? "PASS" : "FAIL") << "] " << property << "\n";
-    if (!ok) ++failures_;
+    if (!ok) failed_.push_back(property);
     ++total_;
   }
 
   ~ShapeChecks() {
-    std::cout << figure_ << ": " << (total_ - failures_) << "/" << total_
+    std::cout << figure_ << ": " << (total_ - failures()) << "/" << total_
               << " shape properties reproduced\n";
+    if (!failed_.empty()) {
+      std::cout << figure_ << " FAILED:";
+      for (const auto& property : failed_) std::cout << " [" << property << "]";
+      std::cout << "\n";
+    }
   }
 
-  int failures() const { return failures_; }
+  int failures() const { return static_cast<int>(failed_.size()); }
 
   /// Process exit code for the bench's main(): nonzero when any shape
   /// property failed, so CI catches regressions instead of grepping logs.
-  int exitCode() const { return failures_ == 0 ? 0 : 1; }
+  int exitCode() const { return failed_.empty() ? 0 : 1; }
 
  private:
   std::string figure_;
   int total_ = 0;
-  int failures_ = 0;
+  std::vector<std::string> failed_;
 };
+
+/// Writes the obs metrics snapshot next to a bench's CSV artifacts as
+/// `OBS_<name>.json`. Call at the end of main() when --csv-dir is set; a
+/// no-op when `csvDir` is empty. Never throws (a failed metrics dump must
+/// not fail the bench).
+inline void writeMetricsArtifact(const std::string& csvDir,
+                                 const std::string& name) {
+  if (csvDir.empty()) return;
+  const std::string path = csvDir + "/OBS_" + name + ".json";
+  if (!obs::writeSnapshot(path))
+    std::cerr << "warning: could not write metrics to " << path << "\n";
+}
 
 /// Writes a CDF as "value,cumulative_probability" rows.
 inline void writeCdfCsv(const std::string& path, const EmpiricalCdf& cdf,

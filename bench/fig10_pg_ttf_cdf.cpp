@@ -108,5 +108,6 @@ int main(int argc, char** argv) {
   checks.check("8x8 outlives 4x4 under the realistic criteria (0.3%ile)",
                find(8, "sys 10% IR, array R=inf").worstCase() >
                    find(4, "sys 10% IR, array R=inf").worstCase());
+  bench::writeMetricsArtifact(csvDir, "fig10");
   return checks.exitCode();
 }

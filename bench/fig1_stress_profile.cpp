@@ -170,5 +170,6 @@ int main(int argc, char** argv) {
     dump("4x4_gap", four.gapProfile);
     std::cout << "wrote " << csvDir << "/fig1_profiles.csv\n";
   }
+  bench::writeMetricsArtifact(csvDir, "fig1");
   return checks.exitCode();
 }

@@ -88,5 +88,6 @@ int main(int argc, char** argv) {
   checks.check("T > L (mean per-via stress)", mean[1] > mean[2]);
   checks.check("all patterns within the ~160-320 MPa window",
                peak[0] < 320e6 && mean[2] > 140e6);
+  bench::writeMetricsArtifact(csvDir, "fig6");
   return checks.exitCode();
 }

@@ -110,5 +110,6 @@ int main(int argc, char** argv) {
                runs[1].mean < runs[0].mean);
   checks.check("both arrays in the ~160-320 MPa window",
                runs[0].perimeterPeak < 320e6 && runs[1].interiorMin > 140e6);
+  bench::writeMetricsArtifact(csvDir, "fig7");
   return checks.exitCode();
 }

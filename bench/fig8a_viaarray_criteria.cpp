@@ -59,5 +59,6 @@ int main(int argc, char** argv) {
                    0.05 * cdfs[6].median());
   checks.check("first-via criterion well separated from last (>= 1.5x)",
                cdfs.back().median() > 1.5 * cdfs.front().median());
+  bench::writeMetricsArtifact(csvDir, "fig8a");
   return checks.exitCode();
 }

@@ -51,5 +51,6 @@ int main(int argc, char** argv) {
   checks.check("all medians in a plausible 2-30 year range",
                cdfs[0].median() > 2.0 * units::year &&
                    cdfs[2].median() < 30.0 * units::year);
+  bench::writeMetricsArtifact(csvDir, "fig8b");
   return checks.exitCode();
 }

@@ -86,5 +86,6 @@ int main(int argc, char** argv) {
                (one.quantile(0.997) - one.worstCase()) / one.median() >
                    (eightInf.quantile(0.997) - eightInf.worstCase()) /
                        eightInf.median());
+  bench::writeMetricsArtifact(csvDir, "fig9");
   return checks.exitCode();
 }

@@ -19,6 +19,7 @@
 #include "common/thread_pool.h"
 #include "fea/thermo_solver.h"
 #include "grid/grid_mc.h"
+#include "obs/obs.h"
 #include "spice/generator.h"
 #include "structures/cudd_builder.h"
 
@@ -141,6 +142,30 @@ int main(int argc, char** argv) {
   }
   fillDerived(fea);
 
+  // --- Observability overhead: grid MC with obs disabled vs enabled at the
+  // highest thread count. The instrumentation budget is <1% wall clock; the
+  // samples must also be bit-identical with obs on and off (telemetry may
+  // never perturb the RNG streams or the trial math).
+  const bool obsWasEnabled = obs::enabled();
+  mcOpts.parallelism.threads = counts.back();
+  obs::setEnabled(false);
+  GridMcResult obsOffResult;
+  const double obsOffSecs = bestSeconds(
+      repeats, [&] { obsOffResult = runGridMonteCarlo(model, mcOpts); });
+  obs::setEnabled(true);
+  GridMcResult obsOnResult;
+  const double obsOnSecs = bestSeconds(
+      repeats, [&] { obsOnResult = runGridMonteCarlo(model, mcOpts); });
+  obs::setEnabled(obsWasEnabled);
+  const double obsOverheadPercent =
+      obsOffSecs > 0.0 ? 100.0 * (obsOnSecs - obsOffSecs) / obsOffSecs : 0.0;
+  const bool obsBitIdentical =
+      obsOffResult.ttfSamples == obsOnResult.ttfSamples &&
+      obsOnResult.ttfSamples == referenceSamples;
+  std::cout << "  obs overhead: disabled " << obsOffSecs << " s, enabled "
+            << obsOnSecs << " s (" << obsOverheadPercent << "%), samples "
+            << (obsBitIdentical ? "bit-identical" : "DIFFER") << "\n";
+
   std::ofstream os(out);
   if (!os) {
     std::cerr << "cannot create " << out << "\n";
@@ -153,11 +178,20 @@ int main(int argc, char** argv) {
   writeJsonSeries(os, "grid_mc", mc);
   os << ",\n";
   writeJsonSeries(os, "fea", fea);
-  os << "\n}\n";
+  os << ",\n  \"obs_overhead\": {\"threads\": " << counts.back()
+     << ", \"seconds_disabled\": " << obsOffSecs
+     << ", \"seconds_enabled\": " << obsOnSecs
+     << ", \"overhead_percent\": " << obsOverheadPercent
+     << ", \"bit_identical\": " << (obsBitIdentical ? "true" : "false")
+     << "}\n}\n";
   std::cout << "wrote " << out << "\n";
 
   if (!deterministic) {
     std::cerr << "FAIL: Monte Carlo samples differ across thread counts\n";
+    return 1;
+  }
+  if (!obsBitIdentical) {
+    std::cerr << "FAIL: Monte Carlo samples change when obs is toggled\n";
     return 1;
   }
   return 0;

@@ -28,10 +28,11 @@ int main(int argc, char** argv) {
   int trials = 500;
   int charTrials = 500;
   int threads = 0;
-  std::string cachePath;
+  std::string cachePath, csvDir;
   CliFlags flags("Table 2: worst-case TTF for PG benchmarks");
   flags.addString("cache", &cachePath,
                   "characterization cache file (shared across benches)");
+  flags.addString("csv-dir", &csvDir, "directory for metrics artifacts");
   flags.addInt("trials", &trials, "grid Monte Carlo trials");
   flags.addInt("char-trials", &charTrials, "characterization trials");
   flags.addInt("threads", &threads,
@@ -114,5 +115,6 @@ int main(int argc, char** argv) {
   }
   checks.check("worst-case TTFs within a 0.1-30 year sanity envelope",
                results[4]["PG1"][0] > 0.1 && results[8]["PG5"][3] < 30.0);
+  bench::writeMetricsArtifact(csvDir, "table2");
   return checks.exitCode();
 }

@@ -1,7 +1,12 @@
 #include "common/logging.h"
 
 #include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <ctime>
 #include <iostream>
+
+#include "obs/metrics.h"
 
 namespace viaduct {
 
@@ -22,6 +27,23 @@ const char* levelName(LogLevel level) {
       return "?";
   }
 }
+
+/// UTC ISO-8601 timestamp with millisecond resolution, e.g.
+/// 2026-08-05T14:03:22.123Z.
+std::string isoTimestamp() {
+  using namespace std::chrono;
+  const auto now = system_clock::now();
+  const std::time_t secs = system_clock::to_time_t(now);
+  const auto millis =
+      duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
+  std::tm tm{};
+  gmtime_r(&secs, &tm);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
+                tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
+                tm.tm_min, tm.tm_sec, static_cast<int>(millis));
+  return buf;
+}
 }  // namespace
 
 void setLogLevel(LogLevel level) { g_level.store(level); }
@@ -29,7 +51,22 @@ LogLevel logLevel() { return g_level.load(); }
 
 namespace detail {
 void emitLog(LogLevel level, const std::string& msg) {
-  std::cerr << "[viaduct " << levelName(level) << "] " << msg << '\n';
+  // Format the whole line first and write it with a single call: pool
+  // workers log concurrently, and streaming the prefix and message as
+  // separate << calls interleaves their output. The thread id is the same
+  // dense index obs uses for shards and trace events.
+  std::string line;
+  line.reserve(msg.size() + 64);
+  line += "[viaduct ";
+  line += levelName(level);
+  line += ' ';
+  line += isoTimestamp();
+  line += " t";
+  line += std::to_string(obs::threadIndex());
+  line += "] ";
+  line += msg;
+  line += '\n';
+  std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 }  // namespace detail
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -68,11 +69,11 @@ void ThreadPool::workerMain() {
       seenSeq = jobSeq_;
       job = job_;
     }
-    participate(*job);
+    participate(*job, /*fromWorker=*/true);
   }
 }
 
-void ThreadPool::participate(Job& job) {
+void ThreadPool::participate(Job& job, bool fromWorker) {
   const ThreadPool* prev = t_currentPool;
   t_currentPool = this;
   for (;;) {
@@ -82,6 +83,13 @@ void ThreadPool::participate(Job& job) {
       try {
         const std::int64_t b = job.begin + c * job.grain;
         const std::int64_t e = std::min(b + job.grain, job.end);
+        // Worker-vs-caller split is the pool's utilization telemetry: with
+        // idle workers the caller should win only its fair share of chunks.
+        if (fromWorker) {
+          VIADUCT_COUNTER_ADD("pool.chunks_by_worker", 1);
+        } else {
+          VIADUCT_COUNTER_ADD("pool.chunks_by_caller", 1);
+        }
         (*job.fn)(b, e);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.errorMutex);
@@ -108,12 +116,20 @@ void ThreadPool::runChunks(std::int64_t begin, std::int64_t end,
   // from one of this pool's own workers. Chunk boundaries are identical to
   // the parallel path so per-chunk reductions see the same layout.
   if (threadCount_ == 1 || chunkCount == 1 || t_currentPool == this) {
+    VIADUCT_COUNTER_ADD("pool.jobs_inline", 1);
+    VIADUCT_COUNTER_ADD("pool.chunks_inline", chunkCount);
     for (std::int64_t c = 0; c < chunkCount; ++c) {
       const std::int64_t b = begin + c * grain;
       fn(b, std::min(b + grain, end));
     }
     return;
   }
+
+  // The pool has no persistent task queue — each job IS the queue, drained
+  // chunk by chunk — so the chunk count at submission is the queue depth.
+  VIADUCT_COUNTER_ADD("pool.jobs", 1);
+  VIADUCT_HISTOGRAM_OBSERVE("pool.queue_depth_chunks", chunkCount,
+                            ::viaduct::obs::Buckets::exponential(1, 2, 16));
 
   std::lock_guard<std::mutex> outerLock(runMutex_);
   auto job = std::make_shared<Job>();
@@ -128,7 +144,7 @@ void ThreadPool::runChunks(std::int64_t begin, std::int64_t end,
     ++jobSeq_;
   }
   workAvailable_.notify_all();
-  participate(*job);
+  participate(*job, /*fromWorker=*/false);
   {
     std::unique_lock<std::mutex> lock(mutex_);
     jobDone_.wait(lock, [&] {

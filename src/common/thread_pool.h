@@ -96,7 +96,7 @@ class ThreadPool {
   struct Job;
 
   void workerMain();
-  void participate(Job& job);
+  void participate(Job& job, bool fromWorker);
 
   int threadCount_ = 1;
   std::vector<std::thread> workers_;

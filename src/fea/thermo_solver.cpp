@@ -8,6 +8,7 @@
 #include "common/logging.h"
 #include "numerics/dense.h"
 #include "numerics/preconditioner.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -54,6 +55,7 @@ class VoxelElasticityOperator final : public LinearOperator {
   Index size() const override { return s_.grid_.nodeCount() * 3; }
 
   void apply(std::span<const double> x, std::span<double> y) const override {
+    VIADUCT_COUNTER_ADD("fea.operator_applies", 1);
     VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(size()) &&
                     y.size() == x.size());
     const VoxelGrid& g = s_.grid_;
@@ -170,6 +172,7 @@ void ThermoSolver::buildOperators() {
 }
 
 std::vector<double> ThermoSolver::assembleThermalLoad() const {
+  VIADUCT_SPAN("fea.assemble_load");
   std::vector<double> f(static_cast<std::size_t>(grid_.nodeCount()) * 3, 0.0);
   const Index nodesPerRow = grid_.nx() + 1;
   const Index nodesPerSlab = nodesPerRow * (grid_.ny() + 1);
@@ -194,35 +197,11 @@ std::vector<double> ThermoSolver::assembleThermalLoad() const {
 }
 
 CgResult ThermoSolver::solve() {
-  if (solved_) return CgResult{.iterations = 0, .converged = true};
+  if (solved_) return lastCg_;
+  VIADUCT_SPAN("fea.solve");
+  VIADUCT_COUNTER_ADD("fea.solves", 1);
   const VoxelElasticityOperator op(*this);
   const std::vector<double> f = assembleThermalLoad();
-
-  // Nodal 3×3 block-Jacobi preconditioner assembled from element diagonal
-  // blocks (gathered per node, partitioned across the pool), with
-  // constrained dofs replaced by identity.
-  const Index nodes = grid_.nodeCount();
-  const Index nodesPerRow = grid_.nx() + 1;
-  const Index nodesPerSlab = nodesPerRow * (grid_.ny() + 1);
-  std::vector<double> blocks(static_cast<std::size_t>(nodes) * 9, 0.0);
-  parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
-    const Index node = static_cast<Index>(ni);
-    const Index K = node / nodesPerSlab;
-    const Index rem = node % nodesPerSlab;
-    const Index J = rem / nodesPerRow;
-    const Index I = rem % nodesPerRow;
-    double* blk = &blocks[static_cast<std::size_t>(node) * 9];
-    forEachAdjacentCell(grid_, I, J, K,
-                        [&](Index cell, int n, Index, Index, Index) {
-                          const Hex8Operators& ops =
-                              *cellOps_[static_cast<std::size_t>(cell)];
-                          for (int p = 0; p < 3; ++p)
-                            for (int q = 0; q < 3; ++q)
-                              blk[p * 3 + q] += ops.stiffness[(3 * n + p) *
-                                                                  kHexDofs +
-                                                              (3 * n + q)];
-                        });
-  });
 
   class NodalBlockPreconditioner final : public Preconditioner {
    public:
@@ -245,28 +224,56 @@ CgResult ThermoSolver::solve() {
     ThreadPool* pool_ = nullptr;
   };
 
-  // Impose identity on constrained dofs, then invert each 3×3 block.
-  std::vector<double> inverses(blocks.size(), 0.0);
-  parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
-    const Index n = static_cast<Index>(ni);
-    double* blk = &blocks[static_cast<std::size_t>(n) * 9];
-    for (int d = 0; d < 3; ++d) {
-      if (!constrained_[n * 3 + d]) continue;
-      for (int q = 0; q < 3; ++q) {
-        blk[d * 3 + q] = 0.0;
-        blk[q * 3 + d] = 0.0;
+  // Nodal 3×3 block-Jacobi preconditioner assembled from element diagonal
+  // blocks (gathered per node, partitioned across the pool), with
+  // constrained dofs replaced by identity before each block is inverted.
+  const Index nodes = grid_.nodeCount();
+  const Index nodesPerRow = grid_.nx() + 1;
+  const Index nodesPerSlab = nodesPerRow * (grid_.ny() + 1);
+  std::vector<double> inverses(static_cast<std::size_t>(nodes) * 9, 0.0);
+  {
+    VIADUCT_SPAN("fea.precond_setup");
+    std::vector<double> blocks(static_cast<std::size_t>(nodes) * 9, 0.0);
+    parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
+      const Index node = static_cast<Index>(ni);
+      const Index K = node / nodesPerSlab;
+      const Index rem = node % nodesPerSlab;
+      const Index J = rem / nodesPerRow;
+      const Index I = rem % nodesPerRow;
+      double* blk = &blocks[static_cast<std::size_t>(node) * 9];
+      forEachAdjacentCell(grid_, I, J, K,
+                          [&](Index cell, int n, Index, Index, Index) {
+                            const Hex8Operators& ops =
+                                *cellOps_[static_cast<std::size_t>(cell)];
+                            for (int p = 0; p < 3; ++p)
+                              for (int q = 0; q < 3; ++q)
+                                blk[p * 3 + q] += ops.stiffness[(3 * n + p) *
+                                                                    kHexDofs +
+                                                                (3 * n + q)];
+                          });
+    });
+
+    parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
+      const Index n = static_cast<Index>(ni);
+      double* blk = &blocks[static_cast<std::size_t>(n) * 9];
+      for (int d = 0; d < 3; ++d) {
+        if (!constrained_[n * 3 + d]) continue;
+        for (int q = 0; q < 3; ++q) {
+          blk[d * 3 + q] = 0.0;
+          blk[q * 3 + d] = 0.0;
+        }
+        blk[d * 3 + d] = 1.0;
       }
-      blk[d * 3 + d] = 1.0;
-    }
-    DenseMatrix m(3, 3);
-    for (int p = 0; p < 3; ++p)
-      for (int q = 0; q < 3; ++q) m(p, q) = blk[p * 3 + q];
-    DenseMatrix rhs = DenseMatrix::identity(3);
-    const DenseMatrix inv = m.solveMultiple(rhs);
-    double* out = &inverses[static_cast<std::size_t>(n) * 9];
-    for (int p = 0; p < 3; ++p)
-      for (int q = 0; q < 3; ++q) out[p * 3 + q] = inv(p, q);
-  });
+      DenseMatrix m(3, 3);
+      for (int p = 0; p < 3; ++p)
+        for (int q = 0; q < 3; ++q) m(p, q) = blk[p * 3 + q];
+      DenseMatrix rhs = DenseMatrix::identity(3);
+      const DenseMatrix inv = m.solveMultiple(rhs);
+      double* out = &inverses[static_cast<std::size_t>(n) * 9];
+      for (int p = 0; p < 3; ++p)
+        for (int q = 0; q < 3; ++q) out[p * 3 + q] = inv(p, q);
+    });
+  }
   const NodalBlockPreconditioner precond(std::move(inverses), pool_);
 
   displacements_.assign(f.size(), 0.0);
@@ -274,12 +281,19 @@ CgResult ThermoSolver::solve() {
   cgOpts.relativeTolerance = options_.cgRelativeTolerance;
   cgOpts.maxIterations = options_.cgMaxIterations;
   cgOpts.pool = pool_;
-  const CgResult result =
-      conjugateGradient(op, f, displacements_, precond, cgOpts);
-  VIADUCT_DEBUG << "FEA solve: " << result.iterations << " CG iterations, "
+  {
+    VIADUCT_SPAN("fea.cg_solve");
+    lastCg_ = conjugateGradient(op, f, displacements_, precond, cgOpts);
+  }
+  VIADUCT_DEBUG << "FEA solve: " << lastCg_.iterations << " CG iterations, "
                 << grid_.nodeCount() * 3 << " dof";
+  if (!lastCg_.converged) {
+    VIADUCT_WARN << "FEA CG did not converge: " << lastCg_.iterations
+                 << " iterations, relative residual "
+                 << lastCg_.relativeResidual;
+  }
   solved_ = true;
-  return result;
+  return lastCg_;
 }
 
 std::array<double, 3> ThermoSolver::displacement(Index i, Index j,

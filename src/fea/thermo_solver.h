@@ -52,8 +52,13 @@ class ThermoSolver {
       : ThermoSolver(grid, ThermoSolverOptions{}) {}
 
   /// Assembles loads and solves for the displacement field. Returns CG
-  /// statistics. Idempotent (re-solving is a no-op after success).
+  /// statistics. Idempotent (re-solving is a no-op after success, returning
+  /// the original statistics).
   CgResult solve();
+
+  /// Convergence data of the last (only) CG solve — iterations, achieved
+  /// relative residual, converged flag. Zero-initialized before solve().
+  const CgResult& cgResult() const { return lastCg_; }
 
   /// ΔT = T_operate − T_anneal [K] (negative: cooling).
   double deltaT() const { return deltaT_; }
@@ -112,6 +117,7 @@ class ThermoSolver {
 
   std::vector<bool> constrained_;  // per dof
   std::vector<double> displacements_;
+  CgResult lastCg_;
   bool solved_ = false;
 };
 

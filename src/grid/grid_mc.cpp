@@ -1,11 +1,13 @@
 #include "grid/grid_mc.h"
 
+#include <chrono>
 #include <cmath>
 #include <limits>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -45,6 +47,8 @@ struct TrialWorkspace {
 /// re-scale automatically whenever the currents redistribute).
 double runTrial(const PowerGridModel& model, const GridMcOptions& options,
                 Rng& rng, TrialWorkspace& ws, int* failuresOut) {
+  VIADUCT_SPAN("grid_mc.trial");
+  VIADUCT_COUNTER_ADD("grid_mc.trials", 1);
   const int count = static_cast<int>(model.viaArrays().size());
   VIADUCT_CHECK(count > 0);
 
@@ -124,6 +128,7 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
     }
     session.openArray(victim);
     damage[static_cast<std::size_t>(victim)] = 1.0;
+    VIADUCT_COUNTER_ADD("grid_mc.array_failures", 1);
 
     if (options.systemCriterion.kind ==
         GridFailureCriterion::Kind::kWeakestLink) {
@@ -131,6 +136,7 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
       return t;
     }
 
+    VIADUCT_COUNTER_ADD("grid_mc.resolves", 1);
     sol = session.solve();
     if (sol.worstIrDropFraction >= options.systemCriterion.irDropFraction) {
       if (failuresOut) *failuresOut = failed + 1;
@@ -150,6 +156,8 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
 GridMcResult runGridMonteCarlo(const PowerGridModel& model,
                                const GridMcOptions& options) {
   VIADUCT_REQUIRE(options.trials >= 1);
+  VIADUCT_SPAN("grid_mc.run");
+  const auto wallStart = std::chrono::steady_clock::now();
   GridMcResult result;
   result.ttfSamples.assign(static_cast<std::size_t>(options.trials), 0.0);
   std::vector<int> failures(static_cast<std::size_t>(options.trials), 0);
@@ -171,9 +179,21 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
                  });
 
   long long failureTotal = 0;
-  for (const int f : failures) failureTotal += f;
+  for (const int f : failures) {
+    failureTotal += f;
+    VIADUCT_HISTOGRAM_OBSERVE("grid_mc.failures_per_trial", f,
+                              obs::Buckets::linear(0, 2, 16));
+  }
   result.meanFailuresToBreach =
       static_cast<double>(failureTotal) / static_cast<double>(options.trials);
+  const double wallSeconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wallStart)
+          .count();
+  if (wallSeconds > 0.0) {
+    VIADUCT_GAUGE_SET("grid_mc.trials_per_second",
+                      static_cast<double>(options.trials) / wallSeconds);
+  }
   return result;
 }
 

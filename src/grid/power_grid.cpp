@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -140,10 +141,17 @@ double PowerGridModel::nodeVoltage(Index netlistNode,
 
 PowerGridModel::DcSolution PowerGridModel::evaluate(
     const WoodburySolver& solver, const std::vector<double>& arrayOhms) const {
+  VIADUCT_COUNTER_ADD("power_grid.solves", 1);
   DcSolution sol;
+  sol.pendingUpdates = solver.pendingUpdateCount();
   try {
     sol.voltages = solver.solve(rhs_);
-  } catch (const NumericalError&) {
+  } catch (const NumericalError& e) {
+    VIADUCT_COUNTER_ADD("power_grid.solve_failures", 1);
+    VIADUCT_WARN << "power grid DC solve failed (" << e.what()
+                 << "); reporting infinite IR drop";
+    sol.solverOk = false;
+    sol.solverError = e.what();
     sol.worstIrDrop = std::numeric_limits<double>::infinity();
     sol.worstIrDropFraction = std::numeric_limits<double>::infinity();
     sol.viaArrayCurrents.assign(viaArrays_.size(), 0.0);

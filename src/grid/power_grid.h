@@ -51,6 +51,14 @@ class PowerGridModel {
     double worstIrDrop = 0.0;           // max (Vdd - v) [V]
     double worstIrDropFraction = 0.0;   // / Vdd
     std::vector<double> viaArrayCurrents;  // |I| per via-array site [A]
+    /// Solver health: false when the direct solve failed (matrix no longer
+    /// positive definite, e.g. a fully partitioned grid); the IR-drop
+    /// fields are +inf in that case. `pendingUpdates` is the number of
+    /// Woodbury low-rank updates stacked on the base factorization when
+    /// the solve ran (0 for a fresh factor).
+    bool solverOk = true;
+    int pendingUpdates = 0;
+    std::string solverError;
   };
 
   /// Solves the healthy grid (fresh factorization).

@@ -3,13 +3,31 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "common/logging.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace viaduct {
+
+namespace {
+/// Records one solve's convergence telemetry: iteration-count histogram
+/// (the quantity that makes large-scale EM analysis tunable), running
+/// iteration total, and the achieved relative residual on a log scale.
+void recordCgTelemetry(const CgResult& result) {
+  VIADUCT_COUNTER_ADD("cg.solves", 1);
+  VIADUCT_COUNTER_ADD("cg.iterations_total", result.iterations);
+  VIADUCT_HISTOGRAM_OBSERVE("cg.iterations", result.iterations,
+                            obs::Buckets::exponential(1, 2, 16));
+  VIADUCT_HISTOGRAM_OBSERVE("cg.relative_residual", result.relativeResidual,
+                            obs::Buckets::exponential(1e-16, 10, 16));
+  if (!result.converged) VIADUCT_COUNTER_ADD("cg.nonconverged", 1);
+}
+}  // namespace
 
 CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
                            std::span<double> x, const Preconditioner& m,
                            const CgOptions& options) {
+  VIADUCT_SPAN("cg.solve");
   const auto n = static_cast<std::size_t>(a.size());
   VIADUCT_REQUIRE(b.size() == n && x.size() == n);
 
@@ -51,6 +69,7 @@ CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
   if (rnorm <= target) {
     result.converged = true;
     result.relativeResidual = bnorm > 0.0 ? rnorm / bnorm : 0.0;
+    recordCgTelemetry(result);
     return result;
   }
 
@@ -87,11 +106,17 @@ CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
   }
 
   result.relativeResidual = bnorm > 0.0 ? rnorm / bnorm : rnorm;
-  if (!result.converged && options.throwOnStall) {
-    throw NumericalError("CG failed to converge in " +
-                         std::to_string(options.maxIterations) +
-                         " iterations (rel. residual " +
-                         std::to_string(result.relativeResidual) + ")");
+  recordCgTelemetry(result);
+  if (!result.converged) {
+    if (options.throwOnStall) {
+      throw NumericalError("CG failed to converge in " +
+                           std::to_string(options.maxIterations) +
+                           " iterations (rel. residual " +
+                           std::to_string(result.relativeResidual) + ")");
+    }
+    VIADUCT_WARN << "CG did not converge in " << options.maxIterations
+                 << " iterations (rel. residual " << result.relativeResidual
+                 << "); returning best iterate";
   }
   return result;
 }

@@ -3,10 +3,13 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
 SparseCholesky::SparseCholesky(const CsrMatrix& a, OrderingChoice ordering) {
+  VIADUCT_SPAN("cholesky.factorize");
+  VIADUCT_COUNTER_ADD("cholesky.factorizations", 1);
   VIADUCT_REQUIRE_MSG(a.rows() == a.cols(), "Cholesky needs a square matrix");
   n_ = a.rows();
   switch (ordering) {
@@ -170,6 +173,8 @@ void SparseCholesky::numericFactor(const CsrMatrix& permuted) {
 }
 
 void SparseCholesky::refactor(const CsrMatrix& a) {
+  VIADUCT_SPAN("cholesky.refactor");
+  VIADUCT_COUNTER_ADD("cholesky.refactorizations", 1);
   VIADUCT_REQUIRE(a.rows() == n_ && a.cols() == n_);
   const CsrMatrix permuted = ordering_.perm.empty() || n_ == 0
                                  ? a
@@ -185,6 +190,7 @@ std::vector<double> SparseCholesky::solve(std::span<const double> b) const {
 
 void SparseCholesky::solve(std::span<const double> b,
                            std::span<double> x) const {
+  VIADUCT_COUNTER_ADD("cholesky.triangular_solves", 1);
   VIADUCT_REQUIRE(b.size() == static_cast<std::size_t>(n_) &&
                   x.size() == b.size());
   std::vector<double> y = permuteVector(b, ordering_);

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -13,6 +14,7 @@ void IdentityPreconditioner::apply(std::span<const double> r,
 }
 
 JacobiPreconditioner::JacobiPreconditioner(const CsrMatrix& a) {
+  VIADUCT_SPAN("precond.jacobi_setup");
   VIADUCT_REQUIRE(a.rows() == a.cols());
   invDiag_ = a.diagonal();
   for (double& d : invDiag_) d = (d > 1e-300) ? 1.0 / d : 1.0;
@@ -27,6 +29,7 @@ void JacobiPreconditioner::apply(std::span<const double> r,
 BlockJacobiPreconditioner::BlockJacobiPreconditioner(const CsrMatrix& a,
                                                      int blockSize)
     : blockSize_(blockSize) {
+  VIADUCT_SPAN("precond.block_jacobi_setup");
   VIADUCT_REQUIRE(blockSize >= 1 && a.rows() == a.cols());
   VIADUCT_REQUIRE_MSG(a.rows() % blockSize == 0,
                       "matrix size must be a multiple of the block size");
@@ -104,6 +107,7 @@ void BlockJacobiPreconditioner::apply(std::span<const double> r,
 
 IncompleteCholeskyPreconditioner::IncompleteCholeskyPreconditioner(
     const CsrMatrix& a) {
+  VIADUCT_SPAN("precond.ic0_setup");
   VIADUCT_REQUIRE(a.rows() == a.cols());
   n_ = a.rows();
   const CscLowerMatrix lower = CscLowerMatrix::fromCsr(a);

@@ -6,6 +6,7 @@
 
 #include "common/check.h"
 #include "common/thread_pool.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -86,6 +87,7 @@ CsrMatrix CsrMatrix::fromTriplets(const TripletMatrix& t) {
 }
 
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
+  VIADUCT_COUNTER_ADD("sparse.spmv", 1);
   VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(cols_) &&
                   y.size() == static_cast<std::size_t>(rows_));
   for (Index r = 0; r < rows_; ++r) {
@@ -98,6 +100,7 @@ void CsrMatrix::multiply(std::span<const double> x, std::span<double> y) const {
 
 void CsrMatrix::multiply(std::span<const double> x, std::span<double> y,
                          ThreadPool* pool) const {
+  VIADUCT_COUNTER_ADD("sparse.spmv", 1);
   VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(cols_) &&
                   y.size() == static_cast<std::size_t>(rows_));
   viaduct::parallelFor(pool, 0, rows_, kSpmvRowGrain, [&](std::int64_t r) {

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -36,6 +37,7 @@ std::vector<double> WoodburySolver::incidenceSolve(Index i, Index j) const {
 }
 
 void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
+  VIADUCT_COUNTER_ADD("woodbury.branch_updates", 1);
   VIADUCT_REQUIRE_MSG(i != j, "branch endpoints must differ");
   VIADUCT_REQUIRE_MSG(i >= 0 || j >= 0, "at least one endpoint must be live");
   // Canonical key: the update a·aᵀ with a = e_i − e_j is symmetric in
@@ -65,6 +67,8 @@ void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
 
 void WoodburySolver::rebase() {
   if (branches_.empty()) return;
+  VIADUCT_SPAN("woodbury.rebase");
+  VIADUCT_COUNTER_ADD("woodbury.rebases", 1);
   factor_->refactor(g_);
   branches_.clear();
   branchIndex_.clear();
@@ -72,6 +76,9 @@ void WoodburySolver::rebase() {
 }
 
 std::vector<double> WoodburySolver::solve(std::span<const double> b) const {
+  VIADUCT_COUNTER_ADD("woodbury.solves", 1);
+  VIADUCT_HISTOGRAM_OBSERVE("woodbury.pending_updates", branches_.size(),
+                            obs::Buckets::linear(0, 8, 16));
   std::vector<double> x = factor_->solve(b);
   const std::size_t k = branches_.size();
   if (k == 0) return x;

@@ -1,0 +1,35 @@
+#include "obs/obs.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace viaduct::obs {
+
+std::string snapshotJson() {
+  std::ostringstream os;
+  os << "{\n\"schema\": \"viaduct-obs-v1\",\n\"enabled\": "
+     << (enabled() ? "true" : "false") << ",\n"
+     << Registry::instance().snapshotJson() << "\n}\n";
+  return os.str();
+}
+
+bool writeSnapshot(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << snapshotJson();
+  return static_cast<bool>(os);
+}
+
+bool writeTrace(const std::string& path) {
+  std::ofstream os(path);
+  if (!os) return false;
+  os << traceJson();
+  return static_cast<bool>(os);
+}
+
+void resetAll() {
+  Registry::instance().reset();
+  clearTraceEvents();
+}
+
+}  // namespace viaduct::obs

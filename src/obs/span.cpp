@@ -1,0 +1,135 @@
+#include "obs/span.h"
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <sstream>
+#include <vector>
+
+namespace viaduct::obs {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+Clock::time_point traceAnchor() {
+  static const Clock::time_point anchor = Clock::now();
+  return anchor;
+}
+
+std::atomic<bool> g_tracing{false};
+
+struct TraceEvent {
+  const char* name;
+  int tid;
+  std::uint64_t startNs;
+  std::uint64_t durationNs;
+};
+
+/// One buffer per thread; appended only by its owner, read at export.
+/// The per-buffer mutex is uncontended in steady state, so appends stay
+/// cheap while export and concurrent recording remain race-free.
+struct TraceBuffer {
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+};
+
+struct TraceCollector {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<TraceBuffer>> buffers;
+};
+
+TraceCollector& collector() {
+  static TraceCollector c;
+  return c;
+}
+
+TraceBuffer& threadBuffer() {
+  thread_local const std::shared_ptr<TraceBuffer> buf = [] {
+    auto b = std::make_shared<TraceBuffer>();
+    TraceCollector& c = collector();
+    std::lock_guard<std::mutex> lock(c.mutex);
+    c.buffers.push_back(b);
+    return b;
+  }();
+  return *buf;
+}
+
+}  // namespace
+
+bool tracingEnabled() { return g_tracing.load(std::memory_order_relaxed); }
+void setTracingEnabled(bool on) {
+  if (on) traceAnchor();  // pin the time origin before the first event
+  g_tracing.store(on, std::memory_order_relaxed);
+}
+
+std::uint64_t nowNs() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                           traceAnchor())
+          .count());
+}
+
+ScopedSpan::ScopedSpan(const char* name, SpanStat* stat) {
+  if (!enabled()) return;
+  name_ = name;
+  stat_ = stat ? stat : &Registry::instance().spanStat(name);
+  startNs_ = nowNs();
+  active_ = true;
+}
+
+ScopedSpan::~ScopedSpan() {
+  if (!active_) return;
+  const std::uint64_t end = nowNs();
+  const std::uint64_t dur = end > startNs_ ? end - startNs_ : 0;
+  stat_->record(dur);
+  if (tracingEnabled()) {
+    TraceBuffer& buf = threadBuffer();
+    std::lock_guard<std::mutex> lock(buf.mutex);
+    buf.events.push_back({name_, threadIndex(), startNs_, dur});
+  }
+}
+
+std::string traceJson() {
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  TraceCollector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> bufLock(buf->mutex);
+    for (const TraceEvent& e : buf->events) {
+      if (!first) os << ",\n";
+      first = false;
+      // Chrome trace-event format: timestamps in microseconds.
+      os << "  {\"name\": \"" << e.name << "\", \"cat\": \"viaduct\", "
+         << "\"ph\": \"X\", \"pid\": 1, \"tid\": " << e.tid
+         << ", \"ts\": " << static_cast<double>(e.startNs) * 1e-3
+         << ", \"dur\": " << static_cast<double>(e.durationNs) * 1e-3 << "}";
+    }
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+std::size_t traceEventCount() {
+  std::size_t n = 0;
+  TraceCollector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> bufLock(buf->mutex);
+    n += buf->events.size();
+  }
+  return n;
+}
+
+void clearTraceEvents() {
+  TraceCollector& c = collector();
+  std::lock_guard<std::mutex> lock(c.mutex);
+  for (const auto& buf : c.buffers) {
+    std::lock_guard<std::mutex> bufLock(buf->mutex);
+    buf->events.clear();
+  }
+}
+
+}  // namespace viaduct::obs

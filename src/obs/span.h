@@ -1,0 +1,56 @@
+// viaduct::obs — scoped spans and Chrome trace-event export.
+//
+// A ScopedSpan measures the wall time of its enclosing scope on the calling
+// thread. Every span feeds the per-name SpanStat aggregate in the Registry
+// ("where did the time go"); when tracing is additionally enabled (the
+// --trace-out flag), each span also appends one complete ("ph":"X") event
+// to a per-thread buffer, exported as Chrome trace-event JSON loadable by
+// chrome://tracing or https://ui.perfetto.dev.
+//
+// Span names must be string literals (or otherwise outlive the process) —
+// buffers store the pointer, not a copy.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace viaduct::obs {
+
+/// True when per-event trace collection is on (off by default; metrics
+/// aggregation happens regardless as long as obs is enabled).
+bool tracingEnabled();
+void setTracingEnabled(bool on);
+
+/// Nanoseconds since the process-wide trace anchor (first obs use).
+std::uint64_t nowNs();
+
+class ScopedSpan {
+ public:
+  /// `name` must outlive the process (use a string literal). `stat` may be
+  /// pre-resolved by the VIADUCT_SPAN macro; pass nullptr to resolve here.
+  explicit ScopedSpan(const char* name, SpanStat* stat = nullptr);
+  ~ScopedSpan();
+
+  ScopedSpan(const ScopedSpan&) = delete;
+  ScopedSpan& operator=(const ScopedSpan&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  SpanStat* stat_ = nullptr;
+  std::uint64_t startNs_ = 0;
+  bool active_ = false;
+};
+
+/// Chrome trace-event JSON of every event recorded so far (a complete JSON
+/// object: {"traceEvents": [...], ...}).
+std::string traceJson();
+
+/// Number of trace events currently buffered (tests / sizing).
+std::size_t traceEventCount();
+
+/// Drops all buffered trace events (Registry aggregates are untouched).
+void clearTraceEvents();
+
+}  // namespace viaduct::obs

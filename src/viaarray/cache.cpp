@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "obs/obs.h"
 
 namespace viaduct {
 
@@ -86,6 +87,8 @@ CharacterizationStore::CharacterizationStore(std::string path)
 
 std::optional<CharacterizationData> CharacterizationStore::load(
     const std::string& key) const {
+  VIADUCT_SPAN("char_cache.store_load");
+  VIADUCT_COUNTER_ADD("char_cache.store_loads", 1);
   const auto entries = readAll(path_);
   const auto it = entries.find(key);
   if (it == entries.end()) return std::nullopt;
@@ -111,6 +114,8 @@ std::optional<CharacterizationData> CharacterizationStore::load(
 
 void CharacterizationStore::save(const std::string& key,
                                  const CharacterizationData& data) {
+  VIADUCT_SPAN("char_cache.store_save");
+  VIADUCT_COUNTER_ADD("char_cache.store_saves", 1);
   VIADUCT_REQUIRE(!data.rawSigmaT.empty() && !data.traces.empty());
   auto entries = readAll(path_);
 

@@ -9,6 +9,7 @@
 #include "common/logging.h"
 #include "em/korhonen.h"
 #include "fea/thermo_solver.h"
+#include "obs/obs.h"
 #include "structures/probes.h"
 #include "viaarray/cache.h"
 
@@ -108,6 +109,7 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
     nominalResistance_ = ViaArrayNetwork(netCfg).nominalResistance();
   }
 
+  VIADUCT_SPAN("viaarray.characterize_fea");
   ThreadPool pool(spec_.parallelism);
   ThermoSolverOptions feaOpts;
   feaOpts.pool = &pool;
@@ -161,6 +163,8 @@ CharacterizationData ViaArrayCharacterizer::exportData() {
 }
 
 FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
+  VIADUCT_SPAN("viaarray.mc_trial");
+  VIADUCT_COUNTER_ADD("viaarray.trials", 1);
   const int count = spec_.array.viaCount();
   const double viaArea =
       spec_.array.effectiveArea / static_cast<double>(count);
@@ -223,9 +227,11 @@ FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
       if (std::isfinite(r)) damage[static_cast<std::size_t>(i)] += r * best;
     }
     network.failVia(victim);
+    VIADUCT_COUNTER_ADD("viaarray.via_failures", 1);
     trace.failureTimes.push_back(t);
     if (network.aliveCount() > 0) {
       trace.resistanceAfter.push_back(network.effectiveResistance());
+      VIADUCT_COUNTER_ADD("viaarray.network_resolves", 1);
       currents = network.viaCurrents();
     } else {
       trace.resistanceAfter.push_back(std::numeric_limits<double>::infinity());
@@ -317,16 +323,21 @@ std::shared_ptr<ViaArrayCharacterizer> ViaArrayLibrary::get(
     const ViaArrayCharacterizationSpec& spec) {
   const std::string key = spec.cacheKey();
   const auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  if (it != cache_.end()) {
+    VIADUCT_COUNTER_ADD("char_cache.memory_hit", 1);
+    return it->second;
+  }
 
   if (store_) {
     if (const auto data = store_->load(key)) {
+      VIADUCT_COUNTER_ADD("char_cache.store_hit", 1);
       auto rehydrated = std::make_shared<ViaArrayCharacterizer>(spec, *data);
       cache_.emplace(key, rehydrated);
       return rehydrated;
     }
   }
 
+  VIADUCT_COUNTER_ADD("char_cache.miss", 1);
   auto created = std::make_shared<ViaArrayCharacterizer>(spec);
   if (store_) store_->save(key, created->exportData());
   cache_.emplace(key, created);

@@ -1,0 +1,109 @@
+// Regression guard for the observability contract: enabling metrics and
+// tracing must not change a single sampled bit of the Monte Carlo outputs
+// that figures 10 / table 2 are built from (the instrumentation never
+// touches RNG streams or the trial arithmetic).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/units.h"
+#include "grid/grid_mc.h"
+#include "obs/obs.h"
+#include "spice/generator.h"
+#include "viaarray/characterize.h"
+
+namespace viaduct {
+namespace {
+
+Netlist tunedGrid() {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.padCount = 4;
+  cfg.totalCurrentAmps = 1.0;
+  cfg.seed = 11;
+  Netlist n = generatePowerGrid(cfg);
+  tuneNominalIrDrop(n, 0.06);
+  return n;
+}
+
+GridMcOptions mcOptions() {
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.trials = 24;
+  opts.seed = 5;
+  opts.systemCriterion = GridFailureCriterion::irDrop(0.10);
+  return opts;
+}
+
+class ObsBitIdentityTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    wasEnabled_ = obs::enabled();
+    obs::setTracingEnabled(false);
+  }
+  void TearDown() override {
+    obs::setEnabled(wasEnabled_);
+    obs::setTracingEnabled(false);
+    obs::resetAll();
+  }
+  bool wasEnabled_ = true;
+};
+
+TEST_F(ObsBitIdentityTest, GridMcSamplesIdenticalObsOffVsOnVsTracing) {
+  const PowerGridModel model(tunedGrid());
+  const GridMcOptions opts = mcOptions();
+
+  obs::setEnabled(false);
+  const std::vector<double> off = runGridMonteCarlo(model, opts).ttfSamples;
+
+  obs::setEnabled(true);
+  const std::vector<double> on = runGridMonteCarlo(model, opts).ttfSamples;
+
+  obs::setTracingEnabled(true);
+  const std::vector<double> traced = runGridMonteCarlo(model, opts).ttfSamples;
+  obs::setTracingEnabled(false);
+
+  EXPECT_EQ(off, on);
+  EXPECT_EQ(on, traced);
+  // The instrumented runs did record telemetry.
+  EXPECT_GT(obs::Registry::instance().counter("grid_mc.trials").value(), 0u);
+}
+
+TEST_F(ObsBitIdentityTest, GridMcSamplesIdenticalAcrossThreadCountsWithObsOn) {
+  const PowerGridModel model(tunedGrid());
+  GridMcOptions opts = mcOptions();
+  obs::setEnabled(true);
+
+  opts.parallelism.threads = 1;
+  const std::vector<double> one = runGridMonteCarlo(model, opts).ttfSamples;
+  opts.parallelism.threads = 4;
+  const std::vector<double> four = runGridMonteCarlo(model, opts).ttfSamples;
+  EXPECT_EQ(one, four);
+}
+
+TEST_F(ObsBitIdentityTest, ViaArrayTracesIdenticalObsOffVsOn) {
+  ViaArrayCharacterizationSpec spec;
+  spec.array.n = 2;
+  spec.trials = 8;
+  // Coarse FEA resolution keeps this a seconds-scale test.
+  spec.resolutionXy = 0.5e-6;
+
+  obs::setEnabled(false);
+  ViaArrayCharacterizer off(spec);
+  const std::vector<FailureTrace> offTraces = off.traces();
+
+  obs::setEnabled(true);
+  ViaArrayCharacterizer on(spec);
+  const std::vector<FailureTrace>& onTraces = on.traces();
+
+  ASSERT_EQ(offTraces.size(), onTraces.size());
+  for (std::size_t t = 0; t < offTraces.size(); ++t) {
+    EXPECT_EQ(offTraces[t].failureTimes, onTraces[t].failureTimes);
+    EXPECT_EQ(offTraces[t].resistanceAfter, onTraces[t].resistanceAfter);
+  }
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,166 @@
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+namespace {
+
+class ObsMetricsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::resetAll();
+  }
+};
+
+TEST_F(ObsMetricsTest, CounterAccumulatesAndResets) {
+  obs::Counter& c = obs::Registry::instance().counter("test.counter");
+  EXPECT_EQ(c.value(), 0u);
+  c.add(1);
+  c.add(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST_F(ObsMetricsTest, RegistryReturnsStableHandles) {
+  obs::Counter& a = obs::Registry::instance().counter("test.same");
+  obs::Counter& b = obs::Registry::instance().counter("test.same");
+  EXPECT_EQ(&a, &b);
+  a.add(3);
+  EXPECT_EQ(b.value(), 3u);
+}
+
+TEST_F(ObsMetricsTest, GaugeSetAddAndReset) {
+  obs::Gauge& g = obs::Registry::instance().gauge("test.gauge");
+  g.set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.set(-1.0);
+  EXPECT_DOUBLE_EQ(g.value(), -1.0);
+  g.add(0.5);
+  EXPECT_DOUBLE_EQ(g.value(), -0.5);
+  g.reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramBucketsAreInclusiveUpperBounds) {
+  obs::Histogram& h = obs::Registry::instance().histogram(
+      "test.histogram", std::vector<double>{1.0, 2.0, 4.0});
+  ASSERT_EQ(h.upperBounds().size(), 3u);
+
+  h.observe(0.5);   // <= 1      -> bucket 0
+  h.observe(1.0);   // == bound  -> bucket 0 (bounds are inclusive)
+  h.observe(1.5);   // <= 2      -> bucket 1
+  h.observe(4.0);   // == bound  -> bucket 2
+  h.observe(100.0); // overflow  -> bucket 3 (+inf)
+
+  const auto counts = h.bucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  EXPECT_EQ(counts[0], 2u);
+  EXPECT_EQ(counts[1], 1u);
+  EXPECT_EQ(counts[2], 1u);
+  EXPECT_EQ(counts[3], 1u);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.5 + 1.0 + 1.5 + 4.0 + 100.0);
+
+  h.reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_DOUBLE_EQ(h.sum(), 0.0);
+}
+
+TEST_F(ObsMetricsTest, HistogramFirstRegistrationWinsBucketLayout) {
+  obs::Histogram& a = obs::Registry::instance().histogram(
+      "test.layout", std::vector<double>{1.0, 2.0});
+  obs::Histogram& b = obs::Registry::instance().histogram(
+      "test.layout", std::vector<double>{10.0, 20.0, 30.0});
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(b.upperBounds().size(), 2u);
+}
+
+TEST_F(ObsMetricsTest, BucketHelpers) {
+  const auto exp = obs::Buckets::exponential(1.0, 2.0, 4);
+  ASSERT_EQ(exp.size(), 4u);
+  EXPECT_DOUBLE_EQ(exp[0], 1.0);
+  EXPECT_DOUBLE_EQ(exp[3], 8.0);
+  const auto lin = obs::Buckets::linear(0.0, 5.0, 3);
+  ASSERT_EQ(lin.size(), 3u);
+  EXPECT_DOUBLE_EQ(lin[2], 10.0);
+}
+
+TEST_F(ObsMetricsTest, CounterShardsMergeExactlyUnderThreadPool) {
+  obs::Counter& c = obs::Registry::instance().counter("test.pool_counter");
+  obs::Histogram& h = obs::Registry::instance().histogram(
+      "test.pool_histogram", std::vector<double>{100.0, 200.0, 300.0});
+
+  constexpr std::int64_t kItems = 4000;
+  ThreadPool pool(Parallelism{.threads = 4});
+  pool.parallelFor(0, kItems, 16, [&](std::int64_t i) {
+    c.add(1);
+    h.observe(static_cast<double>(i % 400));
+  });
+
+  EXPECT_EQ(c.value(), static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(h.count(), static_cast<std::uint64_t>(kItems));
+  const auto counts = h.bucketCounts();
+  ASSERT_EQ(counts.size(), 4u);
+  // i % 400 lands 0..100 inclusive in bucket 0 (101 of every 400), 101..200
+  // in bucket 1 (100), 201..300 in bucket 2 (100), 301..399 in bucket 3 (99).
+  EXPECT_EQ(counts[0], 1010u);
+  EXPECT_EQ(counts[1], 1000u);
+  EXPECT_EQ(counts[2], 1000u);
+  EXPECT_EQ(counts[3], 990u);
+}
+
+TEST_F(ObsMetricsTest, MacrosRespectRuntimeGate) {
+  VIADUCT_COUNTER_ADD("test.gated", 1);
+  obs::setEnabled(false);
+  VIADUCT_COUNTER_ADD("test.gated", 1);
+  obs::setEnabled(true);
+  VIADUCT_COUNTER_ADD("test.gated", 1);
+  EXPECT_EQ(obs::Registry::instance().counter("test.gated").value(), 2u);
+}
+
+TEST_F(ObsMetricsTest, SnapshotJsonContainsAllSections) {
+  obs::Registry::instance().counter("test.snap_counter").add(7);
+  obs::Registry::instance().gauge("test.snap_gauge").set(1.5);
+  obs::Registry::instance()
+      .histogram("test.snap_histogram", std::vector<double>{1.0})
+      .observe(0.5);
+  obs::Registry::instance().spanStat("test.snap_span").record(1000);
+
+  const std::string json = obs::snapshotJson();
+  EXPECT_NE(json.find("\"schema\": \"viaduct-obs-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"enabled\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap_counter\": 7"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap_gauge\": 1.5"), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap_histogram\": {\"bounds\": [1]"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"spans\""), std::string::npos);
+  EXPECT_NE(json.find("\"test.snap_span\": {\"count\": 1"), std::string::npos);
+  // Balanced braces as a cheap structural sanity check.
+  std::ptrdiff_t depth = 0;
+  for (const char ch : json) {
+    if (ch == '{') ++depth;
+    if (ch == '}') --depth;
+    EXPECT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST_F(ObsMetricsTest, ThreadIndexIsStablePerThread) {
+  const int here = obs::threadIndex();
+  EXPECT_EQ(obs::threadIndex(), here);
+  EXPECT_GE(here, 0);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,112 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+
+#include "common/thread_pool.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+namespace {
+
+class ObsTraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::setTracingEnabled(false);
+    obs::resetAll();
+  }
+  void TearDown() override {
+    obs::setTracingEnabled(false);
+    obs::resetAll();
+  }
+};
+
+TEST_F(ObsTraceTest, SpanFeedsAggregateWithoutTracing) {
+  ASSERT_FALSE(obs::tracingEnabled());
+  {
+    VIADUCT_SPAN("test.plain_span");
+  }
+  {
+    VIADUCT_SPAN("test.plain_span");
+  }
+  const obs::SpanStat& stat =
+      obs::Registry::instance().spanStat("test.plain_span");
+  EXPECT_EQ(stat.count(), 2u);
+  EXPECT_EQ(obs::traceEventCount(), 0u);  // no per-event buffering
+}
+
+TEST_F(ObsTraceTest, DisabledObsRecordsNothing) {
+  obs::setEnabled(false);
+  {
+    VIADUCT_SPAN("test.disabled_span");
+  }
+  obs::setEnabled(true);
+  EXPECT_EQ(obs::Registry::instance().spanStat("test.disabled_span").count(),
+            0u);
+}
+
+TEST_F(ObsTraceTest, NestedSpansProduceContainedTraceEvents) {
+  obs::setTracingEnabled(true);
+  {
+    VIADUCT_SPAN("test.outer");
+    {
+      VIADUCT_SPAN("test.inner");
+    }
+  }
+  EXPECT_EQ(obs::traceEventCount(), 2u);
+
+  const obs::SpanStat& outer = obs::Registry::instance().spanStat("test.outer");
+  const obs::SpanStat& inner = obs::Registry::instance().spanStat("test.inner");
+  EXPECT_EQ(outer.count(), 1u);
+  EXPECT_EQ(inner.count(), 1u);
+  // The inner span is strictly contained in the outer scope on the same
+  // thread, so its wall time cannot exceed the outer's.
+  EXPECT_LE(inner.totalNs(), outer.totalNs());
+
+  const std::string json = obs::traceJson();
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.outer\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"test.inner\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"viaduct\""), std::string::npos);
+
+  obs::clearTraceEvents();
+  EXPECT_EQ(obs::traceEventCount(), 0u);
+}
+
+TEST_F(ObsTraceTest, SpansFromPoolWorkersAreCollected) {
+  obs::setTracingEnabled(true);
+  constexpr std::int64_t kItems = 64;
+  ThreadPool pool(Parallelism{.threads = 4});
+  pool.parallelFor(0, kItems, 4, [&](std::int64_t) {
+    VIADUCT_SPAN("test.worker_span");
+  });
+  EXPECT_EQ(obs::Registry::instance().spanStat("test.worker_span").count(),
+            static_cast<std::uint64_t>(kItems));
+  EXPECT_EQ(obs::traceEventCount(), static_cast<std::size_t>(kItems));
+}
+
+TEST_F(ObsTraceTest, WriteTraceProducesLoadableFile) {
+  obs::setTracingEnabled(true);
+  {
+    VIADUCT_SPAN("test.file_span");
+  }
+  const std::string path =
+      ::testing::TempDir() + "/obs_trace_test_out.json";
+  ASSERT_TRUE(obs::writeTrace(path));
+  std::ifstream is(path);
+  ASSERT_TRUE(is.good());
+  std::string content((std::istreambuf_iterator<char>(is)),
+                      std::istreambuf_iterator<char>());
+  EXPECT_EQ(content.front(), '{');
+  EXPECT_NE(content.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(content.find("test.file_span"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -6,9 +6,14 @@
 //   viaduct_cli signoff      --preset PG1 --limit 2e10
 //   viaduct_cli census       --preset PG1 --margin-mpa 340
 //
-// Every subcommand accepts --help.
+// Every subcommand accepts --help. Two global flags work with any command
+// and are stripped before subcommand parsing:
+//   --metrics-out FILE   write the obs metrics snapshot (JSON) at exit
+//   --trace-out FILE     record spans and write a Chrome trace-event JSON
+//                        (load in chrome://tracing or ui.perfetto.dev)
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "common/cli.h"
@@ -20,6 +25,7 @@
 #include "grid/wire_mortality.h"
 #include "spice/generator.h"
 #include "spice/parser.h"
+#include "obs/obs.h"
 #include "spice/writer.h"
 #include "viaarray/cache.h"
 
@@ -236,36 +242,92 @@ void printUsage() {
                "  characterize  level-1 via-array TTF characterization\n"
                "  signoff       traditional current-density check\n"
                "  census        wire Blech immortality census\n"
+               "\nglobal flags (any command):\n"
+               "  --metrics-out FILE  write the obs metrics snapshot (JSON)\n"
+               "  --trace-out FILE    write a Chrome trace-event JSON\n"
                "\nrun 'viaduct_cli <command> --help' for flags.\n";
+}
+
+/// Extracts `--flag VALUE` or `--flag=VALUE` from `args` (in place);
+/// returns the value or "" when the flag is absent.
+std::string extractFlag(std::vector<const char*>& args,
+                        const std::string& flag) {
+  const std::string prefix = flag + "=";
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string arg = args[i];
+    if (arg == flag) {
+      if (i + 1 >= args.size())
+        throw PreconditionError(flag + " needs a file argument");
+      const std::string value = args[i + 1];
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i),
+                 args.begin() + static_cast<std::ptrdiff_t>(i) + 2);
+      return value;
+    }
+    if (arg.rfind(prefix, 0) == 0) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return arg.substr(prefix.size());
+    }
+  }
+  return "";
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
-  if (argc < 2) {
+  std::vector<const char*> args(argv, argv + argc);
+  std::string metricsOut, traceOut;
+  try {
+    metricsOut = extractFlag(args, "--metrics-out");
+    traceOut = extractFlag(args, "--trace-out");
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+  if (!traceOut.empty()) obs::setTracingEnabled(true);
+
+  // Write the observability artifacts on every exit path (including
+  // subcommand errors — a failed run's partial metrics are still useful).
+  const auto writeObsArtifacts = [&] {
+    if (!metricsOut.empty() && !obs::writeSnapshot(metricsOut))
+      std::cerr << "warning: could not write metrics to " << metricsOut << "\n";
+    if (!traceOut.empty() && !obs::writeTrace(traceOut))
+      std::cerr << "warning: could not write trace to " << traceOut << "\n";
+  };
+
+  if (args.size() < 2) {
     printUsage();
     return 1;
   }
-  const std::string cmd = argv[1];
+  const std::string cmd = args[1];
   // Shift argv so each subcommand sees its own flags.
-  const int subArgc = argc - 1;
-  const char* const* subArgv = argv + 1;
+  const int subArgc = static_cast<int>(args.size()) - 1;
+  const char* const* subArgv = args.data() + 1;
   try {
-    if (cmd == "generate") return cmdGenerate(subArgc, subArgv);
-    if (cmd == "analyze") return cmdAnalyze(subArgc, subArgv);
-    if (cmd == "characterize") return cmdCharacterize(subArgc, subArgv);
-    if (cmd == "signoff") return cmdSignoff(subArgc, subArgv);
-    if (cmd == "census") return cmdCensus(subArgc, subArgv);
-    if (cmd == "--help" || cmd == "-h" || cmd == "help") {
+    int rc = 1;
+    if (cmd == "generate") {
+      rc = cmdGenerate(subArgc, subArgv);
+    } else if (cmd == "analyze") {
+      rc = cmdAnalyze(subArgc, subArgv);
+    } else if (cmd == "characterize") {
+      rc = cmdCharacterize(subArgc, subArgv);
+    } else if (cmd == "signoff") {
+      rc = cmdSignoff(subArgc, subArgv);
+    } else if (cmd == "census") {
+      rc = cmdCensus(subArgc, subArgv);
+    } else if (cmd == "--help" || cmd == "-h" || cmd == "help") {
       printUsage();
       return 0;
+    } else {
+      std::cerr << "unknown command: " << cmd << "\n";
+      printUsage();
+      return 1;
     }
-    std::cerr << "unknown command: " << cmd << "\n";
-    printUsage();
-    return 1;
+    writeObsArtifacts();
+    return rc;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
+    writeObsArtifacts();
     return 1;
   }
 }
