@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -90,6 +91,13 @@ void ThreadPool::participate(Job& job, bool fromWorker) {
         } else {
           VIADUCT_COUNTER_ADD("pool.chunks_by_caller", 1);
         }
+        // Keyed on the chunk index (not a per-thread stream) so the same
+        // chunk fails regardless of which lane picks it up.
+        if (fault::shouldInjectAt("pool.job",
+                                  static_cast<std::uint64_t>(c))) {
+          throw fault::InjectedFault("pool job chunk " + std::to_string(c) +
+                                     " failed (injected fault)");
+        }
         (*job.fn)(b, e);
       } catch (...) {
         std::lock_guard<std::mutex> lock(job.errorMutex);
@@ -119,6 +127,10 @@ void ThreadPool::runChunks(std::int64_t begin, std::int64_t end,
     VIADUCT_COUNTER_ADD("pool.jobs_inline", 1);
     VIADUCT_COUNTER_ADD("pool.chunks_inline", chunkCount);
     for (std::int64_t c = 0; c < chunkCount; ++c) {
+      if (fault::shouldInjectAt("pool.job", static_cast<std::uint64_t>(c))) {
+        throw fault::InjectedFault("pool job chunk " + std::to_string(c) +
+                                   " failed (injected fault)");
+      }
       const std::int64_t b = begin + c * grain;
       fn(b, std::min(b + grain, end));
     }

@@ -39,6 +39,11 @@ PowerGridEmAnalyzer::PowerGridEmAnalyzer(
                        : std::make_shared<ViaArrayLibrary>()) {
   VIADUCT_REQUIRE(config_.viaArraySize >= 1);
 
+  // One policy governs every layer: electrical model (Woodbury/session
+  // recovery) and characterization (FEA ladder, MC trial semantics).
+  config_.gridConfig.policy = config_.policy;
+  config_.characterization.policy = config_.policy;
+
   if (config_.tuneNominalIrDropFraction) {
     const double factor = tuneNominalIrDrop(
         netlist_, *config_.tuneNominalIrDropFraction, config_.gridConfig);
@@ -128,6 +133,7 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   options.trials = config_.trials;
   options.seed = config_.seed;
   options.parallelism = config_.parallelism;
+  options.policy = config_.policy;
 
   GridTtfReport report;
   report.mc = runGridMonteCarlo(*model_, options);
@@ -142,6 +148,8 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   }
   report.medianYears = cdf.median() / units::year;
   report.meanFailuresToBreach = report.mc.meanFailuresToBreach;
+  report.discardedTrials = report.mc.discardedTrials;
+  report.salvagedTrials = report.mc.salvagedTrials;
   report.nominalIrDropFraction = nominalIrDropFraction_;
   report.arrayCriterion = arrayCriterion.describe();
   report.systemCriterion = systemCriterion.describe();

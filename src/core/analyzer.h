@@ -59,6 +59,11 @@ struct AnalyzerConfig {
   /// (0 = hardware concurrency). Results are bit-identical for every
   /// thread count; see DESIGN.md §5.5.
   Parallelism parallelism;
+
+  /// Failure policy threaded into every subsystem: FEA/CG retry ladders,
+  /// Woodbury recovery, cache-corruption recompute, and per-trial
+  /// salvage/discard semantics in both Monte Carlo levels (DESIGN.md §5.7).
+  fault::FailurePolicy policy;
 };
 
 struct GridTtfReport {
@@ -71,6 +76,10 @@ struct GridTtfReport {
   double medianYears = 0.0;
   double meanFailuresToBreach = 0.0;
   double nominalIrDropFraction = 0.0;
+  /// Grid-level trials dropped / censored by the failure policy (mirrors
+  /// mc.discardedTrials / mc.salvagedTrials for report consumers).
+  int discardedTrials = 0;
+  int salvagedTrials = 0;
   std::string arrayCriterion;
   std::string systemCriterion;
 };

@@ -1,0 +1,298 @@
+#include "fault/fault.h"
+
+#include <cstdlib>
+#include <mutex>
+#include <sstream>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+
+namespace viaduct::fault {
+
+namespace {
+
+std::uint64_t fnv1a(std::string_view s) {
+  std::uint64_t h = 0xcbf29ce484222325ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ull;
+  }
+  return h;
+}
+
+struct Scope {
+  std::uint64_t stream = 0;
+  std::uint64_t generation = 0;
+};
+thread_local Scope t_scope;
+
+/// Monotone id handed to each ScopedStream so per-site call counters reset
+/// at every scope entry (two scopes with the same trial index — e.g. two
+/// consecutive MC runs — must not share counter state).
+std::atomic<std::uint64_t> g_scopeGeneration{0};
+
+}  // namespace
+
+struct Registry::Site {
+  std::string name;
+  std::uint64_t hash = 0;
+  Trigger trigger;
+  bool armed = false;
+  std::atomic<std::uint64_t> fires{0};
+};
+
+namespace {
+
+/// Per-thread decision state of one site: the stream Rng and the call
+/// counter, valid for one (epoch, scope) pair.
+struct SiteState {
+  std::uint64_t epoch = 0;
+  std::uint64_t generation = ~std::uint64_t{0};
+  std::uint64_t stream = ~std::uint64_t{0};
+  std::uint64_t calls = 0;
+  Rng rng{0};
+};
+thread_local std::unordered_map<const void*, SiteState> t_siteStates;
+
+}  // namespace
+
+Registry& Registry::instance() {
+  // Leaked singleton: worker threads may consult the registry during
+  // static destruction (pool teardown), so it must never be destroyed.
+  static Registry* const registry = [] {
+    auto* r = new Registry();
+    if (const char* env = std::getenv("VIADUCT_FAULTS"); env && *env)
+      r->configure(env);
+    return r;
+  }();
+  return *registry;
+}
+
+void Registry::arm(std::string_view site, const Trigger& trigger) {
+  VIADUCT_REQUIRE_MSG(!site.empty(), "fault site name must be non-empty");
+  VIADUCT_REQUIRE_MSG(
+      trigger.probability >= 0.0 && trigger.probability <= 1.0,
+      "fault probability must be in [0, 1]");
+  VIADUCT_REQUIRE_MSG(trigger.nth >= 0, "fault nth trigger must be >= 0");
+  VIADUCT_REQUIRE_MSG(trigger.probability > 0.0 || trigger.nth > 0,
+                      "fault trigger is a no-op (set p or nth)");
+  std::unique_lock lock(mutex_);
+  auto it = sites_.find(site);
+  if (it == sites_.end()) {
+    auto s = std::make_unique<Site>();
+    s->name = std::string(site);
+    s->hash = fnv1a(site);
+    it = sites_.emplace(s->name, std::move(s)).first;
+  }
+  if (!it->second->armed) armedCount_.fetch_add(1, std::memory_order_relaxed);
+  it->second->armed = true;
+  it->second->trigger = trigger;
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::disarm(std::string_view site) {
+  std::unique_lock lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second->armed) return;
+  it->second->armed = false;
+  armedCount_.fetch_sub(1, std::memory_order_relaxed);
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::disarmAll() {
+  std::unique_lock lock(mutex_);
+  for (auto& [name, site] : sites_) {
+    if (site->armed) {
+      site->armed = false;
+      armedCount_.fetch_sub(1, std::memory_order_relaxed);
+    }
+  }
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+void Registry::setSeed(std::uint64_t seed) {
+  std::unique_lock lock(mutex_);
+  seed_ = seed;
+  epoch_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::seed() const {
+  std::shared_lock lock(mutex_);
+  return seed_;
+}
+
+void Registry::configure(std::string_view spec) {
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    const std::size_t semi = spec.find(';', pos);
+    const std::string_view segment =
+        spec.substr(pos, semi == std::string_view::npos ? spec.size() - pos
+                                                        : semi - pos);
+    pos = semi == std::string_view::npos ? spec.size() + 1 : semi + 1;
+    if (segment.empty()) continue;
+
+    if (segment.rfind("seed=", 0) == 0) {
+      try {
+        setSeed(std::stoull(std::string(segment.substr(5))));
+      } catch (const std::exception&) {
+        throw ParseError("fault spec: bad seed in '" + std::string(segment) +
+                         "'");
+      }
+      continue;
+    }
+
+    const std::size_t colon = segment.find(':');
+    if (colon == std::string_view::npos || colon == 0 ||
+        colon + 1 >= segment.size()) {
+      throw ParseError("fault spec: expected 'site:p=<f>' or 'site:nth=<n>' "
+                       "in '" +
+                       std::string(segment) + "'");
+    }
+    const std::string_view site = segment.substr(0, colon);
+    Trigger trigger;
+    std::size_t tpos = colon + 1;
+    while (tpos <= segment.size()) {
+      const std::size_t comma = segment.find(',', tpos);
+      const std::string_view tok = segment.substr(
+          tpos, comma == std::string_view::npos ? segment.size() - tpos
+                                                : comma - tpos);
+      tpos = comma == std::string_view::npos ? segment.size() + 1 : comma + 1;
+      try {
+        if (tok.rfind("p=", 0) == 0) {
+          trigger.probability = std::stod(std::string(tok.substr(2)));
+        } else if (tok.rfind("nth=", 0) == 0) {
+          trigger.nth = std::stoll(std::string(tok.substr(4)));
+        } else {
+          throw ParseError("");
+        }
+      } catch (const std::exception&) {
+        throw ParseError("fault spec: bad trigger '" + std::string(tok) +
+                         "' for site '" + std::string(site) + "'");
+      }
+    }
+    try {
+      arm(site, trigger);
+    } catch (const PreconditionError& e) {
+      throw ParseError("fault spec: " + std::string(e.what()));
+    }
+  }
+}
+
+std::uint64_t Registry::fireCount(std::string_view site) const {
+  std::shared_lock lock(mutex_);
+  const auto it = sites_.find(site);
+  return it == sites_.end()
+             ? 0
+             : it->second->fires.load(std::memory_order_relaxed);
+}
+
+std::uint64_t Registry::totalFires() const {
+  std::shared_lock lock(mutex_);
+  std::uint64_t total = 0;
+  for (const auto& [name, site] : sites_)
+    total += site->fires.load(std::memory_order_relaxed);
+  return total;
+}
+
+std::vector<SiteStatus> Registry::sites() const {
+  std::shared_lock lock(mutex_);
+  std::vector<SiteStatus> out;
+  out.reserve(sites_.size());
+  for (const auto& [name, site] : sites_) {
+    out.push_back({name, site->trigger, site->armed,
+                   site->fires.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+std::string Registry::summary() const {
+  const auto all = sites();
+  if (all.empty()) return {};
+  std::ostringstream os;
+  bool first = true;
+  for (const auto& s : all) {
+    if (!first) os << "; ";
+    first = false;
+    os << s.site << "[";
+    if (s.trigger.probability > 0.0) os << "p=" << s.trigger.probability;
+    if (s.trigger.nth > 0)
+      os << (s.trigger.probability > 0.0 ? "," : "") << "nth=" << s.trigger.nth;
+    os << (s.armed ? "]" : ",disarmed]") << " fired " << s.fires;
+  }
+  return os.str();
+}
+
+Registry::Site* Registry::findArmed(std::string_view site, Trigger* trigger,
+                                    std::uint64_t* seedOut) const {
+  std::shared_lock lock(mutex_);
+  const auto it = sites_.find(site);
+  if (it == sites_.end() || !it->second->armed) return nullptr;
+  *trigger = it->second->trigger;
+  *seedOut = seed_;
+  return it->second.get();
+}
+
+bool Registry::shouldFire(std::string_view site) {
+  Trigger trigger;
+  std::uint64_t seed = 0;
+  Site* const s = findArmed(site, &trigger, &seed);
+  if (s == nullptr) return false;
+
+  SiteState& st = t_siteStates[s];
+  const std::uint64_t epoch = epoch_.load(std::memory_order_relaxed);
+  if (st.epoch != epoch || st.generation != t_scope.generation ||
+      st.stream != t_scope.stream) {
+    st.epoch = epoch;
+    st.generation = t_scope.generation;
+    st.stream = t_scope.stream;
+    st.calls = 0;
+    st.rng = Rng(seed ^ s->hash, t_scope.stream);
+  }
+  ++st.calls;
+  const double u = st.rng.uniform();  // one deviate per query, always
+  const bool fire =
+      (trigger.nth > 0 && st.calls == static_cast<std::uint64_t>(trigger.nth)) ||
+      (trigger.probability > 0.0 && u < trigger.probability);
+  if (fire) {
+    s->fires.fetch_add(1, std::memory_order_relaxed);
+    VIADUCT_COUNTER_ADD("fault.injected", 1);
+  }
+  return fire;
+}
+
+bool Registry::shouldFireAt(std::string_view site, std::uint64_t index) {
+  Trigger trigger;
+  std::uint64_t seed = 0;
+  Site* const s = findArmed(site, &trigger, &seed);
+  if (s == nullptr) return false;
+
+  bool fire = trigger.nth > 0 &&
+              index + 1 == static_cast<std::uint64_t>(trigger.nth);
+  if (!fire && trigger.probability > 0.0) {
+    Rng rng(seed ^ s->hash, index);
+    fire = rng.uniform() < trigger.probability;
+  }
+  if (fire) {
+    s->fires.fetch_add(1, std::memory_order_relaxed);
+    VIADUCT_COUNTER_ADD("fault.injected", 1);
+  }
+  return fire;
+}
+
+ScopedStream::ScopedStream(std::uint64_t stream)
+    : prevStream_(t_scope.stream), prevGeneration_(t_scope.generation) {
+  t_scope.stream = stream;
+  t_scope.generation =
+      g_scopeGeneration.fetch_add(1, std::memory_order_relaxed) + 1;
+}
+
+ScopedStream::~ScopedStream() {
+  t_scope.stream = prevStream_;
+  t_scope.generation = prevGeneration_;
+}
+
+std::uint64_t currentStream() { return t_scope.stream; }
+
+}  // namespace viaduct::fault

@@ -281,14 +281,37 @@ CgResult ThermoSolver::solve() {
   cgOpts.relativeTolerance = options_.cgRelativeTolerance;
   cgOpts.maxIterations = options_.cgMaxIterations;
   cgOpts.pool = pool_;
-  {
-    VIADUCT_SPAN("fea.cg_solve");
-    lastCg_ = conjugateGradient(op, f, displacements_, precond, cgOpts);
+  // The policy owns failure handling: a stall returns converged = false and
+  // a NaN residual throws NumericalError, both of which feed the retry
+  // ladder below (each rung restarts from a zero guess — a poisoned iterate
+  // must not warm-start the retry).
+  cgOpts.throwOnStall = false;
+  const fault::FailurePolicy& policy = options_.policy;
+  const int attempts = policy.enabled ? 1 + std::max(0, policy.cgRetries) : 1;
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      VIADUCT_COUNTER_ADD("fault.policy.fea_retries", 1);
+      cgOpts.relativeTolerance *= policy.retryToleranceTighten;
+      cgOpts.maxIterations = static_cast<int>(
+          static_cast<double>(cgOpts.maxIterations) *
+          policy.retryIterationGrowth);
+      std::fill(displacements_.begin(), displacements_.end(), 0.0);
+    }
+    try {
+      VIADUCT_SPAN("fea.cg_solve");
+      lastCg_ = conjugateGradient(op, f, displacements_, precond, cgOpts);
+    } catch (const NumericalError&) {
+      lastCg_ = CgResult{};
+      if (!policy.enabled) throw;
+      continue;
+    }
+    if (lastCg_.converged) break;
   }
   VIADUCT_DEBUG << "FEA solve: " << lastCg_.iterations << " CG iterations, "
                 << grid_.nodeCount() * 3 << " dof";
   if (!lastCg_.converged) {
-    VIADUCT_WARN << "FEA CG did not converge: " << lastCg_.iterations
+    VIADUCT_WARN << "FEA CG did not converge after " << attempts
+                 << " attempt(s): " << lastCg_.iterations
                  << " iterations, relative residual "
                  << lastCg_.relativeResidual;
   }

@@ -23,6 +23,7 @@
 #include <vector>
 
 #include "common/thread_pool.h"
+#include "fault/policy.h"
 #include "fea/hex8.h"
 #include "fea/voxel_grid.h"
 #include "numerics/cg.h"
@@ -36,6 +37,12 @@ struct ThermoSolverOptions {
 
   double cgRelativeTolerance = 1e-7;
   int cgMaxIterations = 20000;
+
+  /// Failure policy for the CG solve: a stalled or NaN-poisoned solve is
+  /// retried `cgRetries` times from a zero guess with a tightened tolerance
+  /// and a grown iteration cap before the non-convergence propagates to the
+  /// caller through cgResult().
+  fault::FailurePolicy policy;
 
   /// Worker pool shared with the caller (borrowed, not owned). When null
   /// the solver creates its own pool from `parallelism`. All assembly and

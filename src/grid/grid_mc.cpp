@@ -7,6 +7,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -45,8 +46,13 @@ struct TrialWorkspace {
 /// One trial of sequential array failures (damage-accumulation form of
 /// Algorithm 1: budgets are consumed at a current-dependent rate, so TTFs
 /// re-scale automatically whenever the currents redistribute).
+///
+/// `progressOut` and `failuresOut` are kept current as the trial advances,
+/// so a trial aborted mid-flight by a solver failure leaves the time
+/// reached and failures simulated so far behind for salvage accounting.
 double runTrial(const PowerGridModel& model, const GridMcOptions& options,
-                Rng& rng, TrialWorkspace& ws, int* failuresOut) {
+                Rng& rng, TrialWorkspace& ws, int* failuresOut,
+                double* progressOut) {
   VIADUCT_SPAN("grid_mc.trial");
   VIADUCT_COUNTER_ADD("grid_mc.trials", 1);
   const int count = static_cast<int>(model.viaArrays().size());
@@ -73,8 +79,10 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
 
   PowerGridModel::Session session(model);
   PowerGridModel::DcSolution sol = session.solve();
-  VIADUCT_CHECK_MSG(std::isfinite(sol.worstIrDropFraction),
-                    "healthy grid does not solve");
+  if (!sol.solverOk) {
+    throw NumericalError("grid MC: healthy grid DC solve failed: " +
+                         sol.solverError);
+  }
   VIADUCT_CHECK_MSG(
       sol.worstIrDropFraction < options.systemCriterion.irDropFraction ||
           options.systemCriterion.kind == GridFailureCriterion::Kind::kWeakestLink,
@@ -121,6 +129,7 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
     }
 
     t += best;
+    if (progressOut) *progressOut = t;
     for (int m = 0; m < count; ++m) {
       if (session.arrayOpen(m) || m == victim) continue;
       damage[static_cast<std::size_t>(m)] +=
@@ -129,17 +138,21 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
     session.openArray(victim);
     damage[static_cast<std::size_t>(victim)] = 1.0;
     VIADUCT_COUNTER_ADD("grid_mc.array_failures", 1);
+    if (failuresOut) *failuresOut = failed + 1;
 
     if (options.systemCriterion.kind ==
         GridFailureCriterion::Kind::kWeakestLink) {
-      if (failuresOut) *failuresOut = failed + 1;
       return t;
     }
 
     VIADUCT_COUNTER_ADD("grid_mc.resolves", 1);
     sol = session.solve();
+    if (!sol.solverOk) {
+      throw NumericalError("grid MC: DC re-solve failed after " +
+                           std::to_string(failed + 1) +
+                           " array failure(s): " + sol.solverError);
+    }
     if (sol.worstIrDropFraction >= options.systemCriterion.irDropFraction) {
-      if (failuresOut) *failuresOut = failed + 1;
       return t;
     }
   }
@@ -159,33 +172,79 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
   VIADUCT_SPAN("grid_mc.run");
   const auto wallStart = std::chrono::steady_clock::now();
   GridMcResult result;
-  result.ttfSamples.assign(static_cast<std::size_t>(options.trials), 0.0);
+  std::vector<double> samples(static_cast<std::size_t>(options.trials), 0.0);
   std::vector<int> failures(static_cast<std::size_t>(options.trials), 0);
+  enum class TrialStatus : unsigned char { kKept, kDiscarded, kSalvaged };
+  std::vector<TrialStatus> status(static_cast<std::size_t>(options.trials),
+                                  TrialStatus::kKept);
 
   // Each trial draws from its own counter-based stream Rng(seed, trial)
   // and runs a private Session, so every trial's sample is a pure function
   // of (model, options, trial) — never of scheduling — and the result is
-  // bit-identical for any thread count.
+  // bit-identical for any thread count. The fault ScopedStream pins any
+  // armed injection site to the same per-trial stream, so injected-fault
+  // schedules (and hence the discard/salvage pattern) are too.
   ThreadPool pool(options.parallelism);
-  pool.runChunks(0, options.trials, kTrialChunk,
-                 [&](std::int64_t lo, std::int64_t hi) {
-                   TrialWorkspace ws;
-                   for (std::int64_t trial = lo; trial < hi; ++trial) {
-                     Rng rng(options.seed, static_cast<std::uint64_t>(trial));
-                     const auto idx = static_cast<std::size_t>(trial);
-                     result.ttfSamples[idx] =
-                         runTrial(model, options, rng, ws, &failures[idx]);
-                   }
-                 });
+  pool.runChunks(
+      0, options.trials, kTrialChunk, [&](std::int64_t lo, std::int64_t hi) {
+        TrialWorkspace ws;
+        for (std::int64_t trial = lo; trial < hi; ++trial) {
+          const fault::ScopedStream scope(static_cast<std::uint64_t>(trial));
+          Rng rng(options.seed, static_cast<std::uint64_t>(trial));
+          const auto idx = static_cast<std::size_t>(trial);
+          try {
+            samples[idx] =
+                runTrial(model, options, rng, ws, &failures[idx], &samples[idx]);
+          } catch (const NumericalError&) {
+            if (!options.policy.enabled ||
+                options.policy.trialPolicy ==
+                    fault::FailurePolicy::TrialPolicy::kAbort) {
+              throw;
+            }
+            if (options.policy.trialPolicy ==
+                fault::FailurePolicy::TrialPolicy::kSalvage) {
+              // samples[idx] holds the time reached before the failure: a
+              // right-censored TTF observation, kept as-is (conservative).
+              status[idx] = TrialStatus::kSalvaged;
+            } else {
+              status[idx] = TrialStatus::kDiscarded;
+            }
+          }
+        }
+      });
 
   long long failureTotal = 0;
-  for (const int f : failures) {
-    failureTotal += f;
-    VIADUCT_HISTOGRAM_OBSERVE("grid_mc.failures_per_trial", f,
+  long long included = 0;
+  result.ttfSamples.reserve(static_cast<std::size_t>(options.trials));
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    if (status[i] == TrialStatus::kDiscarded) {
+      ++result.discardedTrials;
+      continue;
+    }
+    if (status[i] == TrialStatus::kSalvaged) ++result.salvagedTrials;
+    result.ttfSamples.push_back(samples[i]);
+    failureTotal += failures[i];
+    ++included;
+    VIADUCT_HISTOGRAM_OBSERVE("grid_mc.failures_per_trial", failures[i],
                               obs::Buckets::linear(0, 2, 16));
   }
+  if (result.discardedTrials > 0) {
+    VIADUCT_COUNTER_ADD("grid_mc.trials_discarded", result.discardedTrials);
+  }
+  if (result.salvagedTrials > 0) {
+    VIADUCT_COUNTER_ADD("grid_mc.trials_salvaged", result.salvagedTrials);
+  }
+  if (result.ttfSamples.empty()) {
+    throw NumericalError(
+        "grid MC: every trial was discarded by the failure policy");
+  }
+  if (result.discardedTrials > 0 || result.salvagedTrials > 0) {
+    VIADUCT_INFO << "grid MC: kept " << included << "/" << options.trials
+                 << " trials (" << result.discardedTrials << " discarded, "
+                 << result.salvagedTrials << " salvaged)";
+  }
   result.meanFailuresToBreach =
-      static_cast<double>(failureTotal) / static_cast<double>(options.trials);
+      static_cast<double>(failureTotal) / static_cast<double>(included);
   const double wallSeconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wallStart)

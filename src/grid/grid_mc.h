@@ -17,6 +17,7 @@
 #include "common/lognormal.h"
 #include "common/statistics.h"
 #include "common/thread_pool.h"
+#include "fault/policy.h"
 #include "grid/power_grid.h"
 
 namespace viaduct {
@@ -60,11 +61,25 @@ struct GridMcOptions {
   /// stream Rng(seed, t) and runs its own Session, so the samples are
   /// bit-identical for every thread count (including 1).
   Parallelism parallelism;
+
+  /// What happens when a trial's DC solve fails past recovery: kAbort
+  /// rethrows (whole run fails), kDiscard drops the trial from the sample
+  /// set (counted in `discardedTrials`), kSalvage keeps the time reached so
+  /// far as a censored TTF sample (counted in `salvagedTrials`). Trial
+  /// status is a pure function of (model, options, trial), so the
+  /// accounting is bit-identical across thread counts. Also threaded into
+  /// each trial Session via the model config's own policy.
+  fault::FailurePolicy policy;
 };
 
 struct GridMcResult {
-  std::vector<double> ttfSamples;        // one per trial [s]
-  double meanFailuresToBreach = 0.0;     // avg #array failures per trial
+  /// One sample per completed-or-salvaged trial, in trial order (discarded
+  /// trials are excluded entirely, never zero-filled).
+  std::vector<double> ttfSamples;
+  double meanFailuresToBreach = 0.0;  // avg #array failures, kept trials only
+  /// Failure-policy accounting (see GridMcOptions::policy).
+  int discardedTrials = 0;
+  int salvagedTrials = 0;
   EmpiricalCdf cdf() const { return EmpiricalCdf(ttfSamples); }
 };
 

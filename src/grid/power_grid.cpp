@@ -127,6 +127,8 @@ PowerGridModel::PowerGridModel(const Netlist& netlist,
 
 double PowerGridModel::nodeVoltage(Index netlistNode,
                                    const DcSolution& solution) const {
+  VIADUCT_REQUIRE_MSG(solution.solverOk,
+                      "nodeVoltage on a failed solution (check solverOk)");
   if (netlistNode == kGroundNode) return 0.0;
   VIADUCT_REQUIRE(netlistNode >= 0 &&
                   static_cast<std::size_t>(netlistNode) <
@@ -148,8 +150,11 @@ PowerGridModel::DcSolution PowerGridModel::evaluate(
     sol.voltages = solver.solve(rhs_);
   } catch (const NumericalError& e) {
     VIADUCT_COUNTER_ADD("power_grid.solve_failures", 1);
-    VIADUCT_WARN << "power grid DC solve failed (" << e.what()
-                 << "); reporting infinite IR drop";
+    VIADUCT_DEBUG << "power grid DC solve failed (" << e.what()
+                  << "); reporting explicit failure state";
+    // Explicit failure state: no voltages at all, rather than whatever a
+    // partially failed solve left behind — nodeVoltage() enforces this.
+    sol.voltages.clear();
     sol.solverOk = false;
     sol.solverError = e.what();
     sol.worstIrDrop = std::numeric_limits<double>::infinity();
@@ -173,7 +178,9 @@ PowerGridModel::DcSolution PowerGridModel::evaluate(
 }
 
 PowerGridModel::DcSolution PowerGridModel::solveNominal() const {
-  WoodburySolver solver{conductance_};
+  WoodburySolver::Options opts;
+  opts.policy = config_.policy;
+  WoodburySolver solver{conductance_, opts};
   std::vector<double> ohms;
   ohms.reserve(viaArrays_.size());
   for (const auto& site : viaArrays_) ohms.push_back(site.nominalOhms);
@@ -186,8 +193,16 @@ double PowerGridModel::kclResidual(const DcSolution& solution) const {
   return conductance_.residualNorm(solution.voltages, rhs_);
 }
 
+namespace {
+WoodburySolver::Options sessionSolverOptions(const PowerGridModel& model) {
+  WoodburySolver::Options opts;
+  opts.policy = model.config().policy;
+  return opts;
+}
+}  // namespace
+
 PowerGridModel::Session::Session(const PowerGridModel& model)
-    : model_(model), solver_(model.conductance_) {
+    : model_(model), solver_(model.conductance_, sessionSolverOptions(model)) {
   currentOhms_.reserve(model.viaArrays_.size());
   for (const auto& site : model.viaArrays_)
     currentOhms_.push_back(site.nominalOhms);
@@ -226,8 +241,24 @@ bool PowerGridModel::Session::arrayOpen(int arrayIndex) const {
   return open_[static_cast<std::size_t>(arrayIndex)];
 }
 
-PowerGridModel::DcSolution PowerGridModel::Session::solve() const {
-  return model_.evaluate(solver_, currentOhms_);
+PowerGridModel::DcSolution PowerGridModel::Session::solve() {
+  DcSolution sol = model_.evaluate(solver_, currentOhms_);
+  const fault::FailurePolicy& policy = model_.config_.policy;
+  if (!sol.solverOk && policy.enabled && policy.refactorOnWoodburyFailure &&
+      solver_.pendingUpdateCount() > 0) {
+    // The stacked low-rank updates may be the problem (an ill-conditioned
+    // capacitance system); fold them into a fresh base factorization and
+    // retry once. If the base matrix itself is singular the rebase throws
+    // and the explicit failure state stands.
+    VIADUCT_COUNTER_ADD("fault.policy.session_rebases", 1);
+    try {
+      solver_.rebase();
+    } catch (const NumericalError&) {
+      return sol;
+    }
+    sol = model_.evaluate(solver_, currentOhms_);
+  }
+  return sol;
 }
 
 void scaleLoads(Netlist& netlist, double factor) {

@@ -12,6 +12,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/policy.h"
 #include "numerics/woodbury.h"
 #include "spice/netlist.h"
 
@@ -25,6 +26,10 @@ struct PowerGridConfig {
   /// Residual conductance fraction left when an array is opened, keeping
   /// the system numerically nonsingular while guaranteeing an IR breach.
   double openResidualFraction = 1e-9;
+  /// Failure policy threaded into the Woodbury solver (update-rejection
+  /// recovery) and the failure Session (rebase-and-retry on a failed
+  /// incremental solve).
+  fault::FailurePolicy policy;
 };
 
 /// One via-array site in the grid.
@@ -52,10 +57,12 @@ class PowerGridModel {
     double worstIrDropFraction = 0.0;   // / Vdd
     std::vector<double> viaArrayCurrents;  // |I| per via-array site [A]
     /// Solver health: false when the direct solve failed (matrix no longer
-    /// positive definite, e.g. a fully partitioned grid); the IR-drop
-    /// fields are +inf in that case. `pendingUpdates` is the number of
-    /// Woodbury low-rank updates stacked on the base factorization when
-    /// the solve ran (0 for a fresh factor).
+    /// positive definite, e.g. a fully partitioned grid). The failure state
+    /// is explicit: `voltages` is EMPTY and the IR-drop fields are +inf, so
+    /// stale or partial node voltages can never be read past a failure
+    /// (nodeVoltage() rejects a failed solution outright). `pendingUpdates`
+    /// is the number of Woodbury low-rank updates stacked on the base
+    /// factorization when the solve ran (0 for a fresh factor).
     bool solverOk = true;
     int pendingUpdates = 0;
     std::string solverError;
@@ -85,8 +92,11 @@ class PowerGridModel {
     bool arrayOpen(int arrayIndex) const;
 
     /// Current DC solution; `worstIrDropFraction` is +inf if the grid has
-    /// become effectively disconnected.
-    DcSolution solve() const;
+    /// become effectively disconnected. When the incremental solve fails
+    /// and the config policy allows it, the accumulated updates are folded
+    /// into a fresh base factorization and the solve is retried once
+    /// (non-const for exactly that recovery path).
+    DcSolution solve();
 
    private:
     const PowerGridModel& model_;

@@ -5,6 +5,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/thread_pool.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -30,6 +31,25 @@ CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
   VIADUCT_SPAN("cg.solve");
   const auto n = static_cast<std::size_t>(a.size());
   VIADUCT_REQUIRE(b.size() == n && x.size() == n);
+
+  // Injection sites mimic the two real CG failure modes exactly, so the
+  // recovery ladders downstream cannot tell injected from organic faults.
+  if (fault::shouldInject("cg.nan_residual")) {
+    throw NumericalError("CG residual is not finite (injected fault)");
+  }
+  if (fault::shouldInject("cg.nonconverge")) {
+    CgResult stalled;
+    stalled.iterations = options.maxIterations;
+    stalled.converged = false;
+    stalled.relativeResidual = 1.0;
+    recordCgTelemetry(stalled);
+    if (options.throwOnStall) {
+      throw NumericalError("CG failed to converge in " +
+                           std::to_string(options.maxIterations) +
+                           " iterations (injected fault)");
+    }
+    return stalled;
+  }
 
   // With a pool, every reduction goes through the fixed-chunk kernels so
   // the iterate sequence is bit-identical for any pool size; without one,
@@ -88,6 +108,10 @@ CgResult conjugateGradient(const LinearOperator& a, std::span<const double> b,
     vaxpy(alpha, p, x);
     vaxpy(-alpha, ap, r);
     rnorm = vnorm(r);
+    if (!std::isfinite(rnorm)) {
+      throw NumericalError("CG residual is not finite at iteration " +
+                           std::to_string(it));
+    }
     result.iterations = it;
     if (rnorm <= target) {
       result.converged = true;

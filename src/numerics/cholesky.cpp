@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -96,6 +97,12 @@ void SparseCholesky::symbolicAnalysis(const CsrMatrix& permuted) {
 }
 
 void SparseCholesky::numericFactor(const CsrMatrix& permuted) {
+  // Covers both the constructor and refactor() paths; mimics the organic
+  // failure mode (loss of positive definiteness) below.
+  if (fault::shouldInject("cholesky.factor")) {
+    throw NumericalError(
+        "SparseCholesky: matrix is not positive definite (injected fault)");
+  }
   // Refresh numeric values of the stored lower-triangle rows when called
   // from refactor() (structure must match).
   {

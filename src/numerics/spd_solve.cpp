@@ -1,0 +1,64 @@
+#include "numerics/spd_solve.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "numerics/cholesky.h"
+#include "numerics/preconditioner.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+
+std::vector<double> solveSpdWithPolicy(const CsrMatrix& a,
+                                       std::span<const double> b,
+                                       const CgOptions& options,
+                                       const fault::FailurePolicy& policy,
+                                       SpdSolveReport* report) {
+  VIADUCT_REQUIRE(a.rows() == a.cols());
+  SpdSolveReport local;
+  SpdSolveReport& rep = report ? *report : local;
+  rep = SpdSolveReport{};
+
+  const JacobiPreconditioner m(a);
+  std::vector<double> x(b.size(), 0.0);
+
+  CgOptions opts = options;
+  opts.throwOnStall = false;  // the ladder owns failure handling
+  const int attempts = policy.enabled ? 1 + std::max(0, policy.cgRetries) : 1;
+
+  for (int attempt = 0; attempt < attempts; ++attempt) {
+    if (attempt > 0) {
+      VIADUCT_COUNTER_ADD("fault.policy.cg_retries", 1);
+      opts.relativeTolerance *= policy.retryToleranceTighten;
+      opts.maxIterations = static_cast<int>(
+          static_cast<double>(opts.maxIterations) *
+          policy.retryIterationGrowth);
+    }
+    std::fill(x.begin(), x.end(), 0.0);
+    ++rep.cgAttempts;
+    try {
+      rep.lastCg = conjugateGradient(a, b, x, m, opts);
+    } catch (const NumericalError&) {
+      // NaN residual or indefiniteness mid-solve: the iterate is poisoned.
+      rep.lastCg = CgResult{};
+      if (!policy.enabled) throw;
+      continue;
+    }
+    if (rep.lastCg.converged) return x;
+  }
+
+  if (policy.enabled && policy.fallbackCgToCholesky) {
+    VIADUCT_COUNTER_ADD("fault.policy.cg_fallbacks", 1);
+    VIADUCT_WARN << "CG exhausted " << rep.cgAttempts
+                 << " attempt(s); falling back to direct Cholesky solve";
+    rep.usedCholeskyFallback = true;
+    return SparseCholesky(a).solve(b);
+  }
+  throw NumericalError("SPD solve failed: CG did not converge in " +
+                       std::to_string(rep.cgAttempts) +
+                       " attempt(s) and the Cholesky fallback is disabled");
+}
+
+}  // namespace viaduct

@@ -1,0 +1,43 @@
+// Policy-governed SPD solve: preconditioned CG with a retry ladder and a
+// direct (Cholesky) fallback, replacing warn-and-continue at the call sites
+// that previously accepted a stalled iterate.
+//
+// The ladder under `FailurePolicy`:
+//   1. CG with the caller's options (stall returns instead of throwing).
+//   2. Up to `cgRetries` further CG attempts, each with the tolerance
+//      tightened by `retryToleranceTighten` and the iteration cap grown by
+//      `retryIterationGrowth`, restarting from a zero guess (a NaN-poisoned
+//      iterate must not warm-start the retry).
+//   3. If still unconverged and `fallbackCgToCholesky` is set, a sparse
+//      Cholesky factorization solves the system exactly.
+// With the policy disabled (or every rung exhausted) the original failure
+// propagates as NumericalError.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "fault/policy.h"
+#include "numerics/cg.h"
+#include "numerics/sparse.h"
+
+namespace viaduct {
+
+/// What the ladder actually did, for tests and telemetry.
+struct SpdSolveReport {
+  /// CG attempts made (first try plus retries), whether or not they converged.
+  int cgAttempts = 0;
+  bool usedCholeskyFallback = false;
+  /// Result of the last CG attempt (zero-initialized if CG threw).
+  CgResult lastCg;
+};
+
+/// Solves a x = b through the policy ladder above. Returns the solution
+/// vector; throws NumericalError only when every permitted rung failed.
+std::vector<double> solveSpdWithPolicy(const CsrMatrix& a,
+                                       std::span<const double> b,
+                                       const CgOptions& options,
+                                       const fault::FailurePolicy& policy,
+                                       SpdSolveReport* report = nullptr);
+
+}  // namespace viaduct

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -46,20 +47,40 @@ void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
   if (j >= 0 && i > j) std::swap(i, j);
   VIADUCT_REQUIRE(i >= 0 && i < g_.rows() && j < g_.rows());
 
+  // g_ tracks the true updated matrix from here on, so a full
+  // re-factorization is always a valid recovery for anything below.
   applyDeltaToMatrix(i, j, deltaG);
 
-  const auto key = std::make_pair(i, j);
-  if (const auto it = branchIndex_.find(key); it != branchIndex_.end()) {
-    branches_[it->second].deltaG += deltaG;
-    // A delta that cancels back to (near) zero keeps its column; harmless.
-  } else {
-    Branch b;
-    b.i = i;
-    b.j = j;
-    b.deltaG = deltaG;
-    b.z = incidenceSolve(i, j);
-    branchIndex_.emplace(key, branches_.size());
-    branches_.push_back(std::move(b));
+  try {
+    if (fault::shouldInject("woodbury.update")) {
+      throw NumericalError("Woodbury update rejected (injected fault)");
+    }
+    const auto key = std::make_pair(i, j);
+    if (const auto it = branchIndex_.find(key); it != branchIndex_.end()) {
+      branches_[it->second].deltaG += deltaG;
+      // A delta that cancels back to (near) zero keeps its column; harmless.
+    } else {
+      Branch b;
+      b.i = i;
+      b.j = j;
+      b.deltaG = deltaG;
+      b.z = incidenceSolve(i, j);
+      branchIndex_.emplace(key, branches_.size());
+      branches_.push_back(std::move(b));
+    }
+  } catch (const NumericalError&) {
+    if (!options_.policy.enabled || !options_.policy.refactorOnWoodburyFailure)
+      throw;
+    // Fold every accumulated delta (including this one) into the base.
+    // Not rebase(): that early-returns when the update set is empty, and
+    // the rejected delta must reach the factorization either way.
+    VIADUCT_COUNTER_ADD("fault.policy.woodbury_refactors", 1);
+    VIADUCT_COUNTER_ADD("woodbury.rebases", 1);
+    factor_->refactor(g_);
+    branchIndex_.clear();
+    branches_.clear();
+    ++rebases_;
+    return;
   }
 
   if (static_cast<int>(branches_.size()) > options_.rebaseThreshold) rebase();
@@ -76,6 +97,9 @@ void WoodburySolver::rebase() {
 }
 
 std::vector<double> WoodburySolver::solve(std::span<const double> b) const {
+  if (fault::shouldInject("woodbury.solve")) {
+    throw NumericalError("Woodbury solve failed (injected fault)");
+  }
   VIADUCT_COUNTER_ADD("woodbury.solves", 1);
   VIADUCT_HISTOGRAM_OBSERVE("woodbury.pending_updates", branches_.size(),
                             obs::Buckets::linear(0, 8, 16));

@@ -20,6 +20,7 @@
 #include <span>
 #include <vector>
 
+#include "fault/policy.h"
 #include "numerics/cholesky.h"
 #include "numerics/dense.h"
 #include "numerics/sparse.h"
@@ -34,6 +35,11 @@ class WoodburySolver {
     int rebaseThreshold = 48;
     SparseCholesky::OrderingChoice ordering =
         SparseCholesky::OrderingChoice::kRcm;
+    /// Recovery behavior when an incremental update is rejected: with
+    /// `refactorOnWoodburyFailure` the delta (already applied to the
+    /// tracked matrix) is folded into a fresh base factorization instead
+    /// of propagating the failure.
+    fault::FailurePolicy policy;
   };
 
   /// `g0` must be SPD. A copy is kept for rebase operations.

@@ -8,6 +8,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -109,6 +110,13 @@ std::optional<CharacterizationData> CharacterizationStore::load(
     data.traces.push_back(std::move(trace));
   }
   if (data.traces.empty()) return std::nullopt;
+  // Models silent on-disk corruption that survives parsing: the entry loads
+  // but the rehydration-time shape validation in ViaArrayCharacterization
+  // rejects it (truncated final trace).
+  if (fault::shouldInject("char_cache.load")) {
+    data.traces.back().failureTimes.pop_back();
+    data.traces.back().resistanceAfter.pop_back();
+  }
   return data;
 }
 

@@ -8,6 +8,7 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "em/korhonen.h"
+#include "fault/fault.h"
 #include "fea/thermo_solver.h"
 #include "obs/obs.h"
 #include "structures/probes.h"
@@ -74,8 +75,10 @@ std::string ViaArrayCharacterizationSpec::cacheKey() const {
      << stack.metalUpper
      // RNG scheme tag: trial t draws from the counter-based stream
      // Rng(seed, t). Bumping this invalidates caches written under the
-     // old sequential shared-stream scheme. `parallelism` is excluded:
-     // results are bit-identical for every thread count.
+     // old sequential shared-stream scheme. `parallelism` and `policy`
+     // are excluded: results are bit-identical for every thread count,
+     // and the policy governs recovery, never the physics (runs with
+     // discarded/salvaged trials are never persisted).
      << ";rng=ctr1";
   return os.str();
 }
@@ -113,9 +116,13 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
   ThreadPool pool(spec_.parallelism);
   ThermoSolverOptions feaOpts;
   feaOpts.pool = &pool;
+  feaOpts.policy = spec_.policy;
   ThermoSolver solver(built_.grid, feaOpts);
   const CgResult res = solver.solve();
-  VIADUCT_CHECK_MSG(res.converged, "FEA solve did not converge");
+  if (!res.converged) {
+    throw NumericalError(
+        "FEA thermo-stress solve did not converge after policy retries");
+  }
   rawSigmaT_ = perViaPeakStress(solver, built_);
   sigmaT_.reserve(rawSigmaT_.size());
   for (double s : rawSigmaT_)
@@ -162,20 +169,20 @@ CharacterizationData ViaArrayCharacterizer::exportData() {
   return CharacterizationData{.rawSigmaT = rawSigmaT_, .traces = traces()};
 }
 
-FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
+void ViaArrayCharacterizer::simulateTrial(Rng& rng,
+                                          FailureTrace& trace) const {
   VIADUCT_SPAN("viaarray.mc_trial");
   VIADUCT_COUNTER_ADD("viaarray.trials", 1);
+  trace.failureTimes.clear();
+  trace.resistanceAfter.clear();
   const int count = spec_.array.viaCount();
   const double viaArea =
       spec_.array.effectiveArea / static_cast<double>(count);
 
-  ViaArrayNetworkConfig netCfg = spec_.network;
-  netCfg.n = spec_.array.n;
-  netCfg.totalCurrentAmps = spec_.totalCurrent();
-  ViaArrayNetwork network(netCfg);
-
   // Per-via nucleation budget at unit current density: K_i such that the
-  // nucleation time at density j is K_i / j² (Eq. 3 scaling).
+  // nucleation time at density j is K_i / j² (Eq. 3 scaling). Drawn before
+  // the first network solve so the per-trial RNG stream is fully consumed
+  // even when that solve fails (budget draws stay aligned across trials).
   std::vector<double> budget(static_cast<std::size_t>(count));
   for (int i = 0; i < count; ++i) {
     budget[static_cast<std::size_t>(i)] =
@@ -183,10 +190,14 @@ FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
                   /*currentDensity=*/1.0, spec_.em);
   }
 
+  ViaArrayNetworkConfig netCfg = spec_.network;
+  netCfg.n = spec_.array.n;
+  netCfg.totalCurrentAmps = spec_.totalCurrent();
+  ViaArrayNetwork network(netCfg);
+
   std::vector<double> damage(static_cast<std::size_t>(count), 0.0);
   std::vector<double> currents = network.viaCurrents();
 
-  FailureTrace trace;
   trace.failureTimes.reserve(static_cast<std::size_t>(count));
   trace.resistanceAfter.reserve(static_cast<std::size_t>(count));
 
@@ -237,20 +248,59 @@ FailureTrace ViaArrayCharacterizer::simulateTrial(Rng& rng) const {
       trace.resistanceAfter.push_back(std::numeric_limits<double>::infinity());
     }
   }
-  return trace;
 }
 
 const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
   if (!tracesReady_) {
     traces_.assign(static_cast<std::size_t>(spec_.trials), FailureTrace{});
+    enum class TrialStatus : unsigned char { kKept, kDiscarded, kSalvaged };
+    std::vector<TrialStatus> status(static_cast<std::size_t>(spec_.trials),
+                                    TrialStatus::kKept);
     ThreadPool pool(spec_.parallelism);
     // Each trial draws from its own counter-based stream Rng(seed, t), so
     // the trial→sample mapping never depends on scheduling and the traces
-    // are bit-identical for any thread count.
+    // are bit-identical for any thread count. The fault ScopedStream pins
+    // armed injection sites to the same per-trial stream, making the
+    // discard/salvage pattern equally scheduling-independent.
     pool.parallelFor(0, spec_.trials, 1, [&](std::int64_t trial) {
+      const fault::ScopedStream scope(static_cast<std::uint64_t>(trial));
       Rng rng(spec_.seed, static_cast<std::uint64_t>(trial));
-      traces_[static_cast<std::size_t>(trial)] = simulateTrial(rng);
+      const auto idx = static_cast<std::size_t>(trial);
+      try {
+        simulateTrial(rng, traces_[idx]);
+      } catch (const NumericalError&) {
+        if (!spec_.policy.enabled ||
+            spec_.policy.trialPolicy ==
+                fault::FailurePolicy::TrialPolicy::kAbort) {
+          throw;
+        }
+        if (spec_.policy.trialPolicy ==
+            fault::FailurePolicy::TrialPolicy::kSalvage) {
+          // Keep the via failures recorded before the solve failed: a
+          // truncated but valid prefix of the trace.
+          status[idx] = TrialStatus::kSalvaged;
+        } else {
+          traces_[idx] = FailureTrace{};
+          status[idx] = TrialStatus::kDiscarded;
+        }
+      }
     });
+    for (const TrialStatus s : status) {
+      if (s == TrialStatus::kDiscarded) ++discardedTrials_;
+      if (s == TrialStatus::kSalvaged) ++salvagedTrials_;
+    }
+    if (discardedTrials_ > 0) {
+      VIADUCT_COUNTER_ADD("viaarray.trials_discarded", discardedTrials_);
+    }
+    if (salvagedTrials_ > 0) {
+      VIADUCT_COUNTER_ADD("viaarray.trials_salvaged", salvagedTrials_);
+    }
+    if (discardedTrials_ > 0 || salvagedTrials_ > 0) {
+      VIADUCT_INFO << "via-array MC: "
+                   << spec_.trials - discardedTrials_ - salvagedTrials_ << "/"
+                   << spec_.trials << " trials clean (" << discardedTrials_
+                   << " discarded, " << salvagedTrials_ << " salvaged)";
+    }
     tracesReady_ = true;
   }
   return traces_;
@@ -263,32 +313,56 @@ std::vector<double> ViaArrayCharacterizer::ttfSamples(
   std::vector<double> samples;
   samples.reserve(all.size());
   for (const auto& trace : all) {
+    // Discarded trials leave empty traces; salvaged ones leave a truncated
+    // prefix usable only when the criterion fired within it.
+    if (trace.failureTimes.empty()) continue;
+    const bool complete =
+        trace.failureTimes.size() == static_cast<std::size_t>(count);
     double ttf = 0.0;
+    bool observed = true;
     switch (criterion.kind) {
       case ViaArrayFailureCriterion::Kind::kViaCount: {
         VIADUCT_REQUIRE_MSG(criterion.viaCount >= 1 &&
                                 criterion.viaCount <= count,
                             "criterion via count out of range");
-        ttf = trace.failureTimes[static_cast<std::size_t>(criterion.viaCount) -
-                                 1];
+        const auto k = static_cast<std::size_t>(criterion.viaCount);
+        if (trace.failureTimes.size() < k) {
+          observed = false;
+          break;
+        }
+        ttf = trace.failureTimes[k - 1];
         break;
       }
       case ViaArrayFailureCriterion::Kind::kResistanceRatio: {
         const double limit = criterion.ratio * nominalResistance_;
-        ttf = trace.failureTimes.back();  // fallback: open circuit
+        observed = false;
         for (std::size_t m = 0; m < trace.resistanceAfter.size(); ++m) {
           if (trace.resistanceAfter[m] >= limit) {
             ttf = trace.failureTimes[m];
+            observed = true;
             break;
           }
+        }
+        if (!observed && complete) {
+          ttf = trace.failureTimes.back();  // fallback: open circuit
+          observed = true;
         }
         break;
       }
       case ViaArrayFailureCriterion::Kind::kOpen:
+        if (!complete) {
+          observed = false;
+          break;
+        }
         ttf = trace.failureTimes.back();
         break;
     }
-    samples.push_back(ttf);
+    if (observed) samples.push_back(ttf);
+  }
+  if (samples.empty()) {
+    throw NumericalError("no usable TTF samples under criterion " +
+                         criterion.describe() +
+                         " (every trial discarded or censored early)");
   }
   return samples;
 }
@@ -331,15 +405,39 @@ std::shared_ptr<ViaArrayCharacterizer> ViaArrayLibrary::get(
   if (store_) {
     if (const auto data = store_->load(key)) {
       VIADUCT_COUNTER_ADD("char_cache.store_hit", 1);
-      auto rehydrated = std::make_shared<ViaArrayCharacterizer>(spec, *data);
-      cache_.emplace(key, rehydrated);
-      return rehydrated;
+      try {
+        auto rehydrated = std::make_shared<ViaArrayCharacterizer>(spec, *data);
+        cache_.emplace(key, rehydrated);
+        return rehydrated;
+      } catch (const PreconditionError& e) {
+        // The entry parsed but its shape contradicts the spec: silent
+        // corruption. Recompute-and-rewrite (below) under the policy;
+        // otherwise surface the corruption to the caller.
+        VIADUCT_COUNTER_ADD("char_cache.corrupt_entries", 1);
+        if (!spec.policy.enabled || !spec.policy.recomputeOnCacheCorruption) {
+          throw;
+        }
+        VIADUCT_WARN << "characterization cache entry is corrupt (" << e.what()
+                     << "); recomputing and rewriting";
+      }
     }
   }
 
   VIADUCT_COUNTER_ADD("char_cache.miss", 1);
   auto created = std::make_shared<ViaArrayCharacterizer>(spec);
-  if (store_) store_->save(key, created->exportData());
+  if (store_) {
+    created->traces();  // force the MC so the policy accounting is known
+    if (created->discardedTrials() == 0 && created->salvagedTrials() == 0) {
+      store_->save(key, created->exportData());
+    } else {
+      // Never persist a run with policy-altered traces: the cache key has
+      // no policy component, so a later policy-free run must not rehydrate
+      // censored data.
+      VIADUCT_INFO << "characterization not persisted: "
+                   << created->discardedTrials() << " discarded / "
+                   << created->salvagedTrials() << " salvaged trial(s)";
+    }
+  }
   cache_.emplace(key, created);
   return created;
 }

@@ -26,6 +26,7 @@
 #include "common/statistics.h"
 #include "common/thread_pool.h"
 #include "em/em_params.h"
+#include "fault/policy.h"
 #include "structures/cudd_builder.h"
 #include "viaarray/network.h"
 
@@ -82,6 +83,12 @@ struct ViaArrayCharacterizationSpec {
   /// cacheKey().
   Parallelism parallelism;
 
+  /// Failure policy: FEA retry ladder, per-trial salvage/discard semantics
+  /// in the failure Monte Carlo, and cache-corruption recovery in
+  /// ViaArrayLibrary. Like `parallelism`, deliberately NOT part of
+  /// cacheKey() — the policy only governs recovery, never the physics.
+  fault::FailurePolicy policy;
+
   /// Total array current [A] implied by the density and effective area.
   double totalCurrent() const;
 
@@ -123,10 +130,18 @@ class ViaArrayCharacterizer {
 
   const BuiltStructure& structure() const { return built_; }
 
-  /// Runs (or returns memoized) Monte Carlo traces.
+  /// Runs (or returns memoized) Monte Carlo traces. A trial whose network
+  /// solve fails past the policy is left as an empty trace (kDiscard) or a
+  /// partial one (kSalvage); see the accounting accessors below.
   const std::vector<FailureTrace>& traces();
 
-  /// TTF samples [s] under a criterion (one per trial).
+  /// Failure-policy accounting over the Monte Carlo (0 until traces() ran).
+  int discardedTrials() const { return discardedTrials_; }
+  int salvagedTrials() const { return salvagedTrials_; }
+
+  /// TTF samples [s] under a criterion — one per trial that observed the
+  /// criterion (discarded trials and salvaged trials that ended before the
+  /// criterion are excluded).
   std::vector<double> ttfSamples(const ViaArrayFailureCriterion& criterion);
 
   /// Empirical CDF of the TTF under a criterion.
@@ -140,7 +155,10 @@ class ViaArrayCharacterizer {
   double nominalResistance() const { return nominalResistance_; }
 
  private:
-  FailureTrace simulateTrial(Rng& rng) const;
+  /// Fills `trace` progressively (cleared first), so a trial aborted by a
+  /// solver failure leaves every via failure recorded so far behind for
+  /// salvage accounting.
+  void simulateTrial(Rng& rng, FailureTrace& trace) const;
 
   ViaArrayCharacterizationSpec spec_;
   BuiltStructure built_;
@@ -149,6 +167,8 @@ class ViaArrayCharacterizer {
   std::vector<double> sigmaT_;
   std::vector<FailureTrace> traces_;
   bool tracesReady_ = false;
+  int discardedTrials_ = 0;
+  int salvagedTrials_ = 0;
 };
 
 /// Memoizing library of characterizers keyed by spec.cacheKey(). This is

@@ -3,6 +3,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fault/fault.h"
 
 namespace viaduct {
 
@@ -55,6 +56,11 @@ double ViaArrayNetwork::idealResistanceIncrease(int totalVias,
 void ViaArrayNetwork::solveNetwork(std::vector<double>& v) const {
   if (aliveCount_ == 0)
     throw NumericalError("via array fully failed: no conducting path");
+  // Mimics the organic all-vias-failed singularity so level-1 trial
+  // salvage/discard handling sees the same exception type either way.
+  if (fault::shouldInject("network.resolve")) {
+    throw NumericalError("via array network solve failed (injected fault)");
+  }
   const int n = config_.n;
   const int plate = n * n;
   const int feed = 2 * plate;

@@ -1,0 +1,248 @@
+// Registry-level tests of viaduct::fault: arming, trigger semantics, the
+// determinism contract (per-stream decision sequences, stateless indexed
+// decisions), spec parsing, and bit-identical grid-MC injection schedules
+// across thread counts.
+#include "fault/fault.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+#include "common/units.h"
+#include "grid/grid_mc.h"
+#include "spice/generator.h"
+
+namespace viaduct {
+namespace {
+
+class FaultInjectTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::Registry::instance().disarmAll();
+    fault::Registry::instance().setSeed(0);
+  }
+};
+
+TEST_F(FaultInjectTest, ArmDisarmLifecycle) {
+  auto& reg = fault::Registry::instance();
+  EXPECT_FALSE(reg.anyArmed());
+  EXPECT_FALSE(fault::shouldInject("test.site"));
+
+  reg.arm("test.site", {.probability = 1.0});
+  EXPECT_TRUE(reg.anyArmed());
+  EXPECT_TRUE(fault::shouldInject("test.site"));
+  EXPECT_FALSE(fault::shouldInject("test.other"));
+  EXPECT_GE(reg.fireCount("test.site"), 1u);
+
+  reg.disarm("test.site");
+  EXPECT_FALSE(reg.anyArmed());
+  EXPECT_FALSE(fault::shouldInject("test.site"));
+  // Fire counts survive disarming (they are lifetime telemetry).
+  EXPECT_GE(reg.fireCount("test.site"), 1u);
+  EXPECT_FALSE(reg.summary().empty());
+}
+
+TEST_F(FaultInjectTest, RejectsInvalidTriggers) {
+  auto& reg = fault::Registry::instance();
+  EXPECT_THROW(reg.arm("", {.probability = 0.5}), PreconditionError);
+  EXPECT_THROW(reg.arm("s", {.probability = -0.1}), PreconditionError);
+  EXPECT_THROW(reg.arm("s", {.probability = 1.5}), PreconditionError);
+  EXPECT_THROW(reg.arm("s", {.probability = 0.0, .nth = -1}),
+               PreconditionError);
+  // A trigger with neither p nor nth set would never fire: rejected.
+  EXPECT_THROW(reg.arm("s", {}), PreconditionError);
+}
+
+TEST_F(FaultInjectTest, FiresOnExactlyTheNthCallPerScope) {
+  auto& reg = fault::Registry::instance();
+  reg.arm("test.nth", {.nth = 3});
+  {
+    const fault::ScopedStream scope(1);
+    EXPECT_FALSE(fault::shouldInject("test.nth"));
+    EXPECT_FALSE(fault::shouldInject("test.nth"));
+    EXPECT_TRUE(fault::shouldInject("test.nth"));
+    EXPECT_FALSE(fault::shouldInject("test.nth"));
+  }
+  // A fresh scope restarts the call counter — even for the same stream.
+  {
+    const fault::ScopedStream scope(1);
+    EXPECT_FALSE(fault::shouldInject("test.nth"));
+    EXPECT_FALSE(fault::shouldInject("test.nth"));
+    EXPECT_TRUE(fault::shouldInject("test.nth"));
+  }
+  EXPECT_EQ(reg.fireCount("test.nth"), 2u);
+}
+
+TEST_F(FaultInjectTest, ProbabilityDecisionsAreAFunctionOfTheStream) {
+  auto& reg = fault::Registry::instance();
+  reg.setSeed(42);
+  reg.arm("test.prob", {.probability = 0.5});
+
+  const auto decisions = [](std::uint64_t stream) {
+    std::vector<bool> out;
+    const fault::ScopedStream scope(stream);
+    for (int i = 0; i < 64; ++i)
+      out.push_back(fault::shouldInject("test.prob"));
+    return out;
+  };
+
+  const auto a = decisions(7);
+  const auto b = decisions(7);
+  EXPECT_EQ(a, b);  // same stream → identical schedule, always
+
+  // Sanity: at p=0.5 over 64 draws both outcomes occur.
+  int fires = 0;
+  for (const bool d : a) fires += d ? 1 : 0;
+  EXPECT_GT(fires, 0);
+  EXPECT_LT(fires, 64);
+
+  // Changing the registry seed changes the schedule (new epoch resets the
+  // per-thread state even within the same scope layout).
+  reg.setSeed(43);
+  EXPECT_NE(decisions(7), a);
+}
+
+TEST_F(FaultInjectTest, CurrentStreamTracksScopes) {
+  EXPECT_EQ(fault::currentStream(), 0u);
+  {
+    const fault::ScopedStream outer(5);
+    EXPECT_EQ(fault::currentStream(), 5u);
+    {
+      const fault::ScopedStream inner(9);
+      EXPECT_EQ(fault::currentStream(), 9u);
+    }
+    EXPECT_EQ(fault::currentStream(), 5u);
+  }
+  EXPECT_EQ(fault::currentStream(), 0u);
+}
+
+TEST_F(FaultInjectTest, IndexedDecisionsAreStateless) {
+  auto& reg = fault::Registry::instance();
+  reg.arm("test.at", {.nth = 5});
+  for (int rep = 0; rep < 2; ++rep) {
+    EXPECT_FALSE(fault::shouldInjectAt("test.at", 0));
+    EXPECT_FALSE(fault::shouldInjectAt("test.at", 3));
+    EXPECT_TRUE(fault::shouldInjectAt("test.at", 4));  // index 4 == 5th item
+    EXPECT_FALSE(fault::shouldInjectAt("test.at", 5));
+  }
+
+  reg.arm("test.at", {.probability = 0.5});
+  int fires = 0;
+  for (std::uint64_t i = 0; i < 1000; ++i) {
+    const bool d = fault::shouldInjectAt("test.at", i);
+    EXPECT_EQ(d, fault::shouldInjectAt("test.at", i));  // pure in the index
+    fires += d ? 1 : 0;
+  }
+  EXPECT_GT(fires, 350);
+  EXPECT_LT(fires, 650);
+}
+
+TEST_F(FaultInjectTest, ConfigureParsesSpecGrammar) {
+  auto& reg = fault::Registry::instance();
+  reg.configure("seed=42;cg.nonconverge:p=0.05;cholesky.factor:nth=3");
+  EXPECT_EQ(reg.seed(), 42u);
+
+  bool sawCg = false, sawChol = false;
+  for (const auto& s : reg.sites()) {
+    if (s.site == "cg.nonconverge") {
+      sawCg = true;
+      EXPECT_TRUE(s.armed);
+      EXPECT_DOUBLE_EQ(s.trigger.probability, 0.05);
+    } else if (s.site == "cholesky.factor") {
+      sawChol = true;
+      EXPECT_TRUE(s.armed);
+      EXPECT_EQ(s.trigger.nth, 3);
+    }
+  }
+  EXPECT_TRUE(sawCg);
+  EXPECT_TRUE(sawChol);
+
+  // Combined triggers on one site.
+  reg.configure("test.both:p=0.25,nth=2");
+  for (const auto& s : reg.sites()) {
+    if (s.site != "test.both") continue;
+    EXPECT_DOUBLE_EQ(s.trigger.probability, 0.25);
+    EXPECT_EQ(s.trigger.nth, 2);
+  }
+}
+
+TEST_F(FaultInjectTest, ConfigureRejectsMalformedSpecs) {
+  auto& reg = fault::Registry::instance();
+  EXPECT_THROW(reg.configure("cg.nonconverge"), ParseError);
+  EXPECT_THROW(reg.configure("site:"), ParseError);
+  EXPECT_THROW(reg.configure(":p=0.5"), ParseError);
+  EXPECT_THROW(reg.configure("site:q=1"), ParseError);
+  EXPECT_THROW(reg.configure("seed=notanumber"), ParseError);
+  EXPECT_THROW(reg.configure("site:p=zzz"), ParseError);
+  EXPECT_THROW(reg.configure("site:p=2.0"), ParseError);  // arm() rejects
+}
+
+TEST_F(FaultInjectTest, PoolJobInjectionPropagatesFromBothPaths) {
+  auto& reg = fault::Registry::instance();
+  reg.arm("pool.job", {.nth = 1});
+  std::atomic<int> ran{0};
+  const auto body = [&](std::int64_t, std::int64_t) { ++ran; };
+  {
+    ThreadPool pool(1);  // inline serial path
+    EXPECT_THROW(pool.runChunks(0, 8, 2, body), fault::InjectedFault);
+  }
+  {
+    ThreadPool pool(2);  // worker path
+    EXPECT_THROW(pool.runChunks(0, 8, 2, body), fault::InjectedFault);
+  }
+  reg.disarm("pool.job");
+  ran = 0;
+  ThreadPool pool(2);
+  pool.runChunks(0, 8, 2, body);
+  EXPECT_EQ(ran.load(), 4);
+}
+
+TEST_F(FaultInjectTest, GridMcInjectionScheduleBitIdenticalAcrossThreads) {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.padCount = 4;
+  cfg.totalCurrentAmps = 1.0;
+  cfg.seed = 11;
+  Netlist n = generatePowerGrid(cfg);
+  tuneNominalIrDrop(n, 0.06);
+  const PowerGridModel model(n);
+
+  // Arm AFTER building the model: injection must hit only the MC trials.
+  auto& reg = fault::Registry::instance();
+  reg.setSeed(99);
+  reg.arm("cholesky.factor", {.probability = 0.25});
+  reg.arm("woodbury.update", {.probability = 0.10});
+
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.systemCriterion = GridFailureCriterion::irDrop(0.10);
+  opts.trials = 30;
+  opts.seed = 5;
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kDiscard;
+  // Recovery off: every injected factorization failure discards its trial,
+  // so the schedule is visible in the accounting.
+  opts.policy.refactorOnWoodburyFailure = false;
+
+  opts.parallelism.threads = 1;
+  const auto serial = runGridMonteCarlo(model, opts);
+  EXPECT_GT(serial.discardedTrials, 0);
+  EXPECT_LT(serial.discardedTrials, opts.trials);
+  EXPECT_EQ(static_cast<int>(serial.ttfSamples.size()) +
+                serial.discardedTrials + serial.salvagedTrials,
+            opts.trials);
+
+  opts.parallelism.threads = 4;
+  const auto parallel = runGridMonteCarlo(model, opts);
+  EXPECT_EQ(parallel.discardedTrials, serial.discardedTrials);
+  EXPECT_EQ(parallel.salvagedTrials, serial.salvagedTrials);
+  ASSERT_EQ(parallel.ttfSamples.size(), serial.ttfSamples.size());
+  for (std::size_t i = 0; i < serial.ttfSamples.size(); ++i)
+    EXPECT_EQ(parallel.ttfSamples[i], serial.ttfSamples[i]) << "sample " << i;
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,351 @@
+// Recovery-path tests: the FailurePolicy ladder (CG retry → Cholesky
+// fallback), Woodbury/session refactor recovery, characterization-cache
+// corruption recompute-and-rewrite, and per-trial discard/salvage/abort
+// semantics in the grid Monte Carlo.
+#include "fault/policy.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <vector>
+
+#include "common/check.h"
+#include "common/units.h"
+#include "fault/fault.h"
+#include "grid/grid_mc.h"
+#include "numerics/cholesky.h"
+#include "numerics/spd_solve.h"
+#include "spice/generator.h"
+#include "viaarray/cache.h"
+
+namespace viaduct {
+namespace {
+
+class FaultPolicyTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::Registry::instance().disarmAll();
+    fault::Registry::instance().setSeed(0);
+  }
+};
+
+/// Small diagonally dominant SPD system (1D Laplacian chain + shift).
+CsrMatrix makeSpd(Index n) {
+  TripletMatrix t(n, n);
+  for (Index i = 0; i < n; ++i) {
+    t.add(i, i, 4.0 + 0.01 * static_cast<double>(i));
+    if (i + 1 < n) {
+      t.add(i, i + 1, -1.0);
+      t.add(i + 1, i, -1.0);
+    }
+  }
+  return CsrMatrix::fromTriplets(t);
+}
+
+std::vector<double> makeRhs(Index n) {
+  std::vector<double> b(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i)
+    b[static_cast<std::size_t>(i)] = 1.0 + 0.1 * static_cast<double>(i % 7);
+  return b;
+}
+
+TEST_F(FaultPolicyTest, CholeskyFallbackMatchesDirectSolve) {
+  const CsrMatrix a = makeSpd(60);
+  const auto b = makeRhs(60);
+
+  // Every CG attempt is forced to stall → the ladder must land on the
+  // direct solve and produce exactly what a standalone Cholesky produces.
+  fault::Registry::instance().arm("cg.nonconverge", {.probability = 1.0});
+  SpdSolveReport report;
+  const auto x =
+      solveSpdWithPolicy(a, b, CgOptions{}, fault::FailurePolicy{}, &report);
+
+  EXPECT_EQ(report.cgAttempts, 1 + fault::FailurePolicy{}.cgRetries);
+  EXPECT_TRUE(report.usedCholeskyFallback);
+  EXPECT_FALSE(report.lastCg.converged);
+
+  const auto direct = SparseCholesky(a).solve(b);
+  ASSERT_EQ(x.size(), direct.size());
+  for (std::size_t i = 0; i < x.size(); ++i)
+    EXPECT_DOUBLE_EQ(x[i], direct[i]) << "component " << i;
+}
+
+TEST_F(FaultPolicyTest, RetryRecoversWithoutFallback) {
+  const CsrMatrix a = makeSpd(60);
+  const auto b = makeRhs(60);
+
+  // Only the first attempt stalls; the tightened retry must converge and
+  // the direct fallback stays untouched.
+  fault::Registry::instance().arm("cg.nonconverge", {.nth = 1});
+  SpdSolveReport report;
+  const auto x =
+      solveSpdWithPolicy(a, b, CgOptions{}, fault::FailurePolicy{}, &report);
+
+  EXPECT_EQ(report.cgAttempts, 2);
+  EXPECT_FALSE(report.usedCholeskyFallback);
+  EXPECT_TRUE(report.lastCg.converged);
+  EXPECT_LT(a.residualNorm(x, b), 1e-8 * norm2(b));
+}
+
+TEST_F(FaultPolicyTest, NanResidualIsRetriedFromZeroGuess) {
+  const CsrMatrix a = makeSpd(60);
+  const auto b = makeRhs(60);
+
+  fault::Registry::instance().arm("cg.nan_residual", {.nth = 1});
+  SpdSolveReport report;
+  const auto x =
+      solveSpdWithPolicy(a, b, CgOptions{}, fault::FailurePolicy{}, &report);
+
+  EXPECT_EQ(report.cgAttempts, 2);
+  EXPECT_TRUE(report.lastCg.converged);
+  EXPECT_LT(a.residualNorm(x, b), 1e-8 * norm2(b));
+}
+
+TEST_F(FaultPolicyTest, DisabledPolicyPropagatesTheFailure) {
+  const CsrMatrix a = makeSpd(60);
+  const auto b = makeRhs(60);
+  fault::Registry::instance().arm("cg.nonconverge", {.probability = 1.0});
+  EXPECT_THROW(solveSpdWithPolicy(a, b, CgOptions{},
+                                  fault::FailurePolicy::disabled()),
+               NumericalError);
+
+  fault::Registry::instance().disarmAll();
+  fault::Registry::instance().arm("cg.nan_residual", {.probability = 1.0});
+  EXPECT_THROW(solveSpdWithPolicy(a, b, CgOptions{},
+                                  fault::FailurePolicy::disabled()),
+               NumericalError);
+}
+
+TEST_F(FaultPolicyTest, FallbackCanBeSwitchedOff) {
+  const CsrMatrix a = makeSpd(60);
+  const auto b = makeRhs(60);
+  fault::Registry::instance().arm("cg.nonconverge", {.probability = 1.0});
+  fault::FailurePolicy policy;
+  policy.fallbackCgToCholesky = false;
+  EXPECT_THROW(solveSpdWithPolicy(a, b, CgOptions{}, policy), NumericalError);
+}
+
+// ---------------------------------------------------------------------------
+// Characterization cache corruption → recompute-and-rewrite.
+
+ViaArrayCharacterizationSpec smallSpec() {
+  ViaArrayCharacterizationSpec spec;
+  spec.array.n = 2;
+  spec.resolutionXy = 0.5e-6;
+  spec.margin = 1.0e-6;
+  spec.trials = 20;
+  return spec;
+}
+
+TEST_F(FaultPolicyTest, CacheCorruptionRecomputesAndRewrites) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("viaduct_fault_policy_cache_" + std::to_string(::getpid()) + ".tbl"))
+          .string();
+  std::filesystem::remove(path);
+  const auto spec = smallSpec();
+  auto store = std::make_shared<CharacterizationStore>(path);
+
+  std::vector<double> samplesA;
+  {
+    ViaArrayLibrary lib(store);
+    samplesA =
+        lib.get(spec)->ttfSamples(ViaArrayFailureCriterion::openCircuit());
+    EXPECT_EQ(store->entryCount(), 1u);
+  }
+
+  // The next load returns a silently truncated payload; rehydration must
+  // reject it and the library must recompute and rewrite the entry.
+  auto& reg = fault::Registry::instance();
+  reg.arm("char_cache.load", {.nth = 1});
+  {
+    ViaArrayLibrary lib2(store);
+    const auto samplesB =
+        lib2.get(spec)->ttfSamples(ViaArrayFailureCriterion::openCircuit());
+    EXPECT_GE(reg.fireCount("char_cache.load"), 1u);
+    ASSERT_EQ(samplesB.size(), samplesA.size());
+    for (std::size_t i = 0; i < samplesA.size(); ++i)
+      EXPECT_DOUBLE_EQ(samplesB[i], samplesA[i]);
+    EXPECT_EQ(store->entryCount(), 1u);
+  }
+
+  // The rewritten entry must rehydrate cleanly once injection is off.
+  reg.disarmAll();
+  {
+    ViaArrayLibrary lib3(store);
+    const auto samplesC =
+        lib3.get(spec)->ttfSamples(ViaArrayFailureCriterion::openCircuit());
+    ASSERT_EQ(samplesC.size(), samplesA.size());
+    for (std::size_t i = 0; i < samplesA.size(); ++i)
+      EXPECT_DOUBLE_EQ(samplesC[i], samplesA[i]);
+  }
+  std::filesystem::remove(path);
+}
+
+TEST_F(FaultPolicyTest, CacheCorruptionWithRecoveryOffPropagates) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() /
+       ("viaduct_fault_policy_cache_off_" + std::to_string(::getpid()) +
+        ".tbl"))
+          .string();
+  std::filesystem::remove(path);
+  auto store = std::make_shared<CharacterizationStore>(path);
+  const auto spec = smallSpec();
+  {
+    ViaArrayLibrary lib(store);
+    lib.get(spec)->traces();
+  }
+
+  fault::Registry::instance().arm("char_cache.load", {.nth = 1});
+  auto noRecovery = spec;
+  noRecovery.policy.recomputeOnCacheCorruption = false;
+  ViaArrayLibrary lib2(store);
+  EXPECT_THROW(lib2.get(noRecovery), PreconditionError);
+  std::filesystem::remove(path);
+}
+
+// ---------------------------------------------------------------------------
+// Grid Monte Carlo trial semantics under injected solver failures.
+
+Netlist mcNetlist() {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.padCount = 4;
+  cfg.totalCurrentAmps = 1.0;
+  cfg.seed = 11;
+  Netlist n = generatePowerGrid(cfg);
+  tuneNominalIrDrop(n, 0.06);
+  return n;
+}
+
+const PowerGridModel& mcModel() {
+  static const PowerGridModel* model = new PowerGridModel(mcNetlist());
+  return *model;
+}
+
+GridMcOptions mcOptions() {
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.systemCriterion = GridFailureCriterion::irDrop(0.10);
+  opts.trials = 30;
+  opts.seed = 5;
+  return opts;
+}
+
+void armFactorFaults() {
+  auto& reg = fault::Registry::instance();
+  reg.setSeed(99);
+  reg.arm("cholesky.factor", {.probability = 0.25});
+}
+
+TEST_F(FaultPolicyTest, DiscardedTrialsExcludedFromStatistics) {
+  const auto& model = mcModel();
+  auto opts = mcOptions();
+  const auto baseline = runGridMonteCarlo(model, opts);
+
+  armFactorFaults();
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kDiscard;
+  const auto injected = runGridMonteCarlo(model, opts);
+
+  EXPECT_GT(injected.discardedTrials, 0);
+  EXPECT_EQ(injected.salvagedTrials, 0);
+  EXPECT_EQ(static_cast<int>(injected.ttfSamples.size()) +
+                injected.discardedTrials,
+            opts.trials);
+
+  // A kept trial is untouched by injection (its only factor query did not
+  // fire), so the surviving samples must be an ordered subsequence of the
+  // uninjected run's samples — discarded trials are EXCLUDED, not zeroed.
+  std::size_t bi = 0;
+  for (const double s : injected.ttfSamples) {
+    while (bi < baseline.ttfSamples.size() && baseline.ttfSamples[bi] != s)
+      ++bi;
+    ASSERT_LT(bi, baseline.ttfSamples.size())
+        << "injected sample " << s << " not found in baseline order";
+    ++bi;
+  }
+}
+
+TEST_F(FaultPolicyTest, SalvagedTrialsAreKeptAsCensoredSamples) {
+  const auto& model = mcModel();
+  auto opts = mcOptions();
+
+  armFactorFaults();
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kDiscard;
+  const auto discarded = runGridMonteCarlo(model, opts);
+
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kSalvage;
+  const auto salvaged = runGridMonteCarlo(model, opts);
+
+  // Identical injection schedule → the same trials are affected; salvage
+  // keeps them (censored) instead of dropping them.
+  EXPECT_EQ(salvaged.salvagedTrials, discarded.discardedTrials);
+  EXPECT_EQ(salvaged.discardedTrials, 0);
+  EXPECT_EQ(static_cast<int>(salvaged.ttfSamples.size()), opts.trials);
+  for (const double t : salvaged.ttfSamples) EXPECT_GE(t, 0.0);
+}
+
+TEST_F(FaultPolicyTest, AbortPolicyRethrows) {
+  const auto& model = mcModel();
+  auto opts = mcOptions();
+  fault::Registry::instance().arm("cholesky.factor", {.probability = 1.0});
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kAbort;
+  EXPECT_THROW(runGridMonteCarlo(model, opts), NumericalError);
+}
+
+TEST_F(FaultPolicyTest, AllTrialsDiscardedIsAnError) {
+  const auto& model = mcModel();
+  auto opts = mcOptions();
+  fault::Registry::instance().arm("cholesky.factor", {.probability = 1.0});
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kDiscard;
+  EXPECT_THROW(runGridMonteCarlo(model, opts), NumericalError);
+}
+
+TEST_F(FaultPolicyTest, WoodburyRefactorRecoveryCompletesEveryTrial) {
+  const auto& model = mcModel();
+  auto opts = mcOptions();
+  const auto baseline = runGridMonteCarlo(model, opts);
+
+  // Rejected incremental updates are folded into a fresh factorization, so
+  // with recovery on, NO trial fails — even under kAbort.
+  auto& reg = fault::Registry::instance();
+  reg.setSeed(99);
+  reg.arm("woodbury.update", {.probability = 0.5});
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kAbort;
+  const auto recovered = runGridMonteCarlo(model, opts);
+  EXPECT_GT(reg.fireCount("woodbury.update"), 0u);
+  EXPECT_EQ(recovered.discardedTrials, 0);
+  ASSERT_EQ(recovered.ttfSamples.size(), baseline.ttfSamples.size());
+  // The refactored solve is a different (equally exact) algorithm, so
+  // samples agree to solver precision rather than bitwise.
+  for (std::size_t i = 0; i < baseline.ttfSamples.size(); ++i)
+    EXPECT_NEAR(recovered.ttfSamples[i], baseline.ttfSamples[i],
+                1e-6 * baseline.ttfSamples[i]);
+}
+
+TEST_F(FaultPolicyTest, SessionRebaseRecoversFailedResolve) {
+  const auto& model = mcModel();
+  auto opts = mcOptions();
+
+  // Call 1 of woodbury.solve per trial is the healthy solve; call 2 (the
+  // first post-failure re-solve) fires, the session rebases and re-solves.
+  auto& reg = fault::Registry::instance();
+  reg.arm("woodbury.solve", {.nth = 2});
+  opts.policy.trialPolicy = fault::FailurePolicy::TrialPolicy::kDiscard;
+  const auto recovered = runGridMonteCarlo(model, opts);
+  EXPECT_EQ(recovered.discardedTrials, 0);
+  EXPECT_EQ(static_cast<int>(recovered.ttfSamples.size()), opts.trials);
+
+  // The same schedule without the rebase path discards every trial. The
+  // session reads the recovery switch from the MODEL's config (the analyzer
+  // keeps the two in sync), so the no-recovery model is built explicitly.
+  PowerGridConfig noRecoverConfig;
+  noRecoverConfig.policy.refactorOnWoodburyFailure = false;
+  const PowerGridModel noRecover(mcNetlist(), noRecoverConfig);
+  EXPECT_THROW(runGridMonteCarlo(noRecover, opts), NumericalError);
+}
+
+}  // namespace
+}  // namespace viaduct

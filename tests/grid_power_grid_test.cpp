@@ -5,6 +5,7 @@
 #include <cmath>
 
 #include "common/check.h"
+#include "fault/fault.h"
 #include "spice/generator.h"
 #include "spice/parser.h"
 
@@ -159,6 +160,30 @@ TEST(Session, MassiveOpeningDrivesIrTowardInfinity) {
   for (int m = 0; m < 64; ++m) session.openArray(m);
   const auto sol = session.solve();
   EXPECT_GT(sol.worstIrDropFraction, 10.0);
+}
+
+TEST(PowerGridModel, FailedSolveHasNoStaleVoltages) {
+  // Regression: a failed DC solve used to hand back the last iterate's
+  // voltages with only a warning; callers ignoring solverOk read stale
+  // (or garbage) values. The failure state is now explicit — voltages are
+  // cleared and nodeVoltage() refuses failed solutions.
+  const Netlist n = smallGrid();
+  const PowerGridModel model(n);
+  fault::Registry::instance().arm("woodbury.solve", {.nth = 1});
+  const auto sol = model.solveNominal();
+  fault::Registry::instance().disarmAll();
+
+  EXPECT_FALSE(sol.solverOk);
+  EXPECT_FALSE(sol.solverError.empty());
+  EXPECT_TRUE(sol.voltages.empty());
+  const Index inner = n.findNode("n1_3_3").value();
+  EXPECT_THROW(model.nodeVoltage(inner, sol), PreconditionError);
+
+  // With the fault cleared the same model solves cleanly again.
+  const auto healthy = model.solveNominal();
+  EXPECT_TRUE(healthy.solverOk);
+  EXPECT_FALSE(healthy.voltages.empty());
+  EXPECT_GT(model.nodeVoltage(inner, healthy), 0.0);
 }
 
 TEST(ScaleLoads, ScalesAllSources) {

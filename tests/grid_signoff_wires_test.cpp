@@ -2,7 +2,6 @@
 
 #include "common/check.h"
 #include "grid/signoff.h"
-#include "grid/wire_mortality.h"
 #include "spice/generator.h"
 
 namespace viaduct {
@@ -60,58 +59,7 @@ TEST(Signoff, RejectsBadConfig) {
   EXPECT_THROW(signoffViaArrays(model, cfg), PreconditionError);
 }
 
-TEST(WireMortality, CensusCountsAllWireSegments) {
-  const Netlist n = grid();
-  const auto census = classifyWires(n, WireGeometry{}, 100e6,
-                                    EmParameters{});
-  // 8x8 grid: 7*8 upper + 8*7 lower = 112 wire segments.
-  EXPECT_EQ(census.totalWires, 112);
-  EXPECT_GT(census.productLimit, 0.0);
-  EXPECT_GT(census.worstProduct, 0.0);
-}
-
-TEST(WireMortality, GeneratedGridsAreMostlyImmortalStressBlind) {
-  // The paper's assumption: grid wires are designed Blech-safe — under
-  // the traditional stress-blind margin (the full sigma_C, as a foundry
-  // characterization would derive it).
-  Netlist n = grid();
-  tuneNominalIrDrop(n, 0.06);
-  const auto census =
-      classifyWires(n, WireGeometry{}, 340e6, EmParameters{});
-  // This tiny 8x8 test grid concentrates pad current harder than the PG
-  // presets (which pass at < 2%); only the pad-adjacent straps flag.
-  EXPECT_LT(census.mortalFraction(), 0.10);
-}
-
-TEST(WireMortality, StressAwareMarginFlagsMoreWires) {
-  // Including sigma_T shrinks the margin and can only add mortal wires —
-  // the Blech-side expression of the paper's thesis.
-  Netlist n = grid();
-  tuneNominalIrDrop(n, 0.06);
-  const auto blind = classifyWires(n, WireGeometry{}, 340e6, EmParameters{});
-  const auto aware = classifyWires(n, WireGeometry{}, 120e6, EmParameters{});
-  EXPECT_GE(aware.mortalWires, blind.mortalWires);
-  EXPECT_LT(aware.productLimit, blind.productLimit);
-}
-
-TEST(WireMortality, OverloadedGridViolates) {
-  Netlist n = grid();
-  scaleLoads(n, 500.0);
-  const auto census =
-      classifyWires(n, WireGeometry{}, 100e6, EmParameters{});
-  EXPECT_GT(census.mortalFraction(), 0.1);
-}
-
-TEST(WireMortality, PrefixFilterIsRespected) {
-  const Netlist n = grid();
-  WireGeometry geo;
-  geo.wirePrefixes = {"Rh_"};  // upper layer only
-  const auto census = classifyWires(n, geo, 100e6, EmParameters{});
-  EXPECT_EQ(census.totalWires, 56);
-  geo.wirePrefixes = {"Zz_"};
-  EXPECT_THROW(classifyWires(n, geo, 100e6, EmParameters{}),
-               PreconditionError);
-}
+// Wire mortality (Blech census) tests live in grid_wire_mortality_test.cpp.
 
 TEST(NodeVoltage, PadAndGroundConventions) {
   const Netlist n = grid();

@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "grid/power_grid.h"
+#include "grid/wire_mortality.h"
+#include "spice/generator.h"
+
+namespace viaduct {
+namespace {
+
+Netlist grid(double amps = 1.0) {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.totalCurrentAmps = amps;
+  cfg.seed = 77;
+  return generatePowerGrid(cfg);
+}
+
+/// A three-node ladder whose "Rh_stub" wire dead-ends into an unloaded
+/// node and therefore carries exactly zero current at DC.
+Netlist ladderWithDeadEnd() {
+  Netlist n;
+  const Index pad = n.internNode("pad_0");
+  const Index mid = n.internNode("mid");
+  const Index stub = n.internNode("stub");
+  n.addVoltageSource("Vdd", pad, kGroundNode, 1.0);
+  n.addResistor("Rh_feed", pad, mid, 1.0);
+  n.addResistor("Rh_stub", mid, stub, 1.0);
+  n.addCurrentSource("Iload", mid, kGroundNode, 0.5);
+  return n;
+}
+
+TEST(WireMortality, CensusCountsAllWireSegments) {
+  const Netlist n = grid();
+  const auto census = classifyWires(n, WireGeometry{}, 100e6,
+                                    EmParameters{});
+  // 8x8 grid: 7*8 upper + 8*7 lower = 112 wire segments.
+  EXPECT_EQ(census.totalWires, 112);
+  EXPECT_GT(census.productLimit, 0.0);
+  EXPECT_GT(census.worstProduct, 0.0);
+}
+
+TEST(WireMortality, GeneratedGridsAreMostlyImmortalStressBlind) {
+  // The paper's assumption: grid wires are designed Blech-safe — under
+  // the traditional stress-blind margin (the full sigma_C, as a foundry
+  // characterization would derive it).
+  Netlist n = grid();
+  tuneNominalIrDrop(n, 0.06);
+  const auto census =
+      classifyWires(n, WireGeometry{}, 340e6, EmParameters{});
+  // This tiny 8x8 test grid concentrates pad current harder than the PG
+  // presets (which pass at < 2%); only the pad-adjacent straps flag.
+  EXPECT_LT(census.mortalFraction(), 0.10);
+}
+
+TEST(WireMortality, StressAwareMarginFlagsMoreWires) {
+  // Including sigma_T shrinks the margin and can only add mortal wires —
+  // the Blech-side expression of the paper's thesis.
+  Netlist n = grid();
+  tuneNominalIrDrop(n, 0.06);
+  const auto blind = classifyWires(n, WireGeometry{}, 340e6, EmParameters{});
+  const auto aware = classifyWires(n, WireGeometry{}, 120e6, EmParameters{});
+  EXPECT_GE(aware.mortalWires, blind.mortalWires);
+  EXPECT_LT(aware.productLimit, blind.productLimit);
+}
+
+TEST(WireMortality, OverloadedGridViolates) {
+  Netlist n = grid();
+  scaleLoads(n, 500.0);
+  const auto census =
+      classifyWires(n, WireGeometry{}, 100e6, EmParameters{});
+  EXPECT_GT(census.mortalFraction(), 0.1);
+}
+
+TEST(WireMortality, PrefixFilterIsRespected) {
+  const Netlist n = grid();
+  WireGeometry geo;
+  geo.wirePrefixes = {"Rh_"};  // upper layer only
+  const auto census = classifyWires(n, geo, 100e6, EmParameters{});
+  EXPECT_EQ(census.totalWires, 56);
+  geo.wirePrefixes = {"Zz_"};
+  EXPECT_THROW(classifyWires(n, geo, 100e6, EmParameters{}),
+               PreconditionError);
+}
+
+TEST(WireMortality, ZeroCurrentWireIsNeverMortal) {
+  // A dead-end wire carries zero current, so its jL product is exactly
+  // zero and it stays below any positive (jL)_crit — even under a margin
+  // tight enough to flag the current-carrying feed.
+  const Netlist n = ladderWithDeadEnd();
+  const auto probe = classifyWires(n, WireGeometry{}, 1e6, EmParameters{});
+  ASSERT_EQ(probe.totalWires, 2);
+  ASSERT_GT(probe.worstProduct, 0.0);
+
+  // (jL)_crit is linear in the margin, so rescale the probe margin until
+  // the limit sits at half the feed wire's product: feed mortal, stub not.
+  const double tightMargin =
+      1e6 * (0.5 * probe.worstProduct / probe.productLimit);
+  const auto tight =
+      classifyWires(n, WireGeometry{}, tightMargin, EmParameters{});
+  EXPECT_EQ(tight.mortalWires, 1);
+  EXPECT_NEAR(tight.productLimit, 0.5 * tight.worstProduct,
+              1e-9 * tight.productLimit);
+}
+
+TEST(WireMortality, ImmortalWireEntersMortalitySetWhenMarginTightens) {
+  // The Blech filter is margin-relative: the same wire (same j, same L)
+  // flips from immortal to mortal when sigma_T consumption tightens the
+  // effective margin. Pick margins straddling the feed wire's product.
+  const Netlist n = ladderWithDeadEnd();
+  const auto probe = classifyWires(n, WireGeometry{}, 1e6, EmParameters{});
+  ASSERT_GT(probe.worstProduct, 0.0);
+
+  const double safeMargin =
+      1e6 * (2.0 * probe.worstProduct / probe.productLimit);
+  const double tightMargin =
+      1e6 * (0.5 * probe.worstProduct / probe.productLimit);
+
+  const auto safe = classifyWires(n, WireGeometry{}, safeMargin,
+                                  EmParameters{});
+  const auto tight = classifyWires(n, WireGeometry{}, tightMargin,
+                                   EmParameters{});
+  // Same operating point either way — only the verdict moves.
+  EXPECT_DOUBLE_EQ(safe.worstProduct, tight.worstProduct);
+  EXPECT_EQ(safe.mortalWires, 0);
+  EXPECT_GE(tight.mortalWires, 1);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,53 @@
+#!/usr/bin/env bash
+# Tier-1 verification for viaduct, plus the fault/recovery sweeps:
+#
+#   1. release build + full ctest (the tier-1 gate from ROADMAP.md);
+#   2. the fault-labelled recovery tests (ctest -L fault);
+#   3. a thread-sanitized build running the tsan-labelled set (includes the
+#      fault tests — the registry's decision streams are TSan bait);
+#   4. an uninjected CLI smoke run that must complete WARN-free: with no
+#      site armed, no recovery path may fire and nothing may warn.
+#
+# Usage: tools/run_tier1.sh [--skip-tsan]
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SKIP_TSAN=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-tsan) SKIP_TSAN=1 ;;
+    *) echo "unknown flag: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "=== [1/4] tier-1: configure + build + full test suite ==="
+cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
+cmake --build build -j "$JOBS"
+ctest --test-dir build --output-on-failure -j "$JOBS"
+
+echo "=== [2/4] fault label: recovery-path tests ==="
+ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
+
+if [[ "$SKIP_TSAN" -eq 1 ]]; then
+  echo "=== [3/4] tsan sweep skipped (--skip-tsan) ==="
+else
+  echo "=== [3/4] thread-sanitized build: tsan label ==="
+  cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DVIADUCT_SANITIZE=thread
+  cmake --build build-tsan -j "$JOBS"
+  ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
+fi
+
+echo "=== [4/4] uninjected CLI smoke run must be WARN-free ==="
+SMOKE_LOG="$(mktemp)"
+trap 'rm -f "$SMOKE_LOG"' EXIT
+./build/tools/viaduct_cli analyze --preset PG1 --trials 50 --char-trials 50 \
+  2> "$SMOKE_LOG" || { cat "$SMOKE_LOG" >&2; exit 1; }
+if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
+  echo "FAIL: WARN/ERROR log lines in an uninjected run (above)" >&2
+  exit 1
+fi
+echo "smoke run clean (no WARN/ERROR lines)"
+echo "ALL TIER-1 CHECKS PASSED"

@@ -6,11 +6,14 @@
 //   viaduct_cli signoff      --preset PG1 --limit 2e10
 //   viaduct_cli census       --preset PG1 --margin-mpa 340
 //
-// Every subcommand accepts --help. Two global flags work with any command
+// Every subcommand accepts --help. Three global flags work with any command
 // and are stripped before subcommand parsing:
 //   --metrics-out FILE   write the obs metrics snapshot (JSON) at exit
 //   --trace-out FILE     record spans and write a Chrome trace-event JSON
 //                        (load in chrome://tracing or ui.perfetto.dev)
+//   --fault-spec SPEC    arm deterministic fault injection, e.g.
+//                        "seed=42;cg.nonconverge:p=0.05;cholesky.factor:nth=3"
+//                        (also readable from the VIADUCT_FAULTS env var)
 #include <iostream>
 #include <string>
 #include <vector>
@@ -21,6 +24,7 @@
 #include "common/table.h"
 #include "common/units.h"
 #include "core/analyzer.h"
+#include "fault/fault.h"
 #include "grid/signoff.h"
 #include "grid/wire_mortality.h"
 #include "spice/generator.h"
@@ -133,6 +137,11 @@ int cmdAnalyze(int argc, const char* const* argv) {
             << "), median " << TextTable::num(report.medianYears, 2)
             << " years, " << TextTable::num(report.meanFailuresToBreach, 1)
             << " failures to breach\n";
+  if (report.discardedTrials > 0 || report.salvagedTrials > 0) {
+    std::cout << "fault policy: " << report.discardedTrials
+              << " trials discarded, " << report.salvagedTrials
+              << " salvaged (of " << trials << ")\n";
+  }
   return 0;
 }
 
@@ -245,6 +254,9 @@ void printUsage() {
                "\nglobal flags (any command):\n"
                "  --metrics-out FILE  write the obs metrics snapshot (JSON)\n"
                "  --trace-out FILE    write a Chrome trace-event JSON\n"
+               "  --fault-spec SPEC   arm deterministic fault injection\n"
+               "                      (e.g. \"seed=42;cg.nonconverge:p=0.05\";\n"
+               "                      VIADUCT_FAULTS env var works too)\n"
                "\nrun 'viaduct_cli <command> --help' for flags.\n";
 }
 
@@ -280,6 +292,10 @@ int main(int argc, char** argv) {
   try {
     metricsOut = extractFlag(args, "--metrics-out");
     traceOut = extractFlag(args, "--trace-out");
+    // --fault-spec stacks on top of whatever VIADUCT_FAULTS armed (the
+    // registry parses the env var on first access).
+    const std::string faultSpec = extractFlag(args, "--fault-spec");
+    if (!faultSpec.empty()) fault::Registry::instance().configure(faultSpec);
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 1;
@@ -293,6 +309,9 @@ int main(int argc, char** argv) {
       std::cerr << "warning: could not write metrics to " << metricsOut << "\n";
     if (!traceOut.empty() && !obs::writeTrace(traceOut))
       std::cerr << "warning: could not write trace to " << traceOut << "\n";
+    if (fault::Registry::instance().totalFires() > 0)
+      std::cerr << "fault injection: " << fault::Registry::instance().summary()
+                << "\n";
   };
 
   if (args.size() < 2) {
