@@ -1,0 +1,145 @@
+// Checkpoint overhead bench: snapshotting the grid Monte Carlo must be
+// cheap (the write path is off the trial critical path except for the
+// recorder mutex) and must never perturb the samples. Measures the run with
+// checkpointing off, on at a tight cadence, and resumed from a half-full
+// snapshot, and verifies all three produce bit-identical samples. Emits
+// BENCH_checkpoint.json; nonzero exit if any toggle changes the samples
+// (the overhead budget is reported as a PASS/FAIL line and in the JSON, but
+// timing noise never fails CI by itself).
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "checkpoint/checkpoint.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "grid/grid_mc.h"
+#include "spice/generator.h"
+
+using namespace viaduct;
+
+namespace {
+
+template <typename Fn>
+double bestSeconds(int repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int trials = 128;
+  int stripes = 16;
+  int repeats = 5;
+  int every = 8;
+  double budgetPercent = 5.0;
+  std::string path = "BENCH_checkpoint.ckpt";
+  std::string out = "BENCH_checkpoint.json";
+  CliFlags flags("perf_checkpoint: snapshot overhead and resume exactness");
+  flags.addInt("trials", &trials, "grid Monte Carlo trials per measurement");
+  flags.addInt("stripes", &stripes, "power-grid stripes per direction");
+  flags.addInt("repeats", &repeats, "repeats per point (best time kept)");
+  flags.addInt("every", &every, "checkpoint cadence [trials]");
+  flags.addString("checkpoint", &path, "scratch snapshot path");
+  flags.addString("out", &out, "JSON report path");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kWarn);
+
+  GridGeneratorConfig gridCfg;
+  gridCfg.stripesX = stripes;
+  gridCfg.stripesY = stripes;
+  gridCfg.seed = 23;
+  Netlist netlist = generatePowerGrid(gridCfg);
+  tuneNominalIrDrop(netlist, 0.06);
+  const PowerGridModel model(netlist);
+
+  GridMcOptions mcOpts;
+  mcOpts.arrayTtf = Lognormal(std::log(1.0e8), 0.5);
+  mcOpts.trials = trials;
+  mcOpts.seed = 99;
+
+  std::cout << "=== perf_checkpoint: snapshot overhead, cadence " << every
+            << " ===\n";
+
+  GridMcResult offResult;
+  const double offSecs = bestSeconds(
+      repeats, [&] { offResult = runGridMonteCarlo(model, mcOpts); });
+  std::cout << "  checkpoint off: " << offSecs << " s\n";
+
+  mcOpts.checkpoint.path = path;
+  mcOpts.checkpoint.everyTrials = every;
+  GridMcResult onResult;
+  const double onSecs = bestSeconds(repeats, [&] {
+    std::remove(path.c_str());
+    onResult = runGridMonteCarlo(model, mcOpts);
+  });
+  const double overheadPercent =
+      offSecs > 0.0 ? 100.0 * (onSecs - offSecs) / offSecs : 0.0;
+  const bool withinBudget = overheadPercent < budgetPercent;
+  const bool bitIdentical = onResult.ttfSamples == offResult.ttfSamples;
+  std::cout << "  checkpoint on:  " << onSecs << " s (overhead "
+            << overheadPercent << "%, budget " << budgetPercent << "%) "
+            << (withinBudget ? "PASS" : "FAIL") << "\n";
+  std::cout << "  samples " << (bitIdentical ? "bit-identical" : "DIFFER")
+            << " across the checkpoint toggle\n";
+
+  // Resume from a half-full snapshot: thin the final snapshot to every
+  // other trial (as if the run died mid-flight), then measure the resumed
+  // run — it re-derives only the missing half and must stay bit-identical.
+  {
+    const checkpoint::CheckpointFile file(path);
+    auto snap = file.load(gridMcCheckpointKey(model, mcOpts), trials);
+    if (!snap) {
+      std::cerr << "FAIL: could not reload the snapshot just written\n";
+      return 1;
+    }
+    for (auto it = snap->trials.begin(); it != snap->trials.end();) {
+      it = it->first % 2 == 0 ? std::next(it) : snap->trials.erase(it);
+    }
+    file.write(*snap);
+  }
+  mcOpts.checkpoint.resume = true;
+  const GridMcResult resumed = runGridMonteCarlo(model, mcOpts);
+  const bool resumeIdentical = resumed.ttfSamples == offResult.ttfSamples;
+  std::cout << "  resumed " << resumed.resumedTrials << "/" << trials
+            << " trials; samples "
+            << (resumeIdentical ? "bit-identical" : "DIFFER") << "\n";
+  std::remove(path.c_str());
+
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "cannot create " << out << "\n";
+    return 1;
+  }
+  os << "{\n  \"mc_trials\": " << trials << ",\n  \"cadence\": " << every
+     << ",\n  \"seconds_checkpoint_off\": " << offSecs
+     << ",\n  \"seconds_checkpoint_on\": " << onSecs
+     << ",\n  \"overhead_percent\": " << overheadPercent
+     << ",\n  \"budget_percent\": " << budgetPercent
+     << ",\n  \"within_budget\": " << (withinBudget ? "true" : "false")
+     << ",\n  \"bit_identical\": " << (bitIdentical ? "true" : "false")
+     << ",\n  \"resumed_trials\": " << resumed.resumedTrials
+     << ",\n  \"resume_bit_identical\": "
+     << (resumeIdentical ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << out << "\n";
+
+  if (!bitIdentical || !resumeIdentical) {
+    std::cerr << "FAIL: checkpointing or resume changed the Monte Carlo "
+                 "samples\n";
+    return 1;
+  }
+  return 0;
+}

@@ -1,0 +1,86 @@
+#include "common/serialize.h"
+
+#include <charconv>
+#include <cmath>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace viaduct {
+
+namespace {
+
+void appendDouble(std::ostream& os, double x) {
+  if (std::isinf(x)) {
+    os << (x < 0.0 ? "-inf" : "inf");
+    return;
+  }
+  // %.17g round-trips every finite double and is independent of the
+  // stream's formatting state. NaN prints "nan", which parseDoubles
+  // refuses — a NaN never silently survives a round-trip.
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.17g", x);
+  os << buf;
+}
+
+bool parseToken(std::string_view tok, double* out) {
+  if (tok == "inf") {
+    *out = std::numeric_limits<double>::infinity();
+    return true;
+  }
+  if (tok == "-inf") {
+    *out = -std::numeric_limits<double>::infinity();
+    return true;
+  }
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(tok.data(), tok.data() + tok.size(), value);
+  if (ec != std::errc() || ptr != tok.data() + tok.size()) return false;
+  // from_chars also accepts "nan"/"infinity" spellings; only the finite
+  // values and the explicit tokens above are part of the store format.
+  if (std::isnan(value) || std::isinf(value)) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace
+
+void writeDoubles(std::ostream& os, const std::vector<double>& v) {
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    if (i) os << ' ';
+    appendDouble(os, v[i]);
+  }
+}
+
+std::string formatDoubles(const std::vector<double>& v) {
+  std::ostringstream os;
+  writeDoubles(os, v);
+  return os.str();
+}
+
+std::optional<std::vector<double>> parseDoubles(std::string_view s) {
+  std::vector<double> out;
+  std::size_t i = 0;
+  while (i < s.size()) {
+    while (i < s.size() && (s[i] == ' ' || s[i] == '\t')) ++i;
+    if (i >= s.size()) break;
+    std::size_t j = i;
+    while (j < s.size() && s[j] != ' ' && s[j] != '\t') ++j;
+    double value = 0.0;
+    if (!parseToken(s.substr(i, j - i), &value)) return std::nullopt;
+    out.push_back(value);
+    i = j;
+  }
+  return out;
+}
+
+std::uint64_t fnv1aHash(std::string_view s) {
+  std::uint64_t h = 1469598103934665603ull;
+  for (const char c : s) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+}  // namespace viaduct

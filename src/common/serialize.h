@@ -1,0 +1,43 @@
+// Shared text (de)serialization helpers for the on-disk stores
+// (viaarray/cache.h, checkpoint/checkpoint.h).
+//
+// Both stores are line-oriented text files whose payload lines are
+// whitespace-separated doubles. The helpers here pin down the two contracts
+// the stores rely on:
+//   - round-trip exactness: doubles are written at max_digits10 (17
+//     significant digits) and infinities keep their sign ("inf" / "-inf");
+//   - corrupt input is a *value*, not an exception: parseDoubles returns
+//     std::nullopt on any malformed token (garbage, "nan", overflow such as
+//     "1e999999", truncated writes), so a damaged file degrades to a cache
+//     miss / fresh start instead of crashing the loader.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace viaduct {
+
+/// Writes `v` space-separated at full round-trip precision (17 significant
+/// digits). Infinities are written as "inf" / "-inf"; NaN is rejected by
+/// contract (the stores never hold NaN) and is written as "nan", which
+/// parseDoubles refuses, so a NaN can never silently round-trip.
+void writeDoubles(std::ostream& os, const std::vector<double>& v);
+
+/// Convenience: writeDoubles into a string.
+std::string formatDoubles(const std::vector<double>& v);
+
+/// Parses a whitespace-separated list of doubles. Returns std::nullopt on
+/// any malformed token: non-numeric garbage, "nan" (in any case), values
+/// that overflow a double (e.g. "1e999999"), or trailing junk fused to a
+/// number ("1.5x"). "inf" and "-inf" parse to signed infinities. An empty
+/// (or all-whitespace) string parses to an empty vector.
+std::optional<std::vector<double>> parseDoubles(std::string_view s);
+
+/// FNV-1a 64-bit hash (stable across platforms; used for config keys).
+std::uint64_t fnv1aHash(std::string_view s);
+
+}  // namespace viaduct

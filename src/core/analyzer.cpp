@@ -101,6 +101,13 @@ ViaArrayCharacterizationSpec PowerGridEmAnalyzer::specForPattern(
   spec.array.n = config_.viaArraySize;
   spec.pattern = p;
   spec.parallelism = config_.parallelism;
+  if (config_.checkpoint.enabled()) {
+    // Each pattern's level-1 run snapshots to its own file next to the
+    // level-2 snapshot; cadence and resume flag are shared.
+    spec.checkpoint = config_.checkpoint;
+    spec.checkpoint.path =
+        config_.checkpoint.path + ".l1-" + patternName(p);
+  }
   return spec;
 }
 
@@ -134,6 +141,7 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   options.seed = config_.seed;
   options.parallelism = config_.parallelism;
   options.policy = config_.policy;
+  options.checkpoint = config_.checkpoint;
 
   GridTtfReport report;
   report.mc = runGridMonteCarlo(*model_, options);
@@ -150,6 +158,7 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   report.meanFailuresToBreach = report.mc.meanFailuresToBreach;
   report.discardedTrials = report.mc.discardedTrials;
   report.salvagedTrials = report.mc.salvagedTrials;
+  report.resumedTrials = report.mc.resumedTrials;
   report.nominalIrDropFraction = nominalIrDropFraction_;
   report.arrayCriterion = arrayCriterion.describe();
   report.systemCriterion = systemCriterion.describe();

@@ -64,6 +64,13 @@ struct AnalyzerConfig {
   /// Woodbury recovery, cache-corruption recompute, and per-trial
   /// salvage/discard semantics in both Monte Carlo levels (DESIGN.md §5.7).
   fault::FailurePolicy policy;
+
+  /// Crash-safe checkpoint/resume for both Monte Carlo levels
+  /// (DESIGN.md §5.8). `checkpoint.path` names the level-2 grid snapshot;
+  /// each level-1 characterization snapshots to
+  /// `<path>.l1-<pattern>` alongside it. A resumed analysis is
+  /// bit-identical to an uninterrupted one.
+  checkpoint::Options checkpoint;
 };
 
 struct GridTtfReport {
@@ -80,6 +87,9 @@ struct GridTtfReport {
   /// mc.discardedTrials / mc.salvagedTrials for report consumers).
   int discardedTrials = 0;
   int salvagedTrials = 0;
+  /// Grid-level trials restored from a checkpoint snapshot (mirrors
+  /// mc.resumedTrials).
+  int resumedTrials = 0;
   std::string arrayCriterion;
   std::string systemCriterion;
 };

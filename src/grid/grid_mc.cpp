@@ -3,10 +3,12 @@
 #include <chrono>
 #include <cmath>
 #include <limits>
+#include <sstream>
 
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 
@@ -166,6 +168,61 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
 
 }  // namespace
 
+std::string gridMcCheckpointKey(const PowerGridModel& model,
+                                const GridMcOptions& options) {
+  std::ostringstream os;
+  os.precision(17);
+  std::ostringstream dists;
+  dists.precision(17);
+  for (const auto& d : options.perArrayTtf)
+    dists << d.mu() << ',' << d.sigma() << ';';
+  dists << '|';
+  for (const double s : options.perArrayTtfScale) dists << s << ';';
+  os << "gridmc-v1;model=" << std::hex << model.structureDigest() << std::dec
+     << ";ttf=" << options.arrayTtf.mu() << ',' << options.arrayTtf.sigma()
+     << ";per=" << std::hex << fnv1aHash(dists.str()) << std::dec
+     << ";iref=" << options.referenceCurrentAmps
+     << ";crit=" << static_cast<int>(options.systemCriterion.kind) << ','
+     << options.systemCriterion.irDropFraction
+     << ";tr=" << options.trials << ";seed=" << options.seed
+     << ";maxf=" << options.maxFailuresPerTrial
+     // The trial policy shapes the persisted outcome statuses, so a
+     // snapshot written under a different policy must not be resumed.
+     << ";pol=" << options.policy.enabled << ','
+     << static_cast<int>(options.policy.trialPolicy);
+  return os.str();
+}
+
+namespace {
+
+enum class TrialStatus : unsigned char { kKept, kDiscarded, kSalvaged };
+
+checkpoint::TrialOutcome toOutcome(TrialStatus status) {
+  switch (status) {
+    case TrialStatus::kDiscarded:
+      return checkpoint::TrialOutcome::kDiscarded;
+    case TrialStatus::kSalvaged:
+      return checkpoint::TrialOutcome::kSalvaged;
+    case TrialStatus::kKept:
+      break;
+  }
+  return checkpoint::TrialOutcome::kKept;
+}
+
+TrialStatus fromOutcome(checkpoint::TrialOutcome outcome) {
+  switch (outcome) {
+    case checkpoint::TrialOutcome::kDiscarded:
+      return TrialStatus::kDiscarded;
+    case checkpoint::TrialOutcome::kSalvaged:
+      return TrialStatus::kSalvaged;
+    case checkpoint::TrialOutcome::kKept:
+      break;
+  }
+  return TrialStatus::kKept;
+}
+
+}  // namespace
+
 GridMcResult runGridMonteCarlo(const PowerGridModel& model,
                                const GridMcOptions& options) {
   VIADUCT_REQUIRE(options.trials >= 1);
@@ -174,9 +231,28 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
   GridMcResult result;
   std::vector<double> samples(static_cast<std::size_t>(options.trials), 0.0);
   std::vector<int> failures(static_cast<std::size_t>(options.trials), 0);
-  enum class TrialStatus : unsigned char { kKept, kDiscarded, kSalvaged };
   std::vector<TrialStatus> status(static_cast<std::size_t>(options.trials),
                                   TrialStatus::kKept);
+
+  // Checkpoint/resume: restore completed trials (value, failure count, and
+  // discard/salvage status all come from the snapshot, so the accounting
+  // survives the resume), then run only what is missing.
+  checkpoint::TrialRecorder recorder(
+      options.checkpoint, gridMcCheckpointKey(model, options), options.trials);
+  std::vector<unsigned char> done(static_cast<std::size_t>(options.trials), 0);
+  for (const auto& [trial, record] : recorder.restore()) {
+    const auto idx = static_cast<std::size_t>(trial);
+    if (record.primary.size() != 2 || !record.secondary.empty()) {
+      VIADUCT_WARN << "checkpoint: trial " << trial
+                   << " has an unexpected payload; re-running it";
+      continue;
+    }
+    samples[idx] = record.primary[0];
+    failures[idx] = static_cast<int>(record.primary[1]);
+    status[idx] = fromOutcome(record.outcome);
+    done[idx] = 1;
+    ++result.resumedTrials;
+  }
 
   // Each trial draws from its own counter-based stream Rng(seed, trial)
   // and runs a private Session, so every trial's sample is a pure function
@@ -189,9 +265,10 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
       0, options.trials, kTrialChunk, [&](std::int64_t lo, std::int64_t hi) {
         TrialWorkspace ws;
         for (std::int64_t trial = lo; trial < hi; ++trial) {
+          const auto idx = static_cast<std::size_t>(trial);
+          if (done[idx]) continue;  // restored from the checkpoint
           const fault::ScopedStream scope(static_cast<std::uint64_t>(trial));
           Rng rng(options.seed, static_cast<std::uint64_t>(trial));
-          const auto idx = static_cast<std::size_t>(trial);
           try {
             samples[idx] =
                 runTrial(model, options, rng, ws, &failures[idx], &samples[idx]);
@@ -210,8 +287,12 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
               status[idx] = TrialStatus::kDiscarded;
             }
           }
+          recorder.record({trial, toOutcome(status[idx]),
+                           {samples[idx], static_cast<double>(failures[idx])},
+                           {}});
         }
       });
+  recorder.finalize();
 
   long long failureTotal = 0;
   long long included = 0;

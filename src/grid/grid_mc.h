@@ -12,8 +12,10 @@
 #pragma once
 
 #include <cstdint>
+#include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
 #include "common/lognormal.h"
 #include "common/statistics.h"
 #include "common/thread_pool.h"
@@ -62,6 +64,14 @@ struct GridMcOptions {
   /// bit-identical for every thread count (including 1).
   Parallelism parallelism;
 
+  /// Crash-safe periodic snapshots of completed trials + resume
+  /// (DESIGN.md §5.8). Because trial t is a pure function of
+  /// (model, options, t), a resumed run re-derives exactly the missing
+  /// trials and is bit-identical to an uninterrupted run at any thread
+  /// count and checkpoint cadence. Like `parallelism`, deliberately NOT
+  /// part of the snapshot config key.
+  checkpoint::Options checkpoint;
+
   /// What happens when a trial's DC solve fails past recovery: kAbort
   /// rethrows (whole run fails), kDiscard drops the trial from the sample
   /// set (counted in `discardedTrials`), kSalvage keeps the time reached so
@@ -77,11 +87,22 @@ struct GridMcResult {
   /// trials are excluded entirely, never zero-filled).
   std::vector<double> ttfSamples;
   double meanFailuresToBreach = 0.0;  // avg #array failures, kept trials only
-  /// Failure-policy accounting (see GridMcOptions::policy).
+  /// Failure-policy accounting (see GridMcOptions::policy). Counts cover
+  /// resumed trials too: a trial discarded before the checkpoint is still
+  /// discarded after the resume.
   int discardedTrials = 0;
   int salvagedTrials = 0;
+  /// Trials restored from the checkpoint snapshot instead of re-run.
+  int resumedTrials = 0;
   EmpiricalCdf cdf() const { return EmpiricalCdf(ttfSamples); }
 };
+
+/// The checkpoint config key for a grid MC run: a digest of the model's
+/// electrical structure and every physics-relevant option. A snapshot
+/// written under a different key is stale and is rejected on resume.
+/// `parallelism` and the checkpoint options themselves are excluded.
+std::string gridMcCheckpointKey(const PowerGridModel& model,
+                                const GridMcOptions& options);
 
 /// Runs the level-2 Monte Carlo. The model is shared read-only; each trial
 /// runs its own failure Session.

@@ -2,10 +2,12 @@
 
 #include <cmath>
 #include <limits>
+#include <sstream>
 #include <unordered_map>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "obs/obs.h"
 
 namespace viaduct {
@@ -191,6 +193,25 @@ double PowerGridModel::kclResidual(const DcSolution& solution) const {
   VIADUCT_REQUIRE(solution.voltages.size() ==
                   static_cast<std::size_t>(unknownCount_));
   return conductance_.residualNorm(solution.voltages, rhs_);
+}
+
+std::uint64_t PowerGridModel::structureDigest() const {
+  std::ostringstream os;
+  os.precision(17);
+  os << unknownCount_ << '|' << vdd_ << '|'
+     << config_.openResidualFraction << '|';
+  for (const auto& site : viaArrays_)
+    os << site.name << ',' << site.a << ',' << site.b << ','
+       << site.nominalOhms << ';';
+  os << '|';
+  for (const double v : rhs_) os << v << ',';
+  os << '|';
+  for (const Index p : conductance_.rowPointers()) os << p << ',';
+  os << '|';
+  for (const Index c : conductance_.colIndices()) os << c << ',';
+  os << '|';
+  for (const double v : conductance_.values()) os << v << ',';
+  return fnv1aHash(os.str());
 }
 
 namespace {

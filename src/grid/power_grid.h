@@ -8,6 +8,7 @@
 // opened for the EM Monte Carlo through a Woodbury-updated solver.
 #pragma once
 
+#include <cstdint>
 #include <memory>
 #include <string>
 #include <vector>
@@ -107,6 +108,12 @@ class PowerGridModel {
 
   /// KCL residual of a solution against the healthy matrix (tests).
   double kclResidual(const DcSolution& solution) const;
+
+  /// Stable digest of the full electrical system (reduced conductance
+  /// matrix, loads, Vdd, via-array sites). Two models with the same digest
+  /// produce the same Monte Carlo trials; used to key checkpoint snapshots
+  /// so a stale snapshot is rejected rather than silently resumed.
+  std::uint64_t structureDigest() const;
 
  private:
   friend class Session;

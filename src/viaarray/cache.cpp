@@ -1,13 +1,13 @@
 #include "viaarray/cache.h"
 
-#include <cmath>
 #include <fstream>
-#include <limits>
 #include <map>
 #include <sstream>
+#include <string_view>
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "fault/fault.h"
 #include "obs/obs.h"
 
@@ -54,31 +54,6 @@ std::map<std::string, RawEntry> readAll(const std::string& path) {
   return entries;
 }
 
-std::vector<double> parseDoubles(const std::string& s) {
-  std::vector<double> out;
-  std::istringstream is(s);
-  std::string tok;
-  while (is >> tok) {
-    if (tok == "inf") {
-      out.push_back(std::numeric_limits<double>::infinity());
-    } else {
-      out.push_back(std::stod(tok));
-    }
-  }
-  return out;
-}
-
-void writeDoubles(std::ostream& os, const std::vector<double>& v) {
-  os.precision(17);
-  for (std::size_t i = 0; i < v.size(); ++i) {
-    if (i) os << ' ';
-    if (std::isinf(v[i]))
-      os << "inf";
-    else
-      os << v[i];
-  }
-}
-
 }  // namespace
 
 CharacterizationStore::CharacterizationStore(std::string path)
@@ -95,14 +70,21 @@ std::optional<CharacterizationData> CharacterizationStore::load(
   if (it == entries.end()) return std::nullopt;
 
   CharacterizationData data;
-  data.rawSigmaT = parseDoubles(it->second.sigmaLine);
-  if (data.rawSigmaT.empty()) return std::nullopt;
+  // parseDoubles is non-throwing by contract: a corrupt token ("nan",
+  // "1e999999", a truncated write) is a malformed entry → cache miss,
+  // exactly like a structural problem in readAll.
+  auto sigma = parseDoubles(it->second.sigmaLine);
+  if (!sigma || sigma->empty()) return std::nullopt;
+  data.rawSigmaT = std::move(*sigma);
   for (const auto& line : it->second.traceLines) {
     const auto bar = line.find('|');
     if (bar == std::string::npos) return std::nullopt;
     FailureTrace trace;
-    trace.failureTimes = parseDoubles(line.substr(0, bar));
-    trace.resistanceAfter = parseDoubles(line.substr(bar + 1));
+    auto times = parseDoubles(std::string_view(line).substr(0, bar));
+    auto resistances = parseDoubles(std::string_view(line).substr(bar + 1));
+    if (!times || !resistances) return std::nullopt;
+    trace.failureTimes = std::move(*times);
+    trace.resistanceAfter = std::move(*resistances);
     if (trace.failureTimes.size() != trace.resistanceAfter.size() ||
         trace.failureTimes.empty()) {
       return std::nullopt;

@@ -57,7 +57,10 @@ double ViaArrayCharacterizationSpec::totalCurrent() const {
 
 std::string ViaArrayCharacterizationSpec::cacheKey() const {
   std::ostringstream os;
-  os.precision(12);
+  // max_digits10: every distinct double distinct in the key. At the old
+  // precision(12), two specs differing only past the 12th significant
+  // digit aliased to the same cache entry.
+  os.precision(17);
   os << "n=" << array.n << ";A=" << array.effectiveArea
      << ";sp=" << array.minSpacing
      << ";pat=" << patternName(pattern) << ";w=" << wireWidth
@@ -73,13 +76,16 @@ std::string ViaArrayCharacterizationSpec::cacheKey() const {
      << ";tr=" << trials << ";seed=" << seed
      << ";stk=" << stack.metalLower << "," << stack.via << ","
      << stack.metalUpper
-     // RNG scheme tag: trial t draws from the counter-based stream
-     // Rng(seed, t). Bumping this invalidates caches written under the
-     // old sequential shared-stream scheme. `parallelism` and `policy`
-     // are excluded: results are bit-identical for every thread count,
-     // and the policy governs recovery, never the physics (runs with
-     // discarded/salvaged trials are never persisted).
-     << ";rng=ctr1";
+     // RNG scheme + key-format tag: trial t draws from the counter-based
+     // stream Rng(seed, t), and doubles are keyed at max_digits10 (17).
+     // Bumping either part invalidates caches written under the old
+     // sequential shared-stream scheme or the old precision(12) key
+     // format (which aliased near-identical specs). `parallelism`,
+     // `policy`, and `checkpoint` are excluded: results are bit-identical
+     // for every thread count and checkpoint cadence, and the policy
+     // governs recovery, never the physics (runs with discarded/salvaged
+     // trials are never persisted).
+     << ";rng=ctr1;key=p17";
   return os.str();
 }
 
@@ -256,16 +262,53 @@ const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
     enum class TrialStatus : unsigned char { kKept, kDiscarded, kSalvaged };
     std::vector<TrialStatus> status(static_cast<std::size_t>(spec_.trials),
                                     TrialStatus::kKept);
+
+    // Checkpoint/resume: restore completed trials (trace payload AND
+    // discard/salvage status), then run only what is missing. Snapshots
+    // are keyed on cacheKey(), so any physics change rejects them.
+    checkpoint::TrialRecorder recorder(spec_.checkpoint, spec_.cacheKey(),
+                                       spec_.trials);
+    std::vector<unsigned char> done(static_cast<std::size_t>(spec_.trials), 0);
+    const std::size_t viaCount = built_.vias.size();
+    for (const auto& [trial, record] : recorder.restore()) {
+      const auto idx = static_cast<std::size_t>(trial);
+      const std::size_t n = record.primary.size();
+      const bool shapeOk =
+          n == record.secondary.size() &&
+          (record.outcome == checkpoint::TrialOutcome::kKept
+               ? n == viaCount
+               : record.outcome == checkpoint::TrialOutcome::kDiscarded
+                     ? n == 0
+                     : n <= viaCount);
+      if (!shapeOk) {
+        VIADUCT_WARN << "checkpoint: trial " << trial
+                     << " has an unexpected trace shape; re-running it";
+        continue;
+      }
+      traces_[idx].failureTimes = record.primary;
+      traces_[idx].resistanceAfter = record.secondary;
+      status[idx] =
+          record.outcome == checkpoint::TrialOutcome::kDiscarded
+              ? TrialStatus::kDiscarded
+              : record.outcome == checkpoint::TrialOutcome::kSalvaged
+                    ? TrialStatus::kSalvaged
+                    : TrialStatus::kKept;
+      done[idx] = 1;
+      ++resumedTrials_;
+    }
+
     ThreadPool pool(spec_.parallelism);
     // Each trial draws from its own counter-based stream Rng(seed, t), so
     // the trial→sample mapping never depends on scheduling and the traces
-    // are bit-identical for any thread count. The fault ScopedStream pins
-    // armed injection sites to the same per-trial stream, making the
-    // discard/salvage pattern equally scheduling-independent.
+    // are bit-identical for any thread count (and for any resumed subset).
+    // The fault ScopedStream pins armed injection sites to the same
+    // per-trial stream, making the discard/salvage pattern equally
+    // scheduling-independent.
     pool.parallelFor(0, spec_.trials, 1, [&](std::int64_t trial) {
+      const auto idx = static_cast<std::size_t>(trial);
+      if (done[idx]) return;  // restored from the checkpoint
       const fault::ScopedStream scope(static_cast<std::uint64_t>(trial));
       Rng rng(spec_.seed, static_cast<std::uint64_t>(trial));
-      const auto idx = static_cast<std::size_t>(trial);
       try {
         simulateTrial(rng, traces_[idx]);
       } catch (const NumericalError&) {
@@ -284,7 +327,16 @@ const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
           status[idx] = TrialStatus::kDiscarded;
         }
       }
+      recorder.record(
+          {trial,
+           status[idx] == TrialStatus::kDiscarded
+               ? checkpoint::TrialOutcome::kDiscarded
+               : status[idx] == TrialStatus::kSalvaged
+                     ? checkpoint::TrialOutcome::kSalvaged
+                     : checkpoint::TrialOutcome::kKept,
+           traces_[idx].failureTimes, traces_[idx].resistanceAfter});
     });
+    recorder.finalize();
     for (const TrialStatus s : status) {
       if (s == TrialStatus::kDiscarded) ++discardedTrials_;
       if (s == TrialStatus::kSalvaged) ++salvagedTrials_;

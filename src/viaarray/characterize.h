@@ -21,6 +21,7 @@
 #include <string>
 #include <vector>
 
+#include "checkpoint/checkpoint.h"
 #include "common/lognormal.h"
 #include "common/rng.h"
 #include "common/statistics.h"
@@ -89,6 +90,13 @@ struct ViaArrayCharacterizationSpec {
   /// cacheKey() — the policy only governs recovery, never the physics.
   fault::FailurePolicy policy;
 
+  /// Crash-safe periodic snapshots of completed Monte Carlo trials +
+  /// resume (DESIGN.md §5.8). Snapshots are keyed on cacheKey(), so a
+  /// stale snapshot is rejected, never silently resumed. Like
+  /// `parallelism`, deliberately NOT part of cacheKey() — a resumed run is
+  /// bit-identical to an uninterrupted one.
+  checkpoint::Options checkpoint;
+
   /// Total array current [A] implied by the density and effective area.
   double totalCurrent() const;
 
@@ -136,8 +144,13 @@ class ViaArrayCharacterizer {
   const std::vector<FailureTrace>& traces();
 
   /// Failure-policy accounting over the Monte Carlo (0 until traces() ran).
+  /// Counts include trials restored from a checkpoint snapshot.
   int discardedTrials() const { return discardedTrials_; }
   int salvagedTrials() const { return salvagedTrials_; }
+
+  /// Trials restored from the checkpoint snapshot instead of re-run
+  /// (0 until traces() ran, and always 0 without spec.checkpoint.resume).
+  int resumedTrials() const { return resumedTrials_; }
 
   /// TTF samples [s] under a criterion — one per trial that observed the
   /// criterion (discarded trials and salvaged trials that ended before the
@@ -169,6 +182,7 @@ class ViaArrayCharacterizer {
   bool tracesReady_ = false;
   int discardedTrials_ = 0;
   int salvagedTrials_ = 0;
+  int resumedTrials_ = 0;
 };
 
 /// Memoizing library of characterizers keyed by spec.cacheKey(). This is

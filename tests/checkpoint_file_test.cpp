@@ -1,0 +1,224 @@
+#include "checkpoint/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <filesystem>
+#include <fstream>
+#include <limits>
+#include <string>
+
+#include "common/check.h"
+#include "fault/fault.h"
+
+namespace viaduct::checkpoint {
+namespace {
+
+class CheckpointFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("viaduct_ckpt_test_" + std::to_string(::getpid()) + "_" +
+              ::testing::UnitTest::GetInstance()->current_test_info()->name() +
+              ".ckpt"))
+                .string();
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".tmp");
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".tmp");
+    fault::Registry::instance().disarmAll();
+    fault::Registry::instance().setSeed(0);
+  }
+
+  std::string path_;
+};
+
+Snapshot sampleSnapshot() {
+  Snapshot snap;
+  snap.configKey = "key-a;n=4";
+  snap.totalTrials = 10;
+  const double inf = std::numeric_limits<double>::infinity();
+  snap.trials[0] = {0, TrialOutcome::kKept, {1.5e8, 2.0}, {0.4, inf}};
+  snap.trials[3] = {3, TrialOutcome::kDiscarded, {}, {}};
+  snap.trials[7] = {7, TrialOutcome::kSalvaged, {2.5e8}, {-inf}};
+  return snap;
+}
+
+TEST_F(CheckpointFileTest, MissingFileIsSilentNullopt) {
+  const CheckpointFile file(path_);
+  EXPECT_FALSE(file.load("key-a;n=4", 10).has_value());
+}
+
+TEST_F(CheckpointFileTest, RoundTripPreservesRecordsAndOutcomes) {
+  const CheckpointFile file(path_);
+  const auto snap = sampleSnapshot();
+  ASSERT_TRUE(file.write(snap));
+  const auto loaded = file.load(snap.configKey, snap.totalTrials);
+  ASSERT_TRUE(loaded.has_value());
+  ASSERT_EQ(loaded->trials.size(), 3u);
+  EXPECT_EQ(loaded->trials.at(0).outcome, TrialOutcome::kKept);
+  EXPECT_EQ(loaded->trials.at(3).outcome, TrialOutcome::kDiscarded);
+  EXPECT_EQ(loaded->trials.at(7).outcome, TrialOutcome::kSalvaged);
+  EXPECT_EQ(loaded->trials.at(0).primary, snap.trials.at(0).primary);
+  EXPECT_TRUE(loaded->trials.at(3).primary.empty());
+  // Signed infinities survive (the serialization regression this PR fixes).
+  EXPECT_TRUE(std::isinf(loaded->trials.at(0).secondary[1]));
+  EXPECT_GT(loaded->trials.at(0).secondary[1], 0.0);
+  EXPECT_TRUE(std::isinf(loaded->trials.at(7).secondary[0]));
+  EXPECT_LT(loaded->trials.at(7).secondary[0], 0.0);
+}
+
+TEST_F(CheckpointFileTest, WriteLeavesNoTempFileBehind) {
+  const CheckpointFile file(path_);
+  ASSERT_TRUE(file.write(sampleSnapshot()));
+  EXPECT_TRUE(std::filesystem::exists(path_));
+  EXPECT_FALSE(std::filesystem::exists(file.tempPath()));
+}
+
+TEST_F(CheckpointFileTest, StaleKeyIsRejected) {
+  const CheckpointFile file(path_);
+  ASSERT_TRUE(file.write(sampleSnapshot()));
+  EXPECT_FALSE(file.load("some-other-config", 10).has_value());
+}
+
+TEST_F(CheckpointFileTest, StaleTrialTotalIsRejected) {
+  const CheckpointFile file(path_);
+  ASSERT_TRUE(file.write(sampleSnapshot()));
+  EXPECT_FALSE(file.load("key-a;n=4", 20).has_value());
+}
+
+TEST_F(CheckpointFileTest, CorruptFilesAreRejectedWithoutThrowing) {
+  const char* corrupt[] = {
+      // wrong magic
+      "not-a-checkpoint\nkey k\ntotal 10\nend 0\n",
+      // missing key line
+      "viaduct-checkpoint v1\ntotal 10\nend 0\n",
+      // bad total
+      "viaduct-checkpoint v1\nkey k\ntotal ten\nend 0\n",
+      // unknown directive
+      "viaduct-checkpoint v1\nkey k\ntotal 10\nbogus line\nend 0\n",
+      // trial index out of range
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 10 K 1.0 |\nend 1\n",
+      // bad outcome letter
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 1 X 1.0 |\nend 1\n",
+      // corrupt payload token
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 1 K nan |\nend 1\n",
+      // overflowing payload token
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 1 K 1e999999 |\nend 1\n",
+      // missing '|'
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 1 K 1.0\nend 1\n",
+      // duplicate trial
+      "viaduct-checkpoint v1\nkey k\ntotal 10\n"
+      "trial 1 K 1.0 |\ntrial 1 K 2.0 |\nend 2\n",
+      // truncated: no end trailer (torn write without the rename protocol)
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 1 K 1.0 |\n",
+      // trailer count mismatch (file truncated between records)
+      "viaduct-checkpoint v1\nkey k\ntotal 10\ntrial 1 K 1.0 |\nend 2\n",
+  };
+  for (const char* contents : corrupt) {
+    {
+      std::ofstream os(path_, std::ios::trunc);
+      os << contents;
+    }
+    const CheckpointFile file(path_);
+    EXPECT_FALSE(file.load("k", 10).has_value()) << "contents:\n" << contents;
+  }
+}
+
+TEST_F(CheckpointFileTest, InjectedWriteFailureKeepsPreviousSnapshot) {
+  const CheckpointFile file(path_);
+  auto snap = sampleSnapshot();
+  ASSERT_TRUE(file.write(snap));
+
+  fault::Registry::instance().configure("checkpoint.write:nth=1");
+  snap.trials[9] = {9, TrialOutcome::kKept, {9.9}, {}};
+  EXPECT_FALSE(file.write(snap));
+  fault::Registry::instance().disarmAll();
+
+  // The failed write must not have touched the promoted snapshot.
+  const auto loaded = file.load(snap.configKey, snap.totalTrials);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->trials.size(), 3u);
+  EXPECT_FALSE(std::filesystem::exists(file.tempPath()));
+}
+
+TEST_F(CheckpointFileTest, InjectedLoadCorruptionRejectsSnapshot) {
+  const CheckpointFile file(path_);
+  const auto snap = sampleSnapshot();
+  ASSERT_TRUE(file.write(snap));
+  fault::Registry::instance().configure("checkpoint.load:nth=1");
+  EXPECT_FALSE(file.load(snap.configKey, snap.totalTrials).has_value());
+  fault::Registry::instance().disarmAll();
+  // Disarmed, the same file loads fine — nothing was damaged.
+  EXPECT_TRUE(file.load(snap.configKey, snap.totalTrials).has_value());
+}
+
+TEST_F(CheckpointFileTest, RecorderCadenceAndFinalize) {
+  Options options;
+  options.path = path_;
+  options.everyTrials = 4;
+  TrialRecorder recorder(options, "key", 10);
+  EXPECT_TRUE(recorder.restore().empty());  // nothing on disk yet
+
+  for (int t = 0; t < 3; ++t)
+    recorder.record({t, TrialOutcome::kKept, {1.0 * t}, {}});
+  EXPECT_FALSE(std::filesystem::exists(path_));  // cadence not reached
+  recorder.record({3, TrialOutcome::kKept, {3.0}, {}});
+  EXPECT_TRUE(std::filesystem::exists(path_));  // 4th completion wrote
+
+  recorder.record({4, TrialOutcome::kKept, {4.0}, {}});
+  recorder.finalize();  // flushes the straggler
+  const CheckpointFile file(path_);
+  const auto loaded = file.load("key", 10);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->trials.size(), 5u);
+}
+
+TEST_F(CheckpointFileTest, RecorderEveryTrialsZeroWritesOnlyAtFinalize) {
+  Options options;
+  options.path = path_;
+  options.everyTrials = 0;
+  TrialRecorder recorder(options, "key", 4);
+  for (int t = 0; t < 4; ++t)
+    recorder.record({t, TrialOutcome::kKept, {1.0 * t}, {}});
+  EXPECT_FALSE(std::filesystem::exists(path_));
+  recorder.finalize();
+  EXPECT_TRUE(std::filesystem::exists(path_));
+}
+
+TEST_F(CheckpointFileTest, RecorderRestoreSeedsLaterSnapshots) {
+  Options options;
+  options.path = path_;
+  options.everyTrials = 1;
+  {
+    TrialRecorder first(options, "key", 6);
+    first.record({0, TrialOutcome::kKept, {0.5}, {}});
+    first.record({2, TrialOutcome::kDiscarded, {}, {}});
+    first.finalize();
+  }
+  options.resume = true;
+  TrialRecorder second(options, "key", 6);
+  const auto restored = second.restore();
+  EXPECT_EQ(restored.size(), 2u);
+  EXPECT_EQ(second.resumedTrials(), 2);
+  // A new record triggers a write that must still contain the restored two.
+  second.record({4, TrialOutcome::kKept, {4.5}, {}});
+  const auto loaded = CheckpointFile(path_).load("key", 6);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->trials.size(), 3u);
+  EXPECT_EQ(loaded->trials.at(2).outcome, TrialOutcome::kDiscarded);
+}
+
+TEST_F(CheckpointFileTest, DisabledRecorderIsANoOp) {
+  TrialRecorder recorder(Options{}, "key", 5);
+  EXPECT_FALSE(recorder.enabled());
+  EXPECT_TRUE(recorder.restore().empty());
+  recorder.record({0, TrialOutcome::kKept, {1.0}, {}});
+  recorder.finalize();
+  EXPECT_EQ(recorder.resumedTrials(), 0);
+}
+
+}  // namespace
+}  // namespace viaduct::checkpoint

@@ -6,8 +6,11 @@
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <limits>
+#include <sstream>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace viaduct {
 namespace {
@@ -128,6 +131,89 @@ TEST_F(CacheTest, LibraryRehydratesFromStore) {
     // Calibrated stress is rederived from raw + spec calibration.
     EXPECT_FALSE(ch2->sigmaT().empty());
   }
+}
+
+// Regression: writeDoubles used to emit -inf as "inf" (std::isinf ignores
+// the sign), silently flipping negative infinities on round-trip.
+TEST(SerializeTest, SignedInfinityRoundTrips) {
+  const double inf = std::numeric_limits<double>::infinity();
+  EXPECT_EQ(formatDoubles({inf}), "inf");
+  EXPECT_EQ(formatDoubles({-inf}), "-inf");
+  const auto parsed = parseDoubles("inf -inf 1.5");
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), 3u);
+  EXPECT_TRUE(std::isinf((*parsed)[0]) && (*parsed)[0] > 0);
+  EXPECT_TRUE(std::isinf((*parsed)[1]) && (*parsed)[1] < 0);
+  EXPECT_DOUBLE_EQ((*parsed)[2], 1.5);
+}
+
+TEST(SerializeTest, RoundTripIsExactAtFullPrecision) {
+  const std::vector<double> v = {0.1, 1.0 / 3.0, 6.02214076e23,
+                                 -2.2250738585072014e-308,
+                                 0.059999999999999998};
+  const auto parsed = parseDoubles(formatDoubles(v));
+  ASSERT_TRUE(parsed.has_value());
+  ASSERT_EQ(parsed->size(), v.size());
+  for (std::size_t i = 0; i < v.size(); ++i)
+    EXPECT_EQ((*parsed)[i], v[i]);  // bit-exact, not just close
+}
+
+// Regression: parseDoubles used std::stod, which throws on overflow and
+// accepts "nan"/fused junk — corrupt files crashed the loader instead of
+// degrading to a miss.
+TEST(SerializeTest, CorruptTokensReturnNullopt) {
+  const char* corrupt[] = {
+      "nan",  "NaN",        "-nan",    "1e999999", "-1e999999",
+      "1.5x", "0x10",       "abc",     "1.5 2.5 garbage",
+      "1..5", "1e",         "--3",     "infinity", "1.5\x01",
+  };
+  for (const char* s : corrupt)
+    EXPECT_FALSE(parseDoubles(s).has_value()) << "token: " << s;
+  // Empty / whitespace-only input is an empty vector, not a failure.
+  ASSERT_TRUE(parseDoubles("").has_value());
+  EXPECT_TRUE(parseDoubles("")->empty());
+  EXPECT_TRUE(parseDoubles(" \t ")->empty());
+}
+
+TEST_F(CacheTest, NegativeInfinityRoundTripsThroughStore) {
+  CharacterizationStore store(path_);
+  auto data = sampleData();
+  data.rawSigmaT[0] = -std::numeric_limits<double>::infinity();
+  store.save("key", data);
+  const auto loaded = store.load("key");
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_TRUE(std::isinf(loaded->rawSigmaT[0]));
+  EXPECT_LT(loaded->rawSigmaT[0], 0.0);
+}
+
+// Corrupt payload tokens inside an otherwise well-formed store file must be
+// a cache miss for that entry — never an exception out of load().
+TEST_F(CacheTest, CorruptPayloadTokensAreMisses) {
+  const char* badPayloads[] = {"nan 2.5", "1e999999", "2.5 gar bage",
+                               "2.5 1.5e"};
+  for (const char* bad : badPayloads) {
+    {
+      std::ofstream os(path_, std::ios::trunc);
+      os << "viaduct-characterization-cache v1\n"
+         << "entry key\n"
+         << "sigma " << bad << "\n"
+         << "trace 1e7 | 0.5\n";
+    }
+    CharacterizationStore store(path_);
+    EXPECT_FALSE(store.load("key").has_value()) << "payload: " << bad;
+  }
+  // A trace line truncated mid-token (crash mid-write: this store predates
+  // the checkpoint subsystem's rename protocol) is also a miss.
+  {
+    std::ofstream os(path_, std::ios::trunc);
+    os << "viaduct-characterization-cache v1\n"
+       << "entry key\n"
+       << "sigma 2.5e8\n"
+       << "trace 1e7 2e7 | 0.5 1.2\n"
+       << "trace 1e7 2e7 | 0.5 1.2e";  // write died inside the exponent
+  }
+  CharacterizationStore store(path_);
+  EXPECT_FALSE(store.load("key").has_value());
 }
 
 TEST_F(CacheTest, RehydrationValidatesShape) {

@@ -55,6 +55,20 @@ TEST(CharacterizationSpec, CacheKeyDistinguishesConfigs) {
   EXPECT_NE(a.cacheKey(), d.cacheKey());
 }
 
+// Regression: cacheKey() used to format doubles at precision(12), so specs
+// differing only past the 12th significant digit aliased to the same key
+// and silently shared a characterization.
+TEST(CharacterizationSpec, CacheKeyResolvesFullDoublePrecision) {
+  const auto a = fastSpec(4);
+  auto b = fastSpec(4);
+  b.wireWidth = a.wireWidth * (1.0 + 1e-14);  // invisible at 12 digits
+  ASSERT_NE(a.wireWidth, b.wireWidth);
+  EXPECT_NE(a.cacheKey(), b.cacheKey());
+  // The format tag was bumped alongside the precision fix so caches written
+  // under the old scheme are invalidated rather than reinterpreted.
+  EXPECT_NE(a.cacheKey().find(";key=p17"), std::string::npos);
+}
+
 TEST(CharacterizationSpec, TotalCurrentFromDensity) {
   const auto spec = fastSpec();
   EXPECT_NEAR(spec.totalCurrent(), 1e10 * 1e-12, 1e-15);  // 10 mA

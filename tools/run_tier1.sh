@@ -3,10 +3,13 @@
 #
 #   1. release build + full ctest (the tier-1 gate from ROADMAP.md);
 #   2. the fault-labelled recovery tests (ctest -L fault);
-#   3. a thread-sanitized build running the tsan-labelled set (includes the
-#      fault tests — the registry's decision streams are TSan bait);
-#   4. an uninjected CLI smoke run that must complete WARN-free: with no
-#      site armed, no recovery path may fire and nothing may warn.
+#   3. the checkpoint-labelled crash-safety/resume tests (ctest -L checkpoint);
+#   4. a thread-sanitized build running the tsan-labelled set (includes the
+#      fault and checkpoint tests — the registry's decision streams and the
+#      trial recorder are TSan bait);
+#   5. an uninjected CLI smoke run that must complete WARN-free: with no
+#      site armed, no recovery path may fire and nothing may warn. The run
+#      checkpoints, is re-run with --resume, and both must agree.
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -22,32 +25,43 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/4] tier-1: configure + build + full test suite ==="
+echo "=== [1/5] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/4] fault label: recovery-path tests ==="
+echo "=== [2/5] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
+echo "=== [3/5] checkpoint label: crash-safety and resume tests ==="
+ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
+
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [3/4] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/5] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [3/4] thread-sanitized build: tsan label ==="
+  echo "=== [4/5] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [4/4] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/5] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
-trap 'rm -f "$SMOKE_LOG"' EXIT
+SMOKE_CKPT="$(mktemp -u).ckpt"
+trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
 ./build/tools/viaduct_cli analyze --preset PG1 --trials 50 --char-trials 50 \
-  2> "$SMOKE_LOG" || { cat "$SMOKE_LOG" >&2; exit 1; }
+  --checkpoint "$SMOKE_CKPT" 2> "$SMOKE_LOG" \
+  || { cat "$SMOKE_LOG" >&2; exit 1; }
+# Resuming the finished run must restore every trial and stay WARN-free.
+./build/tools/viaduct_cli analyze --preset PG1 --trials 50 --char-trials 50 \
+  --checkpoint "$SMOKE_CKPT" --resume 2>> "$SMOKE_LOG" \
+  | grep -q "checkpoint: resumed 50/50" \
+  || { echo "FAIL: --resume did not restore all 50 grid trials" >&2
+       cat "$SMOKE_LOG" >&2; exit 1; }
 if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
   echo "FAIL: WARN/ERROR log lines in an uninjected run (above)" >&2
   exit 1
 fi
-echo "smoke run clean (no WARN/ERROR lines)"
+echo "smoke run clean (no WARN/ERROR lines, resume exact)"
 echo "ALL TIER-1 CHECKS PASSED"

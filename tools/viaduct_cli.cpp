@@ -80,8 +80,10 @@ int cmdGenerate(int argc, const char* const* argv) {
 
 int cmdAnalyze(int argc, const char* const* argv) {
   std::string netlistPath, preset = "PG1", arrayCrit = "open",
-                           systemCrit = "ir", cachePath;
-  int viaN = 4, trials = 300, charTrials = 300, threads = 0;
+                           systemCrit = "ir", cachePath, checkpointPath;
+  int viaN = 4, trials = 300, charTrials = 300, threads = 0,
+      checkpointEvery = 32;
+  bool resume = false;
   double tuneIr = 0.06;
   CliFlags flags("viaduct_cli analyze: two-level EM TTF analysis");
   flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
@@ -97,6 +99,14 @@ int cmdAnalyze(int argc, const char* const* argv) {
   flags.addInt("threads", &threads,
                "worker threads (0 = hardware concurrency); results are "
                "identical for any value");
+  flags.addString("checkpoint", &checkpointPath,
+                  "crash-safe snapshot file for both MC levels (empty = "
+                  "disabled); results are identical with or without it");
+  flags.addInt("checkpoint-every", &checkpointEvery,
+               "snapshot every N completed trials (<= 0: only at run end)");
+  flags.addBool("resume", &resume,
+                "resume completed trials from --checkpoint (stale or "
+                "corrupt snapshots are rejected and re-run)");
   if (!flags.parse(argc, argv)) return 0;
 
   AnalyzerConfig config;
@@ -105,6 +115,11 @@ int cmdAnalyze(int argc, const char* const* argv) {
   config.characterization.trials = charTrials;
   config.tuneNominalIrDropFraction = tuneIr;
   config.parallelism.threads = threads;
+  config.checkpoint.path = checkpointPath;
+  config.checkpoint.everyTrials = checkpointEvery;
+  config.checkpoint.resume = resume;
+  if (resume && checkpointPath.empty())
+    throw PreconditionError("--resume needs --checkpoint <path>");
 
   auto library =
       cachePath.empty()
@@ -142,12 +157,17 @@ int cmdAnalyze(int argc, const char* const* argv) {
               << " trials discarded, " << report.salvagedTrials
               << " salvaged (of " << trials << ")\n";
   }
+  if (report.resumedTrials > 0) {
+    std::cout << "checkpoint: resumed " << report.resumedTrials << "/"
+              << trials << " grid trials from " << checkpointPath << "\n";
+  }
   return 0;
 }
 
 int cmdCharacterize(int argc, const char* const* argv) {
-  int n = 4, trials = 500, threads = 0;
-  std::string pattern = "Plus", criterion = "open", cachePath;
+  int n = 4, trials = 500, threads = 0, checkpointEvery = 32;
+  bool resume = false;
+  std::string pattern = "Plus", criterion = "open", cachePath, checkpointPath;
   CliFlags flags("viaduct_cli characterize: level-1 via-array TTF");
   flags.addInt("n", &n, "via array dimension");
   flags.addString("pattern", &pattern, "Plus, T, or L");
@@ -157,6 +177,14 @@ int cmdCharacterize(int argc, const char* const* argv) {
   flags.addInt("threads", &threads,
                "worker threads (0 = hardware concurrency); results are "
                "identical for any value");
+  flags.addString("checkpoint", &checkpointPath,
+                  "crash-safe snapshot file for the characterization Monte "
+                  "Carlo (empty = disabled)");
+  flags.addInt("checkpoint-every", &checkpointEvery,
+               "snapshot every N completed trials (<= 0: only at run end)");
+  flags.addBool("resume", &resume,
+                "resume completed trials from --checkpoint (stale or "
+                "corrupt snapshots are rejected and re-run)");
   if (!flags.parse(argc, argv)) return 0;
 
   ViaArrayCharacterizationSpec spec;
@@ -166,6 +194,11 @@ int cmdCharacterize(int argc, const char* const* argv) {
                                   : IntersectionPattern::kPlus;
   spec.trials = trials;
   spec.parallelism.threads = threads;
+  spec.checkpoint.path = checkpointPath;
+  spec.checkpoint.everyTrials = checkpointEvery;
+  spec.checkpoint.resume = resume;
+  if (resume && checkpointPath.empty())
+    throw PreconditionError("--resume needs --checkpoint <path>");
 
   auto library =
       cachePath.empty()
@@ -188,6 +221,10 @@ int cmdCharacterize(int argc, const char* const* argv) {
             << " yr, 0.3%ile " << TextTable::num(cdf.worstCase() / units::year, 2)
             << " yr, lognormal(mu=" << TextTable::num(fit.mu(), 3)
             << ", sigma=" << TextTable::num(fit.sigma(), 3) << ")\n";
+  if (ch->resumedTrials() > 0) {
+    std::cout << "  checkpoint: resumed " << ch->resumedTrials() << "/"
+              << trials << " trials from " << checkpointPath << "\n";
+  }
   return 0;
 }
 
