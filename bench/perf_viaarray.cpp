@@ -1,0 +1,271 @@
+// Level-1 network-solver bench: the incremental shared-base + rank-1
+// downdate path (DESIGN.md §5.9) against the legacy from-scratch LU
+// resolve. Two measurements:
+//
+//   1. google-benchmark microbenchmarks of the per-failure-step cost
+//      (failVia + effectiveResistance) for both paths across array sizes —
+//      the O(N²) vs O(N³) gap, N = 2n²+1;
+//   2. a manual end-to-end A/B: full failure sweeps and a complete level-1
+//      characterization Monte Carlo per path, cross-checked step by step.
+//
+// Emits BENCH_viaarray.json. Exit is nonzero only when the two paths
+// disagree (correctness); timing never fails CI by itself.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "obs/obs.h"
+#include "viaarray/characterize.h"
+#include "viaarray/network.h"
+
+using namespace viaduct;
+
+namespace {
+
+ViaArrayNetworkConfig netConfig(int n, bool exact) {
+  ViaArrayNetworkConfig cfg;
+  cfg.n = n;
+  cfg.exactResolve = exact;
+  return cfg;
+}
+
+/// Deterministic full failure order (the bench must not depend on clock or
+/// platform RNG state).
+std::vector<int> failureOrder(int count, std::uint64_t seed) {
+  std::vector<int> order(static_cast<std::size_t>(count));
+  std::iota(order.begin(), order.end(), 0);
+  Rng rng(seed);
+  for (int i = count - 1; i > 0; --i) {
+    const auto j = static_cast<int>(
+        rng.uniformInt(static_cast<std::uint64_t>(i + 1)));
+    std::swap(order[static_cast<std::size_t>(i)],
+              order[static_cast<std::size_t>(j)]);
+  }
+  return order;
+}
+
+/// One full failure sweep (all but one via, resistance queried per step).
+double sweep(ViaArrayNetwork& net, const std::vector<int>& order,
+             std::vector<double>* resistances = nullptr) {
+  net.reset();
+  double last = 0.0;
+  for (std::size_t step = 0; step + 1 < order.size(); ++step) {
+    net.failVia(order[step]);
+    last = net.effectiveResistance();
+    if (resistances) resistances->push_back(last);
+  }
+  return last;
+}
+
+void stepBench(benchmark::State& state, bool exact) {
+  const int n = static_cast<int>(state.range(0));
+  ViaArrayNetwork net(netConfig(n, exact));
+  const auto order = failureOrder(net.viaCount(), 7);
+  const std::size_t steps = order.size() - 1;
+  std::size_t next = steps;  // force a reset on first iteration
+  for (auto _ : state) {
+    if (next >= steps) {
+      state.PauseTiming();
+      net.reset();
+      next = 0;
+      state.ResumeTiming();
+    }
+    net.failVia(order[next++]);
+    benchmark::DoNotOptimize(net.effectiveResistance());
+  }
+  state.SetLabel("N=" + std::to_string(2 * n * n + 1));
+}
+
+void BM_FailStepIncremental(benchmark::State& state) {
+  stepBench(state, false);
+}
+BENCHMARK(BM_FailStepIncremental)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(9)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_FailStepExact(benchmark::State& state) { stepBench(state, true); }
+BENCHMARK(BM_FailStepExact)
+    ->Arg(3)
+    ->Arg(5)
+    ->Arg(7)
+    ->Arg(9)
+    ->Unit(benchmark::kMicrosecond);
+
+template <typename Fn>
+double bestSeconds(int repeats, Fn&& fn) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < repeats; ++r) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    best = std::min(best, dt.count());
+  }
+  return best;
+}
+
+std::uint64_t counterValue(const char* name) {
+  return obs::Registry::instance().counter(name).value();
+}
+
+struct SweepResult {
+  double secondsIncremental = 0.0;
+  double secondsExact = 0.0;
+  double speedup = 0.0;
+  std::uint64_t downdates = 0;
+  std::uint64_t refactors = 0;
+  bool agree = true;
+};
+
+SweepResult benchSweep(int n, int repeats) {
+  SweepResult result;
+  const auto order = failureOrder(n * n, 7);
+  ViaArrayNetwork incremental(netConfig(n, false));
+  ViaArrayNetwork exact(netConfig(n, true));
+
+  std::vector<double> rInc, rExact;
+  const auto d0 = counterValue("viaarray.downdates");
+  const auto f0 = counterValue("viaarray.refactors");
+  sweep(incremental, order, &rInc);
+  result.downdates = counterValue("viaarray.downdates") - d0;
+  result.refactors = counterValue("viaarray.refactors") - f0;
+  sweep(exact, order, &rExact);
+  for (std::size_t i = 0; i < rInc.size(); ++i) {
+    if (std::abs(rInc[i] - rExact[i]) >
+        1e-9 * std::max(1.0, std::abs(rExact[i]))) {
+      result.agree = false;
+      std::cerr << "FAIL: n=" << n << " step " << i << ": incremental "
+                << rInc[i] << " vs exact " << rExact[i] << "\n";
+    }
+  }
+  result.secondsIncremental =
+      bestSeconds(repeats, [&] { sweep(incremental, order); });
+  result.secondsExact = bestSeconds(repeats, [&] { sweep(exact, order); });
+  result.speedup = result.secondsIncremental > 0.0
+                       ? result.secondsExact / result.secondsIncremental
+                       : 0.0;
+  return result;
+}
+
+struct EndToEnd {
+  double secondsIncremental = 0.0;
+  double secondsExact = 0.0;
+  double speedup = 0.0;
+  bool agree = true;
+};
+
+/// Full level-1 Monte Carlo (FEA construction excluded from timing) on a
+/// coarse-but-real spec, both paths, with a statistical cross-check.
+EndToEnd benchCharacterization(int n, int trials) {
+  EndToEnd result;
+  ViaArrayCharacterizationSpec spec;
+  spec.array.n = n;
+  spec.resolutionXy = 0.125e-6;  // fine enough for the n=5 via pitch
+  spec.margin = 1.0e-6;
+  spec.trials = trials;
+  spec.seed = 42;
+  spec.parallelism.threads = 1;  // measure the solver, not the pool
+
+  spec.network.exactResolve = false;
+  ViaArrayCharacterizer incremental(spec);
+  result.secondsIncremental = bestSeconds(1, [&] { incremental.traces(); });
+  spec.network.exactResolve = true;
+  ViaArrayCharacterizer exact(spec);
+  result.secondsExact = bestSeconds(1, [&] { exact.traces(); });
+  result.speedup = result.secondsIncremental > 0.0
+                       ? result.secondsExact / result.secondsIncremental
+                       : 0.0;
+
+  const auto crit = ViaArrayFailureCriterion::openCircuit();
+  const auto si = incremental.ttfSamples(crit);
+  const auto se = exact.ttfSamples(crit);
+  if (si.size() != se.size()) {
+    result.agree = false;
+  } else {
+    for (std::size_t i = 0; i < si.size(); ++i) {
+      if (std::abs(si[i] - se[i]) > 1e-6 * se[i]) {
+        result.agree = false;
+        std::cerr << "FAIL: characterization trial " << i
+                  << " TTF differs: " << si[i] << " vs " << se[i] << "\n";
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  setLogLevel(LogLevel::kWarn);
+  benchmark::RunSpecifiedBenchmarks();
+
+  const std::vector<int> sizes = {3, 5, 7, 9};
+  const int repeats = 3;
+  std::cout << "=== perf_viaarray: incremental vs exact resolve ===\n";
+  std::vector<SweepResult> sweeps;
+  bool allAgree = true;
+  for (const int n : sizes) {
+    const SweepResult r = benchSweep(n, repeats);
+    sweeps.push_back(r);
+    allAgree = allAgree && r.agree;
+    std::cout << "  n=" << n << " full sweep: incremental "
+              << r.secondsIncremental << " s, exact " << r.secondsExact
+              << " s, speedup " << r.speedup << "x (" << r.downdates
+              << " downdates, " << r.refactors << " refactors) "
+              << (r.agree ? "AGREE" : "DIFFER") << "\n";
+  }
+
+  const int charN = 5;
+  const int charTrials = 40;
+  const EndToEnd e2e = benchCharacterization(charN, charTrials);
+  allAgree = allAgree && e2e.agree;
+  std::cout << "  level-1 characterization (n=" << charN << ", "
+            << charTrials << " trials): incremental " << e2e.secondsIncremental
+            << " s, exact " << e2e.secondsExact << " s, speedup "
+            << e2e.speedup << "x "
+            << (e2e.agree ? "AGREE" : "DIFFER") << "\n";
+
+  std::ofstream os("BENCH_viaarray.json");
+  if (!os) {
+    std::cerr << "cannot create BENCH_viaarray.json\n";
+    return 1;
+  }
+  os << "{\n  \"sweeps\": [\n";
+  for (std::size_t i = 0; i < sweeps.size(); ++i) {
+    const SweepResult& r = sweeps[i];
+    os << "    {\"n\": " << sizes[i]
+       << ", \"seconds_incremental\": " << r.secondsIncremental
+       << ", \"seconds_exact\": " << r.secondsExact
+       << ", \"speedup\": " << r.speedup
+       << ", \"downdates\": " << r.downdates
+       << ", \"refactors\": " << r.refactors
+       << ", \"agree\": " << (r.agree ? "true" : "false") << "}"
+       << (i + 1 < sweeps.size() ? "," : "") << "\n";
+  }
+  os << "  ],\n  \"characterization\": {\"n\": " << charN
+     << ", \"trials\": " << charTrials
+     << ", \"seconds_incremental\": " << e2e.secondsIncremental
+     << ", \"seconds_exact\": " << e2e.secondsExact
+     << ", \"speedup\": " << e2e.speedup
+     << ", \"agree\": " << (e2e.agree ? "true" : "false") << "}\n}\n";
+  std::cout << "wrote BENCH_viaarray.json\n";
+
+  if (!allAgree) {
+    std::cerr << "FAIL: incremental and exact network solves disagree\n";
+    return 1;
+  }
+  return 0;
+}

@@ -109,6 +109,13 @@ class PowerGridModel {
   /// KCL residual of a solution against the healthy matrix (tests).
   double kclResidual(const DcSolution& solution) const;
 
+  /// Healthy reduced conductance system G v = b: read-only views for
+  /// benchmarks and external solver experiments (bench/perf_solvers.cpp
+  /// exercises the real stamped system through these instead of a
+  /// synthetic stand-in).
+  const CsrMatrix& conductanceMatrix() const { return conductance_; }
+  const std::vector<double>& rhsVector() const { return rhs_; }
+
   /// Stable digest of the full electrical system (reduced conductance
   /// matrix, loads, Vdd, via-array sites). Two models with the same digest
   /// produce the same Monte Carlo trials; used to key checkpoint snapshots

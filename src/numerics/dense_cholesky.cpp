@@ -1,0 +1,202 @@
+#include "numerics/dense_cholesky.h"
+
+#include <cmath>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+
+namespace {
+/// Row tile for the right-looking trailing update: the pivot row segment
+/// is reused against `kRowTile` target rows before moving on, so it stays
+/// in L1 across the tile.
+constexpr std::size_t kRowTile = 48;
+}  // namespace
+
+DenseCholeskyFactor::DenseCholeskyFactor(const DenseMatrix& a) { factor(a); }
+
+void DenseCholeskyFactor::factor(const DenseMatrix& a) {
+  VIADUCT_SPAN("dense_cholesky.factorize");
+  VIADUCT_COUNTER_ADD("dense_cholesky.factorizations", 1);
+  VIADUCT_REQUIRE_MSG(a.rows() == a.cols(),
+                      "Cholesky needs a square matrix");
+  n_ = a.rows();
+  u_.assign(n_ * n_, 0.0);
+  updates_ = 0;
+  poisoned_ = false;
+  for (std::size_t r = 0; r < n_; ++r)
+    for (std::size_t c = r; c < n_; ++c) u_[r * n_ + c] = a(r, c);
+
+  // Right-looking factorization on U (rows of U are columns of L); all
+  // inner loops run over contiguous row segments.
+  for (std::size_t k = 0; k < n_; ++k) {
+    double* __restrict rowK = &u_[k * n_];
+    const double dkk = rowK[k];
+    if (!(dkk > 0.0)) {
+      n_ = 0;
+      u_.clear();
+      throw NumericalError(
+          "DenseCholeskyFactor: matrix is not positive definite at pivot " +
+          std::to_string(k));
+    }
+    const double ukk = std::sqrt(dkk);
+    rowK[k] = ukk;
+    const double inv = 1.0 / ukk;
+    for (std::size_t j = k + 1; j < n_; ++j) rowK[j] *= inv;
+    // Trailing update in row tiles: rows i of the (k+1..n) block each lose
+    // U(k,i) × rowK[i..n).
+    for (std::size_t i0 = k + 1; i0 < n_; i0 += kRowTile) {
+      const std::size_t i1 = std::min(i0 + kRowTile, n_);
+      for (std::size_t i = i0; i < i1; ++i) {
+        const double uki = rowK[i];
+        if (uki == 0.0) continue;
+        double* __restrict rowI = &u_[i * n_];
+        for (std::size_t j = i; j < n_; ++j) rowI[j] -= uki * rowK[j];
+      }
+    }
+  }
+}
+
+void DenseCholeskyFactor::solve(std::span<const double> b,
+                                std::span<double> x) const {
+  VIADUCT_REQUIRE(!empty() && !poisoned_);
+  VIADUCT_REQUIRE(b.size() == n_ && x.size() == n_);
+  VIADUCT_COUNTER_ADD("dense_cholesky.triangular_solves", 1);
+  double* __restrict xs = x.data();
+  for (std::size_t i = 0; i < n_; ++i) xs[i] = b[i];
+  // Forward L y = b, column-oriented: column k of L is row k of U.
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double* __restrict rowK = &u_[k * n_];
+    const double yk = xs[k] / rowK[k];
+    xs[k] = yk;
+    for (std::size_t j = k + 1; j < n_; ++j) xs[j] -= rowK[j] * yk;
+  }
+  // Backward U x = y, row-oriented. The dot product is unrolled into four
+  // independent partial sums: without it the strict-FP reduction chain
+  // serializes and this pass dominates the whole solve. (The summation
+  // order is fixed by the code, so results stay bit-identical across runs
+  // and thread counts.)
+  for (std::size_t i = n_; i-- > 0;) {
+    const double* __restrict rowI = &u_[i * n_];
+    double s0 = 0.0, s1 = 0.0, s2 = 0.0, s3 = 0.0;
+    std::size_t j = i + 1;
+    for (; j + 4 <= n_; j += 4) {
+      s0 += rowI[j] * xs[j];
+      s1 += rowI[j + 1] * xs[j + 1];
+      s2 += rowI[j + 2] * xs[j + 2];
+      s3 += rowI[j + 3] * xs[j + 3];
+    }
+    for (; j < n_; ++j) s0 += rowI[j] * xs[j];
+    xs[i] = (xs[i] - ((s0 + s1) + (s2 + s3))) / rowI[i];
+  }
+}
+
+std::vector<double> DenseCholeskyFactor::solve(
+    std::span<const double> b) const {
+  std::vector<double> x(b.size());
+  solve(b, x);
+  return x;
+}
+
+void DenseCholeskyFactor::rankOneUpdate(std::span<const double> v,
+                                        double sigma) {
+  VIADUCT_REQUIRE(!empty() && !poisoned_);
+  VIADUCT_REQUIRE(v.size() == n_);
+  VIADUCT_COUNTER_ADD("dense_cholesky.rank_updates", 1);
+  if (sigma == 0.0) return;
+  const double scale = std::sqrt(std::abs(sigma));
+  const bool update = sigma > 0.0;
+
+  // The sweep only touches indices at or after the first nonzero of v, so
+  // sparse incidence vectors (two nonzeros) cost O(n·(n − first)).
+  std::size_t first = 0;
+  while (first < n_ && v[first] == 0.0) ++first;
+  if (first == n_) return;
+
+  w_.resize(n_ - first);
+  std::vector<double>& w = w_;
+  for (std::size_t i = first; i < n_; ++i) w[i - first] = scale * v[i];
+
+  // Hyperbolic (downdate) / Givens (update) sweep over the rows of U
+  // (LINPACK dchud/dchdd recurrence): after step k, UᵀU ± wwᵀ is preserved
+  // with w supported on indices > k.
+  for (std::size_t k = first; k < n_; ++k) {
+    double* __restrict rowK = &u_[k * n_];
+    double* __restrict ws = w.data() - first;  // ws[i] == w[i - first]
+    const double wk = ws[k];
+    if (wk == 0.0) continue;
+    const double ukk = rowK[k];
+    const double r2 = update ? ukk * ukk + wk * wk : ukk * ukk - wk * wk;
+    if (!(r2 > 0.0) || !std::isfinite(r2)) {
+      poisoned_ = true;
+      throw NumericalError(
+          "DenseCholeskyFactor: rank-1 downdate destroys positive "
+          "definiteness at pivot " +
+          std::to_string(k));
+    }
+    const double rkk = std::sqrt(r2);
+    const double c = rkk / ukk;
+    const double s = wk / ukk;
+    const double cInv = ukk / rkk;  // one division per row, none per element
+    rowK[k] = rkk;
+    if (update) {
+      for (std::size_t j = k + 1; j < n_; ++j) {
+        const double ukj = (rowK[j] + s * ws[j]) * cInv;
+        ws[j] = c * ws[j] - s * ukj;
+        rowK[j] = ukj;
+      }
+    } else {
+      for (std::size_t j = k + 1; j < n_; ++j) {
+        const double ukj = (rowK[j] - s * ws[j]) * cInv;
+        ws[j] = c * ws[j] - s * ukj;
+        rowK[j] = ukj;
+      }
+    }
+  }
+  ++updates_;
+}
+
+double DenseCholeskyFactor::relativeResidual(const DenseMatrix& a,
+                                             std::span<const double> x,
+                                             std::span<const double> b) {
+  VIADUCT_REQUIRE(a.rows() == a.cols() && x.size() == a.rows() &&
+                  b.size() == a.rows());
+  const std::vector<double> ax = a.multiply(x);
+  double rr = 0.0;
+  double bb = 0.0;
+  for (std::size_t i = 0; i < ax.size(); ++i) {
+    const double d = ax[i] - b[i];
+    rr += d * d;
+    bb += b[i] * b[i];
+  }
+  if (bb == 0.0) return std::sqrt(rr);
+  return std::sqrt(rr / bb);
+}
+
+DenseCholeskyFactor::CheckedSolve DenseCholeskyFactor::solveChecked(
+    const DenseMatrix& a, std::span<const double> b, std::span<double> x,
+    double tolerance) {
+  CheckedSolve result;
+  if (!empty() && !poisoned_) {
+    solve(b, x);
+    result.residual = relativeResidual(a, x, b);
+    if (std::isfinite(result.residual) && result.residual <= tolerance)
+      return result;
+  }
+  // Accumulated-update drift (or a rejected downdate) exceeded the
+  // tolerance: degrade to a from-scratch factorization of the true matrix.
+  VIADUCT_COUNTER_ADD("dense_cholesky.residual_refreshes", 1);
+  factor(a);
+  solve(b, x);
+  result.refreshed = true;
+  result.residual = relativeResidual(a, x, b);
+  if (!std::isfinite(result.residual) || result.residual > tolerance) {
+    throw NumericalError(
+        "DenseCholeskyFactor: residual above tolerance even after a fresh "
+        "factorization");
+  }
+  return result;
+}
+
+}  // namespace viaduct

@@ -1,0 +1,95 @@
+// Dense symmetric positive-definite Cholesky factorization with
+// Sherman–Morrison-style rank-1 updates/downdates.
+//
+// Built for the via-array crowding network (numerics/dense handles the
+// general LU case): the level-1 Monte Carlo factors the healthy array once
+// and then *downdates* the factor as vias fail — each removal is a rank-1
+// conductance change g·(e_u − e_l)(e_u − e_l)ᵀ — so a failure step costs
+// O(N²) instead of the O(N³) of a from-scratch factorization.
+//
+// Storage is the transposed factor U = Lᵀ kept row-major in one contiguous
+// buffer. That makes every inner loop a contiguous row segment:
+//   - factorization: right-looking trailing updates stream rows of U;
+//   - forward solve (L y = b): column-oriented over L = rows of U;
+//   - backward solve (Lᵀ x = y): row-oriented over U;
+//   - rank-1 update/downdate: hyperbolic/Givens sweep over rows of U.
+// Inner kernels take restrict-qualified pointers so the compiler can
+// vectorize them, and the trailing update is processed in row tiles so the
+// pivot row stays cache-resident.
+//
+// Accuracy discipline: downdates are numerically stable but accumulate
+// roundoff; callers either use solveChecked() (residual-guarded: re-factors
+// from scratch when the relative residual exceeds a tolerance) or run their
+// own residual check against a cheaper matrix-vector product and call
+// factor() to refresh (viaarray/network does the latter; DESIGN.md §5.9).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "numerics/dense.h"
+
+namespace viaduct {
+
+class DenseCholeskyFactor {
+ public:
+  /// An empty factor; factor() must run before any solve.
+  DenseCholeskyFactor() = default;
+
+  /// Factors the SPD matrix `a` (throws NumericalError if not PD).
+  explicit DenseCholeskyFactor(const DenseMatrix& a);
+
+  std::size_t size() const { return n_; }
+  bool empty() const { return n_ == 0; }
+
+  /// (Re-)factors from scratch, discarding any accumulated updates. This
+  /// is the refresh path of solveChecked(), exposed for callers that guard
+  /// the residual themselves.
+  void factor(const DenseMatrix& a);
+
+  /// Solves A x = b with the current factor (including applied updates).
+  void solve(std::span<const double> b, std::span<double> x) const;
+  std::vector<double> solve(std::span<const double> b) const;
+
+  /// Applies the rank-1 symmetric change A ← A + sigma·v vᵀ to the factor
+  /// in O(n·(n − first)) where `first` is the first nonzero of `v` (the
+  /// sweep is skipped for leading zeros, which is what makes sparse
+  /// incidence vectors cheap). sigma < 0 is a downdate; throws
+  /// NumericalError when the downdated matrix is no longer positive
+  /// definite — the factor is left unusable and must be re-factored.
+  void rankOneUpdate(std::span<const double> v, double sigma);
+
+  /// Rank-1 updates applied since the last factor()/construction.
+  int updatesSinceFactor() const { return updates_; }
+
+  struct CheckedSolve {
+    double residual = 0.0;  // relative residual of the returned x
+    bool refreshed = false;  // true when a from-scratch re-factor ran
+  };
+
+  /// Residual-guarded solve: solves with the current factor, computes the
+  /// relative residual ‖a·x − b‖₂/‖b‖₂ against the TRUE matrix `a`, and
+  /// when it exceeds `tolerance` (or is non-finite, e.g. after a rejected
+  /// downdate) re-factors `a` from scratch and solves again. Throws
+  /// NumericalError if the residual still exceeds the tolerance after the
+  /// refresh (the system itself is numerically unsolvable).
+  CheckedSolve solveChecked(const DenseMatrix& a, std::span<const double> b,
+                            std::span<double> x, double tolerance);
+
+  /// Relative residual ‖a·x − b‖₂/‖b‖₂ (helper for external guards).
+  static double relativeResidual(const DenseMatrix& a,
+                                 std::span<const double> x,
+                                 std::span<const double> b);
+
+ private:
+  std::size_t n_ = 0;
+  /// Row-major n×n buffer; the upper triangle holds U with A = UᵀU.
+  std::vector<double> u_;
+  int updates_ = 0;
+  /// Set when a rejected downdate left the factor unusable.
+  bool poisoned_ = false;
+  /// Sweep scratch (avoids an allocation per rank-1 update).
+  std::vector<double> w_;
+};
+
+}  // namespace viaduct

@@ -85,7 +85,17 @@ std::string ViaArrayCharacterizationSpec::cacheKey() const {
      // for every thread count and checkpoint cadence, and the policy
      // governs recovery, never the physics (runs with discarded/salvaged
      // trials are never persisted).
-     << ";rng=ctr1;key=p17";
+     << ";rng=ctr1;key=p17"
+     // Level-1 network solver: the incremental shared-base/downdate path
+     // ("inc1", DESIGN.md §5.9) and the legacy from-scratch LU path
+     // ("exact") agree only to ~1e-12, so they key separately — a persisted
+     // entry is only rehydrated by the solver that produced it. The
+     // residual tolerance governs when the incremental path re-factors,
+     // which perturbs results at the same order, so it is part of the key
+     // on that path.
+     << ";solve=" << (network.exactResolve ? "exact" : "inc1");
+  if (!network.exactResolve)
+    os << ";rtol=" << network.refreshResidualTolerance;
   return os.str();
 }
 
@@ -100,6 +110,18 @@ BuiltStructure buildFor(const ViaArrayCharacterizationSpec& spec) {
       .stack = spec.stack,
   });
 }
+
+// The healthy-array crowding network, stamped, solved, and (on the
+// incremental path) factored exactly ONCE per characterization; every
+// Monte Carlo trial copies this prototype and shares its immutable base
+// (DESIGN.md §5.9).
+ViaArrayNetwork buildBaseNetwork(const ViaArrayCharacterizationSpec& spec) {
+  ViaArrayNetworkConfig netCfg = spec.network;
+  netCfg.n = spec.array.n;
+  netCfg.totalCurrentAmps = spec.totalCurrent();
+  netCfg.policy = spec.policy;
+  return ViaArrayNetwork(netCfg);
+}
 }  // namespace
 
 ViaArrayCharacterizer::ViaArrayCharacterizer(
@@ -109,14 +131,10 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
   VIADUCT_REQUIRE(spec_.trials >= 2);
   VIADUCT_REQUIRE(spec_.stressScale > 0.0);
 
-  // Nominal healthy-network resistance, the reference of the R=ratio
-  // criterion (includes the crowding network's plate segments).
-  {
-    ViaArrayNetworkConfig netCfg = spec_.network;
-    netCfg.n = spec_.array.n;
-    netCfg.totalCurrentAmps = spec_.totalCurrent();
-    nominalResistance_ = ViaArrayNetwork(netCfg).nominalResistance();
-  }
+  // Shared base network (also the reference of the R=ratio criterion —
+  // the nominal resistance includes the crowding network's plate segments).
+  baseNetwork_.emplace(buildBaseNetwork(spec_));
+  nominalResistance_ = baseNetwork_->nominalResistance();
 
   VIADUCT_SPAN("viaarray.characterize_fea");
   ThreadPool pool(spec_.parallelism);
@@ -158,12 +176,8 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
     VIADUCT_REQUIRE_MSG(t.failureTimes.size() == built_.vias.size(),
                         "cached trace length does not match the via count");
   }
-  {
-    ViaArrayNetworkConfig netCfg = spec_.network;
-    netCfg.n = spec_.array.n;
-    netCfg.totalCurrentAmps = spec_.totalCurrent();
-    nominalResistance_ = ViaArrayNetwork(netCfg).nominalResistance();
-  }
+  baseNetwork_.emplace(buildBaseNetwork(spec_));
+  nominalResistance_ = baseNetwork_->nominalResistance();
   rawSigmaT_ = data.rawSigmaT;
   for (double s : rawSigmaT_)
     sigmaT_.push_back(spec_.stressScale * s + spec_.stressOffsetPa);
@@ -196,10 +210,10 @@ void ViaArrayCharacterizer::simulateTrial(Rng& rng,
                   /*currentDensity=*/1.0, spec_.em);
   }
 
-  ViaArrayNetworkConfig netCfg = spec_.network;
-  netCfg.n = spec_.array.n;
-  netCfg.totalCurrentAmps = spec_.totalCurrent();
-  ViaArrayNetwork network(netCfg);
+  // Cheap copy-on-write handle onto the shared healthy base: the healthy
+  // solve below is served from the base's memoized voltages, and each
+  // failVia() is a rank-1 downdate instead of a fresh factorization.
+  ViaArrayNetwork network = *baseNetwork_;
 
   std::vector<double> damage(static_cast<std::size_t>(count), 0.0);
   std::vector<double> currents = network.viaCurrents();

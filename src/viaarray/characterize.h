@@ -18,6 +18,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -68,7 +69,11 @@ struct ViaArrayCharacterizationSpec {
   /// stresses the Figure 8 array at 1e10 A/m².
   double totalCurrentDensity = 1.0e10;
 
-  ViaArrayNetworkConfig network;  // totalCurrentAmps derived, see below
+  /// Crowding-network electrical config (totalCurrentAmps is derived, see
+  /// below). `network.exactResolve` selects the legacy from-scratch LU
+  /// solver instead of the incremental shared-base/downdate path for A/B
+  /// verification; the two key separately in cacheKey().
+  ViaArrayNetworkConfig network;
   EmParameters em;
 
   double stressScale = kDefaultStressScale;
@@ -175,6 +180,11 @@ class ViaArrayCharacterizer {
 
   ViaArrayCharacterizationSpec spec_;
   BuiltStructure built_;
+  /// Healthy-array network prototype: stamped, solved, and (incremental
+  /// path) factored once; each Monte Carlo trial copies it and shares the
+  /// immutable base state (DESIGN.md §5.9). Never mutated after
+  /// construction, so concurrent per-trial copies are safe.
+  std::optional<ViaArrayNetwork> baseNetwork_;
   double nominalResistance_ = 0.0;
   std::vector<double> rawSigmaT_;
   std::vector<double> sigmaT_;

@@ -11,11 +11,30 @@
 // Failing a via removes its branch; the remaining vias' currents
 // redistribute (and increase), which is what couples redundancy to EM in
 // Algorithm 1.
+//
+// Solver architecture (DESIGN.md §5.9): the healthy-array system is
+// stamped and Cholesky-factored ONCE per configuration into an immutable
+// shared base. Copy-constructing a network shares that base, so a Monte
+// Carlo trial's handle is cheap; the first failVia() clones the base
+// factor (copy-on-write) and every failure after that is a rank-1
+// Sherman–Morrison downdate of the clone — O(N²) per step instead of the
+// O(N³) from-scratch factorization, N = 2n²+1. The solved node-voltage
+// vector is memoized per failure state, so viaCurrents() and
+// effectiveResistance() share a single solve. Every incremental solve is
+// residual-guarded: when accumulated downdate roundoff (or a rejected
+// downdate, or an injected "network.resolve" fault under a permissive
+// FailurePolicy) breaks the tolerance, the current state is re-stamped and
+// factored from scratch instead of aborting the trial. The legacy
+// from-scratch dense LU path stays selectable via
+// ViaArrayNetworkConfig::exactResolve for A/B verification.
 #pragma once
 
+#include <memory>
 #include <vector>
 
+#include "fault/policy.h"
 #include "numerics/dense.h"
+#include "numerics/dense_cholesky.h"
 
 namespace viaduct {
 
@@ -27,20 +46,48 @@ struct ViaArrayNetworkConfig {
   double sheetResistancePerSquare = 0.02;
   /// Total current pushed through the array [A].
   double totalCurrentAmps = 0.01;
+
+  /// Legacy A/B path: re-stamp and LU-solve the full system from scratch
+  /// on every query instead of downdating the shared base factor. Slower
+  /// by ~N/10 per failure step; results agree with the incremental path to
+  /// ≤1e-10 (enforced by viaarray_network_incremental_test).
+  bool exactResolve = false;
+
+  /// Incremental path only: normalized KCL backward error
+  /// ‖Gv − b‖ / ‖ |G||v| + |b| ‖ above which the downdated factor is
+  /// discarded and re-factored from scratch.
+  double refreshResidualTolerance = 1e-10;
+
+  /// Recovery behavior of the incremental path: with the policy enabled
+  /// and `refactorOnWoodburyFailure`, an injected "network.resolve" fault
+  /// degrades to a fresh factorization instead of failing the trial.
+  /// Rejected downdates and residual breaches always refresh (they are
+  /// accuracy guards, not failures, and stay deterministic across policy
+  /// toggles).
+  fault::FailurePolicy policy;
 };
 
 class ViaArrayNetwork {
  public:
   explicit ViaArrayNetwork(const ViaArrayNetworkConfig& config);
 
+  /// Copies share the immutable healthy-array base (matrix, factor, and
+  /// solved voltages); per-instance failure state is independent. Copying
+  /// a healthy network is O(n²) bookkeeping — the intended Monte Carlo
+  /// pattern is one healthy prototype copied per trial. Copying a network
+  /// with failures deep-copies its downdated factor.
+  ViaArrayNetwork(const ViaArrayNetwork&) = default;
+  ViaArrayNetwork& operator=(const ViaArrayNetwork&) = default;
+
   int viaCount() const { return config_.n * config_.n; }
   int aliveCount() const { return aliveCount_; }
   bool viaAlive(int via) const;
 
-  /// Marks a via failed (idempotent-checked: failing twice throws).
+  /// Marks a via failed (idempotent-checked: failing twice throws). On the
+  /// incremental path this downdates the copy-on-write factor in O(N²).
   void failVia(int via);
 
-  /// Restores all vias.
+  /// Restores all vias (drops back to the shared base factor).
   void reset();
 
   /// Per-via currents [A] under the configured total current; failed vias
@@ -52,7 +99,7 @@ class ViaArrayNetwork {
   double effectiveResistance() const;
 
   /// Healthy-array effective resistance (cached at construction).
-  double nominalResistance() const { return nominalResistance_; }
+  double nominalResistance() const { return base_->nominalResistance; }
 
   /// Eq. (5): idealized fractional resistance increase when nF of n² equal
   /// parallel vias fail: ΔR/R = nF/(n² − nF). Static, for analysis/tests.
@@ -62,12 +109,55 @@ class ViaArrayNetwork {
   int viaIndex(int row, int col) const;
 
  private:
-  void solveNetwork(std::vector<double>& nodeVoltages) const;
+  /// Immutable healthy-array state shared by every copy of a network.
+  struct Base {
+    DenseMatrix healthyG;                // stamped healthy system
+    std::vector<double> rhs;             // current injection at the feed
+    DenseCholeskyFactor healthyFactor;   // empty when exactResolve
+    std::vector<double> healthyVoltages;
+    double nominalResistance = 0.0;
+    double gVia = 0.0;
+  };
+
+  /// Stamps the conductance system of the CURRENT alive state into `g`
+  /// (resized/cleared first).
+  void stampMatrix(DenseMatrix& g) const;
+
+  /// Memoized node voltages of the current failure state; one solve per
+  /// state regardless of how many viaCurrents()/effectiveResistance()
+  /// queries follow. NOT thread-safe: a network instance belongs to one
+  /// trial/thread (copies are independent).
+  const std::vector<double>& nodeVoltages() const;
+
+  /// From-scratch LU resolve of the current state (legacy/exact path).
+  void solveExact(std::vector<double>& v) const;
+
+  /// Incremental resolve: shared base factor for the healthy state, the
+  /// downdated copy-on-write factor otherwise, with the residual-guarded
+  /// refactor fallback.
+  void solveIncremental(std::vector<double>& v) const;
+
+  /// KCL residual ‖Gv − b‖₂/‖b‖₂ of the current topology, computed from
+  /// the stamped branches in O(n²) (never forms the dense matrix).
+  double topologyResidual(const std::vector<double>& v) const;
 
   ViaArrayNetworkConfig config_;
+  std::shared_ptr<const Base> base_;
   std::vector<bool> alive_;
   int aliveCount_ = 0;
-  double nominalResistance_ = 0.0;
+
+  // Copy-on-write incremental state (meaningful only when !exactResolve).
+  mutable DenseCholeskyFactor factor_;  // clone of base factor + downdates
+  bool ownFactor_ = false;
+  mutable bool factorStale_ = false;  // rejected downdate: refresh on solve
+
+  // Per-failure-state solve memo.
+  mutable std::vector<double> voltages_;
+  mutable bool voltagesValid_ = false;
+
+  // Step scratch (avoids per-step allocations on the hot path).
+  mutable std::vector<double> scratchA_;
+  mutable std::vector<double> scratchB_;
 };
 
 }  // namespace viaduct

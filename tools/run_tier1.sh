@@ -9,7 +9,10 @@
 #      trial recorder are TSan bait);
 #   5. an uninjected CLI smoke run that must complete WARN-free: with no
 #      site armed, no recovery path may fire and nothing may warn. The run
-#      checkpoints, is re-run with --resume, and both must agree.
+#      checkpoints, is re-run with --resume, and both must agree;
+#   6. the perf_viaarray A/B smoke: the incremental network solver and the
+#      legacy exact path must agree step-by-step and across a full level-1
+#      characterization (exit is nonzero on mismatch, never on timing).
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -25,28 +28,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/5] tier-1: configure + build + full test suite ==="
+echo "=== [1/6] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/5] fault label: recovery-path tests ==="
+echo "=== [2/6] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
-echo "=== [3/5] checkpoint label: crash-safety and resume tests ==="
+echo "=== [3/6] checkpoint label: crash-safety and resume tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [4/5] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/6] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [4/5] thread-sanitized build: tsan label ==="
+  echo "=== [4/6] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [5/5] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/6] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
 SMOKE_CKPT="$(mktemp -u).ckpt"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
@@ -64,4 +67,11 @@ if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
   exit 1
 fi
 echo "smoke run clean (no WARN/ERROR lines, resume exact)"
+
+echo "=== [6/6] perf_viaarray: incremental vs exact solver A/B smoke ==="
+# Benchmark registrations are skipped (filter matches nothing); the manual
+# A/B cross-check and BENCH_viaarray.json still run. Exit is nonzero only
+# if the two solver paths disagree.
+(cd build/bench && ./perf_viaarray --benchmark_filter='^$')
+
 echo "ALL TIER-1 CHECKS PASSED"

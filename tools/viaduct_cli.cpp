@@ -83,7 +83,7 @@ int cmdAnalyze(int argc, const char* const* argv) {
                            systemCrit = "ir", cachePath, checkpointPath;
   int viaN = 4, trials = 300, charTrials = 300, threads = 0,
       checkpointEvery = 32;
-  bool resume = false;
+  bool resume = false, exactResolve = false;
   double tuneIr = 0.06;
   CliFlags flags("viaduct_cli analyze: two-level EM TTF analysis");
   flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
@@ -107,12 +107,17 @@ int cmdAnalyze(int argc, const char* const* argv) {
   flags.addBool("resume", &resume,
                 "resume completed trials from --checkpoint (stale or "
                 "corrupt snapshots are rejected and re-run)");
+  flags.addBool("exact-resolve", &exactResolve,
+                "characterize with the legacy from-scratch LU network solve "
+                "instead of the incremental factor-downdate path (slow; A/B "
+                "verification only)");
   if (!flags.parse(argc, argv)) return 0;
 
   AnalyzerConfig config;
   config.viaArraySize = viaN;
   config.trials = trials;
   config.characterization.trials = charTrials;
+  config.characterization.network.exactResolve = exactResolve;
   config.tuneNominalIrDropFraction = tuneIr;
   config.parallelism.threads = threads;
   config.checkpoint.path = checkpointPath;
@@ -166,7 +171,7 @@ int cmdAnalyze(int argc, const char* const* argv) {
 
 int cmdCharacterize(int argc, const char* const* argv) {
   int n = 4, trials = 500, threads = 0, checkpointEvery = 32;
-  bool resume = false;
+  bool resume = false, exactResolve = false;
   std::string pattern = "Plus", criterion = "open", cachePath, checkpointPath;
   CliFlags flags("viaduct_cli characterize: level-1 via-array TTF");
   flags.addInt("n", &n, "via array dimension");
@@ -185,10 +190,15 @@ int cmdCharacterize(int argc, const char* const* argv) {
   flags.addBool("resume", &resume,
                 "resume completed trials from --checkpoint (stale or "
                 "corrupt snapshots are rejected and re-run)");
+  flags.addBool("exact-resolve", &exactResolve,
+                "use the legacy from-scratch LU network solve instead of "
+                "the incremental factor-downdate path (slow; A/B "
+                "verification only)");
   if (!flags.parse(argc, argv)) return 0;
 
   ViaArrayCharacterizationSpec spec;
   spec.array.n = n;
+  spec.network.exactResolve = exactResolve;
   spec.pattern = pattern == "T"   ? IntersectionPattern::kT
                  : pattern == "L" ? IntersectionPattern::kL
                                   : IntersectionPattern::kPlus;
