@@ -178,7 +178,12 @@ std::string gridMcCheckpointKey(const PowerGridModel& model,
     dists << d.mu() << ',' << d.sigma() << ';';
   dists << '|';
   for (const double s : options.perArrayTtfScale) dists << s << ';';
-  os << "gridmc-v1;model=" << std::hex << model.structureDigest() << std::dec
+  // v2: the direct-solver backend joined the key. Different backends agree
+  // only to ~1e-10, and trial samples are persisted bit-exactly, so a
+  // snapshot must not be resumed under a different solver or ordering.
+  os << "gridmc-v2;model=" << std::hex << model.structureDigest() << std::dec
+     << ";gsolve=" << spdSolverKindName(model.config().gridSolver) << ','
+     << orderingChoiceName(model.config().gridOrdering)
      << ";ttf=" << options.arrayTtf.mu() << ',' << options.arrayTtf.sigma()
      << ";per=" << std::hex << fnv1aHash(dists.str()) << std::dec
      << ";iref=" << options.referenceCurrentAmps

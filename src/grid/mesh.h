@@ -1,0 +1,54 @@
+// Synthetic PG-scale power-grid mesh generator.
+//
+// Produces the regular two-layer topology the paper's level-2 experiments
+// assume: a fine load layer of horizontal stripes (M1-like), a coarser
+// strap layer of vertical stripes (M2-like) tied to Vdd pads, and via
+// ARRAYS (Rvia* branches, degradable in the grid Monte Carlo) connecting
+// the two wherever a stripe crosses a strap. Node loads are drawn from a
+// counter-based RNG so a given spec always builds the identical netlist.
+// Used by bench/perf_grid_scale to sweep the engine from ~1e4 to ~1e6
+// nodes without shipping gigabyte netlist files.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "spice/netlist.h"
+
+namespace viaduct {
+
+struct MeshSpec {
+  /// Load-layer extent: `rows` horizontal stripes of `cols` nodes each.
+  Index rows = 32;
+  Index cols = 32;
+  /// A vertical strap (and a via array on every stripe crossing it) sits at
+  /// every viaPitch-th column.
+  Index viaPitch = 4;
+  /// Every padPitch-th strap node (along the strap) ties to a Vdd pad.
+  Index padPitch = 8;
+
+  double vdd = 1.0;
+  double stripeOhms = 0.04;  // per load-layer segment
+  double strapOhms = 0.01;   // per strap segment
+  double viaOhms = 0.5;      // nominal via-array resistance
+  double padOhms = 0.002;    // pad connection resistance
+  /// Mean per-node load; each node draws loadAmps·U(0.5, 1.5) from its own
+  /// counter-based stream.
+  double loadAmps = 2e-5;
+  std::uint64_t seed = 1;
+
+  /// Total electrical node count this spec builds (load + strap nodes;
+  /// pads are eliminated by the reduced analysis).
+  Index nodeCount() const;
+};
+
+/// Approximately square spec with ~`targetNodes` total nodes and the given
+/// pitches; the bench uses this to sweep decades.
+MeshSpec meshSpecForNodeTarget(Index targetNodes, Index viaPitch = 4,
+                               Index padPitch = 8);
+
+/// Builds the netlist for a spec. Every generated via-array resistor is
+/// named "Rvia_<row>_<col>" (PowerGridConfig's default prefix).
+Netlist buildMeshNetlist(const MeshSpec& spec);
+
+}  // namespace viaduct

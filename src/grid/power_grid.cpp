@@ -8,11 +8,46 @@
 #include "common/check.h"
 #include "common/logging.h"
 #include "common/serialize.h"
+#include "common/thread_pool.h"
+#include "fault/fault.h"
 #include "obs/obs.h"
 
 namespace viaduct {
 
 namespace {
+
+/// Builds the model's immutable base factorization with the configured
+/// backend, falling back down a retry ladder (configured → up-looking+RCM)
+/// when the policy layer allows recovery. The "grid.base_factor" fault site
+/// models acquisition failures of the configured backend (e.g. a marginal
+/// pivot that the scalar factorization's ordering survives).
+std::shared_ptr<const SpdFactor> buildBaseFactor(const CsrMatrix& g,
+                                                 const PowerGridConfig& config) {
+  VIADUCT_SPAN("grid.base_factor");
+  auto attempt = [&](SpdSolverKind kind, OrderingChoice ordering)
+      -> std::shared_ptr<const SpdFactor> {
+    if (fault::shouldInject("grid.base_factor")) {
+      throw NumericalError(
+          "grid base factorization rejected (injected fault)");
+    }
+    ThreadPool pool(std::max(1, config.factorThreads));
+    return buildSpdFactor(g, kind, ordering, &pool);
+  };
+  try {
+    return attempt(config.gridSolver, config.gridOrdering);
+  } catch (const NumericalError& e) {
+    const bool configuredIsFallback =
+        config.gridSolver == SpdSolverKind::kUplooking &&
+        config.gridOrdering == OrderingChoice::kRcm;
+    if (!config.policy.enabled || configuredIsFallback) throw;
+    VIADUCT_WARN << "grid base factorization ("
+                 << spdSolverKindName(config.gridSolver) << "+"
+                 << orderingChoiceName(config.gridOrdering) << ") failed: "
+                 << e.what() << "; retrying with uplooking+rcm";
+    VIADUCT_COUNTER_ADD("fault.policy.base_factor_fallbacks", 1);
+    return attempt(SpdSolverKind::kUplooking, OrderingChoice::kRcm);
+  }
+}
 
 struct ReducedIndexing {
   std::vector<Index> toUnknown;       // netlist node -> reduced index or -1
@@ -119,12 +154,25 @@ PowerGridModel::PowerGridModel(const Netlist& netlist,
     if (in >= 0) rhs_[in] += c.amps;
   }
 
-  conductance_ = CsrMatrix::fromTriplets(triplets);
+  conductance_ =
+      std::make_shared<const CsrMatrix>(CsrMatrix::fromTriplets(triplets));
   nodeToUnknown_ = idx.toUnknown;
   nodeKnownVoltage_ = idx.knownVoltage;
   nodeIsKnown_ = idx.known;
+  if (config_.sharedBaseFactor)
+    baseFactor_ = buildBaseFactor(*conductance_, config_);
   VIADUCT_DEBUG << "power grid: " << unknownCount_ << " unknowns, "
-                << viaArrays_.size() << " via arrays, Vdd=" << vdd_;
+                << viaArrays_.size() << " via arrays, Vdd=" << vdd_
+                << (baseFactor_ ? ", shared base factor" : "");
+}
+
+WoodburySolver PowerGridModel::makeSolver() const {
+  WoodburySolver::Options opts;
+  opts.policy = config_.policy;
+  opts.solver = config_.gridSolver;
+  opts.ordering = config_.gridOrdering;
+  if (baseFactor_) return WoodburySolver(conductance_, baseFactor_, opts);
+  return WoodburySolver(*conductance_, opts);
 }
 
 double PowerGridModel::nodeVoltage(Index netlistNode,
@@ -180,9 +228,7 @@ PowerGridModel::DcSolution PowerGridModel::evaluate(
 }
 
 PowerGridModel::DcSolution PowerGridModel::solveNominal() const {
-  WoodburySolver::Options opts;
-  opts.policy = config_.policy;
-  WoodburySolver solver{conductance_, opts};
+  WoodburySolver solver = makeSolver();
   std::vector<double> ohms;
   ohms.reserve(viaArrays_.size());
   for (const auto& site : viaArrays_) ohms.push_back(site.nominalOhms);
@@ -192,7 +238,7 @@ PowerGridModel::DcSolution PowerGridModel::solveNominal() const {
 double PowerGridModel::kclResidual(const DcSolution& solution) const {
   VIADUCT_REQUIRE(solution.voltages.size() ==
                   static_cast<std::size_t>(unknownCount_));
-  return conductance_.residualNorm(solution.voltages, rhs_);
+  return conductance_->residualNorm(solution.voltages, rhs_);
 }
 
 std::uint64_t PowerGridModel::structureDigest() const {
@@ -206,24 +252,16 @@ std::uint64_t PowerGridModel::structureDigest() const {
   os << '|';
   for (const double v : rhs_) os << v << ',';
   os << '|';
-  for (const Index p : conductance_.rowPointers()) os << p << ',';
+  for (const Index p : conductance_->rowPointers()) os << p << ',';
   os << '|';
-  for (const Index c : conductance_.colIndices()) os << c << ',';
+  for (const Index c : conductance_->colIndices()) os << c << ',';
   os << '|';
-  for (const double v : conductance_.values()) os << v << ',';
+  for (const double v : conductance_->values()) os << v << ',';
   return fnv1aHash(os.str());
 }
 
-namespace {
-WoodburySolver::Options sessionSolverOptions(const PowerGridModel& model) {
-  WoodburySolver::Options opts;
-  opts.policy = model.config().policy;
-  return opts;
-}
-}  // namespace
-
 PowerGridModel::Session::Session(const PowerGridModel& model)
-    : model_(model), solver_(model.conductance_, sessionSolverOptions(model)) {
+    : model_(model), solver_(model.makeSolver()) {
   currentOhms_.reserve(model.viaArrays_.size());
   for (const auto& site : model.viaArrays_)
     currentOhms_.push_back(site.nominalOhms);

@@ -27,6 +27,19 @@ struct PowerGridConfig {
   /// Residual conductance fraction left when an array is opened, keeping
   /// the system numerically nonsingular while guaranteeing an IR breach.
   double openResidualFraction = 1e-9;
+  /// Direct-solver backend and fill ordering for the reduced conductance
+  /// system. PG-scale meshes want supernodal+AMD; the defaults keep the
+  /// historical (and bitwise-identical) up-looking+RCM pipeline.
+  SpdSolverKind gridSolver = SpdSolverKind::kUplooking;
+  OrderingChoice gridOrdering = OrderingChoice::kRcm;
+  /// Threads for the one-time base factorization (supernodal only; the
+  /// factor is bit-identical for every value).
+  int factorThreads = 1;
+  /// Build one immutable base factorization per model and share it
+  /// (read-only) across every Session / Monte Carlo trial, so a trial pays
+  /// only its Woodbury deltas instead of a full factorization. Disabling
+  /// restores the legacy factor-per-session behavior (ablation/bench).
+  bool sharedBaseFactor = true;
   /// Failure policy threaded into the Woodbury solver (update-rejection
   /// recovery) and the failure Session (rebase-and-retry on a failed
   /// incremental solve).
@@ -113,8 +126,11 @@ class PowerGridModel {
   /// benchmarks and external solver experiments (bench/perf_solvers.cpp
   /// exercises the real stamped system through these instead of a
   /// synthetic stand-in).
-  const CsrMatrix& conductanceMatrix() const { return conductance_; }
+  const CsrMatrix& conductanceMatrix() const { return *conductance_; }
   const std::vector<double>& rhsVector() const { return rhs_; }
+
+  /// The shared base factorization (nullptr when sharedBaseFactor is off).
+  std::shared_ptr<const SpdFactor> baseFactor() const { return baseFactor_; }
 
   /// Stable digest of the full electrical system (reduced conductance
   /// matrix, loads, Vdd, via-array sites). Two models with the same digest
@@ -127,10 +143,18 @@ class PowerGridModel {
   DcSolution evaluate(const WoodburySolver& solver,
                       const std::vector<double>& arrayOhms) const;
 
+  /// A per-session/per-trial incremental solver. Shared-base mode adopts
+  /// the model's immutable factor (O(1)); otherwise the solver factors a
+  /// private copy like the legacy pipeline.
+  WoodburySolver makeSolver() const;
+
   PowerGridConfig config_;
   Index unknownCount_ = 0;
   double vdd_ = 0.0;
-  CsrMatrix conductance_;      // healthy reduced system
+  /// Healthy reduced system, behind a shared_ptr so shared-base solvers
+  /// can alias it without copying.
+  std::shared_ptr<const CsrMatrix> conductance_;
+  std::shared_ptr<const SpdFactor> baseFactor_;
   std::vector<double> rhs_;    // load + pad injections
   std::vector<ViaArraySite> viaArrays_;
   // Netlist-node -> reduced-system mapping (for nodeVoltage()).

@@ -5,61 +5,90 @@
 // once, then each IR-drop evaluation is two triangular solves. Combined
 // with the Woodbury engine (numerics/woodbury.h) it makes the sequential
 // via-failure Monte Carlo loop cheap.
+//
+// The symbolic analysis (ordering, permuted lower-triangle pattern,
+// elimination tree, column pointers) lives behind a shared_ptr and is
+// SHARED by every factor cloned through refactored(): a per-trial rebase
+// pays only the numeric sweep, never a second ordering or etree pass.
 #pragma once
 
+#include <memory>
 #include <span>
 #include <vector>
 
 #include "numerics/ordering.h"
 #include "numerics/sparse.h"
+#include "numerics/spd_factor.h"
 
 namespace viaduct {
 
-class SparseCholesky {
+class SparseCholesky : public SpdFactor {
  public:
-  enum class OrderingChoice { kNatural, kRcm, kMinimumDegree };
+  /// Historic spelling; the enum now lives at namespace scope so the
+  /// supernodal solver and the grid config can share it.
+  using OrderingChoice = viaduct::OrderingChoice;
 
   /// Factors the SPD matrix `a`. Throws NumericalError if `a` is not
   /// positive definite.
   explicit SparseCholesky(const CsrMatrix& a,
                           OrderingChoice ordering = OrderingChoice::kRcm);
 
-  Index size() const { return n_; }
-  std::size_t factorNonZeroCount() const { return values_.size(); }
+  Index size() const override { return n_; }
+  std::size_t factorNonZeroCount() const override { return values_.size(); }
+  SpdSolverKind kind() const override { return SpdSolverKind::kUplooking; }
 
   /// Solves A x = b (in the ORIGINAL ordering; permutation is internal).
-  std::vector<double> solve(std::span<const double> b) const;
+  using SpdFactor::solve;
 
-  /// In-place variant writing into `x`.
-  void solve(std::span<const double> b, std::span<double> x) const;
+  /// In-place variant writing into `x`. Thread-safe (allocates locally).
+  void solve(std::span<const double> b, std::span<double> x) const override;
 
   /// Re-factors numerically with new values on the SAME sparsity structure
   /// (same row/col pattern as the constructor matrix). Faster than a fresh
   /// construction because symbolic analysis is reused.
   void refactor(const CsrMatrix& a);
 
+  /// Copy-on-write variant of refactor(): a new factor sharing this one's
+  /// symbolic analysis; the receiver (possibly shared across threads) is
+  /// untouched.
+  std::unique_ptr<SpdFactor> refactored(const CsrMatrix& a) const override;
+
  private:
-  void symbolicAnalysis(const CsrMatrix& permuted);
+  /// Everything value-independent, shared across refactored() clones.
+  struct Symbolic {
+    Index n = 0;
+    Ordering ordering;
+    // CSR of the lower triangle of the permuted matrix (columns of the
+    // upper triangle), the access pattern up-looking factorization needs.
+    std::vector<Index> aRowPtr;
+    std::vector<Index> aColIdx;
+    // Elimination tree and per-column entry pointers of L (CSC, diagonal
+    // first; size n+1).
+    std::vector<Index> parent;
+    std::vector<Index> colPtr;
+  };
+
+  /// Clone constructor for refactored(): shares `symbolic`, runs only the
+  /// numeric sweep on `a`.
+  SparseCholesky(std::shared_ptr<const Symbolic> symbolic, const CsrMatrix& a);
+
+  static std::shared_ptr<const Symbolic> analyze(const CsrMatrix& permuted,
+                                                 Ordering ordering);
+  CsrMatrix permuted(const CsrMatrix& a) const;
+  void allocateNumeric();
   void numericFactor(const CsrMatrix& permuted);
 
   Index n_ = 0;
-  Ordering ordering_;
+  std::shared_ptr<const Symbolic> sym_;
 
-  // CSR of the lower triangle of the permuted matrix (columns of the upper
-  // triangle), the access pattern up-looking factorization needs.
-  std::vector<Index> aRowPtr_;
-  std::vector<Index> aColIdx_;
+  // Numeric values of the stored lower-triangle rows (pattern in sym_).
   std::vector<double> aValues_;
 
-  // Elimination tree and per-column entry counts of L.
-  std::vector<Index> parent_;
-  std::vector<Index> colPtr_;  // size n+1; L stored CSC, diagonal first
-
-  // Numeric factor.
+  // Numeric factor (pattern rebuilt per factorization; values per factor).
   std::vector<Index> rowIdx_;
   std::vector<double> values_;
 
-  // Workspaces reused across refactorizations.
+  // Workspaces reused across refactorizations (never touched by solve()).
   std::vector<Index> stack_;
   std::vector<Index> mark_;
   std::vector<double> work_;

@@ -1,0 +1,68 @@
+// Common interface over the sparse SPD factorizations (the scalar
+// up-looking SparseCholesky and the blocked SupernodalCholesky).
+//
+// The level-2 grid engine holds ONE immutable factor per PowerGridModel
+// behind shared_ptr<const SpdFactor>; every Monte Carlo trial session
+// solves against it concurrently (solve() is const and thread-safe) and a
+// rebase clones it through refactored(), which reuses the shared symbolic
+// analysis instead of re-running ordering + elimination-tree work.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "numerics/ordering.h"
+#include "numerics/sparse.h"
+
+namespace viaduct {
+
+class ThreadPool;  // common/thread_pool.h
+
+enum class SpdSolverKind { kUplooking, kSupernodal };
+
+class SpdFactor {
+ public:
+  virtual ~SpdFactor() = default;
+
+  virtual Index size() const = 0;
+  virtual std::size_t factorNonZeroCount() const = 0;
+  virtual SpdSolverKind kind() const = 0;
+
+  /// Solves A x = b in the original (unpermuted) ordering. Const and
+  /// thread-safe: concurrent solves on one factor share no mutable state.
+  virtual void solve(std::span<const double> b, std::span<double> x) const = 0;
+
+  std::vector<double> solve(std::span<const double> b) const {
+    std::vector<double> x(b.size());
+    solve(b, x);
+    return x;
+  }
+
+  /// Numeric re-factorization with new values on the SAME sparsity
+  /// structure, returned as a fresh factor that shares this factor's
+  /// symbolic analysis (ordering, elimination tree, supernode partition).
+  /// The receiver is untouched — this is the copy-on-write rebase path.
+  virtual std::unique_ptr<SpdFactor> refactored(const CsrMatrix& a) const = 0;
+};
+
+/// Factory over the solver kinds. `pool` parallelizes the supernodal
+/// numeric factorization (ignored by kUplooking); the factor itself is
+/// bit-identical for every pool size including nullptr.
+std::unique_ptr<SpdFactor> buildSpdFactor(const CsrMatrix& a,
+                                          SpdSolverKind kind,
+                                          OrderingChoice ordering,
+                                          ThreadPool* pool = nullptr);
+
+/// Stable names used by CLI flags, checkpoint keys and bench JSON.
+std::string_view spdSolverKindName(SpdSolverKind kind);
+std::string_view orderingChoiceName(OrderingChoice choice);
+
+/// Parse the names back ("uplooking"/"supernodal",
+/// "natural"/"rcm"/"mindeg"/"amd"); throws ParseError on anything else.
+SpdSolverKind parseSpdSolverKind(std::string_view name);
+OrderingChoice parseOrderingChoice(std::string_view name);
+
+}  // namespace viaduct

@@ -9,32 +9,85 @@
 namespace viaduct {
 
 WoodburySolver::WoodburySolver(CsrMatrix g0, const Options& options)
-    : options_(options), g_(std::move(g0)) {
-  VIADUCT_REQUIRE(g_.rows() == g_.cols());
-  factor_ = std::make_unique<SparseCholesky>(g_, options_.ordering);
+    : options_(options) {
+  VIADUCT_REQUIRE(g0.rows() == g0.cols());
+  base_ = std::make_shared<const CsrMatrix>(std::move(g0));
+  sharedBase_ = buildSpdFactor(*base_, options_.solver, options_.ordering);
 }
 
-void WoodburySolver::applyDeltaToMatrix(Index i, Index j, double deltaG) {
-  auto values = g_.mutableValues();
-  auto bump = [&](Index r, Index c, double dv) {
-    const std::ptrdiff_t pos = g_.valueIndex(r, c);
-    VIADUCT_REQUIRE_MSG(pos >= 0,
-                        "branch entry absent from the sparsity structure");
-    values[static_cast<std::size_t>(pos)] += dv;
-  };
-  if (i >= 0) bump(i, i, deltaG);
-  if (j >= 0) bump(j, j, deltaG);
-  if (i >= 0 && j >= 0) {
-    bump(i, j, -deltaG);
-    bump(j, i, -deltaG);
+WoodburySolver::WoodburySolver(std::shared_ptr<const CsrMatrix> g0,
+                               std::shared_ptr<const SpdFactor> baseFactor,
+                               const Options& options)
+    : options_(options), base_(std::move(g0)), sharedBase_(std::move(baseFactor)) {
+  VIADUCT_REQUIRE(base_ != nullptr && sharedBase_ != nullptr);
+  VIADUCT_REQUIRE(base_->rows() == base_->cols() &&
+                  sharedBase_->size() == base_->rows());
+  // The owning constructor factors here and so consumes one decision from
+  // the cholesky.factor fault stream per solver. Adopting a shared factor
+  // skips the factorization but must keep that per-solver stream alignment
+  // (and the failure surface: acquiring a base factor can still fail), so
+  // it queries the same site exactly once.
+  if (fault::shouldInject("cholesky.factor")) {
+    throw NumericalError(
+        "WoodburySolver: base factorization rejected (injected fault)");
   }
 }
 
+void WoodburySolver::recordDelta(Index i, Index j, double deltaG) {
+  auto check = [&](Index r, Index c) {
+    VIADUCT_REQUIRE_MSG(base_->valueIndex(r, c) >= 0,
+                        "branch entry absent from the sparsity structure");
+  };
+  if (i >= 0) check(i, i);
+  if (j >= 0) check(j, j);
+  if (i >= 0 && j >= 0) {
+    check(i, j);
+    check(j, i);
+  }
+  appliedDelta_[{i, j}] += deltaG;
+  if (gCache_) {
+    auto values = gCache_->mutableValues();
+    auto bump = [&](Index r, Index c, double dv) {
+      values[static_cast<std::size_t>(gCache_->valueIndex(r, c))] += dv;
+    };
+    if (i >= 0) bump(i, i, deltaG);
+    if (j >= 0) bump(j, j, deltaG);
+    if (i >= 0 && j >= 0) {
+      bump(i, j, -deltaG);
+      bump(j, i, -deltaG);
+    }
+  }
+}
+
+const CsrMatrix& WoodburySolver::currentMatrix() const {
+  if (!gCache_) {
+    gCache_.emplace(*base_);
+    auto values = gCache_->mutableValues();
+    auto bump = [&](Index r, Index c, double dv) {
+      values[static_cast<std::size_t>(gCache_->valueIndex(r, c))] += dv;
+    };
+    for (const auto& [key, d] : appliedDelta_) {
+      const auto [i, j] = key;
+      if (i >= 0) bump(i, i, d);
+      if (j >= 0) bump(j, j, d);
+      if (i >= 0 && j >= 0) {
+        bump(i, j, -d);
+        bump(j, i, -d);
+      }
+    }
+  }
+  return *gCache_;
+}
+
 std::vector<double> WoodburySolver::incidenceSolve(Index i, Index j) const {
-  std::vector<double> a(static_cast<std::size_t>(g_.rows()), 0.0);
+  std::vector<double> a(static_cast<std::size_t>(base_->rows()), 0.0);
   if (i >= 0) a[i] = 1.0;
   if (j >= 0) a[j] = -1.0;
-  return factor_->solve(a);
+  return activeFactor().solve(a);
+}
+
+void WoodburySolver::foldIntoFactor() {
+  privateFactor_ = activeFactor().refactored(currentMatrix());
 }
 
 void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
@@ -45,11 +98,12 @@ void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
   // (i, j), so sort the pair and keep a ground endpoint (−1) in slot j.
   if (i < 0) std::swap(i, j);
   if (j >= 0 && i > j) std::swap(i, j);
-  VIADUCT_REQUIRE(i >= 0 && i < g_.rows() && j < g_.rows());
+  VIADUCT_REQUIRE(i >= 0 && i < base_->rows() && j < base_->rows());
 
-  // g_ tracks the true updated matrix from here on, so a full
-  // re-factorization is always a valid recovery for anything below.
-  applyDeltaToMatrix(i, j, deltaG);
+  // The accumulated deltas always describe the true updated matrix from
+  // here on, so a full re-factorization is a valid recovery for anything
+  // below.
+  recordDelta(i, j, deltaG);
 
   try {
     if (fault::shouldInject("woodbury.update")) {
@@ -76,7 +130,7 @@ void WoodburySolver::updateBranch(Index i, Index j, double deltaG) {
     // the rejected delta must reach the factorization either way.
     VIADUCT_COUNTER_ADD("fault.policy.woodbury_refactors", 1);
     VIADUCT_COUNTER_ADD("woodbury.rebases", 1);
-    factor_->refactor(g_);
+    foldIntoFactor();
     branchIndex_.clear();
     branches_.clear();
     ++rebases_;
@@ -90,7 +144,7 @@ void WoodburySolver::rebase() {
   if (branches_.empty()) return;
   VIADUCT_SPAN("woodbury.rebase");
   VIADUCT_COUNTER_ADD("woodbury.rebases", 1);
-  factor_->refactor(g_);
+  foldIntoFactor();
   branches_.clear();
   branchIndex_.clear();
   ++rebases_;
@@ -103,7 +157,7 @@ std::vector<double> WoodburySolver::solve(std::span<const double> b) const {
   VIADUCT_COUNTER_ADD("woodbury.solves", 1);
   VIADUCT_HISTOGRAM_OBSERVE("woodbury.pending_updates", branches_.size(),
                             obs::Buckets::linear(0, 8, 16));
-  std::vector<double> x = factor_->solve(b);
+  std::vector<double> x = activeFactor().solve(b);
   const std::size_t k = branches_.size();
   if (k == 0) return x;
 

@@ -12,6 +12,14 @@
 // where k is the number of distinct changed branches so far. When k exceeds
 // `rebaseThreshold`, the updates are folded into G0 and the matrix is
 // re-factored numerically (symbolic analysis reused).
+//
+// Two ownership modes:
+//  - Owning (legacy): the solver copies G0 and factors it itself.
+//  - Shared-base: the solver borrows an immutable factorization of G0 built
+//    once (e.g. per PowerGridModel) and shared by every Monte Carlo trial
+//    on every thread. Construction is then O(1); the solver never touches
+//    the shared factor, promoting to a private clone (refactored(), which
+//    reuses the shared symbolic analysis) only if it has to rebase.
 #pragma once
 
 #include <map>
@@ -21,9 +29,9 @@
 #include <vector>
 
 #include "fault/policy.h"
-#include "numerics/cholesky.h"
 #include "numerics/dense.h"
 #include "numerics/sparse.h"
+#include "numerics/spd_factor.h"
 
 namespace viaduct {
 
@@ -33,8 +41,10 @@ class WoodburySolver {
     /// Fold updates into the base factorization when the number of distinct
     /// changed branches exceeds this.
     int rebaseThreshold = 48;
-    SparseCholesky::OrderingChoice ordering =
-        SparseCholesky::OrderingChoice::kRcm;
+    OrderingChoice ordering = OrderingChoice::kRcm;
+    /// Factorization backend for the owning constructor (the shared-base
+    /// constructor inherits whatever the caller built).
+    SpdSolverKind solver = SpdSolverKind::kUplooking;
     /// Recovery behavior when an incremental update is rejected: with
     /// `refactorOnWoodburyFailure` the delta (already applied to the
     /// tracked matrix) is folded into a fresh base factorization instead
@@ -42,11 +52,21 @@ class WoodburySolver {
     fault::FailurePolicy policy;
   };
 
-  /// `g0` must be SPD. A copy is kept for rebase operations.
+  /// Owning mode: `g0` must be SPD; it is copied and factored here.
   explicit WoodburySolver(CsrMatrix g0) : WoodburySolver(std::move(g0), Options{}) {}
   WoodburySolver(CsrMatrix g0, const Options& options);
 
-  Index size() const { return g_.rows(); }
+  /// Shared-base mode: `baseFactor` is a factorization of `*g0`, built once
+  /// and shared across solvers/threads; it is never mutated through this
+  /// class. Construction performs no factorization work.
+  WoodburySolver(std::shared_ptr<const CsrMatrix> g0,
+                 std::shared_ptr<const SpdFactor> baseFactor)
+      : WoodburySolver(std::move(g0), std::move(baseFactor), Options{}) {}
+  WoodburySolver(std::shared_ptr<const CsrMatrix> g0,
+                 std::shared_ptr<const SpdFactor> baseFactor,
+                 const Options& options);
+
+  Index size() const { return base_->rows(); }
 
   /// Applies a conductance delta to branch (i, j). Node index -1 denotes
   /// ground (an eliminated node), giving a rank-1 update on a single node.
@@ -66,11 +86,16 @@ class WoodburySolver {
   /// Total rebase operations performed (for instrumentation/ablation).
   int rebaseCount() const { return rebases_; }
 
+  /// True while solves still go through the borrowed shared factor (no
+  /// private re-factorization has been needed yet).
+  bool usesSharedBase() const { return privateFactor_ == nullptr; }
+
   /// Forces folding updates into the base factorization now.
   void rebase();
 
-  /// Read access to the current (updated) matrix values.
-  const CsrMatrix& currentMatrix() const { return g_; }
+  /// Read access to the current (updated) matrix values. Materialized
+  /// lazily in shared-base mode (the common trial never needs it).
+  const CsrMatrix& currentMatrix() const;
 
  private:
   struct Branch {
@@ -80,12 +105,26 @@ class WoodburySolver {
     std::vector<double> z;   // G0⁻¹ a, a = e_i − e_j
   };
 
-  void applyDeltaToMatrix(Index i, Index j, double deltaG);
+  /// The factor solves go through: the private clone once one exists,
+  /// otherwise the (possibly shared) base factor.
+  const SpdFactor& activeFactor() const {
+    return privateFactor_ ? *privateFactor_ : *sharedBase_;
+  }
+
+  void recordDelta(Index i, Index j, double deltaG);
+  void foldIntoFactor();
   std::vector<double> incidenceSolve(Index i, Index j) const;
 
   Options options_;
-  CsrMatrix g_;  // current matrix (kept numerically up to date)
-  std::unique_ptr<SparseCholesky> factor_;  // factorization of the BASE G0
+  std::shared_ptr<const CsrMatrix> base_;        // matrix at construction
+  std::shared_ptr<const SpdFactor> sharedBase_;  // factorization of *base_
+  std::unique_ptr<SpdFactor> privateFactor_;     // after the first rebase
+
+  /// Accumulated branch deltas relative to *base_ (canonical keys), and the
+  /// lazily materialized current matrix (base_ plus those deltas).
+  std::map<std::pair<Index, Index>, double> appliedDelta_;
+  mutable std::optional<CsrMatrix> gCache_;
+
   std::map<std::pair<Index, Index>, std::size_t> branchIndex_;
   std::vector<Branch> branches_;
   int rebases_ = 0;

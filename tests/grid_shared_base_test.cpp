@@ -1,0 +1,233 @@
+// Level-2 shared-base engine tests: the synthetic mesh generator, the
+// immutable shared base factorization behind every Session, supernodal vs
+// up-looking session parity, thread-count bit-identity of the grid Monte
+// Carlo, and the grid.base_factor / cholesky.supernodal_factor fault sites.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "common/units.h"
+#include "fault/fault.h"
+#include "grid/grid_mc.h"
+#include "grid/mesh.h"
+#include "grid/power_grid.h"
+#include "numerics/supernodal_cholesky.h"
+
+namespace viaduct {
+namespace {
+
+class GridSharedBaseTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    fault::Registry::instance().disarmAll();
+    fault::Registry::instance().setSeed(0);
+  }
+};
+
+MeshSpec smallSpec() {
+  MeshSpec spec;
+  spec.rows = 20;
+  spec.cols = 20;
+  spec.viaPitch = 4;
+  spec.padPitch = 8;
+  return spec;
+}
+
+Netlist tunedMesh(const MeshSpec& spec, double irFraction = 0.08) {
+  Netlist n = buildMeshNetlist(spec);
+  tuneNominalIrDrop(n, irFraction);
+  return n;
+}
+
+PowerGridConfig supernodalConfig() {
+  PowerGridConfig config;
+  config.gridSolver = SpdSolverKind::kSupernodal;
+  config.gridOrdering = OrderingChoice::kAmd;
+  return config;
+}
+
+/// Opens the same pseudo-random array sequence in both sessions and
+/// demands voltage agreement within `tol` after every step.
+void compareSessions(const PowerGridModel& a, const PowerGridModel& b,
+                     int steps, double tol, std::uint64_t seed) {
+  ASSERT_EQ(a.viaArrays().size(), b.viaArrays().size());
+  PowerGridModel::Session sa(a);
+  PowerGridModel::Session sb(b);
+  Rng rng(seed, 0);
+  const int count = static_cast<int>(a.viaArrays().size());
+  for (int s = 0; s < steps; ++s) {
+    const int idx = static_cast<int>(rng.uniform(0.0, 1.0) * count) % count;
+    if (s % 3 == 2) {
+      sa.degradeArray(idx, 5.0);
+      sb.degradeArray(idx, 5.0);
+    } else {
+      sa.openArray(idx);
+      sb.openArray(idx);
+    }
+    const auto va = sa.solve();
+    const auto vb = sb.solve();
+    ASSERT_TRUE(va.solverOk);
+    ASSERT_TRUE(vb.solverOk);
+    ASSERT_EQ(va.voltages.size(), vb.voltages.size());
+    for (std::size_t i = 0; i < va.voltages.size(); ++i)
+      ASSERT_NEAR(va.voltages[i], vb.voltages[i], tol)
+          << "node " << i << " after step " << s;
+    EXPECT_NEAR(va.worstIrDropFraction, vb.worstIrDropFraction, tol);
+  }
+}
+
+TEST_F(GridSharedBaseTest, MeshSpecHitsNodeTargets) {
+  for (const Index target : {10000, 100000}) {
+    const MeshSpec spec = meshSpecForNodeTarget(target);
+    const double ratio =
+        static_cast<double>(spec.nodeCount()) / static_cast<double>(target);
+    EXPECT_GT(ratio, 0.9) << "target " << target;
+    EXPECT_LT(ratio, 1.1) << "target " << target;
+  }
+}
+
+TEST_F(GridSharedBaseTest, MeshBuildsAWorkingGridModel) {
+  const MeshSpec spec = smallSpec();
+  const PowerGridModel model(tunedMesh(spec), supernodalConfig());
+  // All load + strap nodes are unknowns; pads are eliminated.
+  EXPECT_EQ(model.unknownCount(), spec.nodeCount());
+  // One via array per stripe/strap crossing.
+  const Index straps = (spec.cols - 1) / spec.viaPitch + 1;
+  EXPECT_EQ(static_cast<Index>(model.viaArrays().size()), spec.rows * straps);
+  const auto nominal = model.solveNominal();
+  ASSERT_TRUE(nominal.solverOk);
+  EXPECT_NEAR(nominal.worstIrDropFraction, 0.08, 1e-9);
+  EXPECT_LT(model.kclResidual(nominal), 1e-9);
+}
+
+TEST_F(GridSharedBaseTest, MeshNetlistIsDeterministic) {
+  const PowerGridModel a(tunedMesh(smallSpec()));
+  const PowerGridModel b(tunedMesh(smallSpec()));
+  EXPECT_EQ(a.structureDigest(), b.structureDigest());
+}
+
+TEST_F(GridSharedBaseTest, ModelExposesSharedBaseFactor) {
+  const Netlist net = tunedMesh(smallSpec());
+  const PowerGridModel shared(net, supernodalConfig());
+  ASSERT_NE(shared.baseFactor(), nullptr);
+  EXPECT_EQ(shared.baseFactor()->kind(), SpdSolverKind::kSupernodal);
+  EXPECT_EQ(shared.baseFactor()->size(), shared.unknownCount());
+
+  PowerGridConfig off = supernodalConfig();
+  off.sharedBaseFactor = false;
+  const PowerGridModel legacy(net, off);
+  EXPECT_EQ(legacy.baseFactor(), nullptr);
+}
+
+TEST_F(GridSharedBaseTest, SharedSessionsMatchExactPerTrialFactors) {
+  // Shared-base sessions (Woodbury deltas on the model's immutable factor)
+  // against the legacy architecture that refactors privately per session:
+  // same physics, so voltages must agree over a long failure sequence.
+  const Netlist net = tunedMesh(smallSpec());
+  PowerGridConfig off = supernodalConfig();
+  off.sharedBaseFactor = false;
+  const PowerGridModel shared(net, supernodalConfig());
+  const PowerGridModel exact(net, off);
+  compareSessions(shared, exact, /*steps=*/12, /*tol=*/1e-10, /*seed=*/31);
+}
+
+TEST_F(GridSharedBaseTest, SupernodalSessionsMatchUplooking) {
+  // The two solver backends under identical failure sequences: supernodal
+  // + AMD vs the historical up-looking + RCM pipeline, both shared-base.
+  const Netlist net = tunedMesh(smallSpec());
+  const PowerGridModel supernodal(net, supernodalConfig());
+  const PowerGridModel uplooking(net, PowerGridConfig{});
+  EXPECT_EQ(uplooking.baseFactor()->kind(), SpdSolverKind::kUplooking);
+  compareSessions(supernodal, uplooking, /*steps=*/12, /*tol=*/1e-10,
+                  /*seed=*/77);
+}
+
+TEST_F(GridSharedBaseTest, GridMcBitIdenticalAcrossThreadCounts) {
+  const PowerGridModel model(tunedMesh(smallSpec()), supernodalConfig());
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.trials = 24;
+  opts.seed = 9;
+  opts.maxFailuresPerTrial = 6;
+  opts.parallelism.threads = 1;
+  const auto serial = runGridMonteCarlo(model, opts);
+  ASSERT_EQ(serial.ttfSamples.size(), 24u);
+  for (const int threads : {4, 8}) {
+    opts.parallelism.threads = threads;
+    const auto parallel = runGridMonteCarlo(model, opts);
+    ASSERT_EQ(parallel.ttfSamples.size(), serial.ttfSamples.size());
+    for (std::size_t i = 0; i < serial.ttfSamples.size(); ++i)
+      EXPECT_EQ(parallel.ttfSamples[i], serial.ttfSamples[i])
+          << "trial " << i << " with " << threads << " threads";
+  }
+}
+
+TEST_F(GridSharedBaseTest, GridMcSamplesUnchangedBySharedBase) {
+  // Flipping sharedBaseFactor changes who owns the factorization, not the
+  // arithmetic: the Monte Carlo must emit identical samples either way.
+  const Netlist net = tunedMesh(smallSpec());
+  PowerGridConfig off = supernodalConfig();
+  off.sharedBaseFactor = false;
+  const PowerGridModel shared(net, supernodalConfig());
+  const PowerGridModel legacy(net, off);
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.trials = 12;
+  opts.seed = 4;
+  opts.maxFailuresPerTrial = 6;
+  const auto a = runGridMonteCarlo(shared, opts);
+  const auto b = runGridMonteCarlo(legacy, opts);
+  ASSERT_EQ(a.ttfSamples.size(), b.ttfSamples.size());
+  for (std::size_t i = 0; i < a.ttfSamples.size(); ++i)
+    EXPECT_EQ(a.ttfSamples[i], b.ttfSamples[i]) << "trial " << i;
+}
+
+TEST_F(GridSharedBaseTest, BaseFactorFaultFallsBackDownTheLadder) {
+  // grid.base_factor armed: with the policy enabled the model retries the
+  // base factorization with the up-looking + RCM fallback and stays usable.
+  const Netlist net = tunedMesh(smallSpec());
+  fault::Registry::instance().arm("grid.base_factor", {.nth = 1});
+  const PowerGridModel model(net, supernodalConfig());
+  EXPECT_GE(fault::Registry::instance().fireCount("grid.base_factor"), 1u);
+  ASSERT_NE(model.baseFactor(), nullptr);
+  EXPECT_EQ(model.baseFactor()->kind(), SpdSolverKind::kUplooking);
+  const auto nominal = model.solveNominal();
+  ASSERT_TRUE(nominal.solverOk);
+  EXPECT_LT(model.kclResidual(nominal), 1e-9);
+}
+
+TEST_F(GridSharedBaseTest, BaseFactorFaultAbortsWithPolicyDisabled) {
+  const Netlist net = tunedMesh(smallSpec());
+  PowerGridConfig config = supernodalConfig();
+  config.policy = fault::FailurePolicy::disabled();
+  fault::Registry::instance().arm("grid.base_factor", {.nth = 1});
+  EXPECT_THROW(PowerGridModel(net, config), NumericalError);
+}
+
+TEST_F(GridSharedBaseTest, SupernodalFactorSiteInjects) {
+  // The numeric-factorization site: a direct construction fails, and a
+  // policy-enabled model recovers through the same ladder (the injected
+  // NumericalError is indistinguishable from an organic one).
+  const Netlist net = tunedMesh(smallSpec());
+  const PowerGridModel plain(net, supernodalConfig());
+  fault::Registry::instance().arm("cholesky.supernodal_factor", {.nth = 1});
+  EXPECT_THROW(SupernodalCholesky(plain.conductanceMatrix()), NumericalError);
+
+  fault::Registry::instance().disarmAll();
+  fault::Registry::instance().arm("cholesky.supernodal_factor", {.nth = 1});
+  const PowerGridModel recovered(net, supernodalConfig());
+  EXPECT_GE(
+      fault::Registry::instance().fireCount("cholesky.supernodal_factor"),
+      1u);
+  ASSERT_NE(recovered.baseFactor(), nullptr);
+  EXPECT_EQ(recovered.baseFactor()->kind(), SpdSolverKind::kUplooking);
+  ASSERT_TRUE(recovered.solveNominal().solverOk);
+}
+
+}  // namespace
+}  // namespace viaduct

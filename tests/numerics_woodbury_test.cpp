@@ -4,6 +4,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "numerics/cholesky.h"
 
 namespace viaduct {
 namespace {

@@ -12,7 +12,11 @@
 #      checkpoints, is re-run with --resume, and both must agree;
 #   6. the perf_viaarray A/B smoke: the incremental network solver and the
 #      legacy exact path must agree step-by-step and across a full level-1
-#      characterization (exit is nonzero on mismatch, never on timing).
+#      characterization (exit is nonzero on mismatch, never on timing);
+#   7. the perf_grid_scale smoke: the level-2 shared-base supernodal engine
+#      on a ~1e4-node synthetic mesh — asserts up-looking/supernodal voltage
+#      parity, thread-count bit-identity, and a floor on the shared-base
+#      speedup over factorization-per-trial (exit is nonzero on any miss).
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -28,28 +32,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/6] tier-1: configure + build + full test suite ==="
+echo "=== [1/7] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/6] fault label: recovery-path tests ==="
+echo "=== [2/7] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
-echo "=== [3/6] checkpoint label: crash-safety and resume tests ==="
+echo "=== [3/7] checkpoint label: crash-safety and resume tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [4/6] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/7] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [4/6] thread-sanitized build: tsan label ==="
+  echo "=== [4/7] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [5/6] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/7] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
 SMOKE_CKPT="$(mktemp -u).ckpt"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
@@ -68,10 +72,15 @@ if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
 fi
 echo "smoke run clean (no WARN/ERROR lines, resume exact)"
 
-echo "=== [6/6] perf_viaarray: incremental vs exact solver A/B smoke ==="
+echo "=== [6/7] perf_viaarray: incremental vs exact solver A/B smoke ==="
 # Benchmark registrations are skipped (filter matches nothing); the manual
 # A/B cross-check and BENCH_viaarray.json still run. Exit is nonzero only
 # if the two solver paths disagree.
 (cd build/bench && ./perf_viaarray --benchmark_filter='^$')
+
+echo "=== [7/7] perf_grid_scale: shared-base level-2 engine smoke ==="
+# Parity, determinism, and speedup gates on the smallest mesh; the full
+# 1e4 -> 1e6 sweep is the same binary without --smoke.
+(cd build/bench && ./perf_grid_scale --smoke)
 
 echo "ALL TIER-1 CHECKS PASSED"

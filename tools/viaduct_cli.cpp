@@ -85,6 +85,7 @@ int cmdAnalyze(int argc, const char* const* argv) {
       checkpointEvery = 32;
   bool resume = false, exactResolve = false;
   double tuneIr = 0.06;
+  std::string gridSolver = "uplooking", gridOrdering = "rcm";
   CliFlags flags("viaduct_cli analyze: two-level EM TTF analysis");
   flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
   flags.addString("preset", &preset, "PG1/PG2/PG5");
@@ -111,9 +112,16 @@ int cmdAnalyze(int argc, const char* const* argv) {
                 "characterize with the legacy from-scratch LU network solve "
                 "instead of the incremental factor-downdate path (slow; A/B "
                 "verification only)");
+  flags.addString("grid-solver", &gridSolver,
+                  "direct solver for the grid system: uplooking|supernodal "
+                  "(supernodal+amd scales to ~1e6-node meshes)");
+  flags.addString("grid-ordering", &gridOrdering,
+                  "fill-reducing ordering: natural|rcm|mindeg|amd");
   if (!flags.parse(argc, argv)) return 0;
 
   AnalyzerConfig config;
+  config.gridConfig.gridSolver = parseSpdSolverKind(gridSolver);
+  config.gridConfig.gridOrdering = parseOrderingChoice(gridOrdering);
   config.viaArraySize = viaN;
   config.trials = trials;
   config.characterization.trials = charTrials;
