@@ -260,7 +260,14 @@ void TrialRecorder::finalize() {
   if (sinceWrite_ > 0) writeLocked();
 }
 
+double TrialRecorder::secondsSinceLastWrite() const {
+  const std::uint64_t last = lastWriteNs_.load(std::memory_order_relaxed);
+  if (last == 0) return -1.0;
+  return static_cast<double>(obs::nowNs() - last) * 1e-9;
+}
+
 void TrialRecorder::writeLocked() {
+  lastWriteNs_.store(obs::nowNs(), std::memory_order_relaxed);
   const CheckpointFile file(options_.path);
   if (!file.write(snapshot_)) {
     VIADUCT_COUNTER_ADD("checkpoint.write_failures", 1);

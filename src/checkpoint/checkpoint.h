@@ -37,6 +37,7 @@
 // paths deterministically.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <mutex>
@@ -133,6 +134,11 @@ class TrialRecorder {
   /// Number of trials restore() accepted.
   int resumedTrials() const { return resumedTrials_; }
 
+  /// Seconds since the last snapshot write attempt; negative when the
+  /// recorder is disabled or has never written. Lock-free — feeds the
+  /// progress reporter's checkpoint-age gauge.
+  double secondsSinceLastWrite() const;
+
   bool enabled() const { return options_.enabled(); }
 
  private:
@@ -143,6 +149,8 @@ class TrialRecorder {
   Snapshot snapshot_;
   int sinceWrite_ = 0;
   int resumedTrials_ = 0;
+  /// obs::nowNs() at the last writeLocked() attempt; 0 = never.
+  std::atomic<std::uint64_t> lastWriteNs_{0};
 };
 
 }  // namespace viaduct::checkpoint

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <ctime>
 #include <iostream>
 
@@ -12,6 +13,60 @@ namespace viaduct {
 
 namespace {
 std::atomic<LogLevel> g_level{LogLevel::kInfo};
+
+LogFormat initialLogFormat() {
+  const char* env = std::getenv("VIADUCT_LOG_JSON");
+  return (env && env[0] == '1' && env[1] == '\0') ? LogFormat::kJson
+                                                  : LogFormat::kText;
+}
+std::atomic<LogFormat> g_format{initialLogFormat()};
+
+/// Trimmed level name for the JSON format (the text format pads WARN/INFO
+/// to align columns; JSON consumers want the bare token).
+const char* levelToken(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    default:
+      return "?";
+  }
+}
+
+void appendJsonEscaped(std::string* out, const std::string& s) {
+  for (const char c : s) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          *out += buf;
+        } else {
+          *out += c;
+        }
+    }
+  }
+}
 
 const char* levelName(LogLevel level) {
   switch (level) {
@@ -38,7 +93,7 @@ std::string isoTimestamp() {
       duration_cast<milliseconds>(now.time_since_epoch()).count() % 1000;
   std::tm tm{};
   gmtime_r(&secs, &tm);
-  char buf[32];
+  char buf[48];
   std::snprintf(buf, sizeof buf, "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ",
                 tm.tm_year + 1900, tm.tm_mon + 1, tm.tm_mday, tm.tm_hour,
                 tm.tm_min, tm.tm_sec, static_cast<int>(millis));
@@ -49,6 +104,9 @@ std::string isoTimestamp() {
 void setLogLevel(LogLevel level) { g_level.store(level); }
 LogLevel logLevel() { return g_level.load(); }
 
+void setLogFormat(LogFormat format) { g_format.store(format); }
+LogFormat logFormat() { return g_format.load(); }
+
 namespace detail {
 void emitLog(LogLevel level, const std::string& msg) {
   // Format the whole line first and write it with a single call: pool
@@ -57,15 +115,27 @@ void emitLog(LogLevel level, const std::string& msg) {
   // dense index obs uses for shards and trace events.
   std::string line;
   line.reserve(msg.size() + 64);
-  line += "[viaduct ";
-  line += levelName(level);
-  line += ' ';
-  line += isoTimestamp();
-  line += " t";
-  line += std::to_string(obs::threadIndex());
-  line += "] ";
-  line += msg;
-  line += '\n';
+  if (g_format.load() == LogFormat::kJson) {
+    line += "{\"ts\":\"";
+    line += isoTimestamp();
+    line += "\",\"level\":\"";
+    line += levelToken(level);
+    line += "\",\"tid\":";
+    line += std::to_string(obs::threadIndex());
+    line += ",\"msg\":\"";
+    appendJsonEscaped(&line, msg);
+    line += "\"}\n";
+  } else {
+    line += "[viaduct ";
+    line += levelName(level);
+    line += ' ';
+    line += isoTimestamp();
+    line += " t";
+    line += std::to_string(obs::threadIndex());
+    line += "] ";
+    line += msg;
+    line += '\n';
+  }
   std::cerr.write(line.data(), static_cast<std::streamsize>(line.size()));
 }
 }  // namespace detail

@@ -13,6 +13,13 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 void setLogLevel(LogLevel level);
 LogLevel logLevel();
 
+/// kText is the default human-readable line; kJson emits one JSON object
+/// per line ({"ts","level","tid","msg"}) for log shippers. Initialised
+/// from the environment: VIADUCT_LOG_JSON=1 selects kJson at startup.
+enum class LogFormat { kText = 0, kJson = 1 };
+void setLogFormat(LogFormat format);
+LogFormat logFormat();
+
 namespace detail {
 void emitLog(LogLevel level, const std::string& msg);
 

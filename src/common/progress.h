@@ -1,0 +1,94 @@
+// Progress/ETA reporting for long-running trial loops (Monte Carlo at both
+// levels, FEA sweeps).
+//
+// A ProgressReporter is owned by the loop driver and fed by whichever
+// worker thread finishes a trial. It does two things:
+//
+//   1. Maintains live gauges in the obs registry, so a scrape of the
+//      telemetry HTTP endpoint mid-run answers "how far along is it":
+//      <label>.trials_completed, <label>.trials_discarded,
+//      <label>.trials_salvaged, <label>.trials_per_second_ewma,
+//      <label>.eta_seconds, <label>.fraction_done, and (when a checkpoint
+//      age supplier is attached) <label>.checkpoint_age_seconds.
+//
+//   2. Emits a rate-limited single-write INFO log line (at most one per
+//      reporting interval; the CLI default log level is WARN, so runs stay
+//      quiet unless --progress or VIADUCT_LOG_JSON consumers opt in).
+//
+// There is no background thread: the worker that happens to cross the
+// reporting interval claims the emission slot with one CAS and does the
+// formatting itself. Progress never feeds back into trial execution, so
+// results are bit-identical whether reporting is on or off.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+
+namespace viaduct {
+
+class ProgressReporter {
+ public:
+  struct Options {
+    /// Minimum seconds between INFO lines and gauge refreshes.
+    double reportEverySeconds = 5.0;
+    /// Smoothing factor for the trials-per-second EWMA (per report).
+    double ewmaAlpha = 0.3;
+    /// Optional supplier of "seconds since the checkpoint last wrote";
+    /// exposed as <label>.checkpoint_age_seconds when set. Called only
+    /// from the reporting slow path.
+    std::function<double()> checkpointAgeSeconds;
+  };
+
+  /// `label` prefixes every gauge and log line (e.g. "grid_mc",
+  /// "viaarray"); `totalTrials` <= 0 disables ETA/fraction gauges.
+  ProgressReporter(std::string label, std::int64_t totalTrials,
+                   Options options);
+  ProgressReporter(std::string label, std::int64_t totalTrials)
+      : ProgressReporter(std::move(label), totalTrials, Options{}) {}
+  ~ProgressReporter();
+
+  ProgressReporter(const ProgressReporter&) = delete;
+  ProgressReporter& operator=(const ProgressReporter&) = delete;
+
+  /// Credits trials finished before this loop started (checkpoint resume)
+  /// so fraction/ETA cover the whole run, without polluting the rate EWMA.
+  /// Call before the first trialDone().
+  void seedCompleted(std::int64_t alreadyDone);
+
+  /// Thread-safe; called by workers as trials finish. Discarded trials
+  /// failed a validity screen; salvaged ones recovered via a fault-policy
+  /// retry. All three count toward the completion total.
+  void trialDone(std::int64_t discarded = 0, std::int64_t salvaged = 0);
+
+  /// Forces a report now (gauges + INFO line), e.g. at loop exit.
+  void reportNow();
+
+  std::int64_t completed() const {
+    return completed_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  void report(double nowSeconds, bool force);
+  /// Monotonic seconds since construction.
+  double elapsedSeconds() const;
+
+  const std::string label_;
+  const std::int64_t total_;
+  const Options options_;
+  const std::uint64_t startNs_;
+
+  std::atomic<std::int64_t> completed_{0};
+  std::atomic<std::int64_t> discarded_{0};
+  std::atomic<std::int64_t> salvaged_{0};
+  /// Next elapsed-seconds threshold at which a report may fire; workers
+  /// claim it by CAS so exactly one formats the line.
+  std::atomic<double> nextReportAt_;
+  /// Completed count and timestamp at the previous report, for the EWMA.
+  std::atomic<std::int64_t> lastReportCompleted_{0};
+  std::atomic<double> lastReportAt_{0.0};
+  std::atomic<double> ewmaRate_{0.0};
+};
+
+}  // namespace viaduct

@@ -55,6 +55,7 @@ class VoxelElasticityOperator final : public LinearOperator {
   Index size() const override { return s_.grid_.nodeCount() * 3; }
 
   void apply(std::span<const double> x, std::span<double> y) const override {
+    VIADUCT_SPAN("fea.cg_apply");
     VIADUCT_COUNTER_ADD("fea.operator_applies", 1);
     VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(size()) &&
                     y.size() == x.size());
@@ -208,6 +209,7 @@ CgResult ThermoSolver::solve() {
     NodalBlockPreconditioner(std::vector<double> inverses, ThreadPool* pool)
         : inv_(std::move(inverses)), pool_(pool) {}
     void apply(std::span<const double> r, std::span<double> z) const override {
+      VIADUCT_SPAN("fea.precond_apply");
       const auto nodes = static_cast<std::int64_t>(inv_.size() / 9);
       parallelFor(pool_, 0, nodes, kNodeGrain, [&](std::int64_t n) {
         const double* m = &inv_[static_cast<std::size_t>(n) * 9];

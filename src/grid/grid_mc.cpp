@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/progress.h"
 #include "common/rng.h"
 #include "common/serialize.h"
 #include "fault/fault.h"
@@ -266,6 +267,14 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
   // armed injection site to the same per-trial stream, so injected-fault
   // schedules (and hence the discard/salvage pattern) are too.
   ThreadPool pool(options.parallelism);
+  ProgressReporter::Options progressOptions;
+  if (recorder.enabled())
+    progressOptions.checkpointAgeSeconds = [&recorder] {
+      return recorder.secondsSinceLastWrite();
+    };
+  ProgressReporter progress("grid_mc", options.trials,
+                            std::move(progressOptions));
+  progress.seedCompleted(result.resumedTrials);
   pool.runChunks(
       0, options.trials, kTrialChunk, [&](std::int64_t lo, std::int64_t hi) {
         TrialWorkspace ws;
@@ -295,6 +304,8 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
           recorder.record({trial, toOutcome(status[idx]),
                            {samples[idx], static_cast<double>(failures[idx])},
                            {}});
+          progress.trialDone(status[idx] == TrialStatus::kDiscarded ? 1 : 0,
+                             status[idx] == TrialStatus::kSalvaged ? 1 : 0);
         }
       });
   recorder.finalize();

@@ -1,0 +1,47 @@
+// viaduct::obs — text export surfaces over the registry snapshot.
+//
+// Two renderings of the same RegistrySnapshot:
+//
+//   openMetricsText()   OpenMetrics/Prometheus text exposition: counters as
+//                       <name>_total, gauges verbatim, histograms with
+//                       CUMULATIVE le="" buckets plus _sum/_count, derived
+//                       p50/p90/p99 gauges per histogram, and span
+//                       aggregates as <name>_seconds_total / _calls_total
+//                       pairs. Ends with the mandatory "# EOF" terminator.
+//   sampleJsonLine()    one compact JSON object on a single line (no
+//                       embedded newlines) for the background sampler's
+//                       JSONL stream; carries wall-clock and monotonic
+//                       timestamps plus a sequence number so lines join
+//                       against log timestamps and survive truncation
+//                       (every complete line is independently parseable).
+//
+// Metric names are sanitized for OpenMetrics ('.' and any other character
+// outside [a-zA-Z0-9_:] become '_') and prefixed "viaduct_".
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "obs/metrics.h"
+
+namespace viaduct::obs {
+
+/// "cg.solves" -> "viaduct_cg_solves".
+std::string openMetricsName(std::string_view name);
+
+/// Full OpenMetrics exposition of `snap`, terminated by "# EOF\n".
+std::string openMetricsText(const RegistrySnapshot& snap);
+
+/// Convenience: exposition of the live registry.
+std::string openMetricsText();
+
+/// The MIME type a compliant scraper expects for openMetricsText().
+const char* openMetricsContentType();
+
+/// One JSONL sample of `snap`: a single line ending in '\n'.
+/// `seq` is the sampler's monotone sequence number; `unixMillis` is
+/// wall-clock epoch milliseconds; `monoNs` is obs::nowNs().
+std::string sampleJsonLine(const RegistrySnapshot& snap, std::uint64_t seq,
+                           std::uint64_t unixMillis, std::uint64_t monoNs);
+
+}  // namespace viaduct::obs

@@ -1,0 +1,173 @@
+#include "obs/http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/obs.h"
+#include "obs/solver_health.h"
+
+namespace viaduct::obs {
+
+namespace {
+
+bool parseHostPort(const std::string& spec, std::string* host, int* port) {
+  const std::size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon + 1 >= spec.size()) return false;
+  *host = spec.substr(0, colon);
+  if (host->empty()) *host = "127.0.0.1";
+  if (*host == "localhost") *host = "127.0.0.1";
+  try {
+    const int p = std::stoi(spec.substr(colon + 1));
+    if (p < 0 || p > 65535) return false;
+    *port = p;
+  } catch (const std::exception&) {
+    return false;
+  }
+  return true;
+}
+
+void writeAll(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n <= 0) return;  // peer went away; nothing to recover
+    sent += static_cast<std::size_t>(n);
+  }
+}
+
+void writeResponse(int fd, const char* status, const std::string& contentType,
+                   const std::string& body) {
+  std::string head = "HTTP/1.1 ";
+  head += status;
+  head += "\r\nContent-Type: " + contentType;
+  head += "\r\nContent-Length: " + std::to_string(body.size());
+  head += "\r\nConnection: close\r\n\r\n";
+  writeAll(fd, head.data(), head.size());
+  writeAll(fd, body.data(), body.size());
+}
+
+}  // namespace
+
+std::unique_ptr<TelemetryHttpServer> TelemetryHttpServer::start(
+    const std::string& hostPort, std::string* error) {
+  const auto fail = [&](const std::string& why) {
+    if (error) *error = why;
+    return nullptr;
+  };
+
+  std::string host;
+  int port = 0;
+  if (!parseHostPort(hostPort, &host, &port))
+    return fail("cannot parse '" + hostPort + "' (expected HOST:PORT)");
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1)
+    return fail("cannot parse host '" + host + "' (numeric IPv4 or localhost)");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return fail("socket() failed: " + std::string(strerror(errno)));
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) != 0) {
+    const std::string why = strerror(errno);
+    ::close(fd);
+    return fail("cannot bind " + hostPort + ": " + why);
+  }
+  if (::listen(fd, 16) != 0) {
+    const std::string why = strerror(errno);
+    ::close(fd);
+    return fail("listen() failed: " + why);
+  }
+
+  sockaddr_in bound{};
+  socklen_t len = sizeof bound;
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+
+  auto server = std::unique_ptr<TelemetryHttpServer>(new TelemetryHttpServer());
+  server->listenFd_ = fd;
+  server->host_ = host;
+  server->port_ = static_cast<int>(ntohs(bound.sin_port));
+  server->thread_ = std::thread([s = server.get()] { s->serveLoop(); });
+  return server;
+}
+
+TelemetryHttpServer::~TelemetryHttpServer() {
+  stop_.store(true, std::memory_order_relaxed);
+  if (thread_.joinable()) thread_.join();
+  if (listenFd_ >= 0) ::close(listenFd_);
+}
+
+std::string TelemetryHttpServer::endpoint() const {
+  return "http://" + host_ + ":" + std::to_string(port_);
+}
+
+void TelemetryHttpServer::serveLoop() {
+  while (!stop_.load(std::memory_order_relaxed)) {
+    pollfd pfd{listenFd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
+    if (ready <= 0) continue;  // timeout (re-check stop) or transient error
+    const int conn = ::accept(listenFd_, nullptr, nullptr);
+    if (conn < 0) continue;
+    handleConnection(conn);
+    ::close(conn);
+  }
+}
+
+void TelemetryHttpServer::handleConnection(int fd) {
+  // Read until the end of the request head (or 2 KiB / 2 s, whichever
+  // first) — only the request line matters, there is no request body.
+  std::string request;
+  char buf[1024];
+  for (int rounds = 0; rounds < 20 && request.find("\r\n\r\n") == std::string::npos;
+       ++rounds) {
+    pollfd pfd{fd, POLLIN, 0};
+    if (::poll(&pfd, 1, /*timeout_ms=*/100) <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    request.append(buf, static_cast<std::size_t>(n));
+    if (request.size() >= 2048) break;
+  }
+
+  const std::size_t lineEnd = request.find("\r\n");
+  if (lineEnd == std::string::npos) return;
+  const std::string line = request.substr(0, lineEnd);
+  const std::size_t sp1 = line.find(' ');
+  const std::size_t sp2 = line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    writeResponse(fd, "400 Bad Request", "text/plain", "bad request\n");
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  const std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (method != "GET") {
+    writeResponse(fd, "405 Method Not Allowed", "text/plain",
+                  "only GET is supported\n");
+    return;
+  }
+  if (path == "/metrics") {
+    writeResponse(fd, "200 OK", openMetricsContentType(), openMetricsText());
+  } else if (path == "/metrics.json") {
+    writeResponse(fd, "200 OK", "application/json", snapshotJson());
+  } else if (path == "/debug/solves") {
+    writeResponse(fd, "200 OK", "application/json", solveTracesJson());
+  } else if (path == "/healthz" || path == "/") {
+    writeResponse(fd, "200 OK", "text/plain", "ok\n");
+  } else {
+    writeResponse(fd, "404 Not Found", "text/plain",
+                  "try /metrics, /metrics.json, /debug/solves, /healthz\n");
+  }
+}
+
+}  // namespace viaduct::obs

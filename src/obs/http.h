@@ -1,0 +1,66 @@
+// viaduct::obs — minimal dependency-free telemetry HTTP listener.
+//
+// Serves the live registry over plain HTTP/1.1 so a long Monte Carlo or
+// FEA run can be observed while in flight:
+//
+//   GET /metrics       OpenMetrics text exposition (Prometheus-scrapable)
+//   GET /metrics.json  the same snapshot as --metrics-out, as JSON
+//   GET /debug/solves  solver-health residual-decay traces (JSON)
+//   GET /healthz       "ok" liveness probe
+//
+// One background thread accepts and serves connections sequentially (a
+// scrape is a read-only snapshot render, microseconds of work); the accept
+// loop polls with a short timeout so stop() joins promptly. Rendering a
+// snapshot takes only shared registry locks — instrumented hot loops are
+// never blocked by a scrape.
+//
+// POSIX sockets only, IPv4. `hostPort` is "HOST:PORT" with a numeric host
+// or "localhost"; port 0 binds an ephemeral port (read it back via
+// port()).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+
+namespace viaduct::obs {
+
+class TelemetryHttpServer {
+ public:
+  /// Binds and starts serving. Returns nullptr and fills `error` when the
+  /// spec does not parse or the socket cannot be bound.
+  static std::unique_ptr<TelemetryHttpServer> start(
+      const std::string& hostPort, std::string* error = nullptr);
+
+  ~TelemetryHttpServer();
+
+  TelemetryHttpServer(const TelemetryHttpServer&) = delete;
+  TelemetryHttpServer& operator=(const TelemetryHttpServer&) = delete;
+
+  /// The bound port (the actual one when the spec asked for port 0).
+  int port() const { return port_; }
+  const std::string& host() const { return host_; }
+  /// "http://HOST:PORT" for log lines.
+  std::string endpoint() const;
+
+  /// Requests served so far (tests / idle diagnostics).
+  std::uint64_t requestsServed() const {
+    return requests_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  TelemetryHttpServer() = default;
+  void serveLoop();
+  void handleConnection(int fd);
+
+  int listenFd_ = -1;
+  int port_ = 0;
+  std::string host_;
+  std::thread thread_;
+  std::atomic<bool> stop_{false};
+  std::atomic<std::uint64_t> requests_{0};
+};
+
+}  // namespace viaduct::obs

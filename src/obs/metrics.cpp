@@ -172,6 +172,46 @@ void Registry::reset() {
   for (auto& [name, s] : spanStats_) s->reset();
 }
 
+double histogramQuantile(const HistogramSnapshot& h, double q) {
+  if (h.count == 0 || h.bounds.empty()) return 0.0;
+  const double rank = q * static_cast<double>(h.count);
+  std::uint64_t cumulative = 0;
+  for (std::size_t b = 0; b < h.counts.size(); ++b) {
+    cumulative += h.counts[b];
+    if (static_cast<double>(cumulative) < rank) continue;
+    if (b >= h.bounds.size()) break;  // +inf bucket: clamp below
+    const double hi = h.bounds[b];
+    const double lo = b == 0 ? std::min(0.0, hi) : h.bounds[b - 1];
+    const auto inBucket = static_cast<double>(h.counts[b]);
+    if (inBucket <= 0.0) return hi;
+    const double below = static_cast<double>(cumulative) - inBucket;
+    return lo + (hi - lo) * std::min(1.0, (rank - below) / inBucket);
+  }
+  return h.bounds.back();
+}
+
+RegistrySnapshot Registry::snapshot() const {
+  std::shared_lock lock(mutex_);
+  RegistrySnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) snap.counters.emplace_back(name, c->value());
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) snap.gauges.emplace_back(name, g->value());
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.bounds = h->upperBounds();
+    hs.counts = h->bucketCounts();
+    hs.sum = h->sum();
+    for (const std::uint64_t c : hs.counts) hs.count += c;
+    snap.histograms.emplace_back(name, std::move(hs));
+  }
+  snap.spans.reserve(spanStats_.size());
+  for (const auto& [name, s] : spanStats_)
+    snap.spans.emplace_back(name, SpanSnapshot{s->count(), s->totalNs()});
+  return snap;
+}
+
 namespace {
 void appendJsonString(std::ostream& os, std::string_view s) {
   os << '"';
@@ -184,55 +224,53 @@ void appendJsonString(std::ostream& os, std::string_view s) {
 }  // namespace
 
 std::string Registry::snapshotJson() const {
-  std::shared_lock lock(mutex_);
+  const RegistrySnapshot snap = snapshot();
   std::ostringstream os;
   os.precision(17);
 
   os << "\"counters\": {";
   bool first = true;
-  for (const auto& [name, c] : counters_) {
+  for (const auto& [name, value] : snap.counters) {
     if (!first) os << ", ";
     first = false;
     appendJsonString(os, name);
-    os << ": " << c->value();
+    os << ": " << value;
   }
   os << "},\n\"gauges\": {";
   first = true;
-  for (const auto& [name, g] : gauges_) {
+  for (const auto& [name, value] : snap.gauges) {
     if (!first) os << ", ";
     first = false;
     appendJsonString(os, name);
-    os << ": " << g->value();
+    os << ": " << value;
   }
   os << "},\n\"histograms\": {";
   first = true;
-  for (const auto& [name, h] : histograms_) {
+  for (const auto& [name, h] : snap.histograms) {
     if (!first) os << ",";
     first = false;
     os << "\n  ";
     appendJsonString(os, name);
     os << ": {\"bounds\": [";
-    const auto& bounds = h->upperBounds();
-    for (std::size_t i = 0; i < bounds.size(); ++i)
-      os << (i ? ", " : "") << bounds[i];
+    for (std::size_t i = 0; i < h.bounds.size(); ++i)
+      os << (i ? ", " : "") << h.bounds[i];
     os << "], \"counts\": [";
-    const auto counts = h->bucketCounts();
-    std::uint64_t total = 0;
-    for (std::size_t i = 0; i < counts.size(); ++i) {
-      os << (i ? ", " : "") << counts[i];
-      total += counts[i];
-    }
-    os << "], \"count\": " << total << ", \"sum\": " << h->sum() << "}";
+    for (std::size_t i = 0; i < h.counts.size(); ++i)
+      os << (i ? ", " : "") << h.counts[i];
+    os << "], \"count\": " << h.count << ", \"sum\": " << h.sum
+       << ", \"p50\": " << histogramQuantile(h, 0.50)
+       << ", \"p90\": " << histogramQuantile(h, 0.90)
+       << ", \"p99\": " << histogramQuantile(h, 0.99) << "}";
   }
   os << "\n},\n\"spans\": {";
   first = true;
-  for (const auto& [name, s] : spanStats_) {
+  for (const auto& [name, s] : snap.spans) {
     if (!first) os << ",";
     first = false;
     os << "\n  ";
     appendJsonString(os, name);
-    os << ": {\"count\": " << s->count()
-       << ", \"total_seconds\": " << static_cast<double>(s->totalNs()) * 1e-9
+    os << ": {\"count\": " << s.count
+       << ", \"total_seconds\": " << static_cast<double>(s.totalNs) * 1e-9
        << "}";
   }
   os << "\n}";

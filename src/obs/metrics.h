@@ -84,13 +84,36 @@ class Counter {
 
 class Gauge {
  public:
-  void set(double v) { value_.store(v, std::memory_order_relaxed); }
-  void add(double delta) { detail::atomicAdd(value_, delta); }
-  double value() const { return value_.load(std::memory_order_relaxed); }
-  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+  /// `set` is authoritative: it goes through the single base slot, never
+  /// through the shards, so the value read after a set is exactly the last
+  /// set that happened-before the read — not a merge whose result depends
+  /// on which shard a writer thread hashed to. Deltas accumulated by `add`
+  /// before the set are retired; an `add` racing the set keeps last-write-
+  /// wins semantics (it either survives on a cleared shard or is retired
+  /// with the rest).
+  void set(double v) {
+    base_.store(v, std::memory_order_relaxed);
+    for (auto& s : shards_) s.value.store(0.0, std::memory_order_relaxed);
+  }
+  /// `add` stays sharded: one uncontended relaxed CAS on the calling
+  /// thread's shard, like Counter.
+  void add(double delta) {
+    detail::atomicAdd(shards_[static_cast<std::size_t>(detail::shardIndex())].value,
+                      delta);
+  }
+  double value() const {
+    double total = base_.load(std::memory_order_relaxed);
+    for (const auto& s : shards_) total += s.value.load(std::memory_order_relaxed);
+    return total;
+  }
+  void reset() {
+    base_.store(0.0, std::memory_order_relaxed);
+    for (auto& s : shards_) s.value.store(0.0, std::memory_order_relaxed);
+  }
 
  private:
-  std::atomic<double> value_{0.0};
+  std::atomic<double> base_{0.0};
+  detail::SumShard shards_[detail::kShards];
 };
 
 class Histogram {
@@ -144,6 +167,42 @@ class SpanStat {
   Shard shards_[detail::kShards];
 };
 
+/// Point-in-time copy of one histogram: bucket upper bounds, per-bucket
+/// (non-cumulative) counts with the +inf bucket last, total count, and sum.
+struct HistogramSnapshot {
+  std::vector<double> bounds;
+  std::vector<std::uint64_t> counts;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+};
+
+/// Point-in-time copy of one span aggregate.
+struct SpanSnapshot {
+  std::uint64_t count = 0;
+  std::uint64_t totalNs = 0;
+};
+
+/// Point-in-time copy of the whole registry, name-sorted. This is the one
+/// structure every export surface (JSON snapshot, OpenMetrics text, the
+/// JSONL sampler) renders, so the surfaces can never disagree about what a
+/// metric is called or how its buckets are laid out. Each instrument is
+/// read with its own merge-on-read pass: values taken while writers are
+/// hammering are internally consistent per instrument (a histogram's
+/// `count` always equals the sum of its `counts`) but not a global atomic
+/// cut across instruments.
+struct RegistrySnapshot {
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<std::pair<std::string, HistogramSnapshot>> histograms;
+  std::vector<std::pair<std::string, SpanSnapshot>> spans;
+};
+
+/// Prometheus-style quantile estimate from bucketed counts: finds the
+/// bucket containing rank q*count and interpolates linearly inside it
+/// (from 0 for the first bucket). Ranks landing in the +inf bucket clamp
+/// to the last finite bound. Returns 0 for an empty histogram.
+double histogramQuantile(const HistogramSnapshot& h, double q);
+
 /// Process-wide instrument registry. Registration (the first call for a
 /// given name) takes a unique lock; subsequent lookups take a shared lock.
 /// Returned references remain valid for the process lifetime.
@@ -164,6 +223,9 @@ class Registry {
 
   /// The metrics half of obs::snapshotJson() (no trailing newline).
   std::string snapshotJson() const;
+
+  /// Point-in-time copy of every instrument (see RegistrySnapshot).
+  RegistrySnapshot snapshot() const;
 
  private:
   Registry() = default;

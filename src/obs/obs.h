@@ -13,6 +13,12 @@
 // Hot-loop cost with obs enabled: one relaxed load (the gate) plus one
 // relaxed fetch_add on a cache-line-padded per-thread shard. The handle
 // lookup happens once per call site (function-local static).
+//
+// The live-telemetry surfaces over the same registry live in their own
+// headers (they pull in sockets/threads and are not for hot loops):
+// obs/export.h (OpenMetrics + JSONL rendering), obs/http.h (scrape
+// listener), obs/sampler.h (background JSONL sampler), obs/solver_health.h
+// (residual-decay trace ring).
 #pragma once
 
 #include <string>

@@ -1,0 +1,75 @@
+#include "obs/sampler.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "obs/export.h"
+#include "obs/span.h"
+
+namespace viaduct::obs {
+
+namespace {
+std::uint64_t unixMillis() {
+  using namespace std::chrono;
+  return static_cast<std::uint64_t>(
+      duration_cast<milliseconds>(system_clock::now().time_since_epoch())
+          .count());
+}
+}  // namespace
+
+std::unique_ptr<MetricsSampler> MetricsSampler::start(const std::string& path,
+                                                      double everySeconds,
+                                                      std::string* error) {
+  const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
+  if (fd < 0) {
+    if (error)
+      *error = "cannot open " + path + ": " + std::string(strerror(errno));
+    return nullptr;
+  }
+  auto sampler = std::unique_ptr<MetricsSampler>(new MetricsSampler());
+  sampler->fd_ = fd;
+  sampler->path_ = path;
+  sampler->thread_ = std::thread(
+      [s = sampler.get(), everySeconds] { s->sampleLoop(everySeconds); });
+  return sampler;
+}
+
+MetricsSampler::~MetricsSampler() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  writeSample();  // final state, after the loop has quiesced
+  if (fd_ >= 0) ::close(fd_);
+}
+
+void MetricsSampler::writeSample() {
+  const std::uint64_t seq = seq_.fetch_add(1, std::memory_order_relaxed);
+  const std::string line =
+      sampleJsonLine(Registry::instance().snapshot(), seq, unixMillis(),
+                     nowNs());
+  // One write(2) per line on an O_APPEND fd: lines are atomic with respect
+  // to each other and a crash can only cut the final one short.
+  (void)!::write(fd_, line.data(), line.size());
+}
+
+void MetricsSampler::sampleLoop(double everySeconds) {
+  const auto interval = std::chrono::duration<double>(
+      everySeconds > 0.001 ? everySeconds : 0.001);
+  writeSample();  // short runs leave at least the initial sample
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (!stop_) {
+    if (cv_.wait_for(lock, interval, [this] { return stop_; })) break;
+    lock.unlock();
+    writeSample();
+    lock.lock();
+  }
+}
+
+}  // namespace viaduct::obs

@@ -1,0 +1,62 @@
+// viaduct::obs — background metrics sampler (JSONL stream).
+//
+// A sampler thread appends one registry snapshot per interval to a file,
+// one self-contained JSON object per line (see export.h sampleJsonLine).
+// The point is post-mortem observability: a run that is OOM-killed or
+// SIGKILLed mid-flight leaves a parseable time series on disk — every
+// complete line is independent, and a reader simply skips a final line
+// truncated mid-write.
+//
+// Crash-robustness mechanics: the file is opened O_APPEND and every line
+// is emitted with a single write(2) call, so lines from the sampler never
+// interleave with each other and a crash can only truncate the very last
+// line. A first sample is written immediately at start (short runs leave
+// at least one), and a final sample at stop().
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+namespace viaduct::obs {
+
+class MetricsSampler {
+ public:
+  /// Opens `path` for appending and starts sampling every
+  /// `everySeconds` (clamped to >= 1 ms). Returns nullptr and fills
+  /// `error` when the file cannot be opened.
+  static std::unique_ptr<MetricsSampler> start(const std::string& path,
+                                               double everySeconds,
+                                               std::string* error = nullptr);
+
+  /// Writes a final sample and stops the thread.
+  ~MetricsSampler();
+
+  MetricsSampler(const MetricsSampler&) = delete;
+  MetricsSampler& operator=(const MetricsSampler&) = delete;
+
+  const std::string& path() const { return path_; }
+  /// Samples written so far.
+  std::uint64_t samplesWritten() const {
+    return seq_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  MetricsSampler() = default;
+  void sampleLoop(double everySeconds);
+  void writeSample();
+
+  int fd_ = -1;
+  std::string path_;
+  std::thread thread_;
+  std::atomic<std::uint64_t> seq_{0};
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace viaduct::obs

@@ -1,0 +1,114 @@
+#include "obs/solver_health.h"
+
+#include <cstdio>
+#include <deque>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.h"
+
+namespace viaduct::obs {
+
+namespace {
+
+struct TraceRing {
+  std::mutex mutex;
+  std::deque<SolveTrace> traces;
+  std::uint64_t nextId = 1;
+};
+
+TraceRing& ring() {
+  static TraceRing r;
+  return r;
+}
+
+std::vector<float> decimate(std::vector<float> residuals) {
+  const std::size_t n = residuals.size();
+  if (n <= kSolveTraceMaxPoints) return residuals;
+  std::vector<float> out;
+  out.reserve(kSolveTraceMaxPoints);
+  const std::size_t stride = (n + kSolveTraceMaxPoints - 1) / kSolveTraceMaxPoints;
+  for (std::size_t i = 0; i < n; i += stride) out.push_back(residuals[i]);
+  if (out.back() != residuals.back()) out.push_back(residuals.back());
+  return out;
+}
+
+std::string floatNum(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+void recordSolveTrace(SolveTrace trace) {
+  if (!enabled()) return;
+  trace.residuals = decimate(std::move(trace.residuals));
+  TraceRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  trace.id = r.nextId++;
+  r.traces.push_back(std::move(trace));
+  if (r.traces.size() > kSolveTraceCapacity) r.traces.pop_front();
+}
+
+std::vector<SolveTrace> solveTraces() {
+  TraceRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return {r.traces.begin(), r.traces.end()};
+}
+
+std::size_t solveTraceCount() {
+  TraceRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  return r.traces.size();
+}
+
+void clearSolveTraces() {
+  TraceRing& r = ring();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  r.traces.clear();
+}
+
+std::string solveTracesJson() {
+  const std::vector<SolveTrace> traces = solveTraces();
+  std::string out = "{\"schema\": \"viaduct-solve-traces-v1\", \"traces\": [";
+  bool first = true;
+  for (const SolveTrace& t : traces) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += "  {\"solver\": \"";
+    out += t.solver;
+    out += "\", \"id\": " + std::to_string(t.id);
+    out += ", \"unknowns\": " + std::to_string(t.unknowns);
+    out += ", \"iterations\": " + std::to_string(t.iterations);
+    out += ", \"converged\": ";
+    out += t.converged ? "true" : "false";
+    out += ", \"relative_residual\": " + floatNum(t.relativeResidual);
+    out += ", \"residual_decay\": [";
+    for (std::size_t i = 0; i < t.residuals.size(); ++i) {
+      if (i) out += ", ";
+      out += floatNum(t.residuals[i]);
+    }
+    out += "]}";
+  }
+  out += "\n]}\n";
+  return out;
+}
+
+std::string describeResidualDecay(const std::vector<float>& residuals,
+                                  std::size_t points) {
+  if (residuals.empty()) return "(no residual trace)";
+  std::string out;
+  const std::size_t n = residuals.size();
+  const std::size_t take = points < 2 ? 2 : points;
+  for (std::size_t p = 0; p < take; ++p) {
+    const std::size_t i = p * (n - 1) / (take - 1);
+    if (p) out += " -> ";
+    out += floatNum(residuals[i]);
+    if (p + 1 == take) break;
+    if (i + 1 >= n) break;
+  }
+  return out;
+}
+
+}  // namespace viaduct::obs

@@ -1,0 +1,63 @@
+// viaduct::obs — solver-health diagnostics: per-solve residual-decay
+// traces.
+//
+// Iterative solvers (today: CG) record one SolveTrace per solve — system
+// size, iteration count, convergence flag, and a decimated relative-
+// residual decay curve — into a fixed-capacity process-wide ring buffer.
+// The ring holds the most recent kSolveTraceCapacity solves, so after a
+// non-convergence (or a stall investigated live over the HTTP endpoint)
+// the decay shape that led up to it is still available: a plateauing
+// curve points at the preconditioner, a sawtooth at an indefinite or
+// near-singular operator.
+//
+// Recording costs one mutex acquisition per SOLVE (not per iteration);
+// the per-iteration cost on the solver side is one float append into a
+// preallocated local vector, gated on obs::enabled(). Traces never feed
+// back into the solve: bit-identity across obs on/off is untouched.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace viaduct::obs {
+
+inline constexpr std::size_t kSolveTraceCapacity = 64;
+/// Decay curves longer than this are decimated by striding (first and
+/// last points always kept).
+inline constexpr std::size_t kSolveTraceMaxPoints = 128;
+
+struct SolveTrace {
+  /// Solver family, e.g. "cg". Must outlive the process (string literal).
+  const char* solver = "cg";
+  /// Monotone per-process solve id (assigned by recordSolveTrace).
+  std::uint64_t id = 0;
+  /// System size (unknowns).
+  std::int64_t unknowns = 0;
+  int iterations = 0;
+  bool converged = false;
+  double relativeResidual = 0.0;
+  /// Relative residual after each recorded iteration (decimated).
+  std::vector<float> residuals;
+};
+
+/// Appends `trace` to the ring (decimating its residual curve) and assigns
+/// its id. No-op when obs is runtime-disabled.
+void recordSolveTrace(SolveTrace trace);
+
+/// The buffered traces, oldest first.
+std::vector<SolveTrace> solveTraces();
+
+/// {"schema": "viaduct-solve-traces-v1", "traces": [...]} — the on-demand
+/// dump served at /debug/solves by the telemetry HTTP listener.
+std::string solveTracesJson();
+
+std::size_t solveTraceCount();
+void clearSolveTraces();
+
+/// Compact one-line rendering of a decay curve ("1 -> 0.1 -> ... -> 1e-9",
+/// at most `points` samples) for WARN lines on non-convergence.
+std::string describeResidualDecay(const std::vector<float>& residuals,
+                                  std::size_t points = 6);
+
+}  // namespace viaduct::obs

@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/progress.h"
 #include "em/korhonen.h"
 #include "fault/fault.h"
 #include "fea/thermo_solver.h"
@@ -312,6 +313,14 @@ const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
     }
 
     ThreadPool pool(spec_.parallelism);
+    ProgressReporter::Options progressOptions;
+    if (recorder.enabled())
+      progressOptions.checkpointAgeSeconds = [&recorder] {
+        return recorder.secondsSinceLastWrite();
+      };
+    ProgressReporter progress("viaarray", spec_.trials,
+                              std::move(progressOptions));
+    progress.seedCompleted(resumedTrials_);
     // Each trial draws from its own counter-based stream Rng(seed, t), so
     // the trial→sample mapping never depends on scheduling and the traces
     // are bit-identical for any thread count (and for any resumed subset).
@@ -349,6 +358,8 @@ const std::vector<FailureTrace>& ViaArrayCharacterizer::traces() {
                      ? checkpoint::TrialOutcome::kSalvaged
                      : checkpoint::TrialOutcome::kKept,
            traces_[idx].failureTimes, traces_[idx].resistanceAfter});
+      progress.trialDone(status[idx] == TrialStatus::kDiscarded ? 1 : 0,
+                         status[idx] == TrialStatus::kSalvaged ? 1 : 0);
     });
     recorder.finalize();
     for (const TrialStatus s : status) {

@@ -1,0 +1,100 @@
+// ProgressReporter tests: completion accounting from concurrent workers,
+// the exported gauges (completed/discarded/salvaged/rate/ETA/fraction and
+// checkpoint age), resume seeding, and the guarantee that reporting never
+// touches trial execution (it only reads what workers already counted).
+#include "common/progress.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+namespace {
+
+class ProgressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::resetAll();
+  }
+
+  static double gauge(const std::string& name) {
+    return obs::Registry::instance().gauge(name).value();
+  }
+};
+
+TEST_F(ProgressTest, CountsTrialsFromConcurrentWorkers) {
+  ProgressReporter::Options opts;
+  opts.reportEverySeconds = 0.0;  // report on every trial
+  ProgressReporter progress("progress_test", 400, std::move(opts));
+  std::vector<std::thread> workers;
+  for (int t = 0; t < 4; ++t) {
+    workers.emplace_back([&progress] {
+      for (int i = 0; i < 100; ++i)
+        progress.trialDone(i % 10 == 0 ? 1 : 0, i % 25 == 0 ? 1 : 0);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(progress.completed(), 400);
+  progress.reportNow();
+  EXPECT_DOUBLE_EQ(gauge("progress_test.trials_completed"), 400.0);
+  EXPECT_DOUBLE_EQ(gauge("progress_test.trials_discarded"), 40.0);
+  EXPECT_DOUBLE_EQ(gauge("progress_test.trials_salvaged"), 16.0);
+  EXPECT_DOUBLE_EQ(gauge("progress_test.fraction_done"), 1.0);
+  EXPECT_GT(gauge("progress_test.trials_per_second_ewma"), 0.0);
+}
+
+TEST_F(ProgressTest, SeedCompletedCreditsResumedTrials) {
+  ProgressReporter::Options opts;
+  opts.reportEverySeconds = 1000.0;  // only the forced report
+  ProgressReporter progress("progress_seed", 100, std::move(opts));
+  progress.seedCompleted(60);
+  for (int i = 0; i < 40; ++i) progress.trialDone();
+  EXPECT_EQ(progress.completed(), 100);
+  progress.reportNow();
+  EXPECT_DOUBLE_EQ(gauge("progress_seed.trials_completed"), 100.0);
+  EXPECT_DOUBLE_EQ(gauge("progress_seed.fraction_done"), 1.0);
+}
+
+TEST_F(ProgressTest, CheckpointAgeGaugeUsesSupplier) {
+  ProgressReporter::Options opts;
+  opts.reportEverySeconds = 1000.0;
+  opts.checkpointAgeSeconds = [] { return 12.5; };
+  {
+    ProgressReporter progress("progress_ckpt", 10, std::move(opts));
+    for (int i = 0; i < 10; ++i) progress.trialDone();
+    progress.reportNow();
+  }
+  EXPECT_DOUBLE_EQ(gauge("progress_ckpt.checkpoint_age_seconds"), 12.5);
+}
+
+TEST_F(ProgressTest, UnknownTotalSkipsEtaAndFraction) {
+  ProgressReporter::Options opts;
+  opts.reportEverySeconds = 1000.0;
+  ProgressReporter progress("progress_open", 0, std::move(opts));
+  for (int i = 0; i < 5; ++i) progress.trialDone();
+  progress.reportNow();
+  EXPECT_DOUBLE_EQ(gauge("progress_open.trials_completed"), 5.0);
+  // No total => no fraction/ETA gauges registered with nonzero values.
+  EXPECT_DOUBLE_EQ(gauge("progress_open.fraction_done"), 0.0);
+}
+
+TEST_F(ProgressTest, DisabledObsStillCounts) {
+  obs::setEnabled(false);
+  ProgressReporter::Options opts;
+  opts.reportEverySeconds = 0.0;
+  ProgressReporter progress("progress_off", 10, std::move(opts));
+  for (int i = 0; i < 10; ++i) progress.trialDone();
+  EXPECT_EQ(progress.completed(), 10);
+  obs::setEnabled(true);
+  // Gauges were never touched while disabled.
+  EXPECT_DOUBLE_EQ(gauge("progress_off.trials_completed"), 0.0);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -5,6 +5,8 @@
 #include "common/check.h"
 #include "common/rng.h"
 #include "numerics/dense.h"
+#include "obs/obs.h"
+#include "obs/solver_health.h"
 
 namespace viaduct {
 namespace {
@@ -183,6 +185,108 @@ TEST_P(CgSizeSweep, ResidualMeetsTolerance) {
 
 INSTANTIATE_TEST_SUITE_P(GridSizes, CgSizeSweep,
                          ::testing::Values(2, 5, 9, 16, 25));
+
+// --- Solver-health traces -------------------------------------------------
+
+class CgSolverHealth : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::resetAll();
+    obs::clearSolveTraces();
+  }
+};
+
+TEST_F(CgSolverHealth, ConvergedSolveRecordsDecayingTrace) {
+  const CsrMatrix a = laplacian2d(8, 8, 0.05);
+  Rng rng(7);
+  const auto b = randomVector(64, rng);
+  (void)solveCgJacobi(a, b);
+
+  const auto traces = obs::solveTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  const obs::SolveTrace& t = traces.back();
+  EXPECT_STREQ(t.solver, "cg");
+  EXPECT_EQ(t.unknowns, 64);
+  EXPECT_TRUE(t.converged);
+  EXPECT_GT(t.iterations, 0);
+  // The decay curve starts at 1 (relative residual of the zero guess) and
+  // ends below the default tolerance.
+  ASSERT_GE(t.residuals.size(), 2u);
+  EXPECT_NEAR(t.residuals.front(), 1.0f, 1e-5f);
+  EXPECT_LT(t.residuals.back(), 1e-8f);
+  EXPECT_LT(t.residuals.back(), t.residuals.front());
+}
+
+TEST_F(CgSolverHealth, StalledSolveRecordsNonConvergedTrace) {
+  const CsrMatrix a = laplacian2d(10, 10, 0.05);
+  Rng rng(8);
+  const auto b = randomVector(100, rng);
+  std::vector<double> x(100, 0.0);
+  const JacobiPreconditioner m(a);
+  CgOptions opts;
+  opts.maxIterations = 3;  // force a stall
+  opts.throwOnStall = false;
+  const CgResult res = conjugateGradient(a, b, x, m, opts);
+  EXPECT_FALSE(res.converged);
+
+  const auto traces = obs::solveTraces();
+  ASSERT_EQ(traces.size(), 1u);
+  EXPECT_FALSE(traces.back().converged);
+  EXPECT_EQ(traces.back().iterations, 3);
+  EXPECT_GT(traces.back().relativeResidual, 0.0);
+}
+
+TEST_F(CgSolverHealth, SizeClassHistogramsBinBySystemSize) {
+  const CsrMatrix a = laplacian2d(6, 6, 0.05);
+  Rng rng(9);
+  const auto b = randomVector(36, rng);
+  (void)solveCgJacobi(a, b);
+  const obs::RegistrySnapshot snap = obs::Registry::instance().snapshot();
+  bool sawSmall = false;
+  for (const auto& [name, h] : snap.histograms) {
+    if (name == "cg.iterations.small") {
+      sawSmall = true;
+      EXPECT_EQ(h.count, 1u);
+    }
+    // A 36-unknown solve must not land in the other size classes.
+    if (name == "cg.iterations.medium" || name == "cg.iterations.large")
+      EXPECT_EQ(h.count, 0u);
+  }
+  EXPECT_TRUE(sawSmall);
+}
+
+TEST_F(CgSolverHealth, TraceRingKeepsMostRecent) {
+  const CsrMatrix a = laplacian2d(4, 4, 0.05);
+  Rng rng(10);
+  const auto b = randomVector(16, rng);
+  for (std::size_t i = 0; i < obs::kSolveTraceCapacity + 8; ++i)
+    (void)solveCgJacobi(a, b);
+  EXPECT_EQ(obs::solveTraceCount(), obs::kSolveTraceCapacity);
+  const auto traces = obs::solveTraces();
+  // Ids are monotone; the ring keeps the most recent window.
+  for (std::size_t i = 1; i < traces.size(); ++i)
+    EXPECT_EQ(traces[i].id, traces[i - 1].id + 1);
+}
+
+TEST_F(CgSolverHealth, DescribeResidualDecayCompressesCurve) {
+  const std::vector<float> curve{1.0f, 0.5f, 0.1f, 0.01f, 1e-4f, 1e-6f,
+                                 1e-8f, 1e-10f};
+  const std::string s = obs::describeResidualDecay(curve, 4);
+  EXPECT_NE(s.find("->"), std::string::npos);
+  EXPECT_NE(s.find("1"), std::string::npos);
+  EXPECT_EQ(obs::describeResidualDecay({}), "(no residual trace)");
+}
+
+TEST_F(CgSolverHealth, DisabledObsRecordsNothing) {
+  obs::setEnabled(false);
+  const CsrMatrix a = laplacian2d(4, 4, 0.05);
+  Rng rng(11);
+  const auto b = randomVector(16, rng);
+  (void)solveCgJacobi(a, b);
+  obs::setEnabled(true);
+  EXPECT_EQ(obs::solveTraceCount(), 0u);
+}
 
 }  // namespace
 }  // namespace viaduct

@@ -1,0 +1,162 @@
+// Telemetry HTTP listener tests: serving valid OpenMetrics while a real
+// grid Monte Carlo hammers the registry from pool workers, the JSON and
+// solver-health endpoints, and the error paths (404/405). The client side
+// is a raw blocking socket — the same thing curl does — so the test
+// exercises the listener's actual HTTP framing.
+#include "obs/http.h"
+
+#include <gtest/gtest.h>
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "common/units.h"
+#include "grid/grid_mc.h"
+#include "obs/obs.h"
+#include "spice/generator.h"
+
+namespace viaduct {
+namespace {
+
+class ObsHttpTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    obs::setEnabled(true);
+    obs::resetAll();
+  }
+};
+
+/// Blocking one-shot HTTP GET against 127.0.0.1:`port`. Returns the full
+/// response (head + body), empty on connect failure.
+std::string httpGet(int port, const std::string& path,
+                    const char* method = "GET") {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return "";
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = std::string(method) + " " + path +
+                              " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
+  (void)!::send(fd, request.data(), request.size(), 0);
+  std::string response;
+  char buf[4096];
+  ssize_t n;
+  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+    response.append(buf, static_cast<std::size_t>(n));
+  ::close(fd);
+  return response;
+}
+
+TEST_F(ObsHttpTest, EphemeralPortAndHealthz) {
+  std::string error;
+  auto server = obs::TelemetryHttpServer::start("127.0.0.1:0", &error);
+  ASSERT_NE(server, nullptr) << error;
+  EXPECT_GT(server->port(), 0);
+  const std::string response = httpGet(server->port(), "/healthz");
+  EXPECT_NE(response.find("200 OK"), std::string::npos);
+  EXPECT_NE(response.find("ok"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, RejectsBadSpecAndBusyPort) {
+  std::string error;
+  EXPECT_EQ(obs::TelemetryHttpServer::start("no-port-here", &error), nullptr);
+  EXPECT_FALSE(error.empty());
+  EXPECT_EQ(obs::TelemetryHttpServer::start("not an ip:80", &error), nullptr);
+
+  auto first = obs::TelemetryHttpServer::start("127.0.0.1:0", &error);
+  ASSERT_NE(first, nullptr);
+  const std::string spec = "127.0.0.1:" + std::to_string(first->port());
+  EXPECT_EQ(obs::TelemetryHttpServer::start(spec, &error), nullptr);
+  EXPECT_NE(error.find("bind"), std::string::npos);
+}
+
+TEST_F(ObsHttpTest, NotFoundAndMethodNotAllowed) {
+  std::string error;
+  auto server = obs::TelemetryHttpServer::start("localhost:0", &error);
+  ASSERT_NE(server, nullptr) << error;
+  EXPECT_NE(httpGet(server->port(), "/nope").find("404"), std::string::npos);
+  EXPECT_NE(httpGet(server->port(), "/metrics", "POST").find("405"),
+            std::string::npos);
+  EXPECT_GE(server->requestsServed(), 2u);
+}
+
+TEST_F(ObsHttpTest, ServesOpenMetricsDuringInFlightGridMc) {
+  std::string error;
+  auto server = obs::TelemetryHttpServer::start("127.0.0.1:0", &error);
+  ASSERT_NE(server, nullptr) << error;
+
+  // A real (small) grid Monte Carlo in the background: pool workers hammer
+  // the sharded instruments while we scrape.
+  GridGeneratorConfig cfg;
+  cfg.stripesX = 8;
+  cfg.stripesY = 8;
+  cfg.padCount = 4;
+  cfg.totalCurrentAmps = 1.0;
+  cfg.seed = 11;
+  Netlist netlist = generatePowerGrid(cfg);
+  tuneNominalIrDrop(netlist, 0.06);
+  const PowerGridModel model(netlist);
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.trials = 300;
+  opts.seed = 5;
+  opts.parallelism.threads = 2;
+
+  std::thread mc([&] { (void)runGridMonteCarlo(model, opts); });
+
+  // Scrape repeatedly while the run is (likely) in flight. Every response
+  // must be a complete, valid exposition regardless of timing.
+  int validScrapes = 0;
+  for (int i = 0; i < 10; ++i) {
+    const std::string response = httpGet(server->port(), "/metrics");
+    ASSERT_NE(response.find("200 OK"), std::string::npos);
+    ASSERT_NE(response.find("application/openmetrics-text"),
+              std::string::npos);
+    const std::size_t bodyStart = response.find("\r\n\r\n");
+    ASSERT_NE(bodyStart, std::string::npos);
+    const std::string body = response.substr(bodyStart + 4);
+    // Complete exposition: TYPE lines and the mandatory terminator.
+    EXPECT_NE(body.find("# TYPE "), std::string::npos);
+    ASSERT_GE(body.size(), 6u);
+    EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+    ++validScrapes;
+  }
+  mc.join();
+  EXPECT_EQ(validScrapes, 10);
+
+  // After the run, the scrape reflects the grid MC's own instruments.
+  const std::string after = httpGet(server->port(), "/metrics");
+  EXPECT_NE(after.find("viaduct_grid_mc_trials_per_second"),
+            std::string::npos);
+}
+
+TEST_F(ObsHttpTest, JsonAndSolveTraceEndpoints) {
+  std::string error;
+  auto server = obs::TelemetryHttpServer::start("127.0.0.1:0", &error);
+  ASSERT_NE(server, nullptr) << error;
+  obs::Registry::instance().counter("http.test.counter").add(5);
+
+  const std::string json = httpGet(server->port(), "/metrics.json");
+  EXPECT_NE(json.find("200 OK"), std::string::npos);
+  EXPECT_NE(json.find("application/json"), std::string::npos);
+  EXPECT_NE(json.find("http.test.counter"), std::string::npos);
+
+  const std::string solves = httpGet(server->port(), "/debug/solves");
+  EXPECT_NE(solves.find("200 OK"), std::string::npos);
+  EXPECT_NE(solves.find("viaduct-solve-traces-v1"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -16,7 +16,11 @@
 #   7. the perf_grid_scale smoke: the level-2 shared-base supernodal engine
 #      on a ~1e4-node synthetic mesh — asserts up-looking/supernodal voltage
 #      parity, thread-count bit-identity, and a floor on the shared-base
-#      speedup over factorization-per-trial (exit is nonzero on any miss).
+#      speedup over factorization-per-trial (exit is nonzero on any miss);
+#   8. the perf_obs_export smoke: grid MC with live telemetry fully on
+#      (registry + JSONL sampler + HTTP listener + a scraper thread) must
+#      stay within the telemetry overhead budget and keep ttfSamples
+#      bit-identical vs. obs-off across thread counts (BENCH_obs_export.json).
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -32,34 +36,40 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/7] tier-1: configure + build + full test suite ==="
+echo "=== [1/8] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/7] fault label: recovery-path tests ==="
+echo "=== [2/8] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
-echo "=== [3/7] checkpoint label: crash-safety and resume tests ==="
+echo "=== [3/8] checkpoint label: crash-safety and resume tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [4/7] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/8] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [4/7] thread-sanitized build: tsan label ==="
+  echo "=== [4/8] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [5/7] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/8] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
 SMOKE_CKPT="$(mktemp -u).ckpt"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
 ./build/tools/viaduct_cli analyze --preset PG1 --trials 50 --char-trials 50 \
-  --checkpoint "$SMOKE_CKPT" 2> "$SMOKE_LOG" \
+  --checkpoint "$SMOKE_CKPT" \
+  --metrics-stream build/SMOKE_metrics_stream.jsonl --metrics-every 0.5 \
+  2> "$SMOKE_LOG" \
   || { cat "$SMOKE_LOG" >&2; exit 1; }
+# The background sampler must have left a parseable JSONL stream behind.
+[ -s build/SMOKE_metrics_stream.jsonl ] \
+  && grep -q "viaduct-obs-stream-v1" build/SMOKE_metrics_stream.jsonl \
+  || { echo "FAIL: --metrics-stream produced no samples" >&2; exit 1; }
 # Resuming the finished run must restore every trial and stay WARN-free.
 ./build/tools/viaduct_cli analyze --preset PG1 --trials 50 --char-trials 50 \
   --checkpoint "$SMOKE_CKPT" --resume 2>> "$SMOKE_LOG" \
@@ -72,15 +82,21 @@ if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
 fi
 echo "smoke run clean (no WARN/ERROR lines, resume exact)"
 
-echo "=== [6/7] perf_viaarray: incremental vs exact solver A/B smoke ==="
+echo "=== [6/8] perf_viaarray: incremental vs exact solver A/B smoke ==="
 # Benchmark registrations are skipped (filter matches nothing); the manual
 # A/B cross-check and BENCH_viaarray.json still run. Exit is nonzero only
 # if the two solver paths disagree.
 (cd build/bench && ./perf_viaarray --benchmark_filter='^$')
 
-echo "=== [7/7] perf_grid_scale: shared-base level-2 engine smoke ==="
+echo "=== [7/8] perf_grid_scale: shared-base level-2 engine smoke ==="
 # Parity, determinism, and speedup gates on the smallest mesh; the full
 # 1e4 -> 1e6 sweep is the same binary without --smoke.
 (cd build/bench && ./perf_grid_scale --smoke)
+
+echo "=== [8/8] perf_obs_export: live-telemetry overhead + bit-identity ==="
+# Grid MC with the registry, JSONL sampler, HTTP listener, and a live
+# scraper all running must stay within the overhead budget and produce
+# bit-identical samples vs. obs-off across thread counts.
+(cd build/bench && ./perf_obs_export --smoke)
 
 echo "ALL TIER-1 CHECKS PASSED"

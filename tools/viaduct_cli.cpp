@@ -6,15 +6,24 @@
 //   viaduct_cli signoff      --preset PG1 --limit 2e10
 //   viaduct_cli census       --preset PG1 --margin-mpa 340
 //
-// Every subcommand accepts --help. Three global flags work with any command
-// and are stripped before subcommand parsing:
+// Every subcommand accepts --help. Global flags work with any command and
+// are stripped before subcommand parsing:
 //   --metrics-out FILE   write the obs metrics snapshot (JSON) at exit
 //   --trace-out FILE     record spans and write a Chrome trace-event JSON
 //                        (load in chrome://tracing or ui.perfetto.dev)
 //   --fault-spec SPEC    arm deterministic fault injection, e.g.
 //                        "seed=42;cg.nonconverge:p=0.05;cholesky.factor:nth=3"
 //                        (also readable from the VIADUCT_FAULTS env var)
+//   --obs-listen H:P     serve live telemetry over HTTP while the run is
+//                        in flight (/metrics OpenMetrics, /metrics.json,
+//                        /debug/solves, /healthz); port 0 = ephemeral
+//   --metrics-stream F   append periodic registry snapshots to F (JSONL,
+//                        crash-safe: complete lines survive a SIGKILL)
+//   --metrics-every N    sampling interval for --metrics-stream, seconds
+//   --progress           print periodic progress/ETA lines (lowers the log
+//                        level to INFO; VIADUCT_LOG_JSON=1 for JSON lines)
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -27,9 +36,11 @@
 #include "fault/fault.h"
 #include "grid/signoff.h"
 #include "grid/wire_mortality.h"
+#include "obs/http.h"
+#include "obs/obs.h"
+#include "obs/sampler.h"
 #include "spice/generator.h"
 #include "spice/parser.h"
-#include "obs/obs.h"
 #include "spice/writer.h"
 #include "viaarray/cache.h"
 
@@ -312,6 +323,15 @@ void printUsage() {
                "  --fault-spec SPEC   arm deterministic fault injection\n"
                "                      (e.g. \"seed=42;cg.nonconverge:p=0.05\";\n"
                "                      VIADUCT_FAULTS env var works too)\n"
+               "  --obs-listen H:P    serve live telemetry over HTTP\n"
+               "                      (/metrics OpenMetrics, /metrics.json,\n"
+               "                      /debug/solves, /healthz; port 0 picks\n"
+               "                      an ephemeral port)\n"
+               "  --metrics-stream F  append registry snapshots to F (JSONL)\n"
+               "  --metrics-every N   stream sampling interval in seconds\n"
+               "                      (default 5)\n"
+               "  --progress          periodic progress/ETA lines (INFO;\n"
+               "                      VIADUCT_LOG_JSON=1 for JSON log lines)\n"
                "\nrun 'viaduct_cli <command> --help' for flags.\n";
 }
 
@@ -338,15 +358,33 @@ std::string extractFlag(std::vector<const char*>& args,
   return "";
 }
 
+/// Extracts a valueless `--flag` from `args` (in place); returns whether it
+/// was present.
+bool extractBoolFlag(std::vector<const char*>& args, const std::string& flag) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    if (std::string(args[i]) == flag) {
+      args.erase(args.begin() + static_cast<std::ptrdiff_t>(i));
+      return true;
+    }
+  }
+  return false;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   setLogLevel(LogLevel::kWarn);
   std::vector<const char*> args(argv, argv + argc);
-  std::string metricsOut, traceOut;
+  std::string metricsOut, traceOut, obsListen, metricsStream;
+  double metricsEvery = 5.0;
   try {
     metricsOut = extractFlag(args, "--metrics-out");
     traceOut = extractFlag(args, "--trace-out");
+    obsListen = extractFlag(args, "--obs-listen");
+    metricsStream = extractFlag(args, "--metrics-stream");
+    const std::string everySpec = extractFlag(args, "--metrics-every");
+    if (!everySpec.empty()) metricsEvery = std::stod(everySpec);
+    if (extractBoolFlag(args, "--progress")) setLogLevel(LogLevel::kInfo);
     // --fault-spec stacks on top of whatever VIADUCT_FAULTS armed (the
     // registry parses the env var on first access).
     const std::string faultSpec = extractFlag(args, "--fault-spec");
@@ -356,6 +394,31 @@ int main(int argc, char** argv) {
     return 1;
   }
   if (!traceOut.empty()) obs::setTracingEnabled(true);
+
+  // Live telemetry starts before subcommand dispatch so a scrape or the
+  // stream sees the whole run, and stops (unique_ptr destructors, final
+  // sample included) after writeObsArtifacts on every exit path.
+  std::unique_ptr<obs::TelemetryHttpServer> telemetryServer;
+  std::unique_ptr<obs::MetricsSampler> metricsSampler;
+  if (!obsListen.empty()) {
+    std::string error;
+    telemetryServer = obs::TelemetryHttpServer::start(obsListen, &error);
+    if (!telemetryServer) {
+      std::cerr << "error: --obs-listen: " << error << "\n";
+      return 1;
+    }
+    std::cerr << "telemetry: serving " << telemetryServer->endpoint()
+              << "/metrics\n";
+  }
+  if (!metricsStream.empty()) {
+    std::string error;
+    metricsSampler =
+        obs::MetricsSampler::start(metricsStream, metricsEvery, &error);
+    if (!metricsSampler) {
+      std::cerr << "error: --metrics-stream: " << error << "\n";
+      return 1;
+    }
+  }
 
   // Write the observability artifacts on every exit path (including
   // subcommand errors — a failed run's partial metrics are still useful).
