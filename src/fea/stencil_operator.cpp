@@ -1,0 +1,156 @@
+#include "fea/stencil_operator.h"
+
+#include <map>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+
+namespace {
+// Same fixed node grain as the other FEA kernels.
+constexpr std::int64_t kNodeGrain = 256;
+}  // namespace
+
+NodeStencilOperator::NodeStencilOperator(
+    const VoxelGrid& grid, std::span<const std::uint8_t> constrained,
+    std::span<const Hex8Operators* const> cellOperators, ThreadPool* pool)
+    : nodes_(grid.nodeCount()),
+      nx_(grid.nx()),
+      ny_(grid.ny()),
+      nz_(grid.nz()),
+      pool_(pool),
+      constrained_(constrained.begin(), constrained.end()) {
+  VIADUCT_SPAN("fea.stencil_build");
+  VIADUCT_REQUIRE(constrained.size() == static_cast<std::size_t>(nodes_) * 3 &&
+                  cellOperators.size() ==
+                      static_cast<std::size_t>(grid.cellCount()));
+
+  // Halo layout: one ghost node ring on every side, always zero, so the
+  // apply sweep needs no bounds checks.
+  const std::ptrdiff_t hRow = nx_ + 3;
+  const std::ptrdiff_t hSlab = hRow * (ny_ + 3);
+  for (int dk = -1; dk <= 1; ++dk)
+    for (int dj = -1; dj <= 1; ++dj)
+      for (int di = -1; di <= 1; ++di)
+        offsets_[static_cast<std::size_t>((di + 1) + 3 * (dj + 1) +
+                                          9 * (dk + 1))] =
+            di + hRow * dj + hSlab * dk;
+  halo_.assign(static_cast<std::size_t>(hSlab) *
+                   static_cast<std::size_t>(nz_ + 3) * 3,
+               0.0);
+
+  // Dictionary build: the stencil of a node is a function of its 8
+  // adjacent element operators only (constraints are handled outside the
+  // stencil, see apply()), so the key is those 8 pointers in fixed
+  // relative order. The serial node loop keeps id assignment and
+  // summation order independent of the pool.
+  patternId_.resize(static_cast<std::size_t>(nodes_));
+  std::map<std::array<const Hex8Operators*, 8>, Index> dict;
+  const Index nodesPerRow = nx_ + 1;
+  const Index nodesPerSlab = nodesPerRow * (ny_ + 1);
+  for (Index node = 0; node < nodes_; ++node) {
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    std::array<const Hex8Operators*, 8> key{};
+    for (int dk = -1; dk <= 0; ++dk)
+      for (int dj = -1; dj <= 0; ++dj)
+        for (int di = -1; di <= 0; ++di) {
+          const Index ci = I + di, cj = J + dj, ck = K + dk;
+          if (ci < 0 || ci >= nx_ || cj < 0 || cj >= ny_ || ck < 0 ||
+              ck >= nz_)
+            continue;
+          key[static_cast<std::size_t>((di + 1) + 2 * (dj + 1) +
+                                       4 * (dk + 1))] =
+              cellOperators[static_cast<std::size_t>(
+                  grid.cellIndex(ci, cj, ck))];
+        }
+    auto [it, inserted] =
+        dict.emplace(key, static_cast<Index>(dict.size()));
+    if (inserted) {
+      table_.resize(table_.size() + kStencilSize, 0.0);
+      double* st = &table_[table_.size() - kStencilSize];
+      for (int dk = -1; dk <= 0; ++dk)
+        for (int dj = -1; dj <= 0; ++dj)
+          for (int di = -1; di <= 0; ++di) {
+            const Hex8Operators* ops =
+                key[static_cast<std::size_t>((di + 1) + 2 * (dj + 1) +
+                                             4 * (dk + 1))];
+            if (ops == nullptr) continue;
+            // The center node's local index in this cell.
+            const int n = -di + 2 * -dj + 4 * -dk;
+            for (int m = 0; m < kHexNodes; ++m) {
+              const int t = (di + (m & 1) + 1) + 3 * (dj + ((m >> 1) & 1) + 1) +
+                            9 * (dk + ((m >> 2) & 1) + 1);
+              for (int p = 0; p < 3; ++p)
+                for (int q = 0; q < 3; ++q)
+                  st[t * 9 + p * 3 + q] +=
+                      ops->stiffness[static_cast<std::size_t>(3 * n + p) *
+                                         kHexDofs +
+                                     static_cast<std::size_t>(3 * m + q)];
+            }
+          }
+    }
+    patternId_[static_cast<std::size_t>(node)] = it->second;
+  }
+  VIADUCT_GAUGE_SET("fea.stencil_patterns",
+                    static_cast<std::int64_t>(distinctStencils()));
+}
+
+void NodeStencilOperator::apply(std::span<const double> x,
+                                std::span<double> y) const {
+  VIADUCT_REQUIRE(x.size() == static_cast<std::size_t>(nodes_) * 3 &&
+                  y.size() == x.size());
+  const Index nodesPerRow = nx_ + 1;
+  const Index nodesPerSlab = nodesPerRow * (ny_ + 1);
+  const std::ptrdiff_t hRow = nx_ + 3;
+  const std::ptrdiff_t hSlab = hRow * (ny_ + 3);
+
+  // Gather x into the halo with constrained dofs masked to zero (the
+  // symmetric Dirichlet "dropped column"). Ghost entries stay zero.
+  parallelFor(pool_, 0, nodes_, kNodeGrain, [&](std::int64_t ni) {
+    const Index node = static_cast<Index>(ni);
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    const auto h = static_cast<std::size_t>((I + 1) + hRow * (J + 1) +
+                                            hSlab * (K + 1));
+    for (int d = 0; d < 3; ++d) {
+      const auto dof = static_cast<std::size_t>(node) * 3 +
+                       static_cast<std::size_t>(d);
+      halo_[h * 3 + static_cast<std::size_t>(d)] =
+          constrained_[dof] ? 0.0 : x[dof];
+    }
+  });
+
+  parallelFor(pool_, 0, nodes_, kNodeGrain, [&](std::int64_t ni) {
+    const Index node = static_cast<Index>(ni);
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    const auto h = static_cast<std::ptrdiff_t>(I + 1) + hRow * (J + 1) +
+                   hSlab * (K + 1);
+    const double* st =
+        &table_[static_cast<std::size_t>(
+                    patternId_[static_cast<std::size_t>(node)]) *
+                kStencilSize];
+    double a0 = 0.0, a1 = 0.0, a2 = 0.0;
+    for (int t = 0; t < 27; ++t, st += 9) {
+      const double* xb = &halo_[static_cast<std::size_t>(h + offsets_[t]) * 3];
+      const double x0 = xb[0], x1 = xb[1], x2 = xb[2];
+      a0 += st[0] * x0 + st[1] * x1 + st[2] * x2;
+      a1 += st[3] * x0 + st[4] * x1 + st[5] * x2;
+      a2 += st[6] * x0 + st[7] * x1 + st[8] * x2;
+    }
+    const auto dof = static_cast<std::size_t>(node) * 3;
+    y[dof + 0] = constrained_[dof + 0] ? x[dof + 0] : a0;
+    y[dof + 1] = constrained_[dof + 1] ? x[dof + 1] : a1;
+    y[dof + 2] = constrained_[dof + 2] ? x[dof + 2] : a2;
+  });
+}
+
+}  // namespace viaduct

@@ -1,0 +1,69 @@
+// Stencil-compressed voxel stiffness operator.
+//
+// On a voxel mesh the assembled stiffness row of a node is a 27-point
+// stencil of 3×3 blocks, and that stencil is entirely determined by the
+// (up to) 8 element operators adjacent to the node. Structured grids —
+// layered stacks, via arrays, any painted geometry — contain large uniform
+// regions where thousands of nodes share the exact same adjacency, so the
+// distinct stencils form a small dictionary: each node stores only a
+// pattern id. An apply then streams x, y, and the ids (a few MB) while the
+// dictionary stays cache-resident, which on bandwidth-starved cores is
+// several times faster than a CSR sweep over the full 27·9 doubles per
+// node (and never worse: a pathological grid where every node is distinct
+// degenerates to exactly the CSR footprint).
+//
+// Dirichlet semantics match the matrix-free gather operator: constrained
+// dofs are identity rows, constrained columns are masked out. The apply
+// gathers x into a zero-padded halo copy (masking constrained dofs during
+// the copy), so the stencil sweep itself is branch-free and in-bounds for
+// boundary nodes. Per-node arithmetic is a fixed-order sum over the 27
+// neighbors, partitioned with a fixed grain: results are bit-identical for
+// every pool size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "common/thread_pool.h"
+#include "fea/hex8.h"
+#include "fea/voxel_grid.h"
+
+namespace viaduct {
+
+class NodeStencilOperator {
+ public:
+  NodeStencilOperator() = default;
+
+  /// `constrained` is the per-dof Dirichlet mask, `cellOperators` the
+  /// per-cell Hex8 stiffness (borrowed; must outlive the operator).
+  NodeStencilOperator(const VoxelGrid& grid,
+                      std::span<const std::uint8_t> constrained,
+                      std::span<const Hex8Operators* const> cellOperators,
+                      ThreadPool* pool);
+
+  /// y = A x (constrained dofs: y = x). Reuses an internal halo buffer, so
+  /// concurrent applies on the same instance are not supported.
+  void apply(std::span<const double> x, std::span<double> y) const;
+
+  /// Number of distinct 27-point block stencils in the dictionary.
+  std::size_t distinctStencils() const { return table_.size() / kStencilSize; }
+
+  Index dofCount() const { return nodes_ * 3; }
+
+ private:
+  // 27 neighbors × 3×3 block, [neighbor][row][col].
+  static constexpr std::size_t kStencilSize = 27 * 9;
+
+  Index nodes_ = 0;
+  Index nx_ = 0, ny_ = 0, nz_ = 0;
+  ThreadPool* pool_ = nullptr;
+  std::vector<std::uint8_t> constrained_;
+  std::vector<Index> patternId_;            // per node
+  std::vector<double> table_;               // distinct stencils, packed
+  std::array<std::ptrdiff_t, 27> offsets_;  // halo-node offsets, fixed order
+  mutable std::vector<double> halo_;        // padded masked copy of x
+};
+
+}  // namespace viaduct

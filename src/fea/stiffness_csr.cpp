@@ -1,0 +1,150 @@
+#include "fea/stiffness_csr.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/check.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+
+namespace {
+
+// Same fixed node grain as the rest of the FEA assembly kernels.
+constexpr std::int64_t kNodeGrain = 256;
+
+/// Visits the cells adjacent to node (I, J, K) in increasing (k, j, i)
+/// order and calls fn(cellIndex, localNode) for each — the same traversal
+/// as the solver's gather kernels, so summation order (and hence bits)
+/// matches them.
+template <typename Fn>
+void forEachAdjacentCell(const VoxelGrid& g, Index I, Index J, Index K,
+                         Fn&& fn) {
+  const Index k0 = std::max<Index>(K - 1, 0),
+              k1 = std::min<Index>(K, g.nz() - 1);
+  const Index j0 = std::max<Index>(J - 1, 0),
+              j1 = std::min<Index>(J, g.ny() - 1);
+  const Index i0 = std::max<Index>(I - 1, 0),
+              i1 = std::min<Index>(I, g.nx() - 1);
+  for (Index ck = k0; ck <= k1; ++ck)
+    for (Index cj = j0; cj <= j1; ++cj)
+      for (Index ci = i0; ci <= i1; ++ci) {
+        const int n = (I - ci) + 2 * (J - cj) + 4 * (K - ck);
+        fn(g.cellIndex(ci, cj, ck), n, ci, cj, ck);
+      }
+}
+
+}  // namespace
+
+CsrMatrix assembleVoxelStiffnessCsr(
+    const VoxelGrid& grid, std::span<const std::uint8_t> constrained,
+    std::span<const Hex8Operators* const> cellOperators, ThreadPool* pool) {
+  VIADUCT_SPAN("fea.assemble_csr");
+  const Index nodes = grid.nodeCount();
+  const Index dofs = nodes * 3;
+  VIADUCT_REQUIRE(constrained.size() == static_cast<std::size_t>(dofs) &&
+                  cellOperators.size() ==
+                      static_cast<std::size_t>(grid.cellCount()));
+  const Index nodesPerRow = grid.nx() + 1;
+  const Index nodesPerSlab = nodesPerRow * (grid.ny() + 1);
+
+  // Neighbor nodes of (I, J, K) in ascending node-index order (k, j, i
+  // loops ascending ⇒ ascending flat index), self included.
+  const auto forEachNeighborNode = [&](Index I, Index J, Index K, auto&& fn) {
+    const Index k0 = std::max<Index>(K - 1, 0);
+    const Index k1 = std::min<Index>(K + 1, grid.nz());
+    const Index j0 = std::max<Index>(J - 1, 0);
+    const Index j1 = std::min<Index>(J + 1, grid.ny());
+    const Index i0 = std::max<Index>(I - 1, 0);
+    const Index i1 = std::min<Index>(I + 1, grid.nx());
+    for (Index k = k0; k <= k1; ++k)
+      for (Index j = j0; j <= j1; ++j)
+        for (Index i = i0; i <= i1; ++i) fn(grid.nodeIndex(i, j, k));
+  };
+
+  // Pass 1: row sizes. A constrained row holds exactly its diagonal; an
+  // unconstrained row holds every unconstrained dof of every neighbor node.
+  std::vector<Index> rowPtr(static_cast<std::size_t>(dofs) + 1, 0);
+  parallelFor(pool, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
+    const Index node = static_cast<Index>(ni);
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    Index unconstrainedCols = 0;
+    forEachNeighborNode(I, J, K, [&](Index m) {
+      for (int q = 0; q < 3; ++q)
+        if (!constrained[m * 3 + q]) ++unconstrainedCols;
+    });
+    for (int d = 0; d < 3; ++d) {
+      const Index row = node * 3 + d;
+      rowPtr[static_cast<std::size_t>(row) + 1] =
+          constrained[row] ? 1 : unconstrainedCols;
+    }
+  });
+  for (std::size_t r = 0; r < static_cast<std::size_t>(dofs); ++r)
+    rowPtr[r + 1] += rowPtr[r];
+
+  // Pass 2: per-node 3×3 neighbor blocks summed over shared elements, then
+  // emitted in sorted column order.
+  std::vector<Index> colIdx(static_cast<std::size_t>(rowPtr.back()));
+  std::vector<double> values(colIdx.size());
+  parallelFor(pool, 0, nodes, kNodeGrain, [&](std::int64_t ni) {
+    const Index node = static_cast<Index>(ni);
+    const Index K = node / nodesPerSlab;
+    const Index rem = node % nodesPerSlab;
+    const Index J = rem / nodesPerRow;
+    const Index I = rem % nodesPerRow;
+    // blocks[b]: 3×3 coupling to the b-th neighbor (ascending node index).
+    std::array<Index, 27> neighbor{};
+    std::array<std::array<double, 9>, 27> blocks{};
+    int neighborCount = 0;
+    forEachNeighborNode(I, J, K, [&](Index m) {
+      neighbor[static_cast<std::size_t>(neighborCount++)] = m;
+    });
+    const auto blockOf = [&](Index m) -> std::array<double, 9>& {
+      const auto* it = std::lower_bound(neighbor.begin(),
+                                        neighbor.begin() + neighborCount, m);
+      return blocks[static_cast<std::size_t>(it - neighbor.begin())];
+    };
+    forEachAdjacentCell(
+        grid, I, J, K, [&](Index cell, int n, Index ci, Index cj, Index ck) {
+          const Hex8Operators& ops =
+              *cellOperators[static_cast<std::size_t>(cell)];
+          for (int m = 0; m < kHexNodes; ++m) {
+            const Index mn = grid.nodeIndex(ci + (m & 1), cj + ((m >> 1) & 1),
+                                            ck + ((m >> 2) & 1));
+            auto& blk = blockOf(mn);
+            for (int p = 0; p < 3; ++p)
+              for (int q = 0; q < 3; ++q)
+                blk[static_cast<std::size_t>(p * 3 + q)] +=
+                    ops.stiffness[(3 * n + p) * kHexDofs + (3 * m + q)];
+          }
+        });
+    for (int d = 0; d < 3; ++d) {
+      const Index row = node * 3 + d;
+      Index at = rowPtr[static_cast<std::size_t>(row)];
+      if (constrained[row]) {
+        colIdx[static_cast<std::size_t>(at)] = row;
+        values[static_cast<std::size_t>(at)] = 1.0;
+        continue;
+      }
+      for (int b = 0; b < neighborCount; ++b) {
+        const Index m = neighbor[static_cast<std::size_t>(b)];
+        for (int q = 0; q < 3; ++q) {
+          const Index col = m * 3 + q;
+          if (constrained[col]) continue;
+          colIdx[static_cast<std::size_t>(at)] = col;
+          values[static_cast<std::size_t>(at)] =
+              blocks[static_cast<std::size_t>(b)]
+                    [static_cast<std::size_t>(d * 3 + q)];
+          ++at;
+        }
+      }
+    }
+  });
+  return CsrMatrix::fromCsrArrays(dofs, dofs, std::move(rowPtr),
+                                  std::move(colIdx), std::move(values));
+}
+
+}  // namespace viaduct

@@ -1,0 +1,33 @@
+// Assembled CSR view of the voxel stiffness operator.
+//
+// The matrix-free gather (VoxelElasticityOperator) is the memory-frugal
+// default, but two consumers want the explicit matrix: the IC(0)
+// factorization, and the multigrid level operators — a CSR SpMV streams
+// the stiffness once per apply instead of re-gathering 24×24 element
+// blocks, which makes the many small applies inside a V-cycle several
+// times cheaper than the gather.
+//
+// Constrained dofs are identity rows; constrained columns are dropped from
+// unconstrained rows (symmetric Dirichlet elimination), matching the
+// matrix-free operator exactly. Assembly is node-gathered in two passes
+// (row counts, then sorted fill), partitioned with a fixed grain so the
+// arrays are bit-identical for any pool size.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "common/thread_pool.h"
+#include "fea/hex8.h"
+#include "fea/voxel_grid.h"
+#include "numerics/sparse.h"
+
+namespace viaduct {
+
+/// `constrained` is the per-dof Dirichlet mask (3 dof per node);
+/// `cellOperators` the per-cell Hex8 stiffness, both sized to `grid`.
+CsrMatrix assembleVoxelStiffnessCsr(
+    const VoxelGrid& grid, std::span<const std::uint8_t> constrained,
+    std::span<const Hex8Operators* const> cellOperators, ThreadPool* pool);
+
+}  // namespace viaduct

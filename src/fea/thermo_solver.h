@@ -13,22 +13,47 @@
 // The solve is matrix-free: on a voxel mesh all elements sharing a
 // (material, cell-size) pair have identical 24×24 stiffness matrices, so
 // the operator stores one matrix per distinct pair and applies them in a
-// gather–scatter sweep. Preconditioning is nodal 3×3 block-Jacobi.
+// gather–scatter sweep.
+//
+// Preconditioning is selectable (DESIGN.md §5.12): nodal 3×3 block-Jacobi
+// (the seed default), IC(0) on the assembled stiffness, or the geometric
+// multigrid V-cycle from fea/multigrid.h. Under an enabled FailurePolicy a
+// failed multigrid solve degrades to IC(0) on retry before the
+// non-convergence escalates to the caller as a NumericalError.
 #pragma once
 
 #include <array>
 #include <map>
 #include <memory>
 #include <optional>
+#include <string_view>
 #include <vector>
 
 #include "common/thread_pool.h"
 #include "fault/policy.h"
 #include "fea/hex8.h"
+#include "fea/multigrid.h"
 #include "fea/voxel_grid.h"
 #include "numerics/cg.h"
 
 namespace viaduct {
+
+/// CG preconditioner for the thermoelastic solve. kBlockJacobi reproduces
+/// the seed solver bit-for-bit; kMultigrid is the fast path for production
+/// meshes; kIc0 is the robust middle rung the failure ladder degrades to.
+enum class FeaPreconditionerKind {
+  kBlockJacobi = 0,
+  kIc0 = 1,
+  kMultigrid = 2,
+};
+
+/// Short stable names used by the CLI flag and cache-key tags:
+/// "bj", "ic0", "mg".
+const char* feaPreconditionerName(FeaPreconditionerKind kind);
+
+/// Inverse of feaPreconditionerName; nullopt for unknown names.
+std::optional<FeaPreconditionerKind> parseFeaPreconditionerName(
+    std::string_view name);
 
 struct ThermoSolverOptions {
   /// Anneal (stress-free reference) and operating temperatures [°C].
@@ -38,10 +63,17 @@ struct ThermoSolverOptions {
   double cgRelativeTolerance = 1e-7;
   int cgMaxIterations = 20000;
 
+  /// CG preconditioner; kBlockJacobi preserves the seed solver exactly.
+  FeaPreconditionerKind preconditioner = FeaPreconditionerKind::kBlockJacobi;
+
+  /// Hierarchy settings for kMultigrid (ignored otherwise).
+  MultigridOptions multigrid;
+
   /// Failure policy for the CG solve: a stalled or NaN-poisoned solve is
   /// retried `cgRetries` times from a zero guess with a tightened tolerance
-  /// and a grown iteration cap before the non-convergence propagates to the
-  /// caller through cgResult().
+  /// and a grown iteration cap (a multigrid solve additionally degrades to
+  /// IC(0) on its first retry) before the non-convergence is thrown to the
+  /// caller as a NumericalError.
   fault::FailurePolicy policy;
 
   /// Worker pool shared with the caller (borrowed, not owned). When null
@@ -60,8 +92,29 @@ class ThermoSolver {
 
   /// Assembles loads and solves for the displacement field. Returns CG
   /// statistics. Idempotent (re-solving is a no-op after success, returning
-  /// the original statistics).
+  /// the original statistics). Throws NumericalError when the solve has not
+  /// converged after the policy's retry ladder is exhausted — a
+  /// non-converged displacement field must never feed stress probes
+  /// silently.
   CgResult solve();
+
+  /// Solves K x = rhs with the configured preconditioner: one plain CG
+  /// solve, no retry ladder, solver state untouched. `rhs` must vanish on
+  /// constrained dofs (use constrainedMask()); `x` is the initial guess and
+  /// the result. This is the harness for convergence studies (the MMS test,
+  /// perf_fea_mg) that need the linear solver without the thermal load.
+  CgResult solveSystem(std::span<const double> rhs, std::span<double> x) const;
+
+  /// y = K x (the matrix-free stiffness with constrained identity rows) —
+  /// lets tests manufacture consistent right-hand sides.
+  void applyStiffness(std::span<const double> x, std::span<double> y) const;
+
+  /// Per-dof Dirichlet mask (3 dof per node, x/y/z interleaved).
+  const std::vector<bool>& constrainedMask() const { return constrained_; }
+
+  /// The preconditioner in effect: the configured kind, or the ladder's
+  /// degraded kind after a multigrid solve failed and retried on IC(0).
+  FeaPreconditionerKind activePreconditioner() const { return activeKind_; }
 
   /// Convergence data of the last (only) CG solve — iterations, achieved
   /// relative residual, converged flag. Zero-initialized before solve().
@@ -106,6 +159,14 @@ class ThermoSolver {
   void buildOperators();
   std::vector<double> assembleThermalLoad() const;
 
+  /// Builds (once) and returns the preconditioner for `activeKind_`.
+  const Preconditioner& ensurePreconditioner() const;
+
+  /// Assembles the global CSR stiffness (constrained dofs as identity
+  /// rows/columns) for the IC(0) path — node-gathered, rows emitted in
+  /// sorted order.
+  CsrMatrix assembleCsrStiffness() const;
+
   const Hex8Operators& cellOperators(Index i, Index j, Index k) const;
   void gatherElement(std::span<const double> u, Index i, Index j, Index k,
                      std::span<double> ue) const;
@@ -126,6 +187,12 @@ class ThermoSolver {
   std::vector<double> displacements_;
   CgResult lastCg_;
   bool solved_ = false;
+
+  /// Lazily built preconditioner; rebuilt when the failure ladder swaps
+  /// kinds. Mutable because solveSystem() is logically const.
+  mutable std::unique_ptr<Preconditioner> precond_;
+  mutable FeaPreconditionerKind activeKind_ =
+      FeaPreconditionerKind::kBlockJacobi;
 };
 
 }  // namespace viaduct

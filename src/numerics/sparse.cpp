@@ -38,6 +38,35 @@ void TripletMatrix::reserve(std::size_t n) {
   vals_.reserve(n);
 }
 
+CsrMatrix CsrMatrix::fromCsrArrays(Index rows, Index cols,
+                                   std::vector<Index> rowPointers,
+                                   std::vector<Index> colIndices,
+                                   std::vector<double> values) {
+  VIADUCT_REQUIRE(rows >= 0 && cols >= 0);
+  VIADUCT_REQUIRE(rowPointers.size() == static_cast<std::size_t>(rows) + 1);
+  VIADUCT_REQUIRE(rowPointers.front() == 0 &&
+                  static_cast<std::size_t>(rowPointers.back()) ==
+                      colIndices.size() &&
+                  colIndices.size() == values.size());
+  for (Index r = 0; r < rows; ++r) {
+    const Index begin = rowPointers[static_cast<std::size_t>(r)];
+    const Index end = rowPointers[static_cast<std::size_t>(r) + 1];
+    VIADUCT_REQUIRE(begin <= end);
+    for (Index k = begin; k < end; ++k) {
+      const Index c = colIndices[static_cast<std::size_t>(k)];
+      VIADUCT_REQUIRE(c >= 0 && c < cols);
+      VIADUCT_REQUIRE(k == begin || colIndices[static_cast<std::size_t>(k) - 1] < c);
+    }
+  }
+  CsrMatrix m;
+  m.rows_ = rows;
+  m.cols_ = cols;
+  m.rowPtr_ = std::move(rowPointers);
+  m.colIdx_ = std::move(colIndices);
+  m.values_ = std::move(values);
+  return m;
+}
+
 CsrMatrix CsrMatrix::fromTriplets(const TripletMatrix& t) {
   CsrMatrix m;
   m.rows_ = t.rows();

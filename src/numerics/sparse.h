@@ -60,6 +60,15 @@ class CsrMatrix {
   /// zeros produced by cancellation is NOT done (structure kept stable).
   static CsrMatrix fromTriplets(const TripletMatrix& t);
 
+  /// Adopts prebuilt CSR arrays from an assembler that emits rows directly
+  /// in sorted order (e.g. the FEA node-gather stiffness assembly), skipping
+  /// the triplet detour. Validates shape, monotone row pointers, and
+  /// strictly increasing in-range column indices per row.
+  static CsrMatrix fromCsrArrays(Index rows, Index cols,
+                                 std::vector<Index> rowPointers,
+                                 std::vector<Index> colIndices,
+                                 std::vector<double> values);
+
   Index rows() const { return rows_; }
   Index cols() const { return cols_; }
   std::size_t nonZeroCount() const { return values_.size(); }

@@ -14,6 +14,7 @@
 #include "obs/obs.h"
 #include "structures/probes.h"
 #include "viaarray/cache.h"
+#include "viaarray/primitive_store.h"
 
 namespace viaduct {
 
@@ -97,6 +98,29 @@ std::string ViaArrayCharacterizationSpec::cacheKey() const {
      << ";solve=" << (network.exactResolve ? "exact" : "inc1");
   if (!network.exactResolve)
     os << ";rtol=" << network.refreshResidualTolerance;
+  // FEA preconditioner: like solve=, distinct preconditioners converge to
+  // ulp-level different stress fields, so entries key separately.
+  // (`primitiveStore` is excluded for the same reason `parallelism` is: a
+  // warm primitive hit is bit-identical to the computed result.)
+  os << ";fea=" << feaPreconditionerName(feaPreconditioner);
+  return os.str();
+}
+
+std::string ViaArrayCharacterizationSpec::primitiveKey() const {
+  std::ostringstream os;
+  os.precision(17);  // same max_digits10 discipline as cacheKey()
+  os << "n=" << array.n << ";A=" << array.effectiveArea
+     << ";sp=" << array.minSpacing << ";pat=" << patternName(pattern)
+     << ";w=" << wireWidth << ";m=" << margin << ";res=" << resolutionXy
+     << ";stk=" << stack.metalLower << "," << stack.via << ","
+     << stack.metalUpper << ";fea=" << feaPreconditionerName(feaPreconditioner);
+  // The characterizer runs the solver at ThermoSolverOptions defaults; the
+  // temperatures and CG tolerance are keyed by VALUE so a future change of
+  // those defaults orphans old primitives instead of silently reusing them.
+  const ThermoSolverOptions defaults;
+  os << ";Ta=" << defaults.annealTemperatureC
+     << ";Top=" << defaults.operatingTemperatureC
+     << ";tol=" << defaults.cgRelativeTolerance << ";key=p17v1";
   return os.str();
 }
 
@@ -138,17 +162,50 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
   nominalResistance_ = baseNetwork_->nominalResistance();
 
   VIADUCT_SPAN("viaarray.characterize_fea");
-  ThreadPool pool(spec_.parallelism);
-  ThermoSolverOptions feaOpts;
-  feaOpts.pool = &pool;
-  feaOpts.policy = spec_.policy;
-  ThermoSolver solver(built_.grid, feaOpts);
-  const CgResult res = solver.solve();
-  if (!res.converged) {
-    throw NumericalError(
-        "FEA thermo-stress solve did not converge after policy retries");
+  // Stress primitive: consult the store before running FEA. A hit is the
+  // exact vector a cold run would compute (round-trip-exact doubles), so a
+  // warm sweep runs zero solves; an entry of the wrong shape is silent
+  // corruption and degrades to recompute-and-rewrite, never an error.
+  const std::string pkey = spec_.primitiveKey();
+  if (spec_.primitiveStore) {
+    if (auto cached = spec_.primitiveStore->load(pkey)) {
+      if (cached->size() == built_.vias.size()) {
+        VIADUCT_COUNTER_ADD("primitive_store.hits", 1);
+        rawSigmaT_ = std::move(*cached);
+      } else {
+        VIADUCT_COUNTER_ADD("primitive_store.corrupt_entries", 1);
+        VIADUCT_WARN << "stress-primitive entry has " << cached->size()
+                     << " vias, structure has " << built_.vias.size()
+                     << "; recomputing and rewriting";
+      }
+    } else {
+      VIADUCT_COUNTER_ADD("primitive_store.misses", 1);
+    }
   }
-  rawSigmaT_ = perViaPeakStress(solver, built_);
+  int feaIterations = 0;
+  if (rawSigmaT_.empty()) {
+    ThreadPool pool(spec_.parallelism);
+    ThermoSolverOptions feaOpts;
+    feaOpts.pool = &pool;
+    feaOpts.policy = spec_.policy;
+    feaOpts.preconditioner = spec_.feaPreconditioner;
+    ThermoSolver solver(built_.grid, feaOpts);
+    VIADUCT_COUNTER_ADD("viaarray.fea_solves", 1);
+    const CgResult res = solver.solve();
+    if (!res.converged) {
+      throw NumericalError(
+          "FEA thermo-stress solve did not converge after policy retries");
+    }
+    feaIterations = res.iterations;
+    rawSigmaT_ = perViaPeakStress(solver, built_);
+    // Persist only results computed under the keyed preconditioner: the
+    // policy ladder may have degraded mg -> ic0 mid-solve, and that result
+    // must not be rehydrated under the mg key.
+    if (spec_.primitiveStore &&
+        solver.activePreconditioner() == spec_.feaPreconditioner) {
+      spec_.primitiveStore->save(pkey, rawSigmaT_);
+    }
+  }
   sigmaT_.reserve(rawSigmaT_.size());
   for (double s : rawSigmaT_)
     sigmaT_.push_back(spec_.stressScale * s + spec_.stressOffsetPa);
@@ -157,7 +214,11 @@ ViaArrayCharacterizer::ViaArrayCharacterizer(
                << *std::min_element(sigmaT_.begin(), sigmaT_.end()) / 1e6
                << ", "
                << *std::max_element(sigmaT_.begin(), sigmaT_.end()) / 1e6
-               << "] MPa (" << res.iterations << " CG iters)";
+               << "] MPa ("
+               << (feaIterations > 0
+                       ? std::to_string(feaIterations) + " CG iters"
+                       : std::string("stress primitive reused"))
+               << ")";
 }
 
 ViaArrayCharacterizer::ViaArrayCharacterizer(

@@ -29,10 +29,13 @@
 #include "common/thread_pool.h"
 #include "em/em_params.h"
 #include "fault/policy.h"
+#include "fea/thermo_solver.h"
 #include "structures/cudd_builder.h"
 #include "viaarray/network.h"
 
 namespace viaduct {
+
+class StressPrimitiveStore;  // viaarray/primitive_store.h
 
 /// Default affine calibration of raw FEA hydrostatic stress onto the
 /// paper's reported 180–280 MPa window (single global map, applied to all
@@ -79,6 +82,21 @@ struct ViaArrayCharacterizationSpec {
   double stressScale = kDefaultStressScale;
   double stressOffsetPa = kDefaultStressOffsetPa;
 
+  /// Preconditioner for the FEA stress solve. Multigrid is the default —
+  /// it solves fig7-sized grids several times faster than IC(0)-CG
+  /// (DESIGN.md §5.12) — with "ic0" and the seed's "bj" selectable for A/B
+  /// verification. Distinct preconditioners converge to ulp-level
+  /// *different* stress fields at the same tolerance, so this IS part of
+  /// cacheKey() and primitiveKey(), like the level-1 `solve=` tag.
+  FeaPreconditionerKind feaPreconditioner = FeaPreconditionerKind::kMultigrid;
+
+  /// Optional on-disk store of FEA stress primitives, consulted before
+  /// running the solve (viaarray/primitive_store.h): a warm store
+  /// characterizes with ZERO FEA solves, bit-identically to a cold run.
+  /// Like `parallelism`, deliberately NOT part of cacheKey() or
+  /// primitiveKey() — where the primitive came from never changes it.
+  std::shared_ptr<StressPrimitiveStore> primitiveStore;
+
   int trials = 500;
   std::uint64_t seed = 12345;
 
@@ -107,6 +125,13 @@ struct ViaArrayCharacterizationSpec {
 
   /// Stable cache key over every physical field.
   std::string cacheKey() const;
+
+  /// Stable key over exactly the fields the FEA stress primitive depends
+  /// on: geometry, stack, mesh resolution, and the solver settings
+  /// (preconditioner, temperatures, CG tolerance). Same p17 double
+  /// discipline as cacheKey(). Changing the EM model, trial count, or seed
+  /// leaves this key — and the cached primitive — untouched.
+  std::string primitiveKey() const;
 };
 
 /// One Monte Carlo trial's full failure trace.

@@ -1,0 +1,162 @@
+#include "viaarray/primitive_store.h"
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <fcntl.h>
+#include <unistd.h>
+#endif
+
+#include "common/check.h"
+#include "common/logging.h"
+#include "common/serialize.h"
+#include "fault/fault.h"
+#include "obs/obs.h"
+
+namespace viaduct {
+
+namespace {
+
+/// Magic + store-format version. Bumping the version orphans every file
+/// written under the old one (their loads miss and the next save rewrites).
+constexpr const char* kMagic = "viaduct-stress-primitives v1";
+
+/// Parses the whole file into key -> sigma line. A structural problem —
+/// wrong magic/version, unknown directive, entry without a sigma line —
+/// invalidates the whole file (empty map: every load misses). An entry
+/// whose payload fails to parse (corrupt token, NaN, overflow) is dropped
+/// individually: its loads miss, and the next save rewrites the file
+/// without it.
+std::map<std::string, std::string> readAll(const std::string& path) {
+  std::map<std::string, std::string> entries;
+  std::ifstream is(path);
+  if (!is) return entries;
+  std::string line;
+  if (!std::getline(is, line) || line != kMagic) return entries;
+
+  std::string key, sigma;
+  bool haveSigma = false;
+  auto flush = [&]() -> bool {
+    if (key.empty()) return true;
+    if (!haveSigma) return false;  // truncated entry: whole file invalid
+    const auto parsed = parseDoubles(sigma);
+    if (parsed && !parsed->empty()) entries[key] = std::move(sigma);
+    key.clear();
+    sigma.clear();
+    haveSigma = false;
+    return true;
+  };
+  while (std::getline(is, line)) {
+    if (line.rfind("entry ", 0) == 0) {
+      if (!flush()) return {};
+      key = line.substr(6);
+    } else if (line.rfind("sigma ", 0) == 0) {
+      if (key.empty()) return {};  // sigma outside an entry
+      sigma = line.substr(6);
+      haveSigma = true;
+    } else if (!line.empty()) {
+      return {};  // unknown directive
+    }
+  }
+  if (!flush()) return {};
+  return entries;
+}
+
+/// fsync of a freshly written file, so the atomic rename below cannot land
+/// before the data blocks do.
+bool syncFile(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const int fd = ::open(path.c_str(), O_WRONLY);
+  if (fd < 0) return false;
+  const bool ok = ::fsync(fd) == 0;
+  ::close(fd);
+  return ok;
+#else
+  (void)path;
+  return true;  // best effort off POSIX
+#endif
+}
+
+/// Best-effort fsync of the directory holding `path`, so the rename itself
+/// survives a crash. Failure is not fatal (worst case: the previous file).
+void syncParentDir(const std::string& path) {
+#if defined(__unix__) || defined(__APPLE__)
+  const auto slash = path.find_last_of('/');
+  const std::string dir =
+      slash == std::string::npos ? "." : path.substr(0, slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd < 0) return;
+  ::fsync(fd);
+  ::close(fd);
+#else
+  (void)path;
+#endif
+}
+
+}  // namespace
+
+StressPrimitiveStore::StressPrimitiveStore(std::string path)
+    : path_(std::move(path)) {
+  VIADUCT_REQUIRE(!path_.empty());
+}
+
+std::optional<std::vector<double>> StressPrimitiveStore::load(
+    const std::string& key) const {
+  VIADUCT_SPAN("primitive_store.load");
+  VIADUCT_COUNTER_ADD("primitive_store.loads", 1);
+  const auto entries = readAll(path_);
+  const auto it = entries.find(key);
+  if (it == entries.end()) return std::nullopt;
+  // parseDoubles is non-throwing by contract: a corrupt token is a
+  // malformed entry -> miss, same as a structural problem in readAll.
+  auto sigma = parseDoubles(it->second);
+  if (!sigma || sigma->empty()) return std::nullopt;
+  // Models silent corruption that survives parsing (a truncated vector of
+  // valid doubles): the caller's shape validation must degrade it to a
+  // recompute, never an error.
+  if (fault::shouldInject("primitive_store.load")) sigma->pop_back();
+  return sigma;
+}
+
+void StressPrimitiveStore::save(const std::string& key,
+                                const std::vector<double>& sigma) {
+  VIADUCT_SPAN("primitive_store.save");
+  VIADUCT_COUNTER_ADD("primitive_store.saves", 1);
+  VIADUCT_REQUIRE(!key.empty() && !sigma.empty());
+  auto entries = readAll(path_);
+  entries[key] = formatDoubles(sigma);
+
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    if (!os) throw ParseError("cannot write stress-primitive store: " + tmp);
+    os << kMagic << '\n';
+    for (const auto& [k, s] : entries)
+      os << "entry " << k << '\n' << "sigma " << s << '\n';
+    os.flush();
+    if (!os) {
+      std::remove(tmp.c_str());
+      throw ParseError("short write to stress-primitive store: " + tmp);
+    }
+  }
+  if (!syncFile(tmp)) {
+    std::remove(tmp.c_str());
+    throw ParseError("cannot fsync stress-primitive store: " + tmp);
+  }
+  if (std::rename(tmp.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw ParseError("cannot publish stress-primitive store: " + path_);
+  }
+  syncParentDir(path_);
+  VIADUCT_DEBUG << "stress-primitive store: " << entries.size()
+                << " entr(ies) at " << path_;
+}
+
+std::size_t StressPrimitiveStore::entryCount() const {
+  return readAll(path_).size();
+}
+
+}  // namespace viaduct

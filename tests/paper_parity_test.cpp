@@ -1,0 +1,149 @@
+// Paper-parity golden harness: recomputes the quantities behind Figure 6
+// (intersection-pattern stress curves), Figure 7 (4x4 vs 8x8 via-array
+// stress curves), and Figure 8(b) (pattern TTF ordering) and compares
+// every value against the committed fixtures in data/golden/. The fig*
+// benches check qualitative shape; this test pins the numbers, so any
+// numeric drift in the FEA solver, calibration, or Monte Carlo fails here
+// first. Deliberate changes regenerate via tools/regen_golden.sh and
+// commit the reviewed diff.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+
+#include "parity_util.h"
+
+namespace viaduct {
+namespace {
+
+// Injected by tests/CMakeLists.txt; points into the source tree so the
+// test reads the committed fixtures, not a build-dir copy.
+#ifndef VIADUCT_GOLDEN_DIR
+#error "VIADUCT_GOLDEN_DIR must be defined by the build"
+#endif
+
+class PaperParityTest : public ::testing::Test {
+ protected:
+  // One computation for every test in the suite: the FEA solves and the
+  // three fig8b characterizations dominate the runtime.
+  static void SetUpTestSuite() {
+    computed_ = new parity::ParitySets(parity::computeParitySets());
+    golden_ = new parity::ParitySets;
+    const auto loaded = parity::readGolden(std::string(VIADUCT_GOLDEN_DIR) +
+                                           "/paper_parity.golden");
+    ASSERT_TRUE(loaded.has_value())
+        << "missing or malformed golden fixtures; run tools/regen_golden.sh";
+    *golden_ = *loaded;
+  }
+  static void TearDownTestSuite() {
+    delete computed_;
+    delete golden_;
+    computed_ = nullptr;
+    golden_ = nullptr;
+  }
+
+  static const std::vector<double>& set(const parity::ParitySets& sets,
+                                        const std::string& name) {
+    const auto it = sets.find(name);
+    EXPECT_NE(it, sets.end()) << "missing parity set " << name;
+    static const std::vector<double> kEmpty;
+    return it == sets.end() ? kEmpty : it->second;
+  }
+
+  static parity::ParitySets* computed_;
+  static parity::ParitySets* golden_;
+};
+
+parity::ParitySets* PaperParityTest::computed_ = nullptr;
+parity::ParitySets* PaperParityTest::golden_ = nullptr;
+
+/// Tight relative tolerance: goldens are regenerated on the machine that
+/// committed them, but libm differences across toolchains can move the
+/// last couple of ulps through exp/log-heavy paths.
+constexpr double kRelTol = 1e-9;
+
+void expectSetsMatch(const parity::ParitySets& golden,
+                     const parity::ParitySets& computed,
+                     const std::string& name) {
+  const auto git = golden.find(name);
+  const auto cit = computed.find(name);
+  ASSERT_NE(git, golden.end()) << "golden file lacks set " << name
+                               << "; run tools/regen_golden.sh";
+  ASSERT_NE(cit, computed.end()) << "computation lacks set " << name;
+  ASSERT_EQ(git->second.size(), cit->second.size()) << name;
+  for (std::size_t i = 0; i < git->second.size(); ++i) {
+    const double g = git->second[i], c = cit->second[i];
+    const double scale = std::max({std::abs(g), std::abs(c), 1e-300});
+    EXPECT_LE(std::abs(g - c) / scale, kRelTol)
+        << name << "[" << i << "]: golden " << g << " vs computed " << c;
+  }
+}
+
+TEST_F(PaperParityTest, GoldenAndComputedCoverTheSameSets) {
+  for (const auto& [name, values] : *golden_)
+    EXPECT_TRUE(computed_->count(name)) << "stale golden set " << name;
+  for (const auto& [name, values] : *computed_)
+    EXPECT_TRUE(golden_->count(name)) << "unpinned parity set " << name;
+}
+
+TEST_F(PaperParityTest, Fig6StressCurvesMatchGolden) {
+  for (const char* pat : {"Plus", "T", "L"}) {
+    const std::string prefix = std::string("fig6.") + pat;
+    expectSetsMatch(*golden_, *computed_, prefix + ".via_peaks_mpa");
+    expectSetsMatch(*golden_, *computed_, prefix + ".profile_x_um");
+    expectSetsMatch(*golden_, *computed_, prefix + ".profile_mpa");
+  }
+}
+
+TEST_F(PaperParityTest, Fig7StressCurvesMatchGolden) {
+  for (const char* cfg : {"4x4", "8x8"}) {
+    const std::string prefix = std::string("fig7.") + cfg;
+    expectSetsMatch(*golden_, *computed_, prefix + ".via_peaks_mpa");
+    expectSetsMatch(*golden_, *computed_, prefix + ".profile_x_um");
+    expectSetsMatch(*golden_, *computed_, prefix + ".profile_mpa");
+    expectSetsMatch(*golden_, *computed_,
+                    prefix + ".perimeter_interior_peak_mpa");
+  }
+}
+
+TEST_F(PaperParityTest, Fig8bTtfMatchesGolden) {
+  for (const char* pat : {"Plus", "T", "L"})
+    expectSetsMatch(*golden_, *computed_,
+                    std::string("fig8b.") + pat + ".ttf_years");
+}
+
+// The qualitative paper claims, re-asserted on the freshly computed values
+// so the goldens can never "pin in" a shape regression.
+
+TEST_F(PaperParityTest, Fig6PatternOrderingHolds) {
+  auto peak = [&](const char* pat) {
+    const auto& v = set(*computed_, std::string("fig6.") + pat +
+                                        ".via_peaks_mpa");
+    double m = 0.0;
+    for (double s : v) m = std::max(m, s);
+    return m;
+  };
+  EXPECT_GT(peak("Plus"), peak("T"));
+  EXPECT_GT(peak("T"), peak("L"));
+}
+
+TEST_F(PaperParityTest, Fig7SizeEffectHolds) {
+  const auto& small = set(*computed_, "fig7.4x4.perimeter_interior_peak_mpa");
+  const auto& large = set(*computed_, "fig7.8x8.perimeter_interior_peak_mpa");
+  ASSERT_EQ(small.size(), 2u);
+  ASSERT_EQ(large.size(), 2u);
+  // Perimeter peaks similar (within 20%), interior peak smaller on the 8x8.
+  EXPECT_LT(std::abs(small[0] - large[0]), 0.2 * small[0]);
+  EXPECT_LT(large[1], small[1]);
+}
+
+TEST_F(PaperParityTest, Fig8bTtfOrderingHolds) {
+  const double plus = set(*computed_, "fig8b.Plus.ttf_years")[0];
+  const double t = set(*computed_, "fig8b.T.ttf_years")[0];
+  const double l = set(*computed_, "fig8b.L.ttf_years")[0];
+  EXPECT_GT(t, plus);  // T outlives Plus (median)
+  EXPECT_GT(l, t);     // L outlives T (median)
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,33 @@
+// Regenerates the paper-parity golden fixtures (data/golden/) that
+// tests/paper_parity_test.cpp locks against. Run via tools/regen_golden.sh
+// after a DELIBERATE physics/numerics change, and review the value diff
+// like any other code change — the whole point of the harness is that this
+// file never regenerates silently.
+#include <iostream>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "parity_util.h"
+
+using namespace viaduct;
+
+int main(int argc, char** argv) {
+  std::string out = "data/golden/paper_parity.golden";
+  CliFlags flags("golden_gen: regenerate the paper-parity fixtures");
+  flags.addString("out", &out, "output golden file");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kWarn);
+
+  std::cout << "computing parity sets (fig6/fig7 stress, fig8b TTF, "
+            << parity::kFig8bTrials << " MC trials)...\n";
+  const parity::ParitySets sets = parity::computeParitySets();
+  if (!parity::writeGolden(out, sets)) {
+    std::cerr << "error: cannot write " << out << "\n";
+    return 1;
+  }
+  std::size_t values = 0;
+  for (const auto& [name, v] : sets) values += v.size();
+  std::cout << "wrote " << out << ": " << sets.size() << " sets, " << values
+            << " values\n";
+  return 0;
+}

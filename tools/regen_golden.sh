@@ -1,0 +1,14 @@
+#!/usr/bin/env bash
+# Regenerates data/golden/paper_parity.golden after a DELIBERATE change to
+# the physics or numerics. The regenerated file is a reviewed artifact:
+# commit the diff together with the change that caused it, and say why the
+# numbers moved. tests/paper_parity_test.cpp fails until the fixtures match
+# the code again.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+BUILD_DIR="${BUILD_DIR:-build}"
+cmake --build "$BUILD_DIR" --target golden_gen -j >/dev/null
+mkdir -p data/golden
+"$BUILD_DIR/tools/golden_gen" --out data/golden/paper_parity.golden
+git --no-pager diff --stat data/golden/ || true

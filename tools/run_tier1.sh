@@ -20,7 +20,13 @@
 #   8. the perf_obs_export smoke: grid MC with live telemetry fully on
 #      (registry + JSONL sampler + HTTP listener + a scraper thread) must
 #      stay within the telemetry overhead budget and keep ttfSamples
-#      bit-identical vs. obs-off across thread counts (BENCH_obs_export.json).
+#      bit-identical vs. obs-off across thread counts (BENCH_obs_export.json);
+#   9. the perf_fea_mg smoke: multigrid vs IC(0) end-to-end FEA solve with
+#      via-peak parity and warm-primitive-store gates (BENCH_fea_mg.json;
+#      the >= 4x speedup floor applies to the full-size run, not the smoke);
+#  10. a CLI warm-store smoke: two characterize runs sharing a
+#      --primitive-store file — the second must report zero FEA solves in
+#      its --metrics-out snapshot and print identical TTF percentiles.
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -36,28 +42,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/8] tier-1: configure + build + full test suite ==="
+echo "=== [1/10] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/8] fault label: recovery-path tests ==="
+echo "=== [2/10] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
-echo "=== [3/8] checkpoint label: crash-safety and resume tests ==="
+echo "=== [3/10] checkpoint label: crash-safety and resume tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [4/8] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/10] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [4/8] thread-sanitized build: tsan label ==="
+  echo "=== [4/10] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [5/8] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/10] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
 SMOKE_CKPT="$(mktemp -u).ckpt"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
@@ -82,21 +88,52 @@ if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
 fi
 echo "smoke run clean (no WARN/ERROR lines, resume exact)"
 
-echo "=== [6/8] perf_viaarray: incremental vs exact solver A/B smoke ==="
+echo "=== [6/10] perf_viaarray: incremental vs exact solver A/B smoke ==="
 # Benchmark registrations are skipped (filter matches nothing); the manual
 # A/B cross-check and BENCH_viaarray.json still run. Exit is nonzero only
 # if the two solver paths disagree.
 (cd build/bench && ./perf_viaarray --benchmark_filter='^$')
 
-echo "=== [7/8] perf_grid_scale: shared-base level-2 engine smoke ==="
+echo "=== [7/10] perf_grid_scale: shared-base level-2 engine smoke ==="
 # Parity, determinism, and speedup gates on the smallest mesh; the full
 # 1e4 -> 1e6 sweep is the same binary without --smoke.
 (cd build/bench && ./perf_grid_scale --smoke)
 
-echo "=== [8/8] perf_obs_export: live-telemetry overhead + bit-identity ==="
+echo "=== [8/10] perf_obs_export: live-telemetry overhead + bit-identity ==="
 # Grid MC with the registry, JSONL sampler, HTTP listener, and a live
 # scraper all running must stay within the overhead budget and produce
 # bit-identical samples vs. obs-off across thread counts.
 (cd build/bench && ./perf_obs_export --smoke)
+
+echo "=== [9/10] perf_fea_mg: multigrid vs IC(0) FEA solve smoke ==="
+# End-to-end solve parity (mg and ic0 via peaks must agree) and the
+# warm-primitive-store zero-solve gate on a reduced problem; the full
+# fig7-size run with the >= 4x speedup floor is the same binary
+# without --smoke (CI uploads its BENCH_fea_mg.json).
+(cd build/bench && ./perf_fea_mg --smoke)
+
+echo "=== [10/10] CLI warm-store smoke: second run must skip all FEA ==="
+STORE_FILE="$(mktemp -u).primitives"
+COLD_OUT="$(mktemp)"
+WARM_OUT="$(mktemp)"
+WARM_METRICS="$(mktemp)"
+trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* "$STORE_FILE" "$COLD_OUT" \
+  "$WARM_OUT" "$WARM_METRICS"' EXIT
+./build/tools/viaduct_cli characterize --n 4 --trials 100 \
+  --primitive-store "$STORE_FILE" > "$COLD_OUT"
+./build/tools/viaduct_cli characterize --n 4 --trials 100 \
+  --primitive-store "$STORE_FILE" --metrics-out "$WARM_METRICS" > "$WARM_OUT"
+cmp -s "$COLD_OUT" "$WARM_OUT" \
+  || { echo "FAIL: warm-store characterize output differs from cold" >&2
+       diff "$COLD_OUT" "$WARM_OUT" >&2 || true; exit 1; }
+python3 - "$WARM_METRICS" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+solves = snap.get("counters", {}).get("viaarray.fea_solves", 0)
+hits = snap.get("counters", {}).get("primitive_store.hits", 0)
+if solves != 0 or hits < 1:
+    sys.exit(f"FAIL: warm run had fea_solves={solves}, store hits={hits}")
+print(f"warm store clean: 0 FEA solves, {hits} primitive hit(s)")
+EOF
 
 echo "ALL TIER-1 CHECKS PASSED"

@@ -43,6 +43,7 @@
 #include "spice/parser.h"
 #include "spice/writer.h"
 #include "viaarray/cache.h"
+#include "viaarray/primitive_store.h"
 
 using namespace viaduct;
 
@@ -91,7 +92,8 @@ int cmdGenerate(int argc, const char* const* argv) {
 
 int cmdAnalyze(int argc, const char* const* argv) {
   std::string netlistPath, preset = "PG1", arrayCrit = "open",
-                           systemCrit = "ir", cachePath, checkpointPath;
+                           systemCrit = "ir", cachePath, checkpointPath,
+                           feaPrecond = "mg", primitiveStorePath;
   int viaN = 4, trials = 300, charTrials = 300, threads = 0,
       checkpointEvery = 32;
   bool resume = false, exactResolve = false;
@@ -123,6 +125,12 @@ int cmdAnalyze(int argc, const char* const* argv) {
                 "characterize with the legacy from-scratch LU network solve "
                 "instead of the incremental factor-downdate path (slow; A/B "
                 "verification only)");
+  flags.addString("fea-precond", &feaPrecond,
+                  "FEA stress-solve preconditioner: mg (geometric multigrid, "
+                  "fastest), ic0, or bj (seed baseline)");
+  flags.addString("primitive-store", &primitiveStorePath,
+                  "on-disk FEA stress-primitive store; a warm store "
+                  "characterizes with zero FEA solves");
   flags.addString("grid-solver", &gridSolver,
                   "direct solver for the grid system: uplooking|supernodal "
                   "(supernodal+amd scales to ~1e6-node meshes)");
@@ -137,6 +145,14 @@ int cmdAnalyze(int argc, const char* const* argv) {
   config.trials = trials;
   config.characterization.trials = charTrials;
   config.characterization.network.exactResolve = exactResolve;
+  const auto kind = parseFeaPreconditionerName(feaPrecond);
+  if (!kind)
+    throw PreconditionError("unknown --fea-precond '" + feaPrecond +
+                            "' (mg, ic0, or bj)");
+  config.characterization.feaPreconditioner = *kind;
+  if (!primitiveStorePath.empty())
+    config.characterization.primitiveStore =
+        std::make_shared<StressPrimitiveStore>(primitiveStorePath);
   config.tuneNominalIrDropFraction = tuneIr;
   config.parallelism.threads = threads;
   config.checkpoint.path = checkpointPath;
@@ -191,7 +207,8 @@ int cmdAnalyze(int argc, const char* const* argv) {
 int cmdCharacterize(int argc, const char* const* argv) {
   int n = 4, trials = 500, threads = 0, checkpointEvery = 32;
   bool resume = false, exactResolve = false;
-  std::string pattern = "Plus", criterion = "open", cachePath, checkpointPath;
+  std::string pattern = "Plus", criterion = "open", cachePath, checkpointPath,
+              feaPrecond = "mg", primitiveStorePath;
   CliFlags flags("viaduct_cli characterize: level-1 via-array TTF");
   flags.addInt("n", &n, "via array dimension");
   flags.addString("pattern", &pattern, "Plus, T, or L");
@@ -213,11 +230,25 @@ int cmdCharacterize(int argc, const char* const* argv) {
                 "use the legacy from-scratch LU network solve instead of "
                 "the incremental factor-downdate path (slow; A/B "
                 "verification only)");
+  flags.addString("fea-precond", &feaPrecond,
+                  "FEA stress-solve preconditioner: mg (geometric multigrid, "
+                  "fastest), ic0, or bj (seed baseline)");
+  flags.addString("primitive-store", &primitiveStorePath,
+                  "on-disk FEA stress-primitive store; a warm store "
+                  "characterizes with zero FEA solves");
   if (!flags.parse(argc, argv)) return 0;
 
   ViaArrayCharacterizationSpec spec;
   spec.array.n = n;
   spec.network.exactResolve = exactResolve;
+  const auto kind = parseFeaPreconditionerName(feaPrecond);
+  if (!kind)
+    throw PreconditionError("unknown --fea-precond '" + feaPrecond +
+                            "' (mg, ic0, or bj)");
+  spec.feaPreconditioner = *kind;
+  if (!primitiveStorePath.empty())
+    spec.primitiveStore =
+        std::make_shared<StressPrimitiveStore>(primitiveStorePath);
   spec.pattern = pattern == "T"   ? IntersectionPattern::kT
                  : pattern == "L" ? IntersectionPattern::kL
                                   : IntersectionPattern::kPlus;
