@@ -1,0 +1,358 @@
+// Serving-layer load generator + gates (BENCH_serve.json).
+//
+// Runs in-process ViaductServer instances and measures the serving story
+// end to end:
+//
+//   - dedup effectiveness: N concurrent IDENTICAL characterize requests
+//     (overlapped deterministically via the debug execute-delay hook) must
+//     produce EXACTLY ONE underlying characterization — one execution, one
+//     FEA solve, N-1 requesters joined to the first's future.
+//   - warm-request cost: repeating the request against a warm library must
+//     run zero additional FEA solves and report a memory hit.
+//   - latency/throughput: p50/p99 per-request latency and aggregate
+//     throughput for warm characterize requests at several client
+//     concurrencies.
+//   - admission control: a queue-limit-1 server under a concurrent burst
+//     must shed load with 429s, never hang.
+//   - robustness: malformed requests get 400, slow clients get 408, and
+//     the server keeps serving afterwards.
+//   - drain: beginDrain() turns new connections away with 503 while an
+//     in-flight request still gets its full 200 response.
+//
+// --smoke shrinks the burst/request counts for the tier-1 gate; the gates
+// themselves are identical.
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/cli.h"
+#include "common/logging.h"
+#include "obs/obs.h"
+#include "serve/protocol.h"
+#include "serve/server.h"
+
+using namespace viaduct;
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t feaSolves() {
+  return obs::Registry::instance().counter("viaarray.fea_solves").value();
+}
+
+double quantile(std::vector<double> v, double q) {
+  if (v.empty()) return 0.0;
+  std::sort(v.begin(), v.end());
+  const auto rank = static_cast<std::size_t>(
+      q * static_cast<double>(v.size() - 1) + 0.5);
+  return v[std::min(rank, v.size() - 1)];
+}
+
+struct LoadPoint {
+  int concurrency = 0;
+  int requests = 0;
+  double p50Ms = 0.0;
+  double p99Ms = 0.0;
+  double throughputRps = 0.0;
+  bool allOk = true;
+};
+
+/// `clients` threads each issue `perClient` identical warm requests.
+LoadPoint runLoad(const std::string& host, int port, const std::string& body,
+                  int clients, int perClient) {
+  LoadPoint point;
+  point.concurrency = clients;
+  point.requests = clients * perClient;
+  std::vector<std::vector<double>> latencies(
+      static_cast<std::size_t>(clients));
+  std::vector<char> ok(static_cast<std::size_t>(clients), 1);
+  const auto t0 = Clock::now();
+  std::vector<std::thread> threads;
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (int r = 0; r < perClient; ++r) {
+        const auto start = Clock::now();
+        const auto response =
+            serve::httpRequest(host, port, "POST", "/v1/characterize", body);
+        const double dt =
+            std::chrono::duration<double>(Clock::now() - start).count();
+        latencies[static_cast<std::size_t>(c)].push_back(dt);
+        if (!response || response->status != 200)
+          ok[static_cast<std::size_t>(c)] = 0;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double elapsed = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  std::vector<double> all;
+  for (const auto& per : latencies) all.insert(all.end(), per.begin(), per.end());
+  point.p50Ms = quantile(all, 0.50) * 1e3;
+  point.p99Ms = quantile(all, 0.99) * 1e3;
+  point.throughputRps = static_cast<double>(point.requests) / elapsed;
+  for (const char o : ok) point.allOk = point.allOk && o != 0;
+  return point;
+}
+
+/// Connects, sends a PARTIAL request head, stalls, and waits for the
+/// server's verdict: true iff it answers 408 (request-read timeout).
+bool slowClientGets408(const std::string& host, int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) !=
+          0) {
+    ::close(fd);
+    return false;
+  }
+  const char partial[] = "POST /v1/characterize HTTP/1.1\r\nHos";
+  serve::sendAll(fd, partial, sizeof partial - 1);
+  // Stall: no more bytes. Read whatever the server eventually says.
+  std::string response;
+  char buf[512];
+  const auto deadline = Clock::now() + std::chrono::seconds(5);
+  while (Clock::now() < deadline) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, 200);
+    if (ready <= 0) continue;
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    response.append(buf, static_cast<std::size_t>(n));
+  }
+  ::close(fd);
+  return response.find("408") != std::string::npos;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool smoke = false;
+  std::string out = "BENCH_serve.json";
+  CliFlags flags("perf_serve: serving-layer latency, dedup, and robustness");
+  flags.addBool("smoke", &smoke, "reduced burst/request counts (tier-1 gate)");
+  flags.addString("out", &out, "JSON report path");
+  if (!flags.parse(argc, argv)) return 0;
+  setLogLevel(LogLevel::kError);
+  obs::setEnabled(true);
+
+  const int burst = smoke ? 6 : 12;          // concurrent duplicate requests
+  const int trials = smoke ? 30 : 120;       // per characterization
+  const int perClient = smoke ? 8 : 25;      // warm requests per client
+  const std::vector<int> concurrencies = smoke ? std::vector<int>{1, 2, 4}
+                                               : std::vector<int>{1, 2, 4, 8};
+  const std::string body = "{\"n\":4,\"trials\":" + std::to_string(trials) +
+                           ",\"criterion\":\"open\"}";
+
+  std::cout << "=== perf_serve: serving-layer load generator ==="
+            << (smoke ? " [smoke]" : "") << "\n";
+  bool pass = true;
+  const auto gate = [&](bool ok, const std::string& what) {
+    if (!ok) {
+      std::cerr << "FAIL: " << what << "\n";
+      pass = false;
+    }
+  };
+
+  // --- Phase 1: dedup burst (execute-delay hook guarantees overlap). ---
+  serve::ServerConfig dedupConfig;
+  dedupConfig.workers = burst;  // every duplicate gets a worker concurrently
+  dedupConfig.queueLimit = 2 * burst;
+  dedupConfig.debugExecuteDelayMs = 300;
+  std::string error;
+  auto dedupServer = serve::ViaductServer::start(dedupConfig, &error);
+  if (!dedupServer) {
+    std::cerr << "cannot start dedup server: " << error << "\n";
+    return 1;
+  }
+  const std::uint64_t solvesBeforeBurst = feaSolves();
+  std::vector<char> burstOk(static_cast<std::size_t>(burst), 0);
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < burst; ++i)
+      threads.emplace_back([&, i] {
+        const auto response = serve::httpRequest(
+            "127.0.0.1", dedupServer->port(), "POST", "/v1/characterize", body);
+        if (response && response->status == 200 &&
+            response->body.find("\"status\":\"ok\"") != std::string::npos)
+          burstOk[static_cast<std::size_t>(i)] = 1;
+      });
+    for (auto& t : threads) t.join();
+  }
+  const auto dedupStats = dedupServer->stats();
+  const std::uint64_t burstSolves = feaSolves() - solvesBeforeBurst;
+  bool burstAllOk = true;
+  for (const char o : burstOk) burstAllOk = burstAllOk && o != 0;
+  gate(burstAllOk, "dedup burst: not every duplicate request got a 200");
+  gate(dedupStats.executed == 1,
+       "dedup burst: expected exactly 1 execution, got " +
+           std::to_string(dedupStats.executed));
+  gate(dedupStats.deduped == static_cast<std::uint64_t>(burst - 1),
+       "dedup burst: expected " + std::to_string(burst - 1) +
+           " joined requests, got " + std::to_string(dedupStats.deduped));
+  gate(burstSolves == 1, "dedup burst: expected exactly 1 FEA solve, got " +
+                             std::to_string(burstSolves));
+  std::cout << "  dedup: " << burst << " concurrent duplicates -> "
+            << dedupStats.executed << " execution, " << dedupStats.deduped
+            << " joined, " << burstSolves << " FEA solve(s)\n";
+
+  // --- Phase 2: drain. A fresh in-flight request (held by the execute
+  // delay) must complete while new connections are turned away. ---
+  std::string drainBody = "{\"n\":3,\"trials\":" + std::to_string(trials) +
+                          ",\"criterion\":\"open\"}";
+  bool inflightOk = false;
+  std::thread inflight([&] {
+    const auto response = serve::httpRequest(
+        "127.0.0.1", dedupServer->port(), "POST", "/v1/characterize", drainBody);
+    inflightOk = response && response->status == 200 &&
+                 response->body.find("\"status\":\"ok\"") != std::string::npos;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  dedupServer->beginDrain();
+  const auto drainedResponse =
+      serve::httpRequest("127.0.0.1", dedupServer->port(), "GET", "/healthz", "");
+  const bool drainRejects =
+      drainedResponse.has_value() && drainedResponse->status == 503;
+  dedupServer->drainAndStop();
+  inflight.join();
+  gate(inflightOk, "drain: in-flight request lost its response");
+  gate(drainRejects, "drain: new connection was not turned away with 503");
+  std::cout << "  drain: in-flight 200 preserved, new connection got "
+            << (drainedResponse ? drainedResponse->status : 0) << "\n";
+  dedupServer.reset();
+
+  // --- Phase 3: admission control under a burst against queue-limit 1. ---
+  serve::ServerConfig tinyConfig;
+  tinyConfig.workers = 1;
+  tinyConfig.queueLimit = 1;
+  tinyConfig.debugExecuteDelayMs = 300;
+  auto tinyServer = serve::ViaductServer::start(tinyConfig, &error);
+  if (!tinyServer) {
+    std::cerr << "cannot start admission server: " << error << "\n";
+    return 1;
+  }
+  {
+    std::vector<std::thread> threads;
+    for (int i = 0; i < burst; ++i)
+      threads.emplace_back([&] {
+        serve::httpRequest("127.0.0.1", tinyServer->port(), "POST",
+                           "/v1/characterize", body);
+      });
+    for (auto& t : threads) t.join();
+  }
+  const auto tinyStats = tinyServer->stats();
+  gate(tinyStats.rejected >= 1,
+       "admission: queue-limit-1 server shed no load under a burst of " +
+           std::to_string(burst));
+  std::cout << "  admission: burst of " << burst << " vs queue limit 1 -> "
+            << tinyStats.rejected << " rejected with 429\n";
+  tinyServer.reset();
+
+  // --- Phase 4: warm-request cost + latency/throughput sweep. ---
+  serve::ServerConfig loadConfig;
+  loadConfig.workers = smoke ? 2 : 4;
+  loadConfig.queueLimit = 64;
+  loadConfig.requestTimeoutMs = 500;
+  auto server = serve::ViaductServer::start(loadConfig, &error);
+  if (!server) {
+    std::cerr << "cannot start load server: " << error << "\n";
+    return 1;
+  }
+  const int port = server->port();
+
+  // Cold request pays the characterization; the repeat must be free.
+  const auto cold =
+      serve::httpRequest("127.0.0.1", port, "POST", "/v1/characterize", body);
+  gate(cold && cold->status == 200, "load: cold characterize failed");
+  const std::uint64_t solvesWarm = feaSolves();
+  const auto warm =
+      serve::httpRequest("127.0.0.1", port, "POST", "/v1/characterize", body);
+  const bool warmZeroSolves = feaSolves() == solvesWarm;
+  const bool warmMemoryHit =
+      warm && warm->status == 200 &&
+      warm->body.find("\"memoryHit\":true") != std::string::npos;
+  gate(warmZeroSolves, "load: warm request ran additional FEA solves");
+  gate(warmMemoryHit, "load: warm request did not report a memory hit");
+
+  std::vector<LoadPoint> points;
+  for (const int clients : concurrencies) {
+    points.push_back(runLoad("127.0.0.1", port, body, clients, perClient));
+    const auto& p = points.back();
+    gate(p.allOk, "load: non-200 at concurrency " + std::to_string(clients));
+    std::cout << "  load: c=" << p.concurrency << " " << p.requests
+              << " reqs, p50 " << p.p50Ms << " ms, p99 " << p.p99Ms
+              << " ms, " << p.throughputRps << " req/s\n";
+  }
+
+  // --- Phase 5: robustness — malformed and slow clients, then health. ---
+  const auto malformed =
+      serve::httpRequest("127.0.0.1", port, "POST", "/v1/characterize",
+                         "this is not json");
+  gate(malformed && malformed->status == 400,
+       "robustness: malformed body did not get 400");
+  const auto badField =
+      serve::httpRequest("127.0.0.1", port, "POST", "/v1/characterize",
+                         "{\"n\":\"eight\"}");
+  gate(badField && badField->status == 400,
+       "robustness: bad field type did not get 400");
+  const auto tooBig = serve::httpRequest(
+      "127.0.0.1", port, "POST", "/v1/characterize",
+      "{\"pad\":\"" + std::string(128 * 1024, 'x') + "\"}");
+  gate(tooBig && tooBig->status == 413,
+       "robustness: oversized request did not get 413");
+  // Slow client: send only a partial request and stall; the 500 ms request
+  // timeout must fire and answer 408 instead of pinning a worker forever.
+  const bool slowGot408 = slowClientGets408("127.0.0.1", port);
+  gate(slowGot408, "robustness: stalled client did not get 408");
+  {
+    const auto health =
+        serve::httpRequest("127.0.0.1", port, "GET", "/healthz", "");
+    gate(health && health->status == 200,
+         "robustness: server unhealthy after abuse");
+  }
+  const auto finalStats = server->stats();
+  server->drainAndStop();
+  server.reset();
+
+  std::ofstream os(out);
+  if (!os) {
+    std::cerr << "cannot create " << out << "\n";
+    return 1;
+  }
+  os << "{\n  \"smoke\": " << (smoke ? "true" : "false")
+     << ",\n  \"burst\": " << burst
+     << ",\n  \"trials\": " << trials
+     << ",\n  \"dedup_executed\": " << dedupStats.executed
+     << ",\n  \"dedup_joined\": " << dedupStats.deduped
+     << ",\n  \"dedup_fea_solves\": " << burstSolves
+     << ",\n  \"admission_rejected\": " << tinyStats.rejected
+     << ",\n  \"warm_zero_solves\": " << (warmZeroSolves ? "true" : "false")
+     << ",\n  \"warm_memory_hit\": " << (warmMemoryHit ? "true" : "false")
+     << ",\n  \"drain_inflight_ok\": " << (inflightOk ? "true" : "false")
+     << ",\n  \"drain_rejects_new\": " << (drainRejects ? "true" : "false")
+     << ",\n  \"load_requests_total\": " << finalStats.requestsTotal
+     << ",\n  \"load\": [";
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    os << (i == 0 ? "" : ",") << "\n    {\"concurrency\": " << p.concurrency
+       << ", \"requests\": " << p.requests << ", \"p50_ms\": " << p.p50Ms
+       << ", \"p99_ms\": " << p.p99Ms
+       << ", \"throughput_rps\": " << p.throughputRps << "}";
+  }
+  os << "\n  ],\n  \"pass\": " << (pass ? "true" : "false") << "\n}\n";
+  std::cout << "wrote " << out << "\n";
+  return pass ? 0 : 1;
+}

@@ -5,6 +5,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace viaduct {
 
@@ -35,10 +36,11 @@ void CliFlags::addDouble(const std::string& name, double* target,
   os << *target;
   f.defaultValue = os.str();
   f.set = [target, name](const std::string& v) {
-    std::size_t pos = 0;
-    const double parsed = std::stod(v, &pos);
-    VIADUCT_REQUIRE_MSG(pos == v.size(), "bad number for --" + name);
-    *target = parsed;
+    // Locale-independent (common/serialize): std::stod under a comma
+    // LC_NUMERIC truncated "--flag 1.5" to 1 without complaint.
+    const auto parsed = parseDoubleToken(v);
+    VIADUCT_REQUIRE_MSG(parsed.has_value(), "bad number for --" + name);
+    *target = *parsed;
   };
   flags_[name] = std::move(f);
 }

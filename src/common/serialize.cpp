@@ -74,6 +74,42 @@ std::optional<std::vector<double>> parseDoubles(std::string_view s) {
   return out;
 }
 
+std::optional<double> parseDoublePrefix(std::string_view s,
+                                        std::size_t* consumed) {
+  if (consumed) *consumed = 0;
+  // from_chars does not accept an explicit '+' sign (std::stod did, and
+  // both the CLI and SPICE decks use it), so strip it here.
+  const bool plus = !s.empty() && s.front() == '+';
+  const std::string_view body = plus ? s.substr(1) : s;
+  double value = 0.0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ptr == body.data()) return std::nullopt;  // no leading number at all
+  if (ec == std::errc::result_out_of_range) return std::nullopt;
+  if (ec != std::errc()) return std::nullopt;
+  if (consumed)
+    *consumed = static_cast<std::size_t>(ptr - body.data()) + (plus ? 1 : 0);
+  return value;
+}
+
+std::optional<double> parseDoubleToken(std::string_view s) {
+  std::size_t consumed = 0;
+  const auto value = parseDoublePrefix(s, &consumed);
+  if (!value || consumed != s.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<long long> parseIntToken(std::string_view s) {
+  const bool plus = !s.empty() && s.front() == '+';
+  const std::string_view body = plus ? s.substr(1) : s;
+  long long value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(body.data(), body.data() + body.size(), value);
+  if (ec != std::errc() || ptr != body.data() + body.size() || body.empty())
+    return std::nullopt;
+  return value;
+}
+
 std::uint64_t fnv1aHash(std::string_view s) {
   std::uint64_t h = 1469598103934665603ull;
   for (const char c : s) {

@@ -37,6 +37,29 @@ std::string formatDoubles(const std::vector<double>& v);
 /// (or all-whitespace) string parses to an empty vector.
 std::optional<std::vector<double>> parseDoubles(std::string_view s);
 
+/// Locale-independent replacement for std::stod over a whole token:
+/// parses `s` as one double (optional leading '+' or '-', decimal or
+/// scientific notation, "inf"/"infinity"/"nan" spellings as from_chars
+/// accepts them) and returns std::nullopt when the token is empty, does
+/// not parse, overflows, or carries trailing junk ("1.5x"). Unlike
+/// std::stod this never consults the global C locale — "1.5" means 1.5
+/// under de_DE just as under C — never throws, and rejects leading
+/// whitespace.
+std::optional<double> parseDoubleToken(std::string_view s);
+
+/// Suffix-position variant of parseDoubleToken for grammars that carry a
+/// magnitude suffix fused to the number ("1.5k", "2meg"): parses the
+/// longest leading double of `s` and stores the number of characters it
+/// consumed in `*consumed` (the suffix starts there). Returns std::nullopt
+/// — with *consumed = 0 — when `s` does not start with a number.
+std::optional<double> parseDoublePrefix(std::string_view s,
+                                        std::size_t* consumed);
+
+/// Locale-independent full-token integer parse (from_chars): optional
+/// leading '+' or '-', base 10 only. std::nullopt on empty input, trailing
+/// junk, or overflow.
+std::optional<long long> parseIntToken(std::string_view s);
+
 /// FNV-1a 64-bit hash (stable across platforms; used for config keys).
 std::uint64_t fnv1aHash(std::string_view s);
 

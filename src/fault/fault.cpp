@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/rng.h"
+#include "common/serialize.h"
 #include "obs/obs.h"
 
 namespace viaduct::fault {
@@ -159,17 +160,23 @@ void Registry::configure(std::string_view spec) {
           tpos, comma == std::string_view::npos ? segment.size() - tpos
                                                 : comma - tpos);
       tpos = comma == std::string_view::npos ? segment.size() + 1 : comma + 1;
-      try {
-        if (tok.rfind("p=", 0) == 0) {
-          trigger.probability = std::stod(std::string(tok.substr(2)));
-        } else if (tok.rfind("nth=", 0) == 0) {
-          trigger.nth = std::stoll(std::string(tok.substr(4)));
-        } else {
-          throw ParseError("");
-        }
-      } catch (const std::exception&) {
-        throw ParseError("fault spec: bad trigger '" + std::string(tok) +
-                         "' for site '" + std::string(site) + "'");
+      // Locale-independent trigger values (common/serialize): std::stod
+      // under a comma LC_NUMERIC read "p=0.05" as p=0, silently disarming
+      // the probability.
+      const auto badTrigger = [&]() -> ParseError {
+        return ParseError("fault spec: bad trigger '" + std::string(tok) +
+                          "' for site '" + std::string(site) + "'");
+      };
+      if (tok.rfind("p=", 0) == 0) {
+        const auto p = parseDoubleToken(tok.substr(2));
+        if (!p) throw badTrigger();
+        trigger.probability = *p;
+      } else if (tok.rfind("nth=", 0) == 0) {
+        const auto nth = parseIntToken(tok.substr(4));
+        if (!nth) throw badTrigger();
+        trigger.nth = *nth;
+      } else {
+        throw badTrigger();
       }
     }
     try {

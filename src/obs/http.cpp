@@ -38,6 +38,7 @@ void writeAll(int fd, const char* data, std::size_t size) {
   std::size_t sent = 0;
   while (sent < size) {
     const ssize_t n = ::send(fd, data + sent, size - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;  // e.g. a profiler's SIGPROF
     if (n <= 0) return;  // peer went away; nothing to recover
     sent += static_cast<std::size_t>(n);
   }
@@ -115,7 +116,9 @@ void TelemetryHttpServer::serveLoop() {
   while (!stop_.load(std::memory_order_relaxed)) {
     pollfd pfd{listenFd_, POLLIN, 0};
     const int ready = ::poll(&pfd, 1, /*timeout_ms=*/100);
-    if (ready <= 0) continue;  // timeout (re-check stop) or transient error
+    // Timeout or EINTR (a signal landing mid-poll): re-check stop and go
+    // around; a transient accept failure (including EINTR) likewise.
+    if (ready <= 0) continue;
     const int conn = ::accept(listenFd_, nullptr, nullptr);
     if (conn < 0) continue;
     handleConnection(conn);
@@ -133,6 +136,7 @@ void TelemetryHttpServer::handleConnection(int fd) {
     pollfd pfd{fd, POLLIN, 0};
     if (::poll(&pfd, 1, /*timeout_ms=*/100) <= 0) continue;
     const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;  // interrupted, not closed
     if (n <= 0) break;
     request.append(buf, static_cast<std::size_t>(n));
     if (request.size() >= 2048) break;

@@ -1,0 +1,224 @@
+#include "serve/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+#include "common/serialize.h"
+
+namespace viaduct::serve {
+
+namespace {
+
+void skipWs(std::string_view s, std::size_t* i) {
+  while (*i < s.size() &&
+         (s[*i] == ' ' || s[*i] == '\t' || s[*i] == '\n' || s[*i] == '\r'))
+    ++*i;
+}
+
+/// Parses a JSON string starting at the opening quote; advances *i past the
+/// closing quote. Returns false on malformed escapes or an unterminated
+/// string. Only BMP \uXXXX escapes are supported (encoded as UTF-8).
+bool parseString(std::string_view s, std::size_t* i, std::string* out) {
+  if (*i >= s.size() || s[*i] != '"') return false;
+  ++*i;
+  out->clear();
+  while (*i < s.size()) {
+    const char c = s[*i];
+    if (c == '"') {
+      ++*i;
+      return true;
+    }
+    if (c == '\\') {
+      if (*i + 1 >= s.size()) return false;
+      const char esc = s[*i + 1];
+      *i += 2;
+      switch (esc) {
+        case '"': out->push_back('"'); break;
+        case '\\': out->push_back('\\'); break;
+        case '/': out->push_back('/'); break;
+        case 'b': out->push_back('\b'); break;
+        case 'f': out->push_back('\f'); break;
+        case 'n': out->push_back('\n'); break;
+        case 'r': out->push_back('\r'); break;
+        case 't': out->push_back('\t'); break;
+        case 'u': {
+          if (*i + 4 > s.size()) return false;
+          unsigned code = 0;
+          for (int k = 0; k < 4; ++k) {
+            const char h = s[*i + static_cast<std::size_t>(k)];
+            code <<= 4;
+            if (h >= '0' && h <= '9') code |= static_cast<unsigned>(h - '0');
+            else if (h >= 'a' && h <= 'f') code |= static_cast<unsigned>(h - 'a' + 10);
+            else if (h >= 'A' && h <= 'F') code |= static_cast<unsigned>(h - 'A' + 10);
+            else return false;
+          }
+          *i += 4;
+          if (code < 0x80) {
+            out->push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default: return false;
+      }
+      continue;
+    }
+    // Raw control characters are invalid inside JSON strings.
+    if (static_cast<unsigned char>(c) < 0x20) return false;
+    out->push_back(c);
+    ++*i;
+  }
+  return false;  // unterminated
+}
+
+bool parseValue(std::string_view s, std::size_t* i, JsonValue* out) {
+  skipWs(s, i);
+  if (*i >= s.size()) return false;
+  const char c = s[*i];
+  if (c == '"') {
+    out->kind = JsonValue::Kind::kString;
+    return parseString(s, i, &out->str);
+  }
+  if (c == 't') {
+    if (s.substr(*i, 4) != "true") return false;
+    *i += 4;
+    out->kind = JsonValue::Kind::kBool;
+    out->boolean = true;
+    return true;
+  }
+  if (c == 'f') {
+    if (s.substr(*i, 5) != "false") return false;
+    *i += 5;
+    out->kind = JsonValue::Kind::kBool;
+    out->boolean = false;
+    return true;
+  }
+  if (c == 'n') {
+    if (s.substr(*i, 4) != "null") return false;
+    *i += 4;
+    out->kind = JsonValue::Kind::kNull;
+    return true;
+  }
+  if (c == '-' || (c >= '0' && c <= '9')) {
+    std::size_t consumed = 0;
+    const auto value = parseDoublePrefix(s.substr(*i), &consumed);
+    if (!value) return false;
+    *i += consumed;
+    out->kind = JsonValue::Kind::kNumber;
+    out->number = *value;
+    return true;
+  }
+  return false;  // '{' / '[' (nested) or garbage — rejected by design
+}
+
+}  // namespace
+
+std::optional<JsonObject> parseFlatObject(std::string_view text) {
+  std::size_t i = 0;
+  skipWs(text, &i);
+  if (i >= text.size() || text[i] != '{') return std::nullopt;
+  ++i;
+  JsonObject object;
+  skipWs(text, &i);
+  if (i < text.size() && text[i] == '}') {
+    ++i;
+  } else {
+    while (true) {
+      skipWs(text, &i);
+      std::string key;
+      if (!parseString(text, &i, &key)) return std::nullopt;
+      skipWs(text, &i);
+      if (i >= text.size() || text[i] != ':') return std::nullopt;
+      ++i;
+      JsonValue value;
+      if (!parseValue(text, &i, &value)) return std::nullopt;
+      if (!object.emplace(std::move(key), std::move(value)).second)
+        return std::nullopt;  // duplicate key — ambiguous, reject
+      skipWs(text, &i);
+      if (i >= text.size()) return std::nullopt;
+      if (text[i] == ',') {
+        ++i;
+        continue;
+      }
+      if (text[i] == '}') {
+        ++i;
+        break;
+      }
+      return std::nullopt;
+    }
+  }
+  skipWs(text, &i);
+  if (i != text.size()) return std::nullopt;  // trailing junk
+  return object;
+}
+
+std::string escapeJson(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string jsonNumber(double value) {
+  if (!std::isfinite(value)) return "null";
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", value);
+  return buf;
+}
+
+JsonObjectWriter& JsonObjectWriter::add(std::string_view k, std::string_view value) {
+  key(k);
+  body_ += '"';
+  body_ += escapeJson(value);
+  body_ += '"';
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::addNumber(std::string_view k, double value) {
+  key(k);
+  body_ += jsonNumber(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::addInt(std::string_view k, long long value) {
+  key(k);
+  body_ += std::to_string(value);
+  return *this;
+}
+
+JsonObjectWriter& JsonObjectWriter::addBool(std::string_view k, bool value) {
+  key(k);
+  body_ += value ? "true" : "false";
+  return *this;
+}
+
+void JsonObjectWriter::key(std::string_view k) {
+  if (!body_.empty()) body_ += ',';
+  body_ += '"';
+  body_ += escapeJson(k);
+  body_ += "\":";
+}
+
+}  // namespace viaduct::serve

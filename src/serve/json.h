@@ -1,0 +1,66 @@
+// viaduct::serve — minimal dependency-free JSON for the request protocol.
+//
+// The serving protocol (protocol.h) exchanges small, *flat* JSON objects:
+// string keys mapping to strings, finite numbers, booleans, or null. This
+// is a deliberately tiny parser for exactly that shape — nested objects
+// and arrays are rejected, as is trailing junk — plus escaping/rendering
+// helpers for responses. Number parsing goes through common/serialize's
+// from_chars helpers, so a request body means the same thing under every
+// host locale (the same hardening applied to the SPICE/fault/CLI parsers).
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace viaduct::serve {
+
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string str;
+
+  bool isString() const { return kind == Kind::kString; }
+  bool isNumber() const { return kind == Kind::kNumber; }
+  bool isBool() const { return kind == Kind::kBool; }
+};
+
+using JsonObject = std::map<std::string, JsonValue>;
+
+/// Parses one flat JSON object ({"key": value, ...}). Returns std::nullopt
+/// on any syntax error, nested object/array values, duplicate keys, or
+/// non-whitespace trailing content. An empty object "{}" parses to an
+/// empty map. String escapes: \" \\ \/ \b \f \n \r \t and BMP \uXXXX.
+std::optional<JsonObject> parseFlatObject(std::string_view text);
+
+/// JSON string escaping (quotes not included).
+std::string escapeJson(std::string_view s);
+
+/// Renders a finite double the way parseFlatObject reads it back
+/// (max_digits10, locale-independent); non-finite values render as null
+/// (JSON has no inf/nan).
+std::string jsonNumber(double value);
+
+/// Incremental writer for one flat JSON object rendered on a single line.
+class JsonObjectWriter {
+ public:
+  JsonObjectWriter& add(std::string_view key, std::string_view value);
+  JsonObjectWriter& add(std::string_view key, const char* value) {
+    return add(key, std::string_view(value));
+  }
+  JsonObjectWriter& addNumber(std::string_view key, double value);
+  JsonObjectWriter& addInt(std::string_view key, long long value);
+  JsonObjectWriter& addBool(std::string_view key, bool value);
+
+  /// "{...}\n"-free single-line object.
+  std::string str() const { return "{" + body_ + "}"; }
+
+ private:
+  void key(std::string_view k);
+  std::string body_;
+};
+
+}  // namespace viaduct::serve

@@ -1,0 +1,62 @@
+// viaduct::serve — wire protocol: HTTP/1.1 request framing over POSIX
+// sockets, with the same EINTR/partial-IO discipline as obs/http.cpp.
+//
+// The daemon speaks a minimal, dependency-free subset of HTTP/1.1:
+//   - request line + headers + optional Content-Length body
+//   - "Connection: close" responses, one request per connection
+// This is deliberately the smallest protocol that curl, python urllib,
+// and a load generator can all speak without a client library.
+#pragma once
+
+#include <cstddef>
+#include <optional>
+#include <string>
+
+namespace viaduct::serve {
+
+struct HttpRequest {
+  std::string method;  // "GET", "POST", ...
+  std::string path;    // "/v1/characterize"
+  std::string body;    // raw bytes (Content-Length framed)
+};
+
+enum class ReadResult {
+  kOk,         // a full request was framed
+  kClosed,     // peer closed before a full request arrived
+  kTimeout,    // deadline elapsed (slow client / slowloris)
+  kTooLarge,   // head or body exceeded maxBytes
+  kMalformed,  // unparseable request line or Content-Length
+};
+
+/// Reads one HTTP request from `fd` with an overall deadline. Retries
+/// EINTR on poll/recv; never blocks past `timeoutMs` total.
+ReadResult readHttpRequest(int fd, HttpRequest* out, int timeoutMs,
+                           std::size_t maxBytes);
+
+/// send() loop that retries EINTR and partial writes; returns false if the
+/// peer went away (any other error). Uses MSG_NOSIGNAL so a dead peer is
+/// an error return, not SIGPIPE.
+bool sendAll(int fd, const char* data, std::size_t size);
+
+/// Writes a complete "Connection: close" response. `status` like
+/// "200 OK" or "429 Too Many Requests".
+void writeHttpResponse(int fd, const char* status,
+                       const std::string& contentType, const std::string& body);
+
+/// "HOST:PORT" → parts ("", "localhost" → 127.0.0.1). False on bad input.
+bool parseHostPort(const std::string& spec, std::string* host, int* port);
+
+/// Blocking one-shot HTTP client for tests and the load generator:
+/// connect, send, read the full response, close. Returns std::nullopt on
+/// connect/IO failure; otherwise the raw response (head + body).
+struct HttpResponse {
+  int status = 0;       // parsed from the status line
+  std::string body;     // bytes after the blank line
+};
+std::optional<HttpResponse> httpRequest(const std::string& host, int port,
+                                        const std::string& method,
+                                        const std::string& path,
+                                        const std::string& body,
+                                        int timeoutMs = 30000);
+
+}  // namespace viaduct::serve

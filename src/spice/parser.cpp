@@ -6,6 +6,7 @@
 #include <sstream>
 
 #include "common/check.h"
+#include "common/serialize.h"
 
 namespace viaduct {
 
@@ -34,13 +35,13 @@ std::vector<std::string> tokenize(const std::string& line) {
 
 double parseSpiceNumber(const std::string& token) {
   VIADUCT_REQUIRE(!token.empty());
+  // Locale-independent prefix parse (common/serialize): under a de_DE-style
+  // LC_NUMERIC the old std::stod stopped at the '.' in "1.5" and silently
+  // returned 1 — a netlist value changed meaning with the host locale.
   std::size_t pos = 0;
-  double value = 0.0;
-  try {
-    value = std::stod(token, &pos);
-  } catch (const std::exception&) {
-    throw ParseError("malformed number: '" + token + "'");
-  }
+  const auto parsed = parseDoublePrefix(token, &pos);
+  if (!parsed) throw ParseError("malformed number: '" + token + "'");
+  const double value = *parsed;
   if (pos == token.size()) return value;
   const std::string suffix = toLower(token.substr(pos));
   // "meg" must be matched before "m".

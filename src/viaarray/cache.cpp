@@ -1,6 +1,7 @@
 #include "viaarray/cache.h"
 
 #include <fstream>
+#include <mutex>
 #include <map>
 #include <sstream>
 #include <string_view>
@@ -65,6 +66,7 @@ std::optional<CharacterizationData> CharacterizationStore::load(
     const std::string& key) const {
   VIADUCT_SPAN("char_cache.store_load");
   VIADUCT_COUNTER_ADD("char_cache.store_loads", 1);
+  std::lock_guard lock(mutex_);
   const auto entries = readAll(path_);
   const auto it = entries.find(key);
   if (it == entries.end()) return std::nullopt;
@@ -107,6 +109,8 @@ void CharacterizationStore::save(const std::string& key,
   VIADUCT_SPAN("char_cache.store_save");
   VIADUCT_COUNTER_ADD("char_cache.store_saves", 1);
   VIADUCT_REQUIRE(!data.rawSigmaT.empty() && !data.traces.empty());
+  // Serialize read-modify-rewrite cycles within the process; see cache.h.
+  std::lock_guard lock(mutex_);
   auto entries = readAll(path_);
 
   std::ofstream os(path_, std::ios::trunc);
@@ -142,6 +146,7 @@ void CharacterizationStore::save(const std::string& key,
 }
 
 std::size_t CharacterizationStore::entryCount() const {
+  std::lock_guard lock(mutex_);
   return readAll(path_).size();
 }
 

@@ -12,6 +12,7 @@
 // matched after a parameter change.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -33,6 +34,9 @@ class CharacterizationStore {
 
   /// Loads the entry for `key`; std::nullopt if absent or malformed (a
   /// malformed file is treated as a cache miss, never an error).
+  /// Thread-safe: loads and saves through one store object serialize on an
+  /// internal mutex, so one instance may be shared across request workers
+  /// (the save path is a read-modify-rewrite of the whole file).
   std::optional<CharacterizationData> load(const std::string& key) const;
 
   /// Appends (or replaces) the entry for `key`.
@@ -45,6 +49,7 @@ class CharacterizationStore {
 
  private:
   std::string path_;
+  mutable std::mutex mutex_;
 };
 
 }  // namespace viaduct

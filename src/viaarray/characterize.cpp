@@ -7,6 +7,7 @@
 
 #include "common/check.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/progress.h"
 #include "em/korhonen.h"
 #include "fault/fault.h"
@@ -35,6 +36,21 @@ ViaArrayFailureCriterion ViaArrayFailureCriterion::resistanceRatio(
 
 ViaArrayFailureCriterion ViaArrayFailureCriterion::openCircuit() {
   return {.kind = Kind::kOpen, .viaCount = 0, .ratio = 0.0};
+}
+
+std::optional<ViaArrayFailureCriterion> ViaArrayFailureCriterion::parse(
+    const std::string& s) {
+  if (s == "open") return openCircuit();
+  if (s == "weakest") return weakestLink();
+  if (!s.empty() && s.back() == 'x') {
+    const auto ratio = parseDoubleToken(
+        std::string_view(s).substr(0, s.size() - 1));
+    if (!ratio || !(*ratio > 1.0)) return std::nullopt;
+    return resistanceRatio(*ratio);
+  }
+  const auto k = parseIntToken(s);
+  if (!k || *k < 1 || *k > 1'000'000) return std::nullopt;
+  return kthVia(static_cast<int>(*k));
 }
 
 std::string ViaArrayFailureCriterion::describe() const {
@@ -531,22 +547,66 @@ Lognormal ViaArrayCharacterizer::ttfLognormal(
 ViaArrayLibrary::ViaArrayLibrary(std::shared_ptr<CharacterizationStore> store)
     : store_(std::move(store)) {}
 
+std::size_t ViaArrayLibrary::size() const {
+  std::lock_guard lock(mutex_);
+  return cache_.size();
+}
+
 std::shared_ptr<ViaArrayCharacterizer> ViaArrayLibrary::get(
-    const ViaArrayCharacterizationSpec& spec) {
+    const ViaArrayCharacterizationSpec& spec, GetInfo* info) {
   const std::string key = spec.cacheKey();
-  const auto it = cache_.find(key);
-  if (it != cache_.end()) {
-    VIADUCT_COUNTER_ADD("char_cache.memory_hit", 1);
-    return it->second;
+
+  std::shared_future<Shared> theirs;
+  std::promise<Shared> mine;
+  {
+    std::unique_lock lock(mutex_);
+    if (const auto it = cache_.find(key); it != cache_.end()) {
+      VIADUCT_COUNTER_ADD("char_cache.memory_hit", 1);
+      if (info) info->memoryHit = true;
+      return it->second;
+    }
+    if (const auto it = inflight_.find(key); it != inflight_.end()) {
+      theirs = it->second;
+    } else {
+      inflight_.emplace(key, mine.get_future().share());
+    }
   }
 
+  if (theirs.valid()) {
+    // Another thread is characterizing this exact key right now: wait on
+    // its future instead of duplicating an FEA solve + Monte Carlo. A
+    // failure over there rethrows here too.
+    VIADUCT_COUNTER_ADD("char_cache.inflight_join", 1);
+    if (info) info->joinedInFlight = true;
+    return theirs.get();
+  }
+
+  try {
+    Shared created = compute(spec, key);
+    {
+      std::lock_guard lock(mutex_);
+      cache_.emplace(key, created);
+      inflight_.erase(key);
+    }
+    mine.set_value(created);
+    return created;
+  } catch (...) {
+    {
+      std::lock_guard lock(mutex_);
+      inflight_.erase(key);
+    }
+    mine.set_exception(std::current_exception());
+    throw;
+  }
+}
+
+ViaArrayLibrary::Shared ViaArrayLibrary::compute(
+    const ViaArrayCharacterizationSpec& spec, const std::string& key) {
   if (store_) {
     if (const auto data = store_->load(key)) {
       VIADUCT_COUNTER_ADD("char_cache.store_hit", 1);
       try {
-        auto rehydrated = std::make_shared<ViaArrayCharacterizer>(spec, *data);
-        cache_.emplace(key, rehydrated);
-        return rehydrated;
+        return std::make_shared<ViaArrayCharacterizer>(spec, *data);
       } catch (const PreconditionError& e) {
         // The entry parsed but its shape contradicts the spec: silent
         // corruption. Recompute-and-rewrite (below) under the policy;
@@ -563,8 +623,11 @@ std::shared_ptr<ViaArrayCharacterizer> ViaArrayLibrary::get(
 
   VIADUCT_COUNTER_ADD("char_cache.miss", 1);
   auto created = std::make_shared<ViaArrayCharacterizer>(spec);
+  // Force the Monte Carlo before publication: every access through the
+  // library after this point is read-only, so concurrent requests may
+  // share the characterizer (and its base-factor prototype) freely.
+  created->traces();
   if (store_) {
-    created->traces();  // force the MC so the policy accounting is known
     if (created->discardedTrials() == 0 && created->salvagedTrials() == 0) {
       store_->save(key, created->exportData());
     } else {
@@ -576,7 +639,6 @@ std::shared_ptr<ViaArrayCharacterizer> ViaArrayLibrary::get(
                    << created->salvagedTrials() << " salvaged trial(s)";
     }
   }
-  cache_.emplace(key, created);
   return created;
 }
 

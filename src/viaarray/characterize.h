@@ -16,8 +16,10 @@
 // characterization); ViaArrayLibrary memoizes it per configuration.
 #pragma once
 
+#include <future>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,6 +56,11 @@ struct ViaArrayFailureCriterion {
   static ViaArrayFailureCriterion kthVia(int k);
   static ViaArrayFailureCriterion resistanceRatio(double ratio);
   static ViaArrayFailureCriterion openCircuit();
+
+  /// Parses the CLI/serving spelling: "open", "weakest", "<k>" (k-th via),
+  /// or "<r>x" (resistance ratio, e.g. "2x"). Locale-independent;
+  /// std::nullopt on anything else (including k < 1 or r <= 1).
+  static std::optional<ViaArrayFailureCriterion> parse(const std::string& s);
 
   std::string describe() const;
 };
@@ -233,15 +240,39 @@ class ViaArrayLibrary {
   /// and shared across processes (see viaarray/cache.h).
   explicit ViaArrayLibrary(std::shared_ptr<CharacterizationStore> store);
 
-  /// Returns a shared characterizer for the spec (creating it — including
-  /// the FEA solve — on first use, or rehydrating from the store).
-  std::shared_ptr<ViaArrayCharacterizer> get(
-      const ViaArrayCharacterizationSpec& spec);
+  /// How a get() was satisfied (serving-layer accounting, DESIGN.md §5.13).
+  struct GetInfo {
+    /// Served from the in-memory map with no work at all.
+    bool memoryHit = false;
+    /// Another thread was already characterizing the same key; this call
+    /// waited on its future instead of recomputing.
+    bool joinedInFlight = false;
+  };
 
-  std::size_t size() const { return cache_.size(); }
+  /// Returns a shared characterizer for the spec (creating it — including
+  /// the FEA solve and the Monte Carlo — on first use, or rehydrating from
+  /// the store). Thread-safe: concurrent calls for the same key are
+  /// deduplicated in flight (the second caller blocks on the first's
+  /// future; counter `char_cache.inflight_join`), and the published
+  /// characterizer has its traces forced so every later access is
+  /// read-only. A failed computation rethrows on every caller waiting on
+  /// that key.
+  std::shared_ptr<ViaArrayCharacterizer> get(
+      const ViaArrayCharacterizationSpec& spec, GetInfo* info = nullptr);
+
+  std::size_t size() const;
 
  private:
-  std::map<std::string, std::shared_ptr<ViaArrayCharacterizer>> cache_;
+  using Shared = std::shared_ptr<ViaArrayCharacterizer>;
+
+  /// The store-load / compute / store-save miss path (no locks held).
+  Shared compute(const ViaArrayCharacterizationSpec& spec,
+                 const std::string& key);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Shared> cache_;
+  /// In-flight computations by cache key; erased once published/failed.
+  std::map<std::string, std::shared_future<Shared>> inflight_;
   std::shared_ptr<CharacterizationStore> store_;
 };
 

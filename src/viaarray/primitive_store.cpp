@@ -126,6 +126,10 @@ void StressPrimitiveStore::save(const std::string& key,
   VIADUCT_SPAN("primitive_store.save");
   VIADUCT_COUNTER_ADD("primitive_store.saves", 1);
   VIADUCT_REQUIRE(!key.empty() && !sigma.empty());
+  // In-process writers serialize on the mutex (two concurrent saves would
+  // race on the same .tmp path); cross-process safety is the atomic
+  // rename below, unchanged.
+  std::lock_guard lock(mutex_);
   auto entries = readAll(path_);
   entries[key] = formatDoubles(sigma);
 

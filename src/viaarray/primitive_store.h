@@ -27,6 +27,7 @@
 // file or the complete new one — never a torn write.
 #pragma once
 
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -44,7 +45,10 @@ class StressPrimitiveStore {
   std::optional<std::vector<double>> load(const std::string& key) const;
 
   /// Inserts (or replaces) the entry for `key` with a crash-safe atomic
-  /// rewrite of the whole file.
+  /// rewrite of the whole file. Thread-safe: in-process saves serialize on
+  /// an internal mutex so one store may be shared across request workers;
+  /// loads stay lock-free (they re-open the file and only ever see a
+  /// complete pre- or post-rename image).
   void save(const std::string& key, const std::vector<double>& sigma);
 
   /// Number of well-formed entries currently stored (0 for a missing or
@@ -55,6 +59,7 @@ class StressPrimitiveStore {
 
  private:
   std::string path_;
+  std::mutex mutex_;
 };
 
 }  // namespace viaduct

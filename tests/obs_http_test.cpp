@@ -9,9 +9,13 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <signal.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <atomic>
+#include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -33,7 +37,8 @@ class ObsHttpTest : public ::testing::Test {
 };
 
 /// Blocking one-shot HTTP GET against 127.0.0.1:`port`. Returns the full
-/// response (head + body), empty on connect failure.
+/// response (head + body), empty on connect failure. EINTR-hardened on
+/// every syscall so it keeps working under the signal-storm test below.
 std::string httpGet(int port, const std::string& path,
                     const char* method = "GET") {
   const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
@@ -42,18 +47,32 @@ std::string httpGet(int port, const std::string& path,
   addr.sin_family = AF_INET;
   addr.sin_port = htons(static_cast<std::uint16_t>(port));
   ::inet_pton(AF_INET, "127.0.0.1", &addr.sin_addr);
-  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+  int rc;
+  do {
+    rc = ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr);
+  } while (rc != 0 && errno == EINTR);
+  if (rc != 0) {
     ::close(fd);
     return "";
   }
   const std::string request = std::string(method) + " " + path +
                               " HTTP/1.1\r\nHost: 127.0.0.1\r\n\r\n";
-  (void)!::send(fd, request.data(), request.size(), 0);
+  std::size_t sent = 0;
+  while (sent < request.size()) {
+    const ssize_t n =
+        ::send(fd, request.data() + sent, request.size() - sent, MSG_NOSIGNAL);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
+    sent += static_cast<std::size_t>(n);
+  }
   std::string response;
   char buf[4096];
-  ssize_t n;
-  while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0)
+  while (true) {
+    const ssize_t n = ::recv(fd, buf, sizeof buf, 0);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) break;
     response.append(buf, static_cast<std::size_t>(n));
+  }
   ::close(fd);
   return response;
 }
@@ -140,6 +159,52 @@ TEST_F(ObsHttpTest, ServesOpenMetricsDuringInFlightGridMc) {
   const std::string after = httpGet(server->port(), "/metrics");
   EXPECT_NE(after.find("viaduct_grid_mc_trials_per_second"),
             std::string::npos);
+}
+
+TEST_F(ObsHttpTest, ServesCompleteScrapesUnderSignalStorm) {
+  // EINTR regression: a process-wide signal storm (SA_RESTART deliberately
+  // OFF, so poll/accept/recv/send all get interrupted) must not truncate
+  // or drop a single scrape. This is the profiler-SIGPROF scenario: before
+  // the EINTR retries in obs/http.cpp, an interrupted send() dropped the
+  // rest of the response and an interrupted recv() dropped the request.
+  struct sigaction action{};
+  struct sigaction previous{};
+  action.sa_handler = [](int) {};
+  sigemptyset(&action.sa_mask);
+  action.sa_flags = 0;  // NO SA_RESTART: every slow syscall sees EINTR
+  ASSERT_EQ(::sigaction(SIGUSR1, &action, &previous), 0);
+
+  std::string error;
+  auto server = obs::TelemetryHttpServer::start("127.0.0.1:0", &error);
+  ASSERT_NE(server, nullptr) << error;
+  obs::Registry::instance().counter("http.storm.counter").add(7);
+
+  std::atomic<bool> stopStorm{false};
+  std::thread storm([&] {
+    while (!stopStorm.load(std::memory_order_relaxed)) {
+      ::kill(::getpid(), SIGUSR1);  // lands on an arbitrary unblocked thread
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  });
+
+  int complete = 0;
+  for (int i = 0; i < 30; ++i) {
+    const std::string response = httpGet(server->port(), "/metrics");
+    if (response.empty()) continue;  // storm killed the connect; retry-free
+    EXPECT_NE(response.find("200 OK"), std::string::npos);
+    const std::size_t bodyStart = response.find("\r\n\r\n");
+    ASSERT_NE(bodyStart, std::string::npos);
+    const std::string body = response.substr(bodyStart + 4);
+    ASSERT_GE(body.size(), 6u);
+    // Completeness is the whole point: a truncated write loses the EOF.
+    EXPECT_EQ(body.substr(body.size() - 6), "# EOF\n");
+    EXPECT_NE(body.find("http_storm_counter"), std::string::npos);
+    ++complete;
+  }
+  stopStorm.store(true);
+  storm.join();
+  ::sigaction(SIGUSR1, &previous, nullptr);
+  EXPECT_GE(complete, 25) << "signal storm starved the scrape loop";
 }
 
 TEST_F(ObsHttpTest, JsonAndSolveTraceEndpoints) {

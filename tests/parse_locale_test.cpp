@@ -1,0 +1,148 @@
+// Locale-independence regression tests for the number-parsing helpers and
+// every parser routed through them (SPICE values, fault-spec triggers, CLI
+// doubles). The original implementations used std::stod, which honors the
+// process LC_NUMERIC: under a comma-decimal locale (de_DE, fr_FR, ...)
+// "1.5" silently parses as 1 — a wrong-netlist bug, not a crash. The
+// helpers in common/serialize are std::from_chars-based and immune.
+//
+// Containers rarely ship comma locales, so the locale-injection half of
+// these tests probes a candidate list and SKIPs when none installs; the
+// C-locale assertions always run.
+#include <clocale>
+#include <cstring>
+#include <optional>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/serialize.h"
+#include "fault/fault.h"
+#include "spice/parser.h"
+
+namespace viaduct {
+namespace {
+
+/// Installs the first available comma-decimal locale for LC_NUMERIC and
+/// returns its name, or "" when the container has none. Callers must
+/// restore with setlocale(LC_NUMERIC, "C").
+std::string installCommaLocale() {
+  for (const char* candidate :
+       {"de_DE.UTF-8", "de_DE.utf8", "fr_FR.UTF-8", "fr_FR.utf8", "de_DE",
+        "fr_FR", "nl_NL.UTF-8", "es_ES.UTF-8"}) {
+    if (std::setlocale(LC_NUMERIC, candidate) != nullptr) {
+      // Verify it actually uses a comma (an alias could resolve oddly).
+      if (std::localeconv()->decimal_point[0] == ',') return candidate;
+    }
+  }
+  std::setlocale(LC_NUMERIC, "C");
+  return "";
+}
+
+class LocaleGuard {
+ public:
+  ~LocaleGuard() { std::setlocale(LC_NUMERIC, "C"); }
+};
+
+TEST(ParseHelpersTest, ParseDoubleToken) {
+  EXPECT_EQ(parseDoubleToken("1.5"), 1.5);
+  EXPECT_EQ(parseDoubleToken("-2e3"), -2000.0);
+  EXPECT_EQ(parseDoubleToken("+0.25"), 0.25);  // from_chars alone rejects '+'
+  EXPECT_EQ(parseDoubleToken(".5"), 0.5);
+  EXPECT_FALSE(parseDoubleToken("").has_value());
+  EXPECT_FALSE(parseDoubleToken("abc").has_value());
+  EXPECT_FALSE(parseDoubleToken("1.5x").has_value());  // trailing junk
+  EXPECT_FALSE(parseDoubleToken("1e999").has_value());  // out of range
+  EXPECT_FALSE(parseDoubleToken("+").has_value());
+  EXPECT_FALSE(parseDoubleToken("++1").has_value());
+}
+
+TEST(ParseHelpersTest, ParseDoublePrefixReportsSuffixPosition) {
+  std::size_t consumed = 0;
+  EXPECT_EQ(parseDoublePrefix("1.5k", &consumed), 1.5);
+  EXPECT_EQ(consumed, 3u);
+  EXPECT_EQ(parseDoublePrefix("+2meg", &consumed), 2.0);
+  EXPECT_EQ(consumed, 2u);  // '+' counted, suffix starts at "meg"
+  EXPECT_EQ(parseDoublePrefix("10", &consumed), 10.0);
+  EXPECT_EQ(consumed, 2u);
+  EXPECT_FALSE(parseDoublePrefix("k10", &consumed).has_value());
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(ParseHelpersTest, ParseIntToken) {
+  EXPECT_EQ(parseIntToken("42"), 42);
+  EXPECT_EQ(parseIntToken("-7"), -7);
+  EXPECT_EQ(parseIntToken("+7"), 7);
+  EXPECT_FALSE(parseIntToken("4.2").has_value());
+  EXPECT_FALSE(parseIntToken("").has_value());
+  EXPECT_FALSE(parseIntToken("seven").has_value());
+  EXPECT_FALSE(parseIntToken("99999999999999999999999").has_value());
+}
+
+TEST(ParseLocaleTest, HelpersIgnoreCommaLocale) {
+  LocaleGuard guard;
+  const std::string locale = installCommaLocale();
+  if (locale.empty()) GTEST_SKIP() << "no comma-decimal locale installed";
+
+  // The bug being regressed: under this locale the C library parses "1.5"
+  // as 1 (everything after the '.' ignored). Our helpers must not.
+  EXPECT_EQ(parseDoubleToken("1.5"), 1.5) << "locale " << locale;
+  EXPECT_EQ(parseDoubleToken("-2.25e2"), -225.0);
+  std::size_t consumed = 0;
+  EXPECT_EQ(parseDoublePrefix("1.5k", &consumed), 1.5);
+  EXPECT_EQ(consumed, 3u);
+  // And the comma spelling stays rejected — the wire format is canonical.
+  EXPECT_FALSE(parseDoubleToken("1,5").has_value());
+}
+
+TEST(ParseLocaleTest, SpiceNumbersIgnoreCommaLocale) {
+  LocaleGuard guard;
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1.5k"), 1500.0);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2.2u"), 2.2e-6);
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("3meg"), 3.0e6);
+
+  const std::string locale = installCommaLocale();
+  if (locale.empty()) GTEST_SKIP() << "no comma-decimal locale installed";
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("1.5k"), 1500.0) << "locale " << locale;
+  EXPECT_DOUBLE_EQ(parseSpiceNumber("2.2u"), 2.2e-6);
+  EXPECT_THROW(parseSpiceNumber("1,5"), ParseError);
+}
+
+TEST(ParseLocaleTest, FaultTriggerProbabilityIgnoresCommaLocale) {
+  LocaleGuard guard;
+  // Baseline: a fractional probability parses in the C locale.
+  fault::Registry::instance().configure("seed=9;cg.nonconverge:p=0.25");
+  EXPECT_THROW(fault::Registry::instance().configure("cg.nonconverge:p=abc"),
+               ParseError);
+  EXPECT_THROW(fault::Registry::instance().configure("cg.nonconverge:nth=1.5"),
+               ParseError);
+
+  const std::string locale = installCommaLocale();
+  if (locale.empty()) GTEST_SKIP() << "no comma-decimal locale installed";
+  // Under the comma locale "p=0.25" must still mean one quarter (stod
+  // would have read 0 — a silently disarmed fault plan).
+  fault::Registry::instance().configure("seed=9;cg.nonconverge:p=0.25");
+}
+
+TEST(ParseLocaleTest, CliDoubleFlagIgnoresCommaLocale) {
+  LocaleGuard guard;
+  const auto parseX = [](const char* value) {
+    double x = 0.0;
+    CliFlags flags("test");
+    flags.addDouble("x", &x, "a double");
+    const char* argv[] = {"prog", "--x", value};
+    flags.parse(3, argv);
+    return x;
+  };
+  EXPECT_EQ(parseX("1.5"), 1.5);
+  EXPECT_THROW(parseX("nope"), PreconditionError);
+  EXPECT_THROW(parseX("1.5trailing"), PreconditionError);
+
+  const std::string locale = installCommaLocale();
+  if (locale.empty()) GTEST_SKIP() << "no comma-decimal locale installed";
+  EXPECT_EQ(parseX("1.5"), 1.5) << "locale " << locale;
+}
+
+}  // namespace
+}  // namespace viaduct

@@ -1,0 +1,187 @@
+// serve wire-protocol tests: the flat-JSON request parser (including its
+// rejection surface — the daemon must shrug off arbitrary bytes), the
+// response writer, and HTTP request framing driven through a socketpair so
+// partial writes, stalls, and oversized payloads hit the real read loop.
+#include "serve/json.h"
+#include "serve/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <string>
+#include <thread>
+
+namespace viaduct::serve {
+namespace {
+
+TEST(ServeJsonTest, ParsesFlatObjects) {
+  const auto o = parseFlatObject(
+      R"({"n": 8, "pattern": "T", "ratio": 2.5, "deep": null, "on": true})");
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->size(), 5u);
+  EXPECT_TRUE(o->at("n").isNumber());
+  EXPECT_EQ(o->at("n").number, 8.0);
+  EXPECT_TRUE(o->at("pattern").isString());
+  EXPECT_EQ(o->at("pattern").str, "T");
+  EXPECT_EQ(o->at("ratio").number, 2.5);
+  EXPECT_EQ(o->at("deep").kind, JsonValue::Kind::kNull);
+  EXPECT_TRUE(o->at("on").boolean);
+
+  const auto empty = parseFlatObject("  {}  ");
+  ASSERT_TRUE(empty.has_value());
+  EXPECT_TRUE(empty->empty());
+}
+
+TEST(ServeJsonTest, ParsesEscapes) {
+  const auto o = parseFlatObject(R"({"s": "a\"b\\c\nA"})");
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->at("s").str, "a\"b\\c\nA");
+}
+
+TEST(ServeJsonTest, RejectsMalformedInput) {
+  EXPECT_FALSE(parseFlatObject("").has_value());
+  EXPECT_FALSE(parseFlatObject("not json").has_value());
+  EXPECT_FALSE(parseFlatObject("{").has_value());
+  EXPECT_FALSE(parseFlatObject(R"({"a": 1,})").has_value());
+  EXPECT_FALSE(parseFlatObject(R"({"a": {"nested": 1}})").has_value());
+  EXPECT_FALSE(parseFlatObject(R"({"a": [1, 2]})").has_value());
+  EXPECT_FALSE(parseFlatObject(R"({"a": 1} trailing)").has_value());
+  EXPECT_FALSE(parseFlatObject(R"({"a": 1, "a": 2})").has_value());  // dup
+  EXPECT_FALSE(parseFlatObject(R"({"a": 1e999})").has_value());
+  EXPECT_FALSE(parseFlatObject(R"({"a": truthy})").has_value());
+  EXPECT_FALSE(parseFlatObject("{\"a\": \"unterminated})").has_value());
+  EXPECT_FALSE(parseFlatObject("{\"a\": \"bad\\q\"}").has_value());
+}
+
+TEST(ServeJsonTest, NumbersAreLocaleCanonical) {
+  // from_chars-backed: "1.5" is one and a half everywhere; "1,5" never is.
+  const auto o = parseFlatObject(R"({"x": 1.5})");
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->at("x").number, 1.5);
+  EXPECT_FALSE(parseFlatObject(R"({"x": 1,5})").has_value());
+}
+
+TEST(ServeJsonTest, WriterRoundTrips) {
+  JsonObjectWriter w;
+  w.add("s", "a\"b\n").addNumber("x", 0.1).addInt("n", -3).addBool("b", true);
+  const auto o = parseFlatObject(w.str());
+  ASSERT_TRUE(o.has_value());
+  EXPECT_EQ(o->at("s").str, "a\"b\n");
+  EXPECT_EQ(o->at("x").number, 0.1);
+  EXPECT_EQ(o->at("n").number, -3.0);
+  EXPECT_TRUE(o->at("b").boolean);
+  EXPECT_EQ(jsonNumber(1.0 / 0.0), "null");  // JSON has no inf
+}
+
+TEST(ServeProtocolTest, ParseHostPort) {
+  std::string host;
+  int port = 0;
+  EXPECT_TRUE(parseHostPort("127.0.0.1:8080", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 8080);
+  EXPECT_TRUE(parseHostPort("localhost:0", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_EQ(port, 0);
+  EXPECT_TRUE(parseHostPort(":9", &host, &port));
+  EXPECT_EQ(host, "127.0.0.1");
+  EXPECT_FALSE(parseHostPort("no-port", &host, &port));
+  EXPECT_FALSE(parseHostPort("h:", &host, &port));
+  EXPECT_FALSE(parseHostPort("h:99999", &host, &port));
+  EXPECT_FALSE(parseHostPort("h:80x", &host, &port));
+}
+
+/// Writes `bytes` into one end of a socketpair (optionally in two stalls)
+/// and frames a request from the other end.
+ReadResult frame(const std::string& bytes, HttpRequest* out,
+                 std::size_t maxBytes = 4096, int timeoutMs = 2000,
+                 bool closeAfter = true, std::size_t splitAt = 0) {
+  int fds[2];
+  EXPECT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  std::thread writer([&] {
+    if (splitAt > 0 && splitAt < bytes.size()) {
+      (void)!::send(fds[1], bytes.data(), splitAt, 0);
+      std::this_thread::sleep_for(std::chrono::milliseconds(50));
+      (void)!::send(fds[1], bytes.data() + splitAt, bytes.size() - splitAt, 0);
+    } else if (!bytes.empty()) {
+      (void)!::send(fds[1], bytes.data(), bytes.size(), 0);
+    }
+    if (closeAfter) ::shutdown(fds[1], SHUT_WR);
+  });
+  const ReadResult result = readHttpRequest(fds[0], out, timeoutMs, maxBytes);
+  writer.join();
+  ::close(fds[0]);
+  ::close(fds[1]);
+  return result;
+}
+
+TEST(ServeProtocolTest, FramesRequestWithBody) {
+  HttpRequest request;
+  const std::string wire =
+      "POST /v1/characterize HTTP/1.1\r\nHost: x\r\n"
+      "Content-Length: 11\r\n\r\nhello world";
+  ASSERT_EQ(frame(wire, &request), ReadResult::kOk);
+  EXPECT_EQ(request.method, "POST");
+  EXPECT_EQ(request.path, "/v1/characterize");
+  EXPECT_EQ(request.body, "hello world");
+}
+
+TEST(ServeProtocolTest, FramesSplitRequest) {
+  // The head/body boundary arriving in two stalled chunks must still frame.
+  HttpRequest request;
+  const std::string wire =
+      "GET /healthz HTTP/1.1\r\nContent-Length: 4\r\n\r\nbody";
+  ASSERT_EQ(frame(wire, &request, 4096, 2000, true, 20), ReadResult::kOk);
+  EXPECT_EQ(request.path, "/healthz");
+  EXPECT_EQ(request.body, "body");
+}
+
+TEST(ServeProtocolTest, ReportsMalformedAndLimits) {
+  HttpRequest request;
+  EXPECT_EQ(frame("garbage-no-spaces\r\n\r\n", &request),
+            ReadResult::kMalformed);
+  EXPECT_EQ(frame("GET nopath HTTP/1.1\r\n\r\n", &request),
+            ReadResult::kMalformed);
+  EXPECT_EQ(frame("GET / HTTP/1.1\r\nContent-Length: nope\r\n\r\n", &request),
+            ReadResult::kMalformed);
+  EXPECT_EQ(frame("", &request), ReadResult::kClosed);
+  EXPECT_EQ(frame("GET / HTT", &request), ReadResult::kClosed);
+  // Head larger than the limit.
+  EXPECT_EQ(frame("GET /" + std::string(5000, 'a') + " HTTP/1.1\r\n\r\n",
+                  &request, /*maxBytes=*/1024),
+            ReadResult::kTooLarge);
+  // Declared body larger than the limit: rejected before reading it.
+  EXPECT_EQ(frame("GET / HTTP/1.1\r\nContent-Length: 9999\r\n\r\n", &request,
+                  /*maxBytes=*/1024),
+            ReadResult::kTooLarge);
+}
+
+TEST(ServeProtocolTest, TimesOutOnStalledClient) {
+  // Client sends a partial head and never finishes (socket left open).
+  HttpRequest request;
+  EXPECT_EQ(frame("GET / HTTP/1.1\r\nHos", &request, 4096, /*timeoutMs=*/200,
+                  /*closeAfter=*/false),
+            ReadResult::kTimeout);
+}
+
+TEST(ServeProtocolTest, ResponseRoundTripsThroughClientHelper) {
+  int fds[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+  writeHttpResponse(fds[1], "429 Too Many Requests", "application/json",
+                    "{\"error\":\"queue full\"}\n");
+  ::shutdown(fds[1], SHUT_WR);
+  std::string raw;
+  char buf[512];
+  ssize_t n;
+  while ((n = ::recv(fds[0], buf, sizeof buf, 0)) > 0)
+    raw.append(buf, static_cast<std::size_t>(n));
+  ::close(fds[0]);
+  ::close(fds[1]);
+  EXPECT_NE(raw.find("HTTP/1.1 429"), std::string::npos);
+  EXPECT_NE(raw.find("Content-Length: 23"), std::string::npos);
+  EXPECT_NE(raw.find("{\"error\":\"queue full\"}"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace viaduct::serve

@@ -26,7 +26,16 @@
 #      the >= 4x speedup floor applies to the full-size run, not the smoke);
 #  10. a CLI warm-store smoke: two characterize runs sharing a
 #      --primitive-store file — the second must report zero FEA solves in
-#      its --metrics-out snapshot and print identical TTF percentiles.
+#      its --metrics-out snapshot and print identical TTF percentiles;
+#  11. the perf_serve smoke: in-process serving-layer gates — concurrent
+#      duplicate dedup (one execution, one FEA solve), admission-control
+#      shedding, slow/malformed-client robustness, lossless drain
+#      (BENCH_serve.json);
+#  12. a serve daemon smoke: viaduct_server on an ephemeral port, a burst
+#      of concurrent IDENTICAL characterize requests (held overlapping via
+#      the debug execute-delay hook) must trigger exactly ONE FEA-solve
+#      burst, and SIGTERM must drain to a clean exit 0 whose --metrics-out
+#      snapshot proves the dedup (serve.executed == 1).
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -42,28 +51,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/10] tier-1: configure + build + full test suite ==="
+echo "=== [1/12] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/10] fault label: recovery-path tests ==="
+echo "=== [2/12] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
-echo "=== [3/10] checkpoint label: crash-safety and resume tests ==="
+echo "=== [3/12] checkpoint label: crash-safety and resume tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [4/10] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/12] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [4/10] thread-sanitized build: tsan label ==="
+  echo "=== [4/12] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [5/10] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/12] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
 SMOKE_CKPT="$(mktemp -u).ckpt"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
@@ -88,31 +97,31 @@ if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
 fi
 echo "smoke run clean (no WARN/ERROR lines, resume exact)"
 
-echo "=== [6/10] perf_viaarray: incremental vs exact solver A/B smoke ==="
+echo "=== [6/12] perf_viaarray: incremental vs exact solver A/B smoke ==="
 # Benchmark registrations are skipped (filter matches nothing); the manual
 # A/B cross-check and BENCH_viaarray.json still run. Exit is nonzero only
 # if the two solver paths disagree.
 (cd build/bench && ./perf_viaarray --benchmark_filter='^$')
 
-echo "=== [7/10] perf_grid_scale: shared-base level-2 engine smoke ==="
+echo "=== [7/12] perf_grid_scale: shared-base level-2 engine smoke ==="
 # Parity, determinism, and speedup gates on the smallest mesh; the full
 # 1e4 -> 1e6 sweep is the same binary without --smoke.
 (cd build/bench && ./perf_grid_scale --smoke)
 
-echo "=== [8/10] perf_obs_export: live-telemetry overhead + bit-identity ==="
+echo "=== [8/12] perf_obs_export: live-telemetry overhead + bit-identity ==="
 # Grid MC with the registry, JSONL sampler, HTTP listener, and a live
 # scraper all running must stay within the overhead budget and produce
 # bit-identical samples vs. obs-off across thread counts.
 (cd build/bench && ./perf_obs_export --smoke)
 
-echo "=== [9/10] perf_fea_mg: multigrid vs IC(0) FEA solve smoke ==="
+echo "=== [9/12] perf_fea_mg: multigrid vs IC(0) FEA solve smoke ==="
 # End-to-end solve parity (mg and ic0 via peaks must agree) and the
 # warm-primitive-store zero-solve gate on a reduced problem; the full
 # fig7-size run with the >= 4x speedup floor is the same binary
 # without --smoke (CI uploads its BENCH_fea_mg.json).
 (cd build/bench && ./perf_fea_mg --smoke)
 
-echo "=== [10/10] CLI warm-store smoke: second run must skip all FEA ==="
+echo "=== [10/12] CLI warm-store smoke: second run must skip all FEA ==="
 STORE_FILE="$(mktemp -u).primitives"
 COLD_OUT="$(mktemp)"
 WARM_OUT="$(mktemp)"
@@ -134,6 +143,83 @@ hits = snap.get("counters", {}).get("primitive_store.hits", 0)
 if solves != 0 or hits < 1:
     sys.exit(f"FAIL: warm run had fea_solves={solves}, store hits={hits}")
 print(f"warm store clean: 0 FEA solves, {hits} primitive hit(s)")
+EOF
+
+echo "=== [11/12] perf_serve: serving-layer dedup/admission/drain smoke ==="
+# In-process gates: N concurrent identical characterize requests collapse
+# to ONE execution and ONE FEA solve; the queue limit sheds load with 429;
+# malformed/slow clients get 400/413/408; drain loses no in-flight
+# response (exit is nonzero on any gate miss; writes BENCH_serve.json).
+(cd build/bench && ./perf_serve --smoke)
+
+echo "=== [12/12] serve daemon smoke: dedup burst + clean SIGTERM drain ==="
+SERVE_LOG="$(mktemp)"
+SERVE_METRICS="$(mktemp)"
+trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* "$STORE_FILE" "$COLD_OUT" \
+  "$WARM_OUT" "$WARM_METRICS" "$SERVE_LOG" "$SERVE_METRICS"' EXIT
+# The debug execute-delay holds the first request open long enough that
+# the rest of the burst provably overlaps it in flight; workers >= burst
+# so every duplicate is being handled concurrently when it joins.
+./build/tools/viaduct_server --listen 127.0.0.1:0 --workers 6 \
+  --debug-execute-delay-ms 300 --metrics-out "$SERVE_METRICS" \
+  > "$SERVE_LOG" 2>&1 &
+SERVE_PID=$!
+SERVE_PORT=""
+for _ in $(seq 1 100); do
+  SERVE_PORT="$(sed -n 's#^listening on http://127\.0\.0\.1:\([0-9]*\)$#\1#p' \
+    "$SERVE_LOG")"
+  [ -n "$SERVE_PORT" ] && break
+  kill -0 "$SERVE_PID" 2>/dev/null \
+    || { echo "FAIL: viaduct_server exited early" >&2
+         cat "$SERVE_LOG" >&2; exit 1; }
+  sleep 0.1
+done
+[ -n "$SERVE_PORT" ] \
+  || { echo "FAIL: viaduct_server never announced its port" >&2
+       cat "$SERVE_LOG" >&2; exit 1; }
+python3 - "$SERVE_PORT" <<'EOF'
+import json, sys, threading, urllib.request
+port, burst = sys.argv[1], 6
+body = b'{"n": 3, "trials": 20, "criterion": "open"}'
+results = [None] * burst
+def fire(i):
+    req = urllib.request.Request(
+        f"http://127.0.0.1:{port}/v1/characterize", data=body,
+        headers={"Content-Type": "application/json"}, method="POST")
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        results[i] = (resp.status, json.load(resp))
+threads = [threading.Thread(target=fire, args=(i,)) for i in range(burst)]
+for t in threads: t.start()
+for t in threads: t.join()
+if any(r is None or r[0] != 200 for r in results):
+    sys.exit(f"FAIL: burst responses incomplete: {results}")
+medians = {r[1]["medianYears"] for r in results}
+deduped = sum(1 for r in results if r[1].get("deduped"))
+if len(medians) != 1:
+    sys.exit(f"FAIL: duplicate requests disagreed: {medians}")
+if deduped != burst - 1:
+    sys.exit(f"FAIL: expected {burst - 1} deduped joins, saw {deduped}")
+print(f"burst ok: {burst} duplicates agree, {deduped} joined in flight")
+EOF
+kill -TERM "$SERVE_PID"
+SERVE_RC=0
+wait "$SERVE_PID" || SERVE_RC=$?
+[ "$SERVE_RC" -eq 0 ] \
+  || { echo "FAIL: viaduct_server exited $SERVE_RC on SIGTERM" >&2
+       cat "$SERVE_LOG" >&2; exit 1; }
+python3 - "$SERVE_METRICS" <<'EOF'
+import json, sys
+snap = json.load(open(sys.argv[1]))
+counters = snap.get("counters", {})
+solves = counters.get("viaarray.fea_solves", 0)
+executed = counters.get("serve.executed", 0)
+deduped = counters.get("serve.deduped", 0)
+if solves != 1 or executed != 1:
+    sys.exit(f"FAIL: burst ran fea_solves={solves}, executed={executed}; "
+             "expected exactly one of each")
+if deduped < 1:
+    sys.exit("FAIL: drained snapshot shows no deduped joins")
+print(f"drain snapshot clean: 1 FEA-solve burst, {deduped} deduped join(s)")
 EOF
 
 echo "ALL TIER-1 CHECKS PASSED"

@@ -30,6 +30,7 @@
 #include "common/check.h"
 #include "common/cli.h"
 #include "common/logging.h"
+#include "common/serialize.h"
 #include "common/table.h"
 #include "common/units.h"
 #include "core/analyzer.h"
@@ -169,14 +170,11 @@ int cmdAnalyze(int argc, const char* const* argv) {
   PowerGridEmAnalyzer analyzer(loadGrid(netlistPath, preset), config,
                                library);
 
-  const auto ac = arrayCrit == "weakest"
-                      ? ViaArrayFailureCriterion::weakestLink()
-                  : arrayCrit == "open"
-                      ? ViaArrayFailureCriterion::openCircuit()
-                  : arrayCrit.back() == 'x'
-                      ? ViaArrayFailureCriterion::resistanceRatio(
-                            std::stod(arrayCrit.substr(0, arrayCrit.size() - 1)))
-                      : ViaArrayFailureCriterion::kthVia(std::stoi(arrayCrit));
+  const auto acParsed = ViaArrayFailureCriterion::parse(arrayCrit);
+  if (!acParsed)
+    throw PreconditionError("bad --array-criterion '" + arrayCrit +
+                            "' (open, weakest, <k>, or <r>x)");
+  const auto ac = *acParsed;
   const auto sc = systemCrit == "weakest" ? GridFailureCriterion::weakestLink()
                                           : GridFailureCriterion::irDrop(0.10);
   const auto report = analyzer.analyze(ac, sc);
@@ -266,13 +264,11 @@ int cmdCharacterize(int argc, const char* const* argv) {
           : std::make_shared<ViaArrayLibrary>(
                 std::make_shared<CharacterizationStore>(cachePath));
   auto ch = library->get(spec);
-  const auto crit =
-      criterion == "weakest" ? ViaArrayFailureCriterion::weakestLink()
-      : criterion == "open"  ? ViaArrayFailureCriterion::openCircuit()
-      : criterion.back() == 'x'
-          ? ViaArrayFailureCriterion::resistanceRatio(
-                std::stod(criterion.substr(0, criterion.size() - 1)))
-          : ViaArrayFailureCriterion::kthVia(std::stoi(criterion));
+  const auto critParsed = ViaArrayFailureCriterion::parse(criterion);
+  if (!critParsed)
+    throw PreconditionError("bad --criterion '" + criterion +
+                            "' (open, weakest, <k>, or <r>x)");
+  const auto crit = *critParsed;
   const auto cdf = ch->ttfCdf(crit);
   const auto fit = ch->ttfLognormal(crit);
   std::cout << n << "x" << n << " " << patternName(spec.pattern)
@@ -414,7 +410,12 @@ int main(int argc, char** argv) {
     obsListen = extractFlag(args, "--obs-listen");
     metricsStream = extractFlag(args, "--metrics-stream");
     const std::string everySpec = extractFlag(args, "--metrics-every");
-    if (!everySpec.empty()) metricsEvery = std::stod(everySpec);
+    if (!everySpec.empty()) {
+      const auto every = parseDoubleToken(everySpec);
+      if (!every)
+        throw PreconditionError("bad --metrics-every '" + everySpec + "'");
+      metricsEvery = *every;
+    }
     if (extractBoolFlag(args, "--progress")) setLogLevel(LogLevel::kInfo);
     // --fault-spec stacks on top of whatever VIADUCT_FAULTS armed (the
     // registry parses the env var on first access).

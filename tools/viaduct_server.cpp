@@ -1,0 +1,110 @@
+// viaduct_server: characterization-as-a-service daemon.
+//
+//   viaduct_server --listen 127.0.0.1:0 --workers 2 --cache lib.cache
+//
+// Serves the library's expensive flows over a minimal HTTP/JSON protocol
+// (DESIGN.md §5.13, README "Serving") so many clients share one in-memory
+// characterization library and stress-primitive store:
+//
+//   GET  /healthz           liveness
+//   GET  /metrics           OpenMetrics exposition (scrape in-process)
+//   GET  /metrics.json      full obs registry snapshot
+//   GET  /debug/solves      recent solver-health traces
+//   GET  /v1/stats          request/dedup/rejection counters
+//   POST /v1/characterize   {"n":8,"pattern":"T","trials":500,"criterion":"2x"}
+//   POST /v1/analyze        {"preset":"PG1","viaN":4,"trials":300,...}
+//
+// Prints "listening on http://HOST:PORT" on stdout once ready (ephemeral
+// ports are read back), then blocks until SIGTERM/SIGINT, drains queued
+// and in-flight requests without dropping a response, optionally writes
+// the final metrics snapshot (--metrics-out), and exits 0.
+#include <signal.h>
+
+#include <iostream>
+#include <string>
+
+#include "common/check.h"
+#include "common/cli.h"
+#include "common/logging.h"
+#include "fault/fault.h"
+#include "obs/obs.h"
+#include "serve/server.h"
+
+using namespace viaduct;
+
+int main(int argc, char** argv) {
+  setLogLevel(LogLevel::kWarn);
+
+  serve::ServerConfig config;
+  int threads = 0;
+  std::string metricsOut, faultSpec;
+  CliFlags flags("viaduct_server: characterization-as-a-service daemon");
+  flags.addString("listen", &config.listen,
+                  "HOST:PORT to serve on (port 0 = ephemeral)");
+  flags.addInt("workers", &config.workers, "request worker threads");
+  flags.addInt("queue-limit", &config.queueLimit,
+               "max queued connections before 429 rejection");
+  flags.addInt("request-timeout-ms", &config.requestTimeoutMs,
+               "slow-client budget for reading one request");
+  flags.addInt("max-n", &config.maxN, "largest via-array n accepted");
+  flags.addInt("max-trials", &config.maxTrials,
+               "largest trial count accepted");
+  flags.addString("cache", &config.cachePath,
+                  "characterization cache file shared by all requests");
+  flags.addString("primitive-store", &config.primitiveStorePath,
+                  "on-disk FEA stress-primitive store; a warm store serves "
+                  "characterize requests with zero FEA solves");
+  flags.addInt("threads", &threads,
+               "solver threads per request (0 = hardware concurrency)");
+  flags.addString("metrics-out", &metricsOut,
+                  "write the obs metrics snapshot (JSON) after drain");
+  flags.addString("fault-spec", &faultSpec,
+                  "arm deterministic fault injection (VIADUCT_FAULTS env "
+                  "var works too)");
+  flags.addInt("debug-execute-delay-ms", &config.debugExecuteDelayMs,
+               "TEST HOOK: hold each execution this long so tests can "
+               "overlap duplicate requests deterministically");
+  if (!flags.parse(argc, argv)) return 0;
+  config.parallelism.threads = threads;
+
+  try {
+    if (!faultSpec.empty()) fault::Registry::instance().configure(faultSpec);
+
+    // Block the shutdown signals BEFORE any server thread exists, so they
+    // are only ever delivered to this thread's sigwait below.
+    sigset_t signals;
+    sigemptyset(&signals);
+    sigaddset(&signals, SIGTERM);
+    sigaddset(&signals, SIGINT);
+    pthread_sigmask(SIG_BLOCK, &signals, nullptr);
+
+    std::string error;
+    auto server = serve::ViaductServer::start(config, &error);
+    if (!server) {
+      std::cerr << "error: " << error << "\n";
+      return 1;
+    }
+    std::cout << "listening on " << server->endpoint() << std::endl;
+
+    int sig = 0;
+    while (sigwait(&signals, &sig) != 0) {
+      // EINTR-equivalent: sigwait only fails on EINVAL/EINTR; retry.
+    }
+    std::cerr << "received " << (sig == SIGTERM ? "SIGTERM" : "SIGINT")
+              << ", draining\n";
+    server->drainAndStop();
+
+    const auto stats = server->stats();
+    if (!metricsOut.empty() && !obs::writeSnapshot(metricsOut))
+      std::cerr << "warning: could not write metrics to " << metricsOut
+                << "\n";
+    std::cerr << "drained: " << stats.requestsTotal << " requests ("
+              << stats.executed << " executed, " << stats.deduped
+              << " deduped, " << stats.rejected << " rejected, "
+              << stats.errors << " errors)\n";
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 1;
+  }
+}
