@@ -31,6 +31,7 @@
 #include "grid/grid_mc.h"
 #include "grid/mesh.h"
 #include "grid/power_grid.h"
+#include "grid/wire_mortality.h"
 
 using namespace viaduct;
 
@@ -51,6 +52,13 @@ struct Point {
   double speedup = 0.0;
   double parityMaxRelDiff = -1.0;  // -1: not measured at this size
   bool deterministicAcrossThreads = true;
+  // EM-mode axis (DESIGN.md §5.14): the wire-EM audit is diagnostic-only,
+  // so TTF samples must be bit-identical across steady/transient/hybrid
+  // (and audit-off), and hybrid must agree with transient on every verdict.
+  int emTrials = 0;  // 0: axis not run at this size
+  bool emSamplesIdentical = true;
+  bool emVerdictIdentical = true;
+  int emMortalConfigs = 0;
 };
 
 double seconds(const std::chrono::steady_clock::time_point& start) {
@@ -69,7 +77,7 @@ GridMcOptions mcOptions(int trials, int maxFailures) {
 }
 
 Point measure(Index targetNodes, int sharedTrials, int baselineTrials,
-              int maxFailures, bool parity, bool threadSweep) {
+              int maxFailures, bool parity, bool threadSweep, int emTrials) {
   Point p;
   p.targetNodes = targetNodes;
 
@@ -169,6 +177,32 @@ Point measure(Index targetNodes, int sharedTrials, int baselineTrials,
         p.deterministicAcrossThreads = false;
     }
   }
+
+  // EM-mode axis: rerun a short Monte Carlo with the wire-EM audit in
+  // every SignoffMode and demand bit-identical samples (the audit never
+  // perturbs trial physics) and mode-identical verdict counts.
+  if (emTrials > 0) {
+    p.emTrials = emTrials;
+    WireGeometry geometry;
+    geometry.wirePrefixes = {"Rs1_", "Rs2_"};
+    GridMcOptions opts = mcOptions(emTrials, maxFailures);
+    const GridMcResult off = runGridMonteCarlo(model, opts);
+    opts.wireEm.trees = WireTreeSet::build(netlist, geometry);
+    int transientMortal = -1;
+    for (const auto mode :
+         {SignoffMode::kSteadyState, SignoffMode::kTransient,
+          SignoffMode::kHybrid}) {
+      opts.wireEm.mode = mode;
+      const GridMcResult result = runGridMonteCarlo(model, opts);
+      if (result.ttfSamples != off.ttfSamples) p.emSamplesIdentical = false;
+      if (mode == SignoffMode::kTransient)
+        transientMortal = result.wireMortalConfigs;
+      if (mode == SignoffMode::kHybrid &&
+          result.wireMortalConfigs != transientMortal)
+        p.emVerdictIdentical = false;
+      p.emMortalConfigs = result.wireMortalConfigs;
+    }
+  }
   return p;
 }
 
@@ -186,7 +220,13 @@ void writePoint(std::ostream& os, const Point& p, bool last) {
      << ", \"end_to_end_speedup\": " << p.speedup
      << ", \"parity_max_rel_diff\": " << p.parityMaxRelDiff
      << ", \"deterministic_across_threads\": "
-     << (p.deterministicAcrossThreads ? "true" : "false") << "}"
+     << (p.deterministicAcrossThreads ? "true" : "false")
+     << ", \"em_mode_trials\": " << p.emTrials
+     << ", \"em_samples_identical\": "
+     << (p.emSamplesIdentical ? "true" : "false")
+     << ", \"em_verdict_identical\": "
+     << (p.emVerdictIdentical ? "true" : "false")
+     << ", \"em_mortal_configs\": " << p.emMortalConfigs << "}"
      << (last ? "" : ",") << "\n";
 }
 
@@ -213,11 +253,13 @@ int main(int argc, char** argv) {
   if (smoke) {
     points.push_back(measure(/*targetNodes=*/10000, /*sharedTrials=*/12,
                              /*baselineTrials=*/6, /*maxFailures=*/3,
-                             /*parity=*/true, /*threadSweep=*/true));
+                             /*parity=*/true, /*threadSweep=*/true,
+                             /*emTrials=*/3));
   } else {
-    points.push_back(measure(10000, 40, 20, 4, true, true));
-    points.push_back(measure(100000, 20, 8, 4, true, false));
-    points.push_back(measure(1000000, 10, 2, 4, false, false));
+    points.push_back(measure(10000, 40, 20, 4, true, true, 6));
+    points.push_back(measure(100000, 20, 8, 4, true, false, 3));
+    points.push_back(measure(1000000, 10, 2, 4, false, false, 0));
+    points.push_back(measure(2000000, 6, 2, 3, false, false, 2));
   }
 
   for (const Point& p : points) {
@@ -259,6 +301,16 @@ int main(int argc, char** argv) {
     }
     if (!p.deterministicAcrossThreads) {
       std::cerr << "FAIL: samples differ across thread counts at n="
+                << p.nodes << "\n";
+      pass = false;
+    }
+    if (!p.emSamplesIdentical) {
+      std::cerr << "FAIL: samples differ across EM modes at n=" << p.nodes
+                << "\n";
+      pass = false;
+    }
+    if (!p.emVerdictIdentical) {
+      std::cerr << "FAIL: hybrid and transient wire verdicts disagree at n="
                 << p.nodes << "\n";
       pass = false;
     }

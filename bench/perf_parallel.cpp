@@ -142,6 +142,42 @@ int main(int argc, char** argv) {
   }
   fillDerived(fea);
 
+  // --- Workload 3: FEA multigrid path on the same via array. This routes
+  // every CG matvec through the 27-point node-stencil operator and every
+  // preconditioner application through the Chebyshev smoother, so it times
+  // the stencil build + halo gather + stencil sweep + smoother recurrence
+  // at each pool size. The displacement field must be bit-identical across
+  // thread counts (fixed chunk layout + fixed-order per-node sums).
+  std::vector<Sample> feaMg;
+  std::vector<double> mgReference;
+  bool feaMgIdentical = true;
+  for (const int t : counts) {
+    std::vector<double> field;
+    const double secs = bestSeconds(repeats, [&] {
+      ThermoSolverOptions opts;
+      opts.parallelism.threads = t;
+      opts.preconditioner = FeaPreconditionerKind::kMultigrid;
+      ThermoSolver solver(built.grid, opts);
+      const CgResult res = solver.solve();
+      VIADUCT_CHECK_MSG(res.converged, "FEA multigrid solve did not converge");
+      field.clear();
+      for (Index k = 0; k <= built.grid.nz(); ++k)
+        for (Index j = 0; j <= built.grid.ny(); ++j)
+          for (Index i = 0; i <= built.grid.nx(); ++i) {
+            const auto u = solver.displacement(i, j, k);
+            field.insert(field.end(), u.begin(), u.end());
+          }
+    });
+    if (mgReference.empty()) {
+      mgReference = field;
+    } else if (field != mgReference) {
+      feaMgIdentical = false;
+    }
+    feaMg.push_back({.threads = t, .seconds = secs});
+    std::cout << "  fea-mg   threads=" << t << "  " << secs << " s\n";
+  }
+  fillDerived(feaMg);
+
   // --- Observability overhead: grid MC with obs disabled vs enabled at the
   // highest thread count. The instrumentation budget is <1% wall clock; the
   // samples must also be bit-identical with obs on and off (telemetry may
@@ -178,6 +214,9 @@ int main(int argc, char** argv) {
   writeJsonSeries(os, "grid_mc", mc);
   os << ",\n";
   writeJsonSeries(os, "fea", fea);
+  os << ",\n  \"fea_mg_bit_identical\": " << (feaMgIdentical ? "true" : "false")
+     << ",\n";
+  writeJsonSeries(os, "fea_mg", feaMg);
   os << ",\n  \"obs_overhead\": {\"threads\": " << counts.back()
      << ", \"seconds_disabled\": " << obsOffSecs
      << ", \"seconds_enabled\": " << obsOnSecs
@@ -192,6 +231,10 @@ int main(int argc, char** argv) {
   }
   if (!obsBitIdentical) {
     std::cerr << "FAIL: Monte Carlo samples change when obs is toggled\n";
+    return 1;
+  }
+  if (!feaMgIdentical) {
+    std::cerr << "FAIL: FEA multigrid field differs across thread counts\n";
     return 1;
   }
   return 0;

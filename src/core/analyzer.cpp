@@ -142,6 +142,13 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   options.parallelism = config_.parallelism;
   options.policy = config_.policy;
   options.checkpoint = config_.checkpoint;
+  if (config_.wireEmAudit) {
+    options.wireEm.trees =
+        WireTreeSet::build(netlist_, config_.wireGeometry);
+    options.wireEm.mode = config_.emMode;
+    options.wireEm.stressMarginPa = config_.wireStressMarginPa;
+    options.wireEm.params = config_.wireEmParams;
+  }
 
   GridTtfReport report;
   report.mc = runGridMonteCarlo(*model_, options);
@@ -159,6 +166,9 @@ GridTtfReport PowerGridEmAnalyzer::analyze(
   report.discardedTrials = report.mc.discardedTrials;
   report.salvagedTrials = report.mc.salvagedTrials;
   report.resumedTrials = report.mc.resumedTrials;
+  report.wireAuditedConfigs = report.mc.wireAuditedConfigs;
+  report.wireMortalConfigs = report.mc.wireMortalConfigs;
+  report.wireMortalTrials = report.mc.wireMortalTrials;
   report.nominalIrDropFraction = nominalIrDropFraction_;
   report.arrayCriterion = arrayCriterion.describe();
   report.systemCriterion = systemCriterion.describe();

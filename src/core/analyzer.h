@@ -73,6 +73,17 @@ struct AnalyzerConfig {
   /// `<path>.l1-<pattern>` alongside it. A resumed analysis is
   /// bit-identical to an uninterrupted one.
   checkpoint::Options checkpoint;
+
+  /// Per-trial wire-EM audit of every Monte Carlo failure configuration
+  /// (DESIGN.md §5.14). Diagnostic-only: TTF samples are bit-identical
+  /// with the audit on or off, and across `emMode` choices.
+  bool wireEmAudit = false;
+  /// Verdict computation for the audit (and the --em-mode CLI flag).
+  SignoffMode emMode = SignoffMode::kSteadyState;
+  /// Wire geometry / stress margin for the audit.
+  WireGeometry wireGeometry;
+  double wireStressMarginPa = 340e6;
+  EmParameters wireEmParams;
 };
 
 struct GridTtfReport {
@@ -92,6 +103,11 @@ struct GridTtfReport {
   /// Grid-level trials restored from a checkpoint snapshot (mirrors
   /// mc.resumedTrials).
   int resumedTrials = 0;
+  /// Wire-EM audit aggregates (mirrors mc.wire*; zero when the audit is
+  /// off).
+  int wireAuditedConfigs = 0;
+  int wireMortalConfigs = 0;
+  int wireMortalTrials = 0;
   std::string arrayCriterion;
   std::string systemCriterion;
 };

@@ -57,6 +57,18 @@ class KorhonenPdeSolver {
   /// Steady-state cathode stress σ_T + G·L/2 (the Blech limit).
   double steadyStateCathodeStress() const;
 
+  /// Dimensionless distance from the steady state: max interior
+  /// |∂σ/∂x + G| normalized by G. Exactly 0 at the asymptote (where the
+  /// atomic flux vanishes everywhere); 1 on the fresh flat line.
+  double steadyStateResidual() const;
+
+  /// Advances until steadyStateResidual() <= `tolerance`, or until
+  /// `horizonDiffusionTimes`·L²/κ of simulated time elapses — hitting the
+  /// horizon un-converged WARNs (the caller is consuming a drifting
+  /// "asymptote"). Returns the residual actually reached.
+  double advanceToSteadyState(double tolerance = 1e-6,
+                              double horizonDiffusionTimes = 100.0);
+
   /// First time the cathode stress reaches `threshold` [Pa], found by
   /// integrating forward (returns +inf if the steady state stays below).
   double timeToCathodeStress(double threshold);

@@ -43,18 +43,21 @@ NodeStencilOperator::NodeStencilOperator(
   // Dictionary build: the stencil of a node is a function of its 8
   // adjacent element operators only (constraints are handled outside the
   // stencil, see apply()), so the key is those 8 pointers in fixed
-  // relative order. The serial node loop keeps id assignment and
-  // summation order independent of the pool.
+  // relative order. The per-node key computation and local deduplication
+  // run chunk-parallel; the global id assignment merges the chunk-local
+  // dictionaries in chunk order, which visits first occurrences in node
+  // order — the resulting ids and table are identical to a serial scan for
+  // every pool size.
   patternId_.resize(static_cast<std::size_t>(nodes_));
-  std::map<std::array<const Hex8Operators*, 8>, Index> dict;
   const Index nodesPerRow = nx_ + 1;
   const Index nodesPerSlab = nodesPerRow * (ny_ + 1);
-  for (Index node = 0; node < nodes_; ++node) {
+  using Key = std::array<const Hex8Operators*, 8>;
+  const auto nodeKey = [&](Index node) {
     const Index K = node / nodesPerSlab;
     const Index rem = node % nodesPerSlab;
     const Index J = rem / nodesPerRow;
     const Index I = rem % nodesPerRow;
-    std::array<const Hex8Operators*, 8> key{};
+    Key key{};
     for (int dk = -1; dk <= 0; ++dk)
       for (int dj = -1; dj <= 0; ++dj)
         for (int di = -1; di <= 0; ++di) {
@@ -67,33 +70,70 @@ NodeStencilOperator::NodeStencilOperator(
               cellOperators[static_cast<std::size_t>(
                   grid.cellIndex(ci, cj, ck))];
         }
-    auto [it, inserted] =
-        dict.emplace(key, static_cast<Index>(dict.size()));
-    if (inserted) {
-      table_.resize(table_.size() + kStencilSize, 0.0);
-      double* st = &table_[table_.size() - kStencilSize];
-      for (int dk = -1; dk <= 0; ++dk)
-        for (int dj = -1; dj <= 0; ++dj)
-          for (int di = -1; di <= 0; ++di) {
-            const Hex8Operators* ops =
-                key[static_cast<std::size_t>((di + 1) + 2 * (dj + 1) +
-                                             4 * (dk + 1))];
-            if (ops == nullptr) continue;
-            // The center node's local index in this cell.
-            const int n = -di + 2 * -dj + 4 * -dk;
-            for (int m = 0; m < kHexNodes; ++m) {
-              const int t = (di + (m & 1) + 1) + 3 * (dj + ((m >> 1) & 1) + 1) +
-                            9 * (dk + ((m >> 2) & 1) + 1);
-              for (int p = 0; p < 3; ++p)
-                for (int q = 0; q < 3; ++q)
-                  st[t * 9 + p * 3 + q] +=
-                      ops->stiffness[static_cast<std::size_t>(3 * n + p) *
-                                         kHexDofs +
-                                     static_cast<std::size_t>(3 * m + q)];
-            }
-          }
+    return key;
+  };
+
+  struct ChunkDict {
+    std::vector<Key> firstSeen;    // local keys in first-occurrence order
+    std::vector<Index> localId;    // per node in the chunk
+  };
+  const std::int64_t chunkCount =
+      (nodes_ + kNodeGrain - 1) / kNodeGrain;
+  std::vector<ChunkDict> chunks(static_cast<std::size_t>(chunkCount));
+  parallelFor(pool, 0, chunkCount, 1, [&](std::int64_t c) {
+    ChunkDict& cd = chunks[static_cast<std::size_t>(c)];
+    const Index begin = static_cast<Index>(c * kNodeGrain);
+    const Index end = std::min<Index>(begin + kNodeGrain, nodes_);
+    cd.localId.resize(static_cast<std::size_t>(end - begin));
+    std::map<Key, Index> local;
+    for (Index node = begin; node < end; ++node) {
+      const auto [it, inserted] =
+          local.emplace(nodeKey(node), static_cast<Index>(local.size()));
+      if (inserted) cd.firstSeen.push_back(it->first);
+      cd.localId[static_cast<std::size_t>(node - begin)] = it->second;
     }
-    patternId_[static_cast<std::size_t>(node)] = it->second;
+  });
+
+  std::map<Key, Index> dict;
+  for (std::int64_t c = 0; c < chunkCount; ++c) {
+    ChunkDict& cd = chunks[static_cast<std::size_t>(c)];
+    std::vector<Index> globalId(cd.firstSeen.size());
+    for (std::size_t l = 0; l < cd.firstSeen.size(); ++l) {
+      const Key& key = cd.firstSeen[l];
+      const auto [it, inserted] =
+          dict.emplace(key, static_cast<Index>(dict.size()));
+      if (inserted) {
+        table_.resize(table_.size() + kStencilSize, 0.0);
+        double* st = &table_[table_.size() - kStencilSize];
+        for (int dk = -1; dk <= 0; ++dk)
+          for (int dj = -1; dj <= 0; ++dj)
+            for (int di = -1; di <= 0; ++di) {
+              const Hex8Operators* ops =
+                  key[static_cast<std::size_t>((di + 1) + 2 * (dj + 1) +
+                                               4 * (dk + 1))];
+              if (ops == nullptr) continue;
+              // The center node's local index in this cell.
+              const int n = -di + 2 * -dj + 4 * -dk;
+              for (int m = 0; m < kHexNodes; ++m) {
+                const int t = (di + (m & 1) + 1) +
+                              3 * (dj + ((m >> 1) & 1) + 1) +
+                              9 * (dk + ((m >> 2) & 1) + 1);
+                for (int p = 0; p < 3; ++p)
+                  for (int q = 0; q < 3; ++q)
+                    st[t * 9 + p * 3 + q] +=
+                        ops->stiffness[static_cast<std::size_t>(3 * n + p) *
+                                           kHexDofs +
+                                       static_cast<std::size_t>(3 * m + q)];
+              }
+            }
+      }
+      globalId[l] = it->second;
+    }
+    const Index begin = static_cast<Index>(c * kNodeGrain);
+    for (std::size_t i = 0; i < cd.localId.size(); ++i)
+      patternId_[static_cast<std::size_t>(begin) + i] =
+          globalId[static_cast<std::size_t>(cd.localId[i])];
+    cd = ChunkDict{};  // release chunk memory as we go
   }
   VIADUCT_GAUGE_SET("fea.stencil_patterns",
                     static_cast<std::int64_t>(distinctStencils()));

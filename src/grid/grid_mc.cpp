@@ -44,6 +44,8 @@ struct TrialWorkspace {
   std::vector<double> budget;
   std::vector<double> damage;
   std::vector<double> rates;
+  /// Wire-EM audit buffers (sized once per chunk when the audit is on).
+  WireTreeSet::Scratch emScratch;
 };
 
 /// One trial of sequential array failures (damage-accumulation form of
@@ -55,7 +57,8 @@ struct TrialWorkspace {
 /// reached and failures simulated so far behind for salvage accounting.
 double runTrial(const PowerGridModel& model, const GridMcOptions& options,
                 Rng& rng, TrialWorkspace& ws, int* failuresOut,
-                double* progressOut) {
+                double* progressOut, int* wireAuditedOut = nullptr,
+                int* wireMortalOut = nullptr) {
   VIADUCT_SPAN("grid_mc.trial");
   VIADUCT_COUNTER_ADD("grid_mc.trials", 1);
   const int count = static_cast<int>(model.viaArrays().size());
@@ -80,12 +83,26 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
     }
   }
 
+  // Diagnostic wire-EM audit of each failure configuration's operating
+  // point. Never feeds back into the TTF samples (bit-identity across EM
+  // modes); the mode only decides how the verdicts are computed.
+  const bool wireAudit = options.wireEm.enabled();
+  auto auditConfig = [&](const PowerGridModel::DcSolution& s) {
+    if (!wireAudit) return;
+    const WireTreeSet::Audit audit = options.wireEm.trees->audit(
+        model, s, options.wireEm.mode, options.wireEm.stressMarginPa,
+        options.wireEm.params, ws.emScratch);
+    if (wireAuditedOut) ++*wireAuditedOut;
+    if (wireMortalOut && audit.anyMortal()) ++*wireMortalOut;
+  };
+
   PowerGridModel::Session session(model);
   PowerGridModel::DcSolution sol = session.solve();
   if (!sol.solverOk) {
     throw NumericalError("grid MC: healthy grid DC solve failed: " +
                          sol.solverError);
   }
+  auditConfig(sol);
   VIADUCT_CHECK_MSG(
       sol.worstIrDropFraction < options.systemCriterion.irDropFraction ||
           options.systemCriterion.kind == GridFailureCriterion::Kind::kWeakestLink,
@@ -155,6 +172,7 @@ double runTrial(const PowerGridModel& model, const GridMcOptions& options,
                            std::to_string(failed + 1) +
                            " array failure(s): " + sol.solverError);
     }
+    auditConfig(sol);
     if (sol.worstIrDropFraction >= options.systemCriterion.irDropFraction) {
       return t;
     }
@@ -182,7 +200,10 @@ std::string gridMcCheckpointKey(const PowerGridModel& model,
   // v2: the direct-solver backend joined the key. Different backends agree
   // only to ~1e-10, and trial samples are persisted bit-exactly, so a
   // snapshot must not be resumed under a different solver or ordering.
-  os << "gridmc-v2;model=" << std::hex << model.structureDigest() << std::dec
+  // v3: the wire-EM audit joined the key (and, when enabled, the trial
+  // payload grows two audit values), so snapshots written with a different
+  // audit mode / margin / tree decomposition must not be resumed.
+  os << "gridmc-v3;model=" << std::hex << model.structureDigest() << std::dec
      << ";gsolve=" << spdSolverKindName(model.config().gridSolver) << ','
      << orderingChoiceName(model.config().gridOrdering)
      << ";ttf=" << options.arrayTtf.mu() << ',' << options.arrayTtf.sigma()
@@ -196,6 +217,18 @@ std::string gridMcCheckpointKey(const PowerGridModel& model,
      // snapshot written under a different policy must not be resumed.
      << ";pol=" << options.policy.enabled << ','
      << static_cast<int>(options.policy.trialPolicy);
+  os << ";em=";
+  if (options.wireEm.enabled()) {
+    // The tree digest covers topology + geometry; the unit-j stress
+    // gradient eZ*ρ/Ω and the margin cover every physics input to the
+    // verdicts.
+    os << signoffModeName(options.wireEm.mode) << ','
+       << options.wireEm.stressMarginPa << ','
+       << stressGradientPerMeter(1.0, options.wireEm.params) << ','
+       << std::hex << options.wireEm.trees->digest() << std::dec;
+  } else {
+    os << "off";
+  }
   return os.str();
 }
 
@@ -239,6 +272,9 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
   std::vector<int> failures(static_cast<std::size_t>(options.trials), 0);
   std::vector<TrialStatus> status(static_cast<std::size_t>(options.trials),
                                   TrialStatus::kKept);
+  const bool wireAudit = options.wireEm.enabled();
+  std::vector<int> wireAudited(static_cast<std::size_t>(options.trials), 0);
+  std::vector<int> wireMortal(static_cast<std::size_t>(options.trials), 0);
 
   // Checkpoint/resume: restore completed trials (value, failure count, and
   // discard/salvage status all come from the snapshot, so the accounting
@@ -246,15 +282,22 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
   checkpoint::TrialRecorder recorder(
       options.checkpoint, gridMcCheckpointKey(model, options), options.trials);
   std::vector<unsigned char> done(static_cast<std::size_t>(options.trials), 0);
+  // When the audit is on, the payload carries two extra values (configs
+  // audited, mortal configs) so resumed runs keep their audit aggregates.
+  const std::size_t wantPayload = wireAudit ? 4 : 2;
   for (const auto& [trial, record] : recorder.restore()) {
     const auto idx = static_cast<std::size_t>(trial);
-    if (record.primary.size() != 2 || !record.secondary.empty()) {
+    if (record.primary.size() != wantPayload || !record.secondary.empty()) {
       VIADUCT_WARN << "checkpoint: trial " << trial
                    << " has an unexpected payload; re-running it";
       continue;
     }
     samples[idx] = record.primary[0];
     failures[idx] = static_cast<int>(record.primary[1]);
+    if (wireAudit) {
+      wireAudited[idx] = static_cast<int>(record.primary[2]);
+      wireMortal[idx] = static_cast<int>(record.primary[3]);
+    }
     status[idx] = fromOutcome(record.outcome);
     done[idx] = 1;
     ++result.resumedTrials;
@@ -278,6 +321,7 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
   pool.runChunks(
       0, options.trials, kTrialChunk, [&](std::int64_t lo, std::int64_t hi) {
         TrialWorkspace ws;
+        if (wireAudit) ws.emScratch = options.wireEm.trees->makeScratch();
         for (std::int64_t trial = lo; trial < hi; ++trial) {
           const auto idx = static_cast<std::size_t>(trial);
           if (done[idx]) continue;  // restored from the checkpoint
@@ -285,7 +329,8 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
           Rng rng(options.seed, static_cast<std::uint64_t>(trial));
           try {
             samples[idx] =
-                runTrial(model, options, rng, ws, &failures[idx], &samples[idx]);
+                runTrial(model, options, rng, ws, &failures[idx], &samples[idx],
+                         &wireAudited[idx], &wireMortal[idx]);
           } catch (const NumericalError&) {
             if (!options.policy.enabled ||
                 options.policy.trialPolicy ==
@@ -301,9 +346,14 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
               status[idx] = TrialStatus::kDiscarded;
             }
           }
-          recorder.record({trial, toOutcome(status[idx]),
-                           {samples[idx], static_cast<double>(failures[idx])},
-                           {}});
+          std::vector<double> payload = {samples[idx],
+                                         static_cast<double>(failures[idx])};
+          if (wireAudit) {
+            payload.push_back(static_cast<double>(wireAudited[idx]));
+            payload.push_back(static_cast<double>(wireMortal[idx]));
+          }
+          recorder.record(
+              {trial, toOutcome(status[idx]), std::move(payload), {}});
           progress.trialDone(status[idx] == TrialStatus::kDiscarded ? 1 : 0,
                              status[idx] == TrialStatus::kSalvaged ? 1 : 0);
         }
@@ -322,6 +372,11 @@ GridMcResult runGridMonteCarlo(const PowerGridModel& model,
     result.ttfSamples.push_back(samples[i]);
     failureTotal += failures[i];
     ++included;
+    if (wireAudit) {
+      result.wireAuditedConfigs += wireAudited[i];
+      result.wireMortalConfigs += wireMortal[i];
+      if (wireMortal[i] > 0) ++result.wireMortalTrials;
+    }
     VIADUCT_HISTOGRAM_OBSERVE("grid_mc.failures_per_trial", failures[i],
                               obs::Buckets::linear(0, 2, 16));
   }

@@ -21,6 +21,7 @@
 #include "common/thread_pool.h"
 #include "fault/policy.h"
 #include "grid/power_grid.h"
+#include "grid/wire_mortality.h"
 
 namespace viaduct {
 
@@ -33,6 +34,23 @@ struct GridFailureCriterion {
   static GridFailureCriterion weakestLink();
   static GridFailureCriterion irDrop(double fraction = 0.10);
   std::string describe() const;
+};
+
+/// Per-trial wire-EM audit riding on the Monte Carlo (DESIGN.md §5.14):
+/// every failure configuration's DC operating point is checked against the
+/// steady-state wire-stress verdicts. The audit is DIAGNOSTIC-ONLY — it
+/// never alters TTF samples, so samples stay bit-identical across EM modes
+/// and the mode choice only changes how much the verdicts cost.
+struct GridWireEmOptions {
+  /// Shared immutable tree decomposition (WireTreeSet::build). Null
+  /// disables the audit. The decomposition is reused across every trial
+  /// and failure configuration; only per-branch currents are recomputed.
+  std::shared_ptr<const WireTreeSet> trees;
+  SignoffMode mode = SignoffMode::kSteadyState;
+  /// Wire stress margin σ_C − σ_T − σ_pkg [Pa].
+  double stressMarginPa = 340e6;
+  EmParameters params;
+  bool enabled() const { return trees != nullptr; }
 };
 
 struct GridMcOptions {
@@ -80,6 +98,11 @@ struct GridMcOptions {
   /// accounting is bit-identical across thread counts. Also threaded into
   /// each trial Session via the model config's own policy.
   fault::FailurePolicy policy;
+
+  /// Optional per-trial wire-EM audit (off when `wireEm.trees` is null).
+  /// Joins the checkpoint key: enabling, re-marginning, or re-moding the
+  /// audit invalidates prior snapshots (gridmc-v3).
+  GridWireEmOptions wireEm;
 };
 
 struct GridMcResult {
@@ -94,6 +117,11 @@ struct GridMcResult {
   int salvagedTrials = 0;
   /// Trials restored from the checkpoint snapshot instead of re-run.
   int resumedTrials = 0;
+  /// Wire-EM audit aggregates over kept+salvaged trials (all zero when the
+  /// audit is disabled). Diagnostic-only: independent of `ttfSamples`.
+  int wireAuditedConfigs = 0;  // failure configurations audited
+  int wireMortalConfigs = 0;   // configs with >= 1 mortal tree/segment
+  int wireMortalTrials = 0;    // trials containing any mortal config
   EmpiricalCdf cdf() const { return EmpiricalCdf(ttfSamples); }
 };
 

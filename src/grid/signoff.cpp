@@ -22,4 +22,12 @@ SignoffReport signoffViaArrays(const PowerGridModel& model,
   return report;
 }
 
+WireEmCensus signoffWires(const Netlist& netlist,
+                          const SignoffConfig& config) {
+  VIADUCT_REQUIRE(config.wireStressMarginPa > 0.0);
+  return classifyWiresEm(netlist, config.wireGeometry,
+                         config.wireStressMarginPa, config.emParams,
+                         config.emMode);
+}
+
 }  // namespace viaduct

@@ -1,0 +1,287 @@
+// EM signoff-mode semantics across the grid stack: verdict identity between
+// the steady-state, transient, and hybrid modes on golden meshes; grid
+// Monte Carlo samples bit-identical across thread counts AND EM modes (the
+// audit is diagnostic-only); and checkpoint/resume carrying the audit
+// payload exactly.
+#include "grid/wire_mortality.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <string>
+
+#include "checkpoint/checkpoint.h"
+#include "common/check.h"
+#include "common/units.h"
+#include "grid/grid_mc.h"
+#include "grid/signoff.h"
+#include "spice/generator.h"
+
+namespace viaduct {
+namespace {
+
+Netlist meshNetlist(int stripes = 8, std::uint64_t seed = 11) {
+  GridGeneratorConfig cfg;
+  cfg.stripesX = stripes;
+  cfg.stripesY = stripes;
+  cfg.padCount = 4;
+  cfg.totalCurrentAmps = 1.0;
+  cfg.seed = seed;
+  Netlist n = generatePowerGrid(cfg);
+  tuneNominalIrDrop(n, 0.06);
+  return n;
+}
+
+GridMcOptions mcOptions() {
+  GridMcOptions opts;
+  opts.arrayTtf = Lognormal::fromMedian(8.0 * units::year, 0.4);
+  opts.referenceCurrentAmps = 0.01;
+  opts.systemCriterion = GridFailureCriterion::irDrop(0.10);
+  opts.trials = 12;
+  opts.seed = 5;
+  return opts;
+}
+
+void expectSameSamples(const GridMcResult& a, const GridMcResult& b) {
+  ASSERT_EQ(a.ttfSamples.size(), b.ttfSamples.size());
+  for (std::size_t i = 0; i < a.ttfSamples.size(); ++i)
+    EXPECT_EQ(a.ttfSamples[i], b.ttfSamples[i]) << "sample " << i;
+  EXPECT_EQ(a.meanFailuresToBreach, b.meanFailuresToBreach);
+}
+
+TEST(SignoffMode, ParseAcceptsCanonicalAndAliasSpellings) {
+  EXPECT_EQ(parseSignoffMode("steady"), SignoffMode::kSteadyState);
+  EXPECT_EQ(parseSignoffMode("steady-state"), SignoffMode::kSteadyState);
+  EXPECT_EQ(parseSignoffMode("steadystate"), SignoffMode::kSteadyState);
+  EXPECT_EQ(parseSignoffMode("transient"), SignoffMode::kTransient);
+  EXPECT_EQ(parseSignoffMode("hybrid"), SignoffMode::kHybrid);
+  EXPECT_THROW(parseSignoffMode("adiabatic"), ParseError);
+  EXPECT_THROW(parseSignoffMode(""), ParseError);
+}
+
+TEST(SignoffMode, NamesRoundTrip) {
+  for (const auto mode : {SignoffMode::kTransient, SignoffMode::kSteadyState,
+                          SignoffMode::kHybrid}) {
+    EXPECT_EQ(parseSignoffMode(signoffModeName(mode)), mode);
+  }
+}
+
+TEST(WireTreeSet, BuildsMeshTopologyOnce) {
+  const Netlist netlist = meshNetlist();
+  const auto trees = WireTreeSet::build(netlist, WireGeometry{});
+  ASSERT_NE(trees, nullptr);
+  EXPECT_GT(trees->treeCount(), 0);
+  EXPECT_GT(trees->branchCount(), 0);
+  EXPECT_EQ(trees->cyclicComponents(), 0);
+  // The digest is deterministic and geometry-sensitive (it joins the
+  // Monte Carlo checkpoint key).
+  const auto again = WireTreeSet::build(netlist, WireGeometry{});
+  EXPECT_EQ(trees->digest(), again->digest());
+  WireGeometry fat;
+  fat.crossSectionArea *= 2.0;
+  EXPECT_NE(trees->digest(), WireTreeSet::build(netlist, fat)->digest());
+}
+
+// The hybrid immortality filter must never disagree with the transient
+// verdict on the golden meshes: every tree the steady-state pass clears is
+// confirmed immortal by the marched asymptote, and every mortal verdict
+// survives the transient re-judgement.
+TEST(WireEmModes, VerdictIdenticalAcrossModesOnGoldenMeshes) {
+  for (const int stripes : {6, 8}) {
+    const Netlist netlist = meshNetlist(stripes);
+    for (const double marginMpa : {20.0, 340.0, 5000.0}) {
+      const double margin = marginMpa * units::MPa;
+      const auto steady =
+          classifyWiresEm(netlist, WireGeometry{}, margin, EmParameters{},
+                          SignoffMode::kSteadyState);
+      const auto transient =
+          classifyWiresEm(netlist, WireGeometry{}, margin, EmParameters{},
+                          SignoffMode::kTransient);
+      const auto hybrid =
+          classifyWiresEm(netlist, WireGeometry{}, margin, EmParameters{},
+                          SignoffMode::kHybrid);
+      EXPECT_EQ(steady.mortalTrees, transient.mortalTrees)
+          << stripes << " stripes at " << marginMpa << " MPa";
+      EXPECT_EQ(steady.mortalTrees, hybrid.mortalTrees)
+          << stripes << " stripes at " << marginMpa << " MPa";
+      EXPECT_EQ(steady.trees, transient.trees);
+      EXPECT_EQ(steady.branches, hybrid.branches);
+      // Steady mode never marches; hybrid re-judges exactly the mortal
+      // path trees.
+      EXPECT_EQ(steady.transientFallbacks, 0);
+      EXPECT_EQ(hybrid.transientFallbacks, hybrid.mortalTrees);
+      EXPECT_EQ(steady.passed(), transient.passed());
+    }
+  }
+}
+
+TEST(WireEmModes, MarginSweepsFromAllMortalToAllImmortal) {
+  const Netlist netlist = meshNetlist();
+  const auto tight =
+      classifyWiresEm(netlist, WireGeometry{}, 1.0 * units::MPa,
+                      EmParameters{}, SignoffMode::kSteadyState);
+  EXPECT_GT(tight.mortalTrees, 0);
+  EXPECT_FALSE(tight.passed());
+  // A margin above the worst steady rise clears every tree.
+  const double loose = tight.worstStressRisePa * 2.0;
+  const auto cleared = classifyWiresEm(netlist, WireGeometry{}, loose,
+                                       EmParameters{},
+                                       SignoffMode::kSteadyState);
+  EXPECT_EQ(cleared.mortalTrees, 0);
+  EXPECT_TRUE(cleared.passed());
+  EXPECT_EQ(cleared.worstStressRisePa, tight.worstStressRisePa);
+}
+
+TEST(WireEmModes, SignoffWiresMatchesCensus) {
+  const Netlist netlist = meshNetlist();
+  SignoffConfig cfg;
+  cfg.emMode = SignoffMode::kHybrid;
+  const auto report = signoffWires(netlist, cfg);
+  const auto census =
+      classifyWiresEm(netlist, cfg.wireGeometry, cfg.wireStressMarginPa,
+                      cfg.emParams, cfg.emMode);
+  EXPECT_EQ(report.mortalTrees, census.mortalTrees);
+  EXPECT_EQ(report.trees, census.trees);
+  EXPECT_EQ(report.worstStressRisePa, census.worstStressRisePa);
+  EXPECT_EQ(report.passed(), census.passed());
+}
+
+// The audit is diagnostic-only: TTF samples must be bit-identical with the
+// audit off, and across every EM mode and thread count.
+TEST(GridMcEmModes, SamplesBitIdenticalAcrossModesAndThreads) {
+  const Netlist netlist = meshNetlist();
+  const PowerGridModel model(netlist);
+  const auto baseline = runGridMonteCarlo(model, mcOptions());
+  ASSERT_EQ(baseline.ttfSamples.size(), 12u);
+  EXPECT_EQ(baseline.wireAuditedConfigs, 0);
+
+  const auto trees = WireTreeSet::build(netlist, WireGeometry{});
+  int auditedBySteady = -1, mortalBySteady = -1;
+  for (const auto mode : {SignoffMode::kSteadyState, SignoffMode::kTransient,
+                          SignoffMode::kHybrid}) {
+    int audited = -1, mortalConfigs = -1, mortalTrials = -1;
+    for (const int threads : {1, 4, 8}) {
+      auto opts = mcOptions();
+      opts.parallelism.threads = threads;
+      opts.wireEm.trees = trees;
+      opts.wireEm.mode = mode;
+      const auto result = runGridMonteCarlo(model, opts);
+      expectSameSamples(baseline, result);
+      EXPECT_GT(result.wireAuditedConfigs, 0);
+      // Audit aggregates are themselves deterministic across threads.
+      if (audited < 0) {
+        audited = result.wireAuditedConfigs;
+        mortalConfigs = result.wireMortalConfigs;
+        mortalTrials = result.wireMortalTrials;
+      } else {
+        EXPECT_EQ(result.wireAuditedConfigs, audited)
+            << signoffModeName(mode) << " @" << threads;
+        EXPECT_EQ(result.wireMortalConfigs, mortalConfigs);
+        EXPECT_EQ(result.wireMortalTrials, mortalTrials);
+      }
+    }
+    // Verdict identity holds through the Monte Carlo: every mode audits
+    // the same configurations and flags the same mortal set.
+    if (auditedBySteady < 0) {
+      auditedBySteady = audited;
+      mortalBySteady = mortalConfigs;
+    } else {
+      EXPECT_EQ(audited, auditedBySteady) << signoffModeName(mode);
+      EXPECT_EQ(mortalConfigs, mortalBySteady) << signoffModeName(mode);
+    }
+  }
+}
+
+TEST(GridMcEmModes, CheckpointKeySeparatesEmConfigurations) {
+  const Netlist netlist = meshNetlist();
+  const PowerGridModel model(netlist);
+  auto off = mcOptions();
+  const std::string keyOff = gridMcCheckpointKey(model, off);
+  EXPECT_NE(keyOff.find(";em=off"), std::string::npos);
+
+  auto on = mcOptions();
+  on.wireEm.trees = WireTreeSet::build(netlist, WireGeometry{});
+  const std::string keySteady = gridMcCheckpointKey(model, on);
+  EXPECT_NE(keyOff, keySteady);
+
+  on.wireEm.mode = SignoffMode::kHybrid;
+  const std::string keyHybrid = gridMcCheckpointKey(model, on);
+  EXPECT_NE(keySteady, keyHybrid);
+
+  on.wireEm.stressMarginPa *= 0.5;
+  EXPECT_NE(keyHybrid, gridMcCheckpointKey(model, on));
+}
+
+class GridMcEmResumeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = (std::filesystem::temp_directory_path() /
+             ("viaduct_em_resume_" + std::to_string(::getpid()) + ".ckpt"))
+                .string();
+    std::filesystem::remove(path_);
+  }
+  void TearDown() override {
+    std::filesystem::remove(path_);
+    std::filesystem::remove(path_ + ".tmp");
+  }
+  std::string path_;
+};
+
+// Resume must reconstruct the audit aggregates exactly from the widened
+// (4-value) trial payload, not just the TTF samples.
+TEST_F(GridMcEmResumeTest, ResumeCarriesAuditPayload) {
+  const Netlist netlist = meshNetlist();
+  const PowerGridModel model(netlist);
+  auto opts = mcOptions();
+  opts.wireEm.trees = WireTreeSet::build(netlist, WireGeometry{});
+  opts.wireEm.mode = SignoffMode::kHybrid;
+  const auto baseline = runGridMonteCarlo(model, opts);
+  ASSERT_GT(baseline.wireAuditedConfigs, 0);
+
+  opts.checkpoint.path = path_;
+  opts.checkpoint.everyTrials = 1;
+  const auto full = runGridMonteCarlo(model, opts);
+  expectSameSamples(baseline, full);
+
+  // Kill it "mid-run": keep every 3rd trial in the snapshot, then resume.
+  {
+    const checkpoint::CheckpointFile file(path_);
+    auto snap = file.load(gridMcCheckpointKey(model, opts), opts.trials);
+    ASSERT_TRUE(snap.has_value());
+    for (auto it = snap->trials.begin(); it != snap->trials.end();) {
+      if (it->first % 3 == 0) {
+        ++it;
+      } else {
+        it = snap->trials.erase(it);
+      }
+    }
+    ASSERT_TRUE(file.write(*snap));
+  }
+  opts.checkpoint.resume = true;
+  const auto resumed = runGridMonteCarlo(model, opts);
+  EXPECT_EQ(resumed.resumedTrials, 4);  // trials 0,3,6,9
+  expectSameSamples(baseline, resumed);
+  EXPECT_EQ(resumed.wireAuditedConfigs, baseline.wireAuditedConfigs);
+  EXPECT_EQ(resumed.wireMortalConfigs, baseline.wireMortalConfigs);
+  EXPECT_EQ(resumed.wireMortalTrials, baseline.wireMortalTrials);
+}
+
+// A snapshot written without the audit (2-value payload) must not be
+// resumed into an audited run — the key differs, so the run restarts from
+// scratch rather than resuming with missing audit counts.
+TEST_F(GridMcEmResumeTest, AuditOffSnapshotDoesNotLeakIntoAuditedRun) {
+  const Netlist netlist = meshNetlist();
+  const PowerGridModel model(netlist);
+  auto opts = mcOptions();
+  opts.checkpoint.path = path_;
+  runGridMonteCarlo(model, opts);  // audit-off snapshot on disk
+
+  opts.wireEm.trees = WireTreeSet::build(netlist, WireGeometry{});
+  opts.checkpoint.resume = true;
+  const auto audited = runGridMonteCarlo(model, opts);
+  EXPECT_EQ(audited.resumedTrials, 0);
+  EXPECT_GT(audited.wireAuditedConfigs, 0);
+}
+
+}  // namespace
+}  // namespace viaduct

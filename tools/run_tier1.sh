@@ -35,7 +35,12 @@
 #      of concurrent IDENTICAL characterize requests (held overlapping via
 #      the debug execute-delay hook) must trigger exactly ONE FEA-solve
 #      burst, and SIGTERM must drain to a clean exit 0 whose --metrics-out
-#      snapshot proves the dedup (serve.executed == 1).
+#      snapshot proves the dedup (serve.executed == 1);
+#  13. the perf_em_steady smoke: steady-state vs transient wire-EM audit on
+#      a ~1e4-node mesh — closed-form/marched parity <= 1e-8 on the fig6/
+#      fig7 line geometries, verdict + sample bit-identity across EM modes,
+#      and a floor on the steady-vs-transient per-trial speedup
+#      (BENCH_em_steady.json; the >= 5x floor applies to the full run).
 #
 # Usage: tools/run_tier1.sh [--skip-tsan]
 set -euo pipefail
@@ -51,28 +56,28 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "=== [1/12] tier-1: configure + build + full test suite ==="
+echo "=== [1/13] tier-1: configure + build + full test suite ==="
 cmake -B build -S . -DCMAKE_BUILD_TYPE=Release
 cmake --build build -j "$JOBS"
 ctest --test-dir build --output-on-failure -j "$JOBS"
 
-echo "=== [2/12] fault label: recovery-path tests ==="
+echo "=== [2/13] fault label: recovery-path tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L fault
 
-echo "=== [3/12] checkpoint label: crash-safety and resume tests ==="
+echo "=== [3/13] checkpoint label: crash-safety and resume tests ==="
 ctest --test-dir build --output-on-failure -j "$JOBS" -L checkpoint
 
 if [[ "$SKIP_TSAN" -eq 1 ]]; then
-  echo "=== [4/12] tsan sweep skipped (--skip-tsan) ==="
+  echo "=== [4/13] tsan sweep skipped (--skip-tsan) ==="
 else
-  echo "=== [4/12] thread-sanitized build: tsan label ==="
+  echo "=== [4/13] thread-sanitized build: tsan label ==="
   cmake -B build-tsan -S . -DCMAKE_BUILD_TYPE=RelWithDebInfo \
     -DVIADUCT_SANITIZE=thread
   cmake --build build-tsan -j "$JOBS"
   ctest --test-dir build-tsan --output-on-failure -j "$JOBS" -L tsan
 fi
 
-echo "=== [5/12] uninjected CLI smoke run must be WARN-free ==="
+echo "=== [5/13] uninjected CLI smoke run must be WARN-free ==="
 SMOKE_LOG="$(mktemp)"
 SMOKE_CKPT="$(mktemp -u).ckpt"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* ' EXIT
@@ -97,31 +102,31 @@ if grep -E "\[viaduct (WARN|ERROR)" "$SMOKE_LOG"; then
 fi
 echo "smoke run clean (no WARN/ERROR lines, resume exact)"
 
-echo "=== [6/12] perf_viaarray: incremental vs exact solver A/B smoke ==="
+echo "=== [6/13] perf_viaarray: incremental vs exact solver A/B smoke ==="
 # Benchmark registrations are skipped (filter matches nothing); the manual
 # A/B cross-check and BENCH_viaarray.json still run. Exit is nonzero only
 # if the two solver paths disagree.
 (cd build/bench && ./perf_viaarray --benchmark_filter='^$')
 
-echo "=== [7/12] perf_grid_scale: shared-base level-2 engine smoke ==="
+echo "=== [7/13] perf_grid_scale: shared-base level-2 engine smoke ==="
 # Parity, determinism, and speedup gates on the smallest mesh; the full
 # 1e4 -> 1e6 sweep is the same binary without --smoke.
 (cd build/bench && ./perf_grid_scale --smoke)
 
-echo "=== [8/12] perf_obs_export: live-telemetry overhead + bit-identity ==="
+echo "=== [8/13] perf_obs_export: live-telemetry overhead + bit-identity ==="
 # Grid MC with the registry, JSONL sampler, HTTP listener, and a live
 # scraper all running must stay within the overhead budget and produce
 # bit-identical samples vs. obs-off across thread counts.
 (cd build/bench && ./perf_obs_export --smoke)
 
-echo "=== [9/12] perf_fea_mg: multigrid vs IC(0) FEA solve smoke ==="
+echo "=== [9/13] perf_fea_mg: multigrid vs IC(0) FEA solve smoke ==="
 # End-to-end solve parity (mg and ic0 via peaks must agree) and the
 # warm-primitive-store zero-solve gate on a reduced problem; the full
 # fig7-size run with the >= 4x speedup floor is the same binary
 # without --smoke (CI uploads its BENCH_fea_mg.json).
 (cd build/bench && ./perf_fea_mg --smoke)
 
-echo "=== [10/12] CLI warm-store smoke: second run must skip all FEA ==="
+echo "=== [10/13] CLI warm-store smoke: second run must skip all FEA ==="
 STORE_FILE="$(mktemp -u).primitives"
 COLD_OUT="$(mktemp)"
 WARM_OUT="$(mktemp)"
@@ -145,14 +150,14 @@ if solves != 0 or hits < 1:
 print(f"warm store clean: 0 FEA solves, {hits} primitive hit(s)")
 EOF
 
-echo "=== [11/12] perf_serve: serving-layer dedup/admission/drain smoke ==="
+echo "=== [11/13] perf_serve: serving-layer dedup/admission/drain smoke ==="
 # In-process gates: N concurrent identical characterize requests collapse
 # to ONE execution and ONE FEA solve; the queue limit sheds load with 429;
 # malformed/slow clients get 400/413/408; drain loses no in-flight
 # response (exit is nonzero on any gate miss; writes BENCH_serve.json).
 (cd build/bench && ./perf_serve --smoke)
 
-echo "=== [12/12] serve daemon smoke: dedup burst + clean SIGTERM drain ==="
+echo "=== [12/13] serve daemon smoke: dedup burst + clean SIGTERM drain ==="
 SERVE_LOG="$(mktemp)"
 SERVE_METRICS="$(mktemp)"
 trap 'rm -f "$SMOKE_LOG" "$SMOKE_CKPT"* "$STORE_FILE" "$COLD_OUT" \
@@ -221,5 +226,12 @@ if deduped < 1:
     sys.exit("FAIL: drained snapshot shows no deduped joins")
 print(f"drain snapshot clean: 1 FEA-solve burst, {deduped} deduped join(s)")
 EOF
+
+echo "=== [13/13] perf_em_steady: steady-state wire-EM parity + speedup ==="
+# Closed-form steady-state audit vs the marched transient reference on the
+# paper line geometries (parity <= 1e-8), EM-mode verdict identity, and
+# MC sample bit-identity with the audit on; the full run with the >= 5x
+# per-trial floor is the same binary without --smoke.
+(cd build/bench && ./perf_em_steady --smoke)
 
 echo "ALL TIER-1 CHECKS PASSED"

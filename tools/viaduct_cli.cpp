@@ -97,9 +97,10 @@ int cmdAnalyze(int argc, const char* const* argv) {
                            feaPrecond = "mg", primitiveStorePath;
   int viaN = 4, trials = 300, charTrials = 300, threads = 0,
       checkpointEvery = 32;
-  bool resume = false, exactResolve = false;
-  double tuneIr = 0.06;
-  std::string gridSolver = "uplooking", gridOrdering = "rcm";
+  bool resume = false, exactResolve = false, wireAudit = false;
+  double tuneIr = 0.06, wireMarginMpa = 340.0;
+  std::string gridSolver = "uplooking", gridOrdering = "rcm",
+              emMode = "steady";
   CliFlags flags("viaduct_cli analyze: two-level EM TTF analysis");
   flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
   flags.addString("preset", &preset, "PG1/PG2/PG5");
@@ -137,6 +138,17 @@ int cmdAnalyze(int argc, const char* const* argv) {
                   "(supernodal+amd scales to ~1e6-node meshes)");
   flags.addString("grid-ordering", &gridOrdering,
                   "fill-reducing ordering: natural|rcm|mindeg|amd");
+  flags.addBool("wire-audit", &wireAudit,
+                "audit every MC failure configuration's wire stresses with "
+                "the steady-state tree solver (diagnostic; TTF samples are "
+                "unchanged)");
+  flags.addString("em-mode", &emMode,
+                  "wire-EM verdict mode: steady|transient|hybrid "
+                  "(steady = linear-time closed form; hybrid = steady "
+                  "filter + transient confirmation of the mortal minority). "
+                  "Joins the grid-MC checkpoint key (gridmc-v3)");
+  flags.addDouble("wire-margin-mpa", &wireMarginMpa,
+                  "wire stress margin sigma_C - sigma_T - sigma_pkg [MPa]");
   if (!flags.parse(argc, argv)) return 0;
 
   AnalyzerConfig config;
@@ -161,6 +173,9 @@ int cmdAnalyze(int argc, const char* const* argv) {
   config.checkpoint.resume = resume;
   if (resume && checkpointPath.empty())
     throw PreconditionError("--resume needs --checkpoint <path>");
+  config.wireEmAudit = wireAudit;
+  config.emMode = parseSignoffMode(emMode);
+  config.wireStressMarginPa = wireMarginMpa * units::MPa;
 
   auto library =
       cachePath.empty()
@@ -198,6 +213,12 @@ int cmdAnalyze(int argc, const char* const* argv) {
   if (report.resumedTrials > 0) {
     std::cout << "checkpoint: resumed " << report.resumedTrials << "/"
               << trials << " grid trials from " << checkpointPath << "\n";
+  }
+  if (wireAudit) {
+    std::cout << "wire-EM audit (" << emMode << "): "
+              << report.wireMortalConfigs << "/" << report.wireAuditedConfigs
+              << " failure configurations with mortal wires ("
+              << report.wireMortalTrials << "/" << trials << " trials)\n";
   }
   return 0;
 }
@@ -285,15 +306,22 @@ int cmdCharacterize(int argc, const char* const* argv) {
 }
 
 int cmdSignoff(int argc, const char* const* argv) {
-  std::string netlistPath, preset = "PG1";
+  std::string netlistPath, preset = "PG1", emMode = "hybrid";
   double limit = 2e10;
-  double tuneIr = 0.06;
+  double tuneIr = 0.06, wireMarginMpa = 340.0;
+  bool wires = false;
   CliFlags flags("viaduct_cli signoff: traditional current-density check");
   flags.addString("netlist", &netlistPath, "SPICE netlist (overrides preset)");
   flags.addString("preset", &preset, "PG1/PG2/PG5");
   flags.addDouble("limit", &limit, "foundry via limit [A/m^2]");
   flags.addDouble("tune-ir", &tuneIr,
                   "retune loads to this nominal IR fraction (0 = as-is)");
+  flags.addBool("wires", &wires,
+                "also sign off wire trees with the steady-state EM solver");
+  flags.addString("em-mode", &emMode,
+                  "wire-EM verdict mode: steady|transient|hybrid");
+  flags.addDouble("wire-margin-mpa", &wireMarginMpa,
+                  "wire stress margin sigma_C - sigma_T - sigma_pkg [MPa]");
   if (!flags.parse(argc, argv)) return 0;
 
   Netlist netlist = loadGrid(netlistPath, preset);
@@ -301,6 +329,8 @@ int cmdSignoff(int argc, const char* const* argv) {
   const PowerGridModel model(netlist);
   SignoffConfig cfg;
   cfg.currentDensityLimit = limit;
+  cfg.emMode = parseSignoffMode(emMode);
+  cfg.wireStressMarginPa = wireMarginMpa * units::MPa;
   const auto report = signoffViaArrays(model, cfg);
   std::cout << (report.passed() ? "PASS" : "FAIL") << ": "
             << report.violations << "/" << report.totalArrays
@@ -308,11 +338,32 @@ int cmdSignoff(int argc, const char* const* argv) {
             << report.worstCurrentDensity << " A/m^2 ("
             << TextTable::num(100.0 * report.worstUtilization(), 1)
             << "% of limit)\n";
-  return report.passed() ? 0 : 2;
+  bool wiresPassed = true;
+  if (wires) {
+    const auto wireReport = signoffWires(netlist, cfg);
+    wiresPassed = wireReport.passed();
+    std::cout << (wireReport.passed() ? "PASS" : "FAIL") << ": wires ("
+              << signoffModeName(wireReport.mode) << "): "
+              << wireReport.mortalTrees << "/" << wireReport.trees
+              << " trees mortal, worst steady stress rise "
+              << TextTable::num(wireReport.worstStressRisePa / units::MPa, 1)
+              << " MPa vs margin "
+              << TextTable::num(wireReport.stressMarginPa / units::MPa, 1)
+              << " MPa";
+    if (wireReport.transientFallbacks > 0)
+      std::cout << " (" << wireReport.transientFallbacks
+                << " transient fallbacks)";
+    if (wireReport.cyclicComponents > 0)
+      std::cout << " [" << wireReport.cyclicComponents
+                << " cyclic components via Blech, "
+                << wireReport.mortalCyclicSegments << " mortal]";
+    std::cout << "\n";
+  }
+  return report.passed() && wiresPassed ? 0 : 2;
 }
 
 int cmdCensus(int argc, const char* const* argv) {
-  std::string netlistPath, preset = "PG1";
+  std::string netlistPath, preset = "PG1", emMode = "steady";
   double marginMpa = 340.0;
   double tuneIr = 0.06;
   CliFlags flags("viaduct_cli census: wire Blech immortality census");
@@ -320,6 +371,8 @@ int cmdCensus(int argc, const char* const* argv) {
   flags.addString("preset", &preset, "PG1/PG2/PG5");
   flags.addDouble("margin-mpa", &marginMpa,
                   "critical-stress margin sigma_C - sigma_T [MPa]");
+  flags.addString("em-mode", &emMode,
+                  "tree-census verdict mode: steady|transient|hybrid");
   flags.addDouble("tune-ir", &tuneIr,
                   "retune loads to this nominal IR fraction (0 = as-is)");
   if (!flags.parse(argc, argv)) return 0;
@@ -334,7 +387,26 @@ int cmdCensus(int argc, const char* const* argv) {
             << "%); worst jL = " << TextTable::num(census.worstProduct, 0)
             << " A/m vs limit " << TextTable::num(census.productLimit, 0)
             << " A/m\n";
-  return census.mortalWires == 0 ? 0 : 2;
+  const auto treeCensus =
+      classifyWiresEm(netlist, WireGeometry{}, marginMpa * units::MPa,
+                      EmParameters{}, parseSignoffMode(emMode));
+  std::cout << "tree census (" << signoffModeName(treeCensus.mode) << "): "
+            << treeCensus.mortalTrees << "/" << treeCensus.trees
+            << " trees mortal over " << treeCensus.branches
+            << " branches; worst steady stress rise "
+            << TextTable::num(treeCensus.worstStressRisePa / units::MPa, 1)
+            << " MPa vs margin "
+            << TextTable::num(treeCensus.stressMarginPa / units::MPa, 1)
+            << " MPa";
+  if (treeCensus.transientFallbacks > 0)
+    std::cout << " (" << treeCensus.transientFallbacks
+              << " transient fallbacks)";
+  if (treeCensus.cyclicComponents > 0)
+    std::cout << " [" << treeCensus.cyclicComponents
+              << " cyclic components via Blech, "
+              << treeCensus.mortalCyclicSegments << " mortal]";
+  std::cout << "\n";
+  return census.mortalWires == 0 && treeCensus.passed() ? 0 : 2;
 }
 
 void printUsage() {
